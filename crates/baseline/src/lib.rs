@@ -1,0 +1,20 @@
+//! Baselines the ICDE'06 scheme is evaluated against.
+//!
+//! * [`swp`] — the word-granular searchable encryption of Song, Wagner &
+//!   Perrig \[SWP00\], the comparator the paper names: "in contrast to the
+//!   work by Song et al., we want to be able to search for arbitrary
+//!   patterns, not just words" (§1). We implement the SWP sequential-scan
+//!   construction (pre-encrypted words XORed with a checkable pseudorandom
+//!   stream) and an [`swp::SwpStore`] running it over the same LH\*
+//!   cluster, so benches compare like for like.
+//! * [`naive`] — the fetch-everything-decrypt-and-scan client the paper
+//!   dismisses up front: "the sheer size of the database makes it
+//!   impossible to send encrypted data to a client, decrypt the data
+//!   there, and search" (§1). [`naive::NaiveStore`] measures exactly that
+//!   traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod naive;
+pub mod swp;

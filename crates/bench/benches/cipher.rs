@@ -1,0 +1,51 @@
+//! Cipher-substrate microbenchmarks: AES-128 primitives and the
+//! arbitrary-width chunk PRP across the paper's chunk sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdds_cipher::{modes, Aes128, ChunkPrp};
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aes128");
+    let aes = Aes128::new(&[7; 16]);
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        let mut block = [0xABu8; 16];
+        b.iter(|| {
+            aes.encrypt_block(black_box(&mut block));
+        });
+    });
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("cbc_encrypt", size), &data, |b, data| {
+            b.iter(|| modes::cbc_encrypt(&aes, &[1; 16], black_box(data)));
+        });
+        g.bench_with_input(BenchmarkId::new("ctr_xor", size), &data, |b, data| {
+            let mut buf = data.clone();
+            b.iter(|| modes::ctr_xor(&aes, &[1; 16], black_box(&mut buf)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk_prp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_prp");
+    // widths for the paper's chunk sizes: s=2,4,6,8 ASCII symbols and the
+    // 12-bit compressed chunks of the recommended configuration
+    for width in [12u32, 16, 32, 48, 64, 128] {
+        let prp = ChunkPrp::new(&[3; 16], width).unwrap();
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("encrypt", width), &prp, |b, prp| {
+            let mut x = 0x1234_5678_9ABCu128 & ((1u128 << (width - 1)) | ((1u128 << (width - 1)) - 1));
+            b.iter(|| {
+                x = prp.encrypt(black_box(x));
+                x
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_chunk_prp);
+criterion_main!(benches);

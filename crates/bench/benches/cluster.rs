@@ -1,0 +1,223 @@
+//! System benchmarks over live clusters: LH\* key operations as the file
+//! scales, and the headline comparison — parallel encrypted substring
+//! search vs the SWP word baseline vs the naive fetch-decrypt-scan client
+//! (time and bytes moved).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdds_baseline::{naive::NaiveStore, swp::SwpStore};
+use sdds_cipher::MasterKey;
+use sdds_core::{EncryptedSearchStore, SchemeConfig};
+use sdds_corpus::DirectoryGenerator;
+use sdds_lh::{ClusterConfig, LhCluster};
+use std::hint::black_box;
+
+fn bench_lh_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lh_star");
+    g.sample_size(20);
+    for n in [100u64, 1000, 5000] {
+        // pre-populate a cluster with n records, then measure lookups
+        let cluster = LhCluster::start(ClusterConfig {
+            bucket_capacity: 64,
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        for key in 0..n {
+            client.insert(key, vec![0u8; 32]).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, &n| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = (key + 7919) % n;
+                black_box(client.lookup(key).unwrap())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("insert_overwrite", n), &n, |b, &n| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = (key + 7919) % n;
+                client.insert(key, vec![1u8; 32]).unwrap()
+            });
+        });
+        cluster.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_search_comparison(c: &mut Criterion) {
+    let records = DirectoryGenerator::new(7).generate(500);
+    let mut g = c.benchmark_group("search_500_records");
+    g.sample_size(10);
+
+    // the encrypted scheme (basic configuration)
+    let store = EncryptedSearchStore::builder(SchemeConfig::basic(4, 2).unwrap())
+        .passphrase("bench")
+        .bucket_capacity(128)
+        .start();
+    for r in &records {
+        store.insert(r.rid, &r.rc).unwrap();
+    }
+    g.bench_function("encrypted_scheme", |b| {
+        b.iter(|| black_box(store.search("MARTINEZ").unwrap()));
+    });
+    // report bytes per search for EXPERIMENTS.md
+    store.cluster().network().stats().reset();
+    let _ = store.search("MARTINEZ").unwrap();
+    eprintln!(
+        "[bytes-per-search] encrypted_scheme: {} bytes, {} messages",
+        store.cluster().network().stats().bytes(),
+        store.cluster().network().stats().messages()
+    );
+    store.shutdown();
+
+    // SWP word-level baseline
+    let swp = SwpStore::start(&MasterKey::new([2; 16]), 128);
+    for r in &records {
+        swp.insert(r.rid, &r.rc).unwrap();
+    }
+    g.bench_function("swp_word_baseline", |b| {
+        b.iter(|| black_box(swp.search_word("MARTINEZ").unwrap()));
+    });
+    swp.cluster().network().stats().reset();
+    let _ = swp.search_word("MARTINEZ").unwrap();
+    eprintln!(
+        "[bytes-per-search] swp_word_baseline: {} bytes, {} messages",
+        swp.cluster().network().stats().bytes(),
+        swp.cluster().network().stats().messages()
+    );
+    swp.shutdown();
+
+    // naive fetch-decrypt-scan baseline
+    let naive = NaiveStore::start(&MasterKey::new([2; 16]), 128);
+    for r in &records {
+        naive.insert(r.rid, &r.rc).unwrap();
+    }
+    g.bench_function("naive_fetch_all", |b| {
+        b.iter(|| black_box(naive.search("MARTINEZ").unwrap()));
+    });
+    naive.cluster().network().stats().reset();
+    let _ = naive.search("MARTINEZ").unwrap();
+    eprintln!(
+        "[bytes-per-search] naive_fetch_all: {} bytes, {} messages",
+        naive.cluster().network().stats().bytes(),
+        naive.cluster().network().stats().messages()
+    );
+    naive.shutdown();
+
+    g.finish();
+}
+
+fn bench_scheme_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheme_insert");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("basic_4x2", SchemeConfig::basic(4, 2).unwrap()),
+        ("paper_recommended", SchemeConfig::paper_recommended()),
+    ] {
+        let training: Vec<String> = DirectoryGenerator::new(8)
+            .generate(200)
+            .into_iter()
+            .map(|r| r.rc)
+            .collect();
+        let store = EncryptedSearchStore::builder(cfg)
+            .passphrase("bench")
+            .bucket_capacity(256)
+            .train(training.clone())
+            .start();
+        let mut rid = 0u64;
+        g.bench_function(BenchmarkId::new("insert", name), |b| {
+            b.iter(|| {
+                rid += 1;
+                store.insert(rid, &training[(rid as usize) % training.len()]).unwrap()
+            });
+        });
+        store.shutdown();
+    }
+    g.finish();
+}
+
+/// LH*RS ablation: insert cost with and without parity maintenance, and
+/// the wall-clock of recovering a crashed bucket.
+fn bench_parity(c: &mut Criterion) {
+    use sdds_lh::ParityConfig;
+    let mut g = c.benchmark_group("lh_star_rs");
+    g.sample_size(10);
+    for (name, parity) in [
+        ("no_parity", None),
+        ("parity_m1", Some(ParityConfig { group_size: 4, parity_count: 1, slot_size: 64 })),
+        ("parity_m2", Some(ParityConfig { group_size: 4, parity_count: 2, slot_size: 64 })),
+    ] {
+        let cluster = LhCluster::start(ClusterConfig {
+            bucket_capacity: 1024,
+            parity,
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        let mut key = 0u64;
+        g.bench_function(BenchmarkId::new("insert", name), |b| {
+            b.iter(|| {
+                key += 1;
+                client.insert(key, vec![0u8; 32]).unwrap()
+            });
+        });
+        cluster.shutdown();
+    }
+    // recovery wall-clock for a 2000-record file
+    let cluster = LhCluster::start(ClusterConfig {
+        bucket_capacity: 64,
+        parity: Some(ParityConfig { group_size: 2, parity_count: 1, slot_size: 64 }),
+        ..ClusterConfig::default()
+    });
+    let client = cluster.client();
+    for key in 0..2000u64 {
+        client.insert(key, vec![0u8; 32]).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let t0 = std::time::Instant::now();
+    cluster.kill_bucket(1);
+    cluster.recover_bucket(1).unwrap();
+    eprintln!(
+        "[recovery] bucket 1 of a 2000-record file recovered in {:?}",
+        t0.elapsed()
+    );
+    cluster.shutdown();
+    g.finish();
+}
+
+/// Scan latency as the file scales out — the paper's parallel-search
+/// claim: more sites, roughly constant per-site work.
+fn bench_scan_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_scaling");
+    g.sample_size(10);
+    for n in [250u64, 1000, 4000] {
+        let cluster = LhCluster::start(ClusterConfig {
+            bucket_capacity: 32,
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        for key in 0..n {
+            client
+                .insert(key, format!("RECORD NUMBER {key} PAYLOAD").into_bytes())
+                .unwrap();
+        }
+        let buckets = cluster.num_buckets();
+        g.bench_with_input(
+            BenchmarkId::new(format!("{buckets}_buckets"), n),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(client.scan(b"NUMBER 7", true).unwrap()));
+            },
+        );
+        cluster.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lh_ops,
+    bench_search_comparison,
+    bench_scheme_insert,
+    bench_parity,
+    bench_scan_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Pipeline benchmarks and the DESIGN.md ablations: cost of producing
+//! index records and queries per stage combination, number of chunkings,
+//! and partial-chunk policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdds_chunk::PartialChunkPolicy;
+use sdds_cipher::{KeyMaterial, MasterKey};
+use sdds_core::{EncodingConfig, IndexPipeline, PrecompressionConfig, SchemeConfig};
+use sdds_encode::PairCompressor;
+use sdds_corpus::DirectoryGenerator;
+use std::hint::black_box;
+
+fn keys() -> KeyMaterial {
+    KeyMaterial::new(MasterKey::new([5; 16]))
+}
+
+fn sample_rcs(n: usize) -> Vec<String> {
+    DirectoryGenerator::new(99)
+        .generate(n)
+        .into_iter()
+        .map(|r| r.rc)
+        .collect()
+}
+
+/// Stage ablation: chunk-only vs +encoding vs +dispersion vs full.
+fn bench_stage_ablation(c: &mut Criterion) {
+    let rcs = sample_rcs(200);
+    let total_bytes: u64 = rcs.iter().map(|r| r.len() as u64).sum();
+    let mut g = c.benchmark_group("ablation_stages");
+    g.throughput(Throughput::Bytes(total_bytes));
+
+    let make = |encoding: bool, dispersion: Option<usize>| {
+        let mut cfg = SchemeConfig::basic(4, 2).unwrap();
+        if encoding {
+            cfg.encoding = Some(EncodingConfig::whole_chunk(256));
+        }
+        cfg.dispersion = dispersion;
+        let cfg = cfg.validated().unwrap();
+        let book = cfg
+            .encoding
+            .map(|_| IndexPipeline::train_codebook(&cfg, rcs.iter().map(|s| s.as_str())));
+        IndexPipeline::new(cfg, keys(), book).unwrap()
+    };
+
+    let variants = [
+        ("stage1_only", make(false, None)),
+        ("stage1_2", make(true, None)),
+        ("stage1_3_k4", make(false, Some(4))),
+        ("stage1_2_3_k4", make(true, Some(4))),
+    ];
+    for (name, pipeline) in &variants {
+        g.bench_with_input(BenchmarkId::new("index_records", *name), pipeline, |b, p| {
+            b.iter(|| {
+                for rc in &rcs {
+                    black_box(p.index_records(black_box(rc)));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: number of chunkings (full s vs s/2 vs 2) — the §2.5
+/// storage/false-positive trade-off, measured as index build cost.
+fn bench_chunking_count(c: &mut Criterion) {
+    let rcs = sample_rcs(200);
+    let mut g = c.benchmark_group("ablation_chunkings");
+    for chunkings in [8usize, 4, 2, 1] {
+        let cfg = SchemeConfig::basic(8, chunkings).unwrap();
+        let p = IndexPipeline::new(cfg, keys(), None).unwrap();
+        g.bench_with_input(BenchmarkId::new("index_records", chunkings), &p, |b, p| {
+            b.iter(|| {
+                for rc in &rcs {
+                    black_box(p.index_records(black_box(rc)));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: storing vs dropping padded boundary chunks (§2.1).
+fn bench_partial_policy(c: &mut Criterion) {
+    let rcs = sample_rcs(200);
+    let mut g = c.benchmark_group("ablation_partial_chunks");
+    for (name, policy) in [
+        ("store", PartialChunkPolicy::Store),
+        ("drop", PartialChunkPolicy::Drop),
+    ] {
+        let mut cfg = SchemeConfig::basic(4, 4).unwrap();
+        cfg.partial_chunks = policy;
+        let p = IndexPipeline::new(cfg.validated().unwrap(), keys(), None).unwrap();
+        g.bench_with_input(BenchmarkId::new("index_records", name), &p, |b, p| {
+            b.iter(|| {
+                for rc in &rcs {
+                    black_box(p.index_records(black_box(rc)));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Query compilation cost per search mode and dispersion degree.
+fn bench_query_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_build");
+    for k in [1usize, 2, 4] {
+        let mut cfg = SchemeConfig::basic(4, 4).unwrap();
+        cfg.dispersion = if k == 1 { None } else { Some(k) };
+        let p = IndexPipeline::new(cfg.validated().unwrap(), keys(), None).unwrap();
+        g.bench_with_input(BenchmarkId::new("dispersion_k", k), &p, |b, p| {
+            b.iter(|| black_box(p.build_query(black_box("MARTINEZ JOSE"))).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Stage-0 searchable compression: raw throughput and end-to-end index
+/// cost with pre-compression on/off.
+fn bench_precompression(c: &mut Criterion) {
+    let rcs = sample_rcs(500);
+    let streams: Vec<Vec<u16>> = rcs
+        .iter()
+        .map(|s| s.bytes().map(u16::from).collect())
+        .collect();
+    let total_bytes: u64 = rcs.iter().map(|r| r.len() as u64).sum();
+    let mut g = c.benchmark_group("precompression");
+    g.throughput(Throughput::Bytes(total_bytes));
+    let compressor =
+        PairCompressor::train(streams.iter().map(|v| v.as_slice()), 256, 128);
+    // report the achieved ratio once
+    let compressed: usize = streams.iter().map(|s| compressor.compress(s).len()).sum();
+    let raw: usize = streams.iter().map(Vec::len).sum();
+    eprintln!(
+        "[pair-compression] {} pairs, ratio {:.3} ({} -> {} symbols)",
+        compressor.num_pairs(),
+        compressed as f64 / raw as f64,
+        raw,
+        compressed
+    );
+    g.bench_function("compress", |b| {
+        b.iter(|| {
+            for s in &streams {
+                black_box(compressor.compress(black_box(s)));
+            }
+        });
+    });
+    // end-to-end: index build with Stage 0 on vs off
+    let mut pre_cfg = SchemeConfig::basic(4, 2).unwrap();
+    pre_cfg.precompression = Some(PrecompressionConfig { max_pairs: 128 });
+    let pre_cfg = pre_cfg.validated().unwrap();
+    let pre = IndexPipeline::with_precompressor(
+        pre_cfg,
+        keys(),
+        None,
+        Some(IndexPipeline::train_precompressor(
+            &pre_cfg,
+            rcs.iter().map(|s| s.as_str()),
+        )),
+    )
+    .unwrap();
+    let plain = IndexPipeline::new(SchemeConfig::basic(4, 2).unwrap(), keys(), None).unwrap();
+    for (name, p) in [("index_with_stage0", &pre), ("index_without_stage0", &plain)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for rc in &rcs {
+                    black_box(p.index_records(black_box(rc)));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stage_ablation,
+    bench_chunking_count,
+    bench_partial_policy,
+    bench_query_build,
+    bench_precompression
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Table 3: χ² after redundancy removal for chunk sizes
+//! 1/2/4/6 across code-alphabet sizes.
+
+use sdds_bench::common::fmt_chi2;
+use sdds_bench::{cli, table3, PAPER_CORPUS_SIZE};
+
+fn main() {
+    let (entries, seed, json) = cli::parse(PAPER_CORPUS_SIZE);
+    let t = table3::run(entries, seed);
+    println!("Table 3: chi^2-values after Pre-Processing (redundancy removal)");
+    println!("({} entries, seed {seed})", t.entries);
+    let mut current_cs = 0;
+    for row in &t.rows {
+        if row.chunk_size != current_cs {
+            current_cs = row.chunk_size;
+            println!("\nChunk Size = {current_cs}");
+            println!(
+                "  {:>8} | {:>14} | {:>14} | {:>14} | {:>9}",
+                "# encod.", "chi2 single", "chi2 double", "chi2 triple", "# chunks"
+            );
+        }
+        println!(
+            "  {:>8} | {:>14} | {:>14} | {:>14} | {:>9}",
+            row.encodings,
+            fmt_chi2(row.chi2_single),
+            fmt_chi2(row.chi2_double),
+            fmt_chi2(row.chi2_triple),
+            row.distinct_chunks
+        );
+    }
+    cli::maybe_json(&t, json);
+}

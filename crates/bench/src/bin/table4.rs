@@ -1,0 +1,34 @@
+//! Regenerates Table 4: false positives after symbol encoding (FP1) and
+//! after additional chunking with chunk size 2 (FP2).
+
+use sdds_bench::common::fmt_chi2;
+use sdds_bench::{cli, table4};
+
+fn main() {
+    // the paper samples 1000 records for this experiment
+    let (entries, seed, json) = cli::parse(1000);
+    let t = table4::run(entries, seed);
+    println!("Table 4: False Positives after symbol encoding (FP1) and");
+    println!("after symbol encoding + chunking with chunk size = 2 (FP2)");
+    println!("({} records, queries = their last names, seed {seed})", t.entries);
+    for (title, rows) in [("(a) All entries", &t.all), ("(b) Names longer than 5 characters", &t.long_names)]
+    {
+        println!("\n{title}");
+        println!(
+            "  {:>3} | {:>12} | {:>12} | {:>12} | {:>7} | {:>7}",
+            "En", "chi2 single", "chi2 double", "chi2 triple", "FP1", "FP2"
+        );
+        for row in rows {
+            println!(
+                "  {:>3} | {:>12} | {:>12} | {:>12} | {:>7} | {:>7}",
+                row.encodings,
+                fmt_chi2(row.chi2_single),
+                fmt_chi2(row.chi2_double),
+                fmt_chi2(row.chi2_triple),
+                row.fp1,
+                row.fp2
+            );
+        }
+    }
+    cli::maybe_json(&t, json);
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 5: false positives after two-symbol chunk encoding.
+
+use sdds_bench::common::fmt_chi2;
+use sdds_bench::{cli, table5};
+
+fn main() {
+    let (entries, seed, json) = cli::parse(1000);
+    let t = table5::run(entries, seed);
+    println!("Table 5: False Positives after chunk encoding (2-symbol chunks)");
+    println!("({} records, queries = their last names, seed {seed})", t.entries);
+    for (title, rows) in [("(a) All entries", &t.all), ("(b) Last names longer than 5 characters", &t.long_names)]
+    {
+        println!("\n{title}");
+        println!(
+            "  {:>3} | {:>12} | {:>12} | {:>12} | {:>7}",
+            "Enc", "chi2 single", "chi2 double", "chi2 triple", "FP"
+        );
+        for row in rows {
+            println!(
+                "  {:>3} | {:>12} | {:>12} | {:>12} | {:>7}",
+                row.encodings,
+                fmt_chi2(row.chi2_single),
+                fmt_chi2(row.chi2_double),
+                fmt_chi2(row.chi2_triple),
+                row.fp
+            );
+        }
+    }
+    cli::maybe_json(&t, json);
+}

@@ -1,0 +1,64 @@
+//! Tiny argument parsing shared by the table binaries.
+//!
+//! Usage: `tableN [--entries N] [--seed S] [--json PATH] [--quick]`.
+//! `--quick` caps the corpus at 5,000 entries for a fast sanity run.
+
+use crate::DEFAULT_SEED;
+use serde::Serialize;
+
+/// Parses `(entries, seed, json_path)` from `std::env::args`.
+pub fn parse(default_entries: usize) -> (usize, u64, Option<String>) {
+    let mut entries = default_entries;
+    let mut seed = DEFAULT_SEED;
+    let mut json = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--entries" => {
+                entries = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--entries needs a number"));
+                i += 1;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+                i += 1;
+            }
+            "--json" => {
+                json = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a path")),
+                );
+                i += 1;
+            }
+            "--quick" => entries = entries.min(5_000),
+            "--help" | "-h" => {
+                eprintln!("usage: [--entries N] [--seed S] [--json PATH] [--quick]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    (entries, seed, json)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Writes the artefact as JSON if a path was requested.
+pub fn maybe_json<T: Serialize>(artefact: &T, path: Option<String>) {
+    if let Some(path) = path {
+        let body = serde_json::to_string_pretty(artefact).expect("artefact serializes");
+        std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+}

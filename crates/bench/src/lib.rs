@@ -1,0 +1,28 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§6–§7) on the synthetic SF-style directory.
+//!
+//! Each `tableN` module computes the corresponding artefact and returns a
+//! serializable report; the `src/bin/tableN` binaries print them in the
+//! paper's layout. Absolute numbers differ from the paper (its corpus is
+//! proprietary; ours is a calibrated synthetic equivalent — see DESIGN.md
+//! §5), but the *shape* — orderings, monotonicity in chunk size and code
+//! count, where false positives come from — is the reproduction target and
+//! is asserted by this crate's tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod common;
+pub mod figure5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+/// Number of entries in the paper's SF White Pages extract.
+pub const PAPER_CORPUS_SIZE: usize = 282_965;
+
+/// Default seed for all experiments (reports record it).
+pub const DEFAULT_SEED: u64 = 20060403; // ICDE 2006, Atlanta, April 3-7

@@ -1,0 +1,36 @@
+//! Stage 1 of the ICDE'06 scheme: chunking of record contents and of
+//! search strings.
+//!
+//! A *chunking* splits the record content into chunks of `s` symbols at a
+//! fixed offset; the scheme stores several chunkings of each record on
+//! different sites so that a substring search can always find a
+//! chunk-aligned decomposition of the query (§2.1). The full scheme uses
+//! all `s` offsets; §2.5 trades storage for false positives by keeping only
+//! `c` offsets (`c` dividing `s`), at the price of longer minimum query
+//! lengths and an OR- instead of AND-combination of site answers.
+//!
+//! Everything here is on *plaintext* symbols; the encrypt step (the chunk
+//! PRP of `sdds-cipher`) and the lossy Stage-2 encoding compose around it.
+//!
+//! # Paper example (§2.2)
+//!
+//! ```
+//! use sdds_chunk::{ChunkingScheme, PartialChunkPolicy};
+//!
+//! let scheme = ChunkingScheme::new(4, 4).unwrap();       // s = 4, full
+//! let rc: Vec<u16> = "ABCDEFGHIJKLMNOPQRSTUVWXYZ".bytes().map(u16::from).collect();
+//! let chunks = scheme.chunk_record(0, &rc, PartialChunkPolicy::Store);
+//! assert_eq!(chunks[0], "ABCD".bytes().map(u16::from).collect::<Vec<_>>());
+//! assert_eq!(chunks[6], vec![u16::from(b'Y'), u16::from(b'Z'), 0, 0]); // padded
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matcher;
+mod scheme;
+mod search;
+
+pub use matcher::find_series;
+pub use scheme::{ChunkError, ChunkingScheme, PartialChunkPolicy, PAD_SYMBOL};
+pub use search::{CombinationRule, SearchMode, SearchSeries};

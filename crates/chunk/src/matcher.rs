@@ -1,0 +1,65 @@
+//! Site-side series matching.
+//!
+//! A storage site holds the sequence of (encrypted, possibly encoded and
+//! dispersed) chunks of each index record. Matching a search series means
+//! finding every chunk index where the series' chunks occur *consecutively*
+//! (§2.3: sites "try to match consecutive chunks"). The site never learns
+//! plaintext — equality of opaque values is all it needs, so the matcher is
+//! generic.
+
+/// Returns every start index at which `series` occurs as a contiguous run
+/// in `chunks`. An empty series matches nowhere (sites receive only
+/// non-empty series).
+pub fn find_series<T: PartialEq>(chunks: &[T], series: &[T]) -> Vec<usize> {
+    if series.is_empty() || series.len() > chunks.len() {
+        return Vec::new();
+    }
+    chunks
+        .windows(series.len())
+        .enumerate()
+        .filter_map(|(i, w)| (w == series).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_occurrence() {
+        let chunks = vec!["AB", "CD", "EF", "GH"];
+        assert_eq!(find_series(&chunks, &["CD", "EF"]), vec![1]);
+    }
+
+    #[test]
+    fn finds_multiple_occurrences_including_overlaps() {
+        let chunks = vec![1, 1, 1, 2];
+        assert_eq!(find_series(&chunks, &[1, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let chunks = vec![1, 2, 3];
+        assert!(find_series(&chunks, &[4]).is_empty());
+        assert!(find_series(&chunks, &[2, 1]).is_empty());
+    }
+
+    #[test]
+    fn series_longer_than_record_never_matches() {
+        let chunks = vec![1, 2];
+        assert!(find_series(&chunks, &[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn empty_series_matches_nowhere() {
+        let chunks = vec![1, 2, 3];
+        assert!(find_series::<i32>(&chunks, &[]).is_empty());
+    }
+
+    #[test]
+    fn works_on_opaque_encrypted_values() {
+        // 128-bit ciphertext chunks — the realistic type at a site.
+        let chunks: Vec<u128> = vec![0xDEAD, 0xBEEF, 0xCAFE];
+        assert_eq!(find_series(&chunks, &[0xBEEF, 0xCAFE]), vec![1]);
+    }
+}

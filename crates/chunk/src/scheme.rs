@@ -1,0 +1,302 @@
+//! The chunking scheme: chunk size, offset family, record chunking.
+
+use std::fmt;
+
+/// The padding symbol (the paper's "zero symbol", §2.1).
+pub const PAD_SYMBOL: u16 = 0;
+
+/// Errors from scheme construction and search-string chunking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// Chunk size must be at least 1.
+    ZeroChunkSize,
+    /// The number of chunkings must be in `1..=s` and divide `s`.
+    BadChunkingCount {
+        /// Chunk size `s`.
+        chunk_size: usize,
+        /// Requested number of chunkings.
+        chunkings: usize,
+    },
+    /// The query is shorter than the minimum searchable length.
+    QueryTooShort {
+        /// Length supplied.
+        len: usize,
+        /// Minimum length for the scheme and mode.
+        min: usize,
+    },
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::ZeroChunkSize => write!(f, "chunk size must be positive"),
+            ChunkError::BadChunkingCount { chunk_size, chunkings } => write!(
+                f,
+                "number of chunkings {chunkings} must divide chunk size {chunk_size}"
+            ),
+            ChunkError::QueryTooShort { len, min } => {
+                write!(f, "query length {len} below minimum searchable length {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Whether boundary chunks containing padding are stored.
+///
+/// §2.1: partial first/last chunks "can be recognized … and exploited
+/// through an elementary frequency attack. A simple counter-measure such as
+/// not storing these partial chunks limits our search capability, but is
+/// otherwise perfectly feasible."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartialChunkPolicy {
+    /// Store padded boundary chunks (full prefix/suffix searchability).
+    #[default]
+    Store,
+    /// Drop any chunk containing padding (better security, §2.1).
+    Drop,
+}
+
+/// A family of `c` chunkings with chunk size `s` (`c` divides `s`).
+///
+/// ```
+/// use sdds_chunk::{ChunkingScheme, PartialChunkPolicy, SearchMode};
+///
+/// let scheme = ChunkingScheme::new(8, 4).unwrap();  // §2.5's first example
+/// assert_eq!(scheme.offset_step(), 2);
+/// assert_eq!(scheme.min_search_len(SearchMode::Minimal), 9); // s + 1
+/// let rc: Vec<u16> = (1..=20).collect();
+/// let chunks = scheme.chunk_record(1, &rc, PartialChunkPolicy::Store);
+/// assert_eq!(chunks[0][..2], [0, 0]); // two pad symbols
+/// ```
+///
+/// Chunking `j` prepends `j·(s/c)` pad symbols before splitting into
+/// chunks of `s`, so chunk boundaries of the family cover exactly the
+/// position residues that are multiples of `t = s/c`:
+///
+/// * `c = s` — the full scheme of §2.1 (boundaries at every residue);
+/// * `c = 4, s = 8` — the first reduced example of §2.5;
+/// * `c = 2, s = 8` — the second reduced example of §2.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkingScheme {
+    chunk_size: usize,
+    chunkings: usize,
+}
+
+impl ChunkingScheme {
+    /// Creates a scheme with chunk size `s` and `c` chunkings.
+    pub fn new(chunk_size: usize, chunkings: usize) -> Result<ChunkingScheme, ChunkError> {
+        if chunk_size == 0 {
+            return Err(ChunkError::ZeroChunkSize);
+        }
+        if chunkings == 0 || chunkings > chunk_size || !chunk_size.is_multiple_of(chunkings) {
+            return Err(ChunkError::BadChunkingCount { chunk_size, chunkings });
+        }
+        Ok(ChunkingScheme { chunk_size, chunkings })
+    }
+
+    /// The full scheme of §2.1: `s` chunkings of chunk size `s`.
+    pub fn full(chunk_size: usize) -> Result<ChunkingScheme, ChunkError> {
+        ChunkingScheme::new(chunk_size, chunk_size)
+    }
+
+    /// Chunk size `s` in symbols.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Number of chunkings `c` (= number of index-record families / sites).
+    pub fn num_chunkings(&self) -> usize {
+        self.chunkings
+    }
+
+    /// Offset step `t = s / c` between consecutive chunkings.
+    pub fn offset_step(&self) -> usize {
+        self.chunk_size / self.chunkings
+    }
+
+    /// Number of pad symbols chunking `j` prepends.
+    pub fn padding_of(&self, chunking_id: usize) -> usize {
+        assert!(chunking_id < self.chunkings, "chunking id out of range");
+        chunking_id * self.offset_step()
+    }
+
+    /// Splits a record's symbols into the chunks of chunking `chunking_id`.
+    ///
+    /// The record is logically prefixed by `padding_of(chunking_id)` pad
+    /// symbols and suffixed to a multiple of `s`; `policy` controls whether
+    /// chunks containing padding survive.
+    pub fn chunk_record(
+        &self,
+        chunking_id: usize,
+        symbols: &[u16],
+        policy: PartialChunkPolicy,
+    ) -> Vec<Vec<u16>> {
+        let s = self.chunk_size;
+        if symbols.is_empty() {
+            return Vec::new();
+        }
+        let pad = self.padding_of(chunking_id);
+        let total = pad + symbols.len();
+        let nchunks = total.div_ceil(s);
+        let mut out = Vec::with_capacity(nchunks);
+        for m in 0..nchunks {
+            // chunk m covers padded positions [m*s, (m+1)*s)
+            let mut chunk = Vec::with_capacity(s);
+            let mut is_partial = false;
+            for pos in m * s..(m + 1) * s {
+                if pos < pad || pos >= pad + symbols.len() {
+                    chunk.push(PAD_SYMBOL);
+                    is_partial = true;
+                } else {
+                    chunk.push(symbols[pos - pad]);
+                }
+            }
+            if policy == PartialChunkPolicy::Drop && is_partial {
+                continue;
+            }
+            out.push(chunk);
+        }
+        out
+    }
+
+    /// Record position (symbol index) where chunk `m` of chunking
+    /// `chunking_id` begins (may be negative for the padded first chunk).
+    pub fn chunk_start(&self, chunking_id: usize, m: usize) -> isize {
+        m as isize * self.chunk_size as isize - self.padding_of(chunking_id) as isize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(s: &str) -> Vec<u16> {
+        s.bytes().map(u16::from).collect()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(ChunkingScheme::new(0, 1).unwrap_err(), ChunkError::ZeroChunkSize);
+        assert!(matches!(
+            ChunkingScheme::new(8, 3).unwrap_err(),
+            ChunkError::BadChunkingCount { .. }
+        ));
+        assert!(matches!(
+            ChunkingScheme::new(8, 0).unwrap_err(),
+            ChunkError::BadChunkingCount { .. }
+        ));
+        assert!(matches!(
+            ChunkingScheme::new(4, 8).unwrap_err(),
+            ChunkError::BadChunkingCount { .. }
+        ));
+        assert!(ChunkingScheme::new(8, 4).is_ok());
+        assert!(ChunkingScheme::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn paper_section_2_2_example_full_scheme() {
+        // s = 4 on "ABCDEFGHIJKLMNOPQRSTUVWXYZ". The paper lists four
+        // chunkings; our chunking-j-prepends-j-zeros family generates the
+        // same set of chunkings (labels permuted: paper's 2nd = our 3rd in
+        // zero count etc.). Check the offset-1 and offset-3 members.
+        let scheme = ChunkingScheme::full(4).unwrap();
+        let rc = syms("ABCDEFGHIJKLMNOPQRSTUVWXYZ");
+
+        let c0 = scheme.chunk_record(0, &rc, PartialChunkPolicy::Store);
+        assert_eq!(c0[0], syms("ABCD"));
+        assert_eq!(c0[5], syms("UVWX"));
+        assert_eq!(c0[6], vec![89, 90, 0, 0]); // YZ00
+        assert_eq!(c0.len(), 7);
+
+        // paper's fourth chunking "(0ABC),(DEFG),…,(XYZ0)" = 1 pad symbol
+        let c1 = scheme.chunk_record(1, &rc, PartialChunkPolicy::Store);
+        assert_eq!(c1[0], vec![0, 65, 66, 67]); // 0ABC
+        assert_eq!(c1[1], syms("DEFG"));
+        assert_eq!(c1[6], vec![88, 89, 90, 0]); // XYZ0
+
+        // paper's second chunking "(000A),(BCDE),…,(Z000)" = 3 pad symbols
+        let c3 = scheme.chunk_record(3, &rc, PartialChunkPolicy::Store);
+        assert_eq!(c3[0], vec![0, 0, 0, 65]); // 000A
+        assert_eq!(c3[1], syms("BCDE"));
+        assert_eq!(c3[7], vec![90, 0, 0, 0]); // Z000
+        assert_eq!(c3.len(), 8);
+    }
+
+    #[test]
+    fn paper_section_2_5_reduced_scheme() {
+        // s = 8, 4 chunkings: offsets 0, 2, 4, 6 pad symbols.
+        let scheme = ChunkingScheme::new(8, 4).unwrap();
+        assert_eq!(scheme.offset_step(), 2);
+        let rc: Vec<u16> = (1..=30).collect();
+        let c1 = scheme.chunk_record(1, &rc, PartialChunkPolicy::Store);
+        // (0,0,r0..r5), (r6..r13), ...
+        assert_eq!(c1[0], vec![0, 0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(c1[1], vec![7, 8, 9, 10, 11, 12, 13, 14]);
+        let c3 = scheme.chunk_record(3, &rc, PartialChunkPolicy::Store);
+        // (0,0,0,0,0,0,r0,r1), (r2..r9), ...
+        assert_eq!(c3[0], vec![0, 0, 0, 0, 0, 0, 1, 2]);
+        assert_eq!(c3[1], vec![3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn drop_policy_removes_padded_chunks() {
+        let scheme = ChunkingScheme::full(4).unwrap();
+        let rc = syms("ABCDEFGHIJ"); // 10 symbols
+        let stored = scheme.chunk_record(2, &rc, PartialChunkPolicy::Store);
+        let dropped = scheme.chunk_record(2, &rc, PartialChunkPolicy::Drop);
+        assert!(stored.len() > dropped.len());
+        assert!(dropped.iter().all(|c| !c.contains(&PAD_SYMBOL)));
+        // interior chunks are identical
+        for c in &dropped {
+            assert!(stored.contains(c));
+        }
+    }
+
+    #[test]
+    fn empty_record_yields_no_chunks() {
+        let scheme = ChunkingScheme::full(4).unwrap();
+        assert!(scheme.chunk_record(0, &[], PartialChunkPolicy::Store).is_empty());
+        // chunking with padding only produces the all-pad chunk when storing
+        let c = scheme.chunk_record(1, &[], PartialChunkPolicy::Store);
+        assert!(c.is_empty(), "pad-only record area should produce no chunks: {c:?}");
+    }
+
+    #[test]
+    fn record_shorter_than_chunk() {
+        let scheme = ChunkingScheme::full(4).unwrap();
+        let c = scheme.chunk_record(0, &syms("AB"), PartialChunkPolicy::Store);
+        assert_eq!(c, vec![vec![65, 66, 0, 0]]);
+        let c = scheme.chunk_record(0, &syms("AB"), PartialChunkPolicy::Drop);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn chunk_start_positions() {
+        let scheme = ChunkingScheme::new(8, 4).unwrap();
+        assert_eq!(scheme.chunk_start(0, 0), 0);
+        assert_eq!(scheme.chunk_start(1, 0), -2);
+        assert_eq!(scheme.chunk_start(1, 1), 6);
+        assert_eq!(scheme.chunk_start(3, 2), 10);
+    }
+
+    #[test]
+    fn boundary_residues_cover_multiples_of_step() {
+        // The family guarantee: chunk starts of the chunkings cover exactly
+        // the residues {0, t, 2t, ...} mod s.
+        for (s, c) in [(8, 8), (8, 4), (8, 2), (8, 1), (6, 3), (12, 4)] {
+            let scheme = ChunkingScheme::new(s, c).unwrap();
+            let t = scheme.offset_step();
+            let mut residues: Vec<usize> = (0..c)
+                .map(|j| {
+                    let start = scheme.chunk_start(j, 1); // some interior chunk
+                    (start.rem_euclid(s as isize)) as usize
+                })
+                .collect();
+            residues.sort_unstable();
+            let expect: Vec<usize> = (0..c).map(|i| i * t).collect();
+            assert_eq!(residues, expect, "s={s} c={c}");
+        }
+    }
+}

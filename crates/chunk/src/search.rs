@@ -1,0 +1,222 @@
+//! Search-string chunking (§2.3, §2.5).
+//!
+//! To search for a substring the client produces *series* of chunk-aligned
+//! decompositions of the query, one per possible alignment drop. Series
+//! contain only complete chunks — never padded ones — so every chunk in a
+//! series must match an index-record chunk exactly.
+
+use crate::scheme::{ChunkError, ChunkingScheme};
+
+/// How many alignment drops the client sends, which determines how site
+/// answers combine (§2.3 vs §2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Send all `s` drops. Every chunking site then finds an aligned series
+    /// for a true occurrence, so the client may AND the per-chunking
+    /// verdicts ("it is not possible that a search results in false
+    /// positives from all sites", §2.3). Requires `len >= 2s - 1` for the
+    /// AND guarantee.
+    Exhaustive,
+    /// Send only the `t = s/c` drops needed for coverage; exactly one
+    /// chunking reports per occurrence, so verdicts combine by OR and
+    /// "false positives will be more numerous" (§2.5). Requires
+    /// `len >= s + t - 1`.
+    #[default]
+    Minimal,
+}
+
+/// The per-chunking combination rule implied by a [`SearchMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinationRule {
+    /// A record matches only if **every** chunking reports a hit.
+    All,
+    /// A record matches if **any** chunking reports a hit.
+    Any,
+}
+
+impl SearchMode {
+    /// The combination rule this mode supports.
+    pub fn combination(self) -> CombinationRule {
+        match self {
+            SearchMode::Exhaustive => CombinationRule::All,
+            SearchMode::Minimal => CombinationRule::Any,
+        }
+    }
+}
+
+/// One chunk-aligned decomposition of the query: the first `drop` symbols
+/// are skipped, the remainder is cut into complete chunks (any ragged tail
+/// is discarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSeries {
+    /// Number of leading query symbols skipped.
+    pub drop: usize,
+    /// The complete chunks of the remaining query.
+    pub chunks: Vec<Vec<u16>>,
+}
+
+impl ChunkingScheme {
+    /// Minimum query length searchable in `mode`.
+    pub fn min_search_len(&self, mode: SearchMode) -> usize {
+        let s = self.chunk_size();
+        match mode {
+            // worst-case drop s-1 must still leave one complete chunk
+            SearchMode::Exhaustive => 2 * s - 1,
+            // worst-case drop t-1 must still leave one complete chunk
+            SearchMode::Minimal => s + self.offset_step() - 1,
+        }
+    }
+
+    /// Produces the search series for `query` under `mode`.
+    ///
+    /// Errors if the query is shorter than [`min_search_len`]
+    /// (§2.3: "our search strategy does not work for search strings of
+    /// length less than s").
+    ///
+    /// [`min_search_len`]: Self::min_search_len
+    pub fn search_series(
+        &self,
+        query: &[u16],
+        mode: SearchMode,
+    ) -> Result<Vec<SearchSeries>, ChunkError> {
+        let s = self.chunk_size();
+        let min = self.min_search_len(mode);
+        if query.len() < min {
+            return Err(ChunkError::QueryTooShort { len: query.len(), min });
+        }
+        let ndrops = match mode {
+            SearchMode::Exhaustive => s,
+            SearchMode::Minimal => self.offset_step(),
+        };
+        let mut out = Vec::with_capacity(ndrops);
+        for drop in 0..ndrops {
+            let rest = &query[drop..];
+            let chunks: Vec<Vec<u16>> =
+                rest.chunks_exact(s).map(|c| c.to_vec()).collect();
+            debug_assert!(!chunks.is_empty(), "min length guarantees >= 1 chunk");
+            out.push(SearchSeries { drop, chunks });
+        }
+        Ok(out)
+    }
+
+    /// The drop value whose series aligns with chunking `chunking_id` for a
+    /// query occurring at record position `pos` — the invariant that makes
+    /// search complete.
+    pub fn aligned_drop(&self, chunking_id: usize, pos: usize) -> usize {
+        let s = self.chunk_size();
+        let pad = self.padding_of(chunking_id);
+        // chunk boundaries of chunking j sit at positions ≡ -pad (mod s);
+        // the first boundary at or after pos is pos + drop
+        (s - ((pos + pad) % s)) % s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(s: &str) -> Vec<u16> {
+        s.bytes().map(u16::from).collect()
+    }
+
+    #[test]
+    fn paper_section_2_4_search_example() {
+        // s = 4, query "BCDEFGHIJK": the paper produces
+        //   (BCDE)(FGHI) ; (CDEF)(GHIJ) ; (DEFG)(HIJK) ; (EFGH)
+        let scheme = ChunkingScheme::full(4).unwrap();
+        let series = scheme
+            .search_series(&syms("BCDEFGHIJK"), SearchMode::Exhaustive)
+            .unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].chunks, vec![syms("BCDE"), syms("FGHI")]);
+        assert_eq!(series[1].chunks, vec![syms("CDEF"), syms("GHIJ")]);
+        assert_eq!(series[2].chunks, vec![syms("DEFG"), syms("HIJK")]);
+        assert_eq!(series[3].chunks, vec![syms("EFGH")]);
+    }
+
+    #[test]
+    fn minimal_mode_matches_paper_2_5() {
+        // s = 8, 4 chunkings: "we generate two search chunkings".
+        let scheme = ChunkingScheme::new(8, 4).unwrap();
+        let q: Vec<u16> = (1..=20).collect();
+        let series = scheme.search_series(&q, SearchMode::Minimal).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].drop, 0);
+        assert_eq!(series[1].drop, 1);
+        // s = 8, 2 chunkings: four search chunkings
+        let scheme = ChunkingScheme::new(8, 2).unwrap();
+        let series = scheme.search_series(&q, SearchMode::Minimal).unwrap();
+        assert_eq!(series.len(), 4);
+    }
+
+    #[test]
+    fn min_lengths_match_paper() {
+        let s8c8 = ChunkingScheme::new(8, 8).unwrap();
+        assert_eq!(s8c8.min_search_len(SearchMode::Minimal), 8); // = s
+        let s8c4 = ChunkingScheme::new(8, 4).unwrap();
+        assert_eq!(s8c4.min_search_len(SearchMode::Minimal), 9); // s + 1 (§2.5)
+        let s8c2 = ChunkingScheme::new(8, 2).unwrap();
+        assert_eq!(s8c2.min_search_len(SearchMode::Minimal), 11); // s + 3 (§2.5)
+        assert_eq!(s8c8.min_search_len(SearchMode::Exhaustive), 15); // 2s - 1
+    }
+
+    #[test]
+    fn too_short_query_rejected() {
+        let scheme = ChunkingScheme::full(4).unwrap();
+        let err = scheme
+            .search_series(&syms("ABC"), SearchMode::Minimal)
+            .unwrap_err();
+        assert_eq!(err, ChunkError::QueryTooShort { len: 3, min: 4 });
+    }
+
+    #[test]
+    fn exactly_min_length_yields_single_chunk_series() {
+        let scheme = ChunkingScheme::new(8, 4).unwrap();
+        let q: Vec<u16> = (1..=9).collect(); // min length s + 1 = 9
+        let series = scheme.search_series(&q, SearchMode::Minimal).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].chunks.len(), 1);
+        assert_eq!(series[1].chunks.len(), 1);
+    }
+
+    #[test]
+    fn aligned_drop_is_consistent_with_chunk_starts() {
+        for (s, c) in [(4, 4), (8, 4), (8, 2), (6, 3), (8, 1)] {
+            let scheme = ChunkingScheme::new(s, c).unwrap();
+            for j in 0..c {
+                for pos in 0..3 * s {
+                    let d = scheme.aligned_drop(j, pos);
+                    // pos + d must be a chunk start of chunking j
+                    let shifted = (pos + d) as isize;
+                    let pad = scheme.padding_of(j) as isize;
+                    assert_eq!(
+                        (shifted + pad).rem_euclid(s as isize),
+                        0,
+                        "s={s} c={c} j={j} pos={pos} d={d}"
+                    );
+                    assert!(d < s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_drops_cover_every_position_in_some_chunking() {
+        // Completeness: for every position there is a chunking whose
+        // aligned drop is among the t sent drops.
+        for (s, c) in [(8, 8), (8, 4), (8, 2), (8, 1), (12, 3)] {
+            let scheme = ChunkingScheme::new(s, c).unwrap();
+            let t = scheme.offset_step();
+            for pos in 0..4 * s {
+                let covered = (0..c).any(|j| scheme.aligned_drop(j, pos) < t);
+                assert!(covered, "s={s} c={c} pos={pos} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_implies_combination_rule() {
+        assert_eq!(SearchMode::Exhaustive.combination(), CombinationRule::All);
+        assert_eq!(SearchMode::Minimal.combination(), CombinationRule::Any);
+    }
+}

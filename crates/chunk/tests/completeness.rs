@@ -1,0 +1,178 @@
+//! The central Stage-1 invariant, tested end to end over plaintext chunks:
+//!
+//! * **Completeness** — a substring that truly occurs in the record is
+//!   always found: in Minimal mode at least one chunking matches an
+//!   aligned series; in Exhaustive mode *every* chunking matches.
+//! * **Position consistency** — the match index translates back to the
+//!   true occurrence position.
+
+use proptest::prelude::*;
+use sdds_chunk::{
+    find_series, ChunkingScheme, CombinationRule, PartialChunkPolicy, SearchMode,
+};
+
+/// Runs a full plaintext search: chunks the record under every chunking,
+/// generates the query series, and combines per-chunking verdicts.
+fn plaintext_search(
+    scheme: &ChunkingScheme,
+    record: &[u16],
+    query: &[u16],
+    mode: SearchMode,
+    policy: PartialChunkPolicy,
+) -> bool {
+    let series = match scheme.search_series(query, mode) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let mut verdicts = Vec::new();
+    for j in 0..scheme.num_chunkings() {
+        let chunks = scheme.chunk_record(j, record, policy);
+        let hit = series
+            .iter()
+            .any(|ser| !find_series(&chunks, &ser.chunks).is_empty());
+        verdicts.push(hit);
+    }
+    match mode.combination() {
+        CombinationRule::All => verdicts.iter().all(|&v| v),
+        CombinationRule::Any => verdicts.iter().any(|&v| v),
+    }
+}
+
+fn schemes() -> Vec<ChunkingScheme> {
+    [(4, 4), (4, 2), (4, 1), (8, 8), (8, 4), (8, 2), (6, 3), (2, 2)]
+        .into_iter()
+        .map(|(s, c)| ChunkingScheme::new(s, c).unwrap())
+        .collect()
+}
+
+#[test]
+fn true_substrings_are_always_found() {
+    for scheme in schemes() {
+        for mode in [SearchMode::Minimal, SearchMode::Exhaustive] {
+            let record: Vec<u16> = (b'A'..=b'Z').map(u16::from).collect();
+            let min = scheme.min_search_len(mode);
+            for start in 0..record.len().saturating_sub(min) {
+                for len in min..=(record.len() - start).min(min + 6) {
+                    let query = &record[start..start + len];
+                    assert!(
+                        plaintext_search(&scheme, &record, query, mode, PartialChunkPolicy::Store),
+                        "missed occurrence: scheme={scheme:?} mode={mode:?} start={start} len={len}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn absent_distinct_symbols_are_never_found() {
+    // With all-distinct symbols and no padding collisions, there are no
+    // false positives: chunk equality implies symbol equality.
+    for scheme in schemes() {
+        let record: Vec<u16> = (100..140).collect();
+        let query: Vec<u16> = (200..216).collect();
+        for mode in [SearchMode::Minimal, SearchMode::Exhaustive] {
+            assert!(
+                !plaintext_search(&scheme, &record, &query, mode, PartialChunkPolicy::Store),
+                "phantom hit: scheme={scheme:?} mode={mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_example_acdefghi_false_positive_with_one_site_only() {
+    // §2.4: with only storage site one (chunking 0), searching "ACDEFGHI"
+    // in "ABCDEFGH…" yields a false hit, because its critical chunked
+    // search string (EFGH at drop 3) is the same as the true query's.
+    let scheme = ChunkingScheme::full(4).unwrap();
+    let record: Vec<u16> = (b'A'..=b'Z').map(u16::from).collect();
+    let query: Vec<u16> = "ACDEFGHI".bytes().map(u16::from).collect();
+    // "ACDEFGHI" does not occur in the record…
+    assert!(!record.windows(8).any(|w| w == &query[..]));
+    // …but chunking 0 alone reports a hit:
+    let chunks = scheme.chunk_record(0, &record, PartialChunkPolicy::Store);
+    let series = scheme
+        .search_series(&query, SearchMode::Exhaustive)
+        .unwrap();
+    let site_one_hit = series
+        .iter()
+        .any(|ser| !find_series(&chunks, &ser.chunks).is_empty());
+    assert!(site_one_hit, "single-site false positive expected");
+    // …while the AND over all four sites rejects it:
+    assert!(!plaintext_search(
+        &scheme,
+        &record,
+        &query,
+        SearchMode::Exhaustive,
+        PartialChunkPolicy::Store
+    ));
+}
+
+#[test]
+fn drop_policy_loses_only_boundary_hits() {
+    // With PartialChunkPolicy::Drop, interior occurrences are still found.
+    let scheme = ChunkingScheme::full(4).unwrap();
+    let record: Vec<u16> = (b'A'..=b'Z').map(u16::from).collect();
+    let query: Vec<u16> = "IJKLMNOP".bytes().map(u16::from).collect(); // interior
+    assert!(plaintext_search(
+        &scheme,
+        &record,
+        &query,
+        SearchMode::Minimal,
+        PartialChunkPolicy::Drop
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_record_random_substring_found(
+        seed in any::<u64>(),
+        record_len in 16usize..80,
+        scheme_idx in 0usize..8,
+        mode_flag in any::<bool>(),
+    ) {
+        let scheme = schemes()[scheme_idx];
+        let mode = if mode_flag { SearchMode::Exhaustive } else { SearchMode::Minimal };
+        // alphabet of 4 symbols (1..=4, avoiding the pad symbol 0)
+        let record: Vec<u16> = (0..record_len)
+            .map(|i| 1 + ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)
+                >> 33) % 4) as u16)
+            .collect();
+        let min = scheme.min_search_len(mode);
+        if record.len() >= min {
+            let start = (seed % (record.len() - min + 1) as u64) as usize;
+            let len = min + (seed % 3) as usize;
+            if start + len <= record.len() {
+                let query = &record[start..start + len];
+                prop_assert!(plaintext_search(
+                    &scheme, &record, query, mode, PartialChunkPolicy::Store
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn search_series_chunks_reassemble_query(
+        seed in any::<u64>(),
+        qlen in 15usize..40,
+        scheme_idx in 0usize..8,
+    ) {
+        // Every series' chunks concatenated must equal the query minus the
+        // dropped prefix and ragged tail.
+        let scheme = schemes()[scheme_idx];
+        let query: Vec<u16> = (0..qlen)
+            .map(|i| (seed.wrapping_add(i as u64) % 251) as u16)
+            .collect();
+        if let Ok(series) = scheme.search_series(&query, SearchMode::Exhaustive) {
+            for ser in series {
+                let flat: Vec<u16> = ser.chunks.concat();
+                let expect_len = (query.len() - ser.drop) / scheme.chunk_size()
+                    * scheme.chunk_size();
+                prop_assert_eq!(&flat[..], &query[ser.drop..ser.drop + expect_len]);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The §2.5 matrix in full: every (storage reduction, search mode)
+//! combination, with the trade-offs the paper states — fewer chunkings
+//! mean fewer sites and longer minimum queries; Exhaustive mode buys the
+//! AND rule's false-positive cuts at 2s-1 minimum length.
+
+use sdds_chunk::{
+    find_series, ChunkingScheme, CombinationRule, PartialChunkPolicy, SearchMode,
+};
+
+fn search(
+    scheme: &ChunkingScheme,
+    record: &[u16],
+    query: &[u16],
+    mode: SearchMode,
+) -> Option<bool> {
+    let series = scheme.search_series(query, mode).ok()?;
+    let verdicts: Vec<bool> = (0..scheme.num_chunkings())
+        .map(|j| {
+            let chunks = scheme.chunk_record(j, record, PartialChunkPolicy::Store);
+            series.iter().any(|s| !find_series(&chunks, &s.chunks).is_empty())
+        })
+        .collect();
+    Some(match mode.combination() {
+        CombinationRule::All => verdicts.iter().all(|&v| v),
+        CombinationRule::Any => verdicts.iter().any(|&v| v),
+    })
+}
+
+#[test]
+fn section_2_5_search_string_counts() {
+    // "we generate two search chunkings" (4 sites, s=8) and "have to send
+    // four search strings" (2 sites, s=8)
+    let q: Vec<u16> = (1..=24).collect();
+    for (c, expected_series) in [(8usize, 1usize), (4, 2), (2, 4), (1, 8)] {
+        let scheme = ChunkingScheme::new(8, c).unwrap();
+        let series = scheme.search_series(&q, SearchMode::Minimal).unwrap();
+        assert_eq!(series.len(), expected_series, "c={c}");
+    }
+}
+
+#[test]
+fn storage_against_search_length_tradeoff() {
+    // fewer chunkings stored ⇒ longer minimum query, exactly s + s/c - 1
+    for (s, c, min) in [(8usize, 8usize, 8usize), (8, 4, 9), (8, 2, 11), (8, 1, 15)] {
+        let scheme = ChunkingScheme::new(s, c).unwrap();
+        assert_eq!(scheme.min_search_len(SearchMode::Minimal), min, "s={s} c={c}");
+        // one symbol below the minimum is rejected
+        let too_short: Vec<u16> = (1..min as u16).collect();
+        assert!(scheme.search_series(&too_short, SearchMode::Minimal).is_err());
+        // the minimum itself works end to end
+        let record: Vec<u16> = (1..=40).collect();
+        let q = &record[3..3 + min];
+        assert_eq!(
+            search(&scheme, &record, q, SearchMode::Minimal),
+            Some(true),
+            "s={s} c={c}"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_mode_works_on_reduced_storage_too() {
+    // sending all s drops lets even a 2-chunking file AND its verdicts
+    let scheme = ChunkingScheme::new(8, 2).unwrap();
+    let record: Vec<u16> = (1..=48).collect();
+    let min = scheme.min_search_len(SearchMode::Exhaustive);
+    assert_eq!(min, 15); // 2s - 1
+    for start in 0..20 {
+        let q = &record[start..start + min];
+        assert_eq!(search(&scheme, &record, q, SearchMode::Exhaustive), Some(true));
+    }
+    // absent pattern rejected by every chunking
+    let phantom: Vec<u16> = (100..115).collect();
+    assert_eq!(search(&scheme, &record, &phantom, SearchMode::Exhaustive), Some(false));
+}
+
+#[test]
+fn minimal_mode_single_site_reports_per_occurrence() {
+    // §2.5: "for each occurrence of the substring, only one site will
+    // report a hit"
+    let scheme = ChunkingScheme::new(8, 4).unwrap();
+    let record: Vec<u16> = (1..=64).collect();
+    let q = &record[6..6 + 9]; // min length 9
+    let series = scheme.search_series(q, SearchMode::Minimal).unwrap();
+    let reporting: usize = (0..scheme.num_chunkings())
+        .filter(|&j| {
+            let chunks = scheme.chunk_record(j, &record, PartialChunkPolicy::Store);
+            series.iter().any(|s| !find_series(&chunks, &s.chunks).is_empty())
+        })
+        .count();
+    assert_eq!(reporting, 1, "exactly one chunking should attest");
+}
+
+#[test]
+fn repeated_content_can_make_multiple_sites_report() {
+    // the paper's caveat: "because of false positives or because of
+    // repeating characters, there might be more hits"
+    let scheme = ChunkingScheme::new(4, 4).unwrap();
+    let record: Vec<u16> = [7u16; 32].to_vec(); // all-identical symbols
+    let q = vec![7u16; 8];
+    let series = scheme.search_series(&q, SearchMode::Minimal).unwrap();
+    let reporting: usize = (0..scheme.num_chunkings())
+        .filter(|&j| {
+            let chunks = scheme.chunk_record(j, &record, PartialChunkPolicy::Store);
+            series.iter().any(|s| !find_series(&chunks, &s.chunks).is_empty())
+        })
+        .count();
+    assert!(reporting > 1, "repetition should multiply hits: {reporting}");
+}

@@ -1,0 +1,191 @@
+//! Modes of operation over [`Aes128`]: CBC with PKCS#7 for
+//! the strongly-encrypted record store copies, and CTR for streaming.
+//!
+//! The record store site in the paper holds "one copy of the record in
+//! strongly encrypted form" (§5); CBC with a per-record IV derived from the
+//! RID gives semantic security across records while staying deterministic
+//! per (key, record) so storage sites can be updated idempotently.
+
+use crate::aes::Aes128;
+use crate::CipherError;
+
+/// Applies PKCS#7 padding up to a multiple of 16 bytes.
+fn pad(data: &mut Vec<u8>) {
+    let pad_len = 16 - (data.len() % 16);
+    data.extend(std::iter::repeat_n(pad_len as u8, pad_len));
+}
+
+/// Strips and validates PKCS#7 padding.
+fn unpad(data: &mut Vec<u8>) -> Result<(), CipherError> {
+    let &last = data.last().ok_or(CipherError::BadPadding)?;
+    let n = last as usize;
+    if n == 0 || n > 16 || n > data.len() {
+        return Err(CipherError::BadPadding);
+    }
+    if data[data.len() - n..].iter().any(|&b| b != last) {
+        return Err(CipherError::BadPadding);
+    }
+    data.truncate(data.len() - n);
+    Ok(())
+}
+
+/// CBC-mode encryption with PKCS#7 padding.
+pub fn cbc_encrypt(aes: &Aes128, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
+    let mut data = plaintext.to_vec();
+    pad(&mut data);
+    let mut prev = *iv;
+    for chunk in data.chunks_mut(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        aes.encrypt_block(&mut block);
+        chunk.copy_from_slice(&block);
+        prev = block;
+    }
+    data
+}
+
+/// CBC-mode decryption with PKCS#7 validation.
+pub fn cbc_decrypt(
+    aes: &Aes128,
+    iv: &[u8; 16],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CipherError> {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
+        return Err(CipherError::RaggedCiphertext(ciphertext.len()));
+    }
+    let mut data = ciphertext.to_vec();
+    let mut prev = *iv;
+    for chunk in data.chunks_mut(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        let saved = block;
+        aes.decrypt_block(&mut block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        chunk.copy_from_slice(&block);
+        prev = saved;
+    }
+    unpad(&mut data)?;
+    Ok(data)
+}
+
+/// CTR-mode keystream XOR (encryption == decryption). The 16-byte nonce is
+/// used as the initial counter block and incremented big-endian.
+pub fn ctr_xor(aes: &Aes128, nonce: &[u8; 16], data: &mut [u8]) {
+    let mut counter = *nonce;
+    for chunk in data.chunks_mut(16) {
+        let mut ks = counter;
+        aes.encrypt_block(&mut ks);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        // increment counter (big-endian, rightmost byte first)
+        for b in counter.iter_mut().rev() {
+            *b = b.wrapping_add(1);
+            if *b != 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aes() -> Aes128 {
+        Aes128::new(&[0x42; 16])
+    }
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let aes = aes();
+        let iv = [3u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ct = cbc_encrypt(&aes, &iv, &pt);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > pt.len(), "padding always expands");
+            assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt, "len={len}");
+        }
+    }
+
+    #[test]
+    fn cbc_is_iv_sensitive() {
+        let aes = aes();
+        let pt = b"the same plaintext".to_vec();
+        let c1 = cbc_encrypt(&aes, &[1; 16], &pt);
+        let c2 = cbc_encrypt(&aes, &[2; 16], &pt);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn cbc_equal_blocks_hidden() {
+        // The defining weakness of ECB must NOT appear in CBC.
+        let aes = aes();
+        let pt = [0xAAu8; 48]; // three identical blocks
+        let ct = cbc_encrypt(&aes, &[0; 16], &pt);
+        assert_ne!(&ct[0..16], &ct[16..32]);
+        assert_ne!(&ct[16..32], &ct[32..48]);
+    }
+
+    #[test]
+    fn cbc_rejects_ragged_ciphertext() {
+        let aes = aes();
+        assert_eq!(
+            cbc_decrypt(&aes, &[0; 16], &[1, 2, 3]),
+            Err(CipherError::RaggedCiphertext(3))
+        );
+        assert_eq!(
+            cbc_decrypt(&aes, &[0; 16], &[]),
+            Err(CipherError::RaggedCiphertext(0))
+        );
+    }
+
+    #[test]
+    fn cbc_rejects_corrupt_padding() {
+        let aes = aes();
+        let mut ct = cbc_encrypt(&aes, &[0; 16], b"hello world");
+        let n = ct.len();
+        ct[n - 1] ^= 0xFF; // garble final block -> padding check must fail
+        assert_eq!(cbc_decrypt(&aes, &[0; 16], &ct), Err(CipherError::BadPadding));
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_symmetry() {
+        let aes = aes();
+        let nonce = [7u8; 16];
+        let mut data: Vec<u8> = (0..777).map(|i| (i % 256) as u8).collect();
+        let orig = data.clone();
+        ctr_xor(&aes, &nonce, &mut data);
+        assert_ne!(data, orig);
+        ctr_xor(&aes, &nonce, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn ctr_counter_carries_across_byte_boundary() {
+        let aes = aes();
+        let mut nonce = [0u8; 16];
+        nonce[15] = 0xFF; // next increment must carry into byte 14
+        let mut data = vec![0u8; 48];
+        ctr_xor(&aes, &nonce, &mut data);
+        // keystream blocks must all differ (no stuck counter)
+        assert_ne!(&data[0..16], &data[16..32]);
+        assert_ne!(&data[16..32], &data[32..48]);
+    }
+
+    #[test]
+    fn unpad_rejects_zero_and_oversize() {
+        let mut v = vec![1u8, 2, 0];
+        assert_eq!(unpad(&mut v), Err(CipherError::BadPadding));
+        let mut v = vec![5u8, 5, 5]; // claims 5 pad bytes, only 3 present
+        assert_eq!(unpad(&mut v), Err(CipherError::BadPadding));
+        let mut v: Vec<u8> = vec![17; 32];
+        assert_eq!(unpad(&mut v), Err(CipherError::BadPadding));
+    }
+}

@@ -1,0 +1,235 @@
+//! A keyed pseudo-random permutation over arbitrary bit widths.
+//!
+//! Index-record chunks are `s·f` bits wide — 16 bits for `s = 2` byte
+//! symbols, 48 bits for the paper's recommended `s = 6`, or odd sizes after
+//! Stage-2 compression (e.g. 3-bit codes). ECB with a 128-bit block cipher
+//! cannot encrypt such blocks "of the same size" (§2.1), so we build an
+//! **alternating (unbalanced) Feistel network** whose round function is the
+//! AES-based PRF: a permutation on exactly `2^w` values for any
+//! `1 <= w <= 128`.
+//!
+//! Determinism is the point: equal chunks encrypt equally so sites can match
+//! encrypted search chunks. The paper's security analysis (§6) is precisely
+//! about what this equality structure leaks; stages 2 and 3 exist to blunt
+//! it. For tiny widths the permutation is structurally sound but the domain
+//! itself is small — also exactly the regime the paper studies.
+
+use crate::aes::Aes128;
+use std::fmt;
+
+/// Errors from PRP construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrpError {
+    /// Width outside the supported `1..=128` range.
+    UnsupportedWidth(u32),
+}
+
+impl fmt::Display for PrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrpError::UnsupportedWidth(w) => {
+                write!(f, "unsupported PRP width {w}; need 1 <= w <= 128")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrpError {}
+
+/// Number of Feistel rounds. Twelve alternating rounds comfortably exceeds
+/// the classical Luby–Rackoff bounds for PRP behaviour from a PRF.
+const ROUNDS: u32 = 12;
+
+/// A width-`w` pseudo-random permutation (deterministic encryption for
+/// chunks), keyed by a 128-bit key.
+///
+/// ```
+/// use sdds_cipher::ChunkPrp;
+///
+/// let prp = ChunkPrp::new(&[7; 16], 48).unwrap(); // 6 ASCII symbols
+/// let chunk = 0x53_43_48_57_41_52u128;            // "SCHWAR"
+/// let enc = prp.encrypt(chunk);
+/// assert_ne!(enc, chunk);
+/// assert_eq!(prp.encrypt(chunk), enc, "deterministic: searchable");
+/// assert_eq!(prp.decrypt(enc), chunk);
+/// ```
+#[derive(Clone)]
+pub struct ChunkPrp {
+    aes: Aes128,
+    width: u32,
+    left_bits: u32,
+    right_bits: u32,
+}
+
+impl fmt::Debug for ChunkPrp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChunkPrp").field("width", &self.width).finish()
+    }
+}
+
+fn mask(bits: u32) -> u128 {
+    if bits == 0 {
+        0
+    } else if bits == 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+impl ChunkPrp {
+    /// Creates a PRP on `w`-bit values, `1 <= w <= 128`.
+    pub fn new(key: &[u8; 16], width: u32) -> Result<ChunkPrp, PrpError> {
+        if !(1..=128).contains(&width) {
+            return Err(PrpError::UnsupportedWidth(width));
+        }
+        let left_bits = width / 2;
+        let right_bits = width - left_bits;
+        Ok(ChunkPrp { aes: Aes128::new(key), width, left_bits, right_bits })
+    }
+
+    /// Permutation width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Round function: PRF(round ‖ half) truncated to `out_bits`. The
+    /// input is exactly one cipher block (halves are ≤ 64 bits by
+    /// construction), so each round costs a single block encryption.
+    fn round_fn(&self, round: u32, half: u128, out_bits: u32) -> u128 {
+        debug_assert!(half <= u64::MAX as u128, "halves fit in 64 bits");
+        let mut input = [0u8; 16];
+        input[0] = round as u8;
+        input[1..9].copy_from_slice(&(half as u64).to_le_bytes());
+        let out = self.aes.prf(&input);
+        u128::from_le_bytes(out) & mask(out_bits)
+    }
+
+    /// Deterministically encrypts a `w`-bit value. Values above `2^w - 1`
+    /// are rejected by debug assertion and masked in release builds.
+    pub fn encrypt(&self, x: u128) -> u128 {
+        debug_assert!(x <= mask(self.width), "value wider than PRP width");
+        let x = x & mask(self.width);
+        if self.width == 1 {
+            // a permutation of {0,1}: identity or swap, keyed
+            return x ^ (self.round_fn(0, 0, 1));
+        }
+        let mut left = x >> self.right_bits;
+        let mut right = x & mask(self.right_bits);
+        for round in 0..ROUNDS {
+            if round % 2 == 0 {
+                right ^= self.round_fn(round, left, self.right_bits);
+            } else {
+                left ^= self.round_fn(round, right, self.left_bits);
+            }
+        }
+        (left << self.right_bits) | right
+    }
+
+    /// Inverts [`encrypt`](Self::encrypt).
+    pub fn decrypt(&self, y: u128) -> u128 {
+        debug_assert!(y <= mask(self.width), "value wider than PRP width");
+        let y = y & mask(self.width);
+        if self.width == 1 {
+            return y ^ (self.round_fn(0, 0, 1));
+        }
+        let mut left = y >> self.right_bits;
+        let mut right = y & mask(self.right_bits);
+        for round in (0..ROUNDS).rev() {
+            if round % 2 == 0 {
+                right ^= self.round_fn(round, left, self.right_bits);
+            } else {
+                left ^= self.round_fn(round, right, self.left_bits);
+            }
+        }
+        (left << self.right_bits) | right
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_width() {
+        assert_eq!(ChunkPrp::new(&[0; 16], 0).unwrap_err(), PrpError::UnsupportedWidth(0));
+        assert_eq!(ChunkPrp::new(&[0; 16], 129).unwrap_err(), PrpError::UnsupportedWidth(129));
+    }
+
+    #[test]
+    fn is_a_permutation_on_small_domains() {
+        for width in 1..=12u32 {
+            let prp = ChunkPrp::new(&[5; 16], width).unwrap();
+            let n = 1usize << width;
+            let mut seen = vec![false; n];
+            for x in 0..n as u128 {
+                let y = prp.encrypt(x) as usize;
+                assert!(y < n, "output in range (w={width})");
+                assert!(!seen[y], "collision at {x} (w={width})");
+                seen[y] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_across_widths() {
+        for width in [1u32, 2, 3, 7, 8, 15, 16, 24, 31, 32, 48, 63, 64, 100, 127, 128] {
+            let prp = ChunkPrp::new(&[9; 16], width).unwrap();
+            let m = mask(width);
+            for i in 0..200u128 {
+                let x = (i.wrapping_mul(0x9E3779B97F4A7C15)) & m;
+                assert_eq!(prp.decrypt(prp.encrypt(x)), x, "w={width} x={x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_equal_chunks_encrypt_equally() {
+        // This is the property the searchable index depends on.
+        let prp = ChunkPrp::new(&[1; 16], 32).unwrap();
+        let a = u32::from_le_bytes(*b"SCHW") as u128;
+        assert_eq!(prp.encrypt(a), prp.encrypt(a));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let p1 = ChunkPrp::new(&[1; 16], 32).unwrap();
+        let p2 = ChunkPrp::new(&[2; 16], 32).unwrap();
+        let differing = (0..256u128).filter(|&x| p1.encrypt(x) != p2.encrypt(x)).count();
+        assert!(differing > 240, "keys should change almost all outputs: {differing}");
+    }
+
+    #[test]
+    fn avalanche_on_input_bits() {
+        // flipping one input bit should flip ~half of the output bits on average
+        let prp = ChunkPrp::new(&[3; 16], 48).unwrap();
+        let mut total = 0u32;
+        let trials = 64;
+        for i in 0..trials {
+            let x = (i as u128).wrapping_mul(0xDEADBEEFCAFE) & mask(48);
+            let y0 = prp.encrypt(x);
+            let y1 = prp.encrypt(x ^ 1);
+            total += (y0 ^ y1).count_ones();
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((12.0..36.0).contains(&avg), "poor avalanche: avg {avg} of 48 bits");
+    }
+
+    #[test]
+    fn width_one_is_keyed_involution() {
+        let prp = ChunkPrp::new(&[0xAB; 16], 1).unwrap();
+        let a = prp.encrypt(0);
+        let b = prp.encrypt(1);
+        assert_ne!(a, b);
+        assert!(a <= 1 && b <= 1);
+        assert_eq!(prp.decrypt(a), 0);
+        assert_eq!(prp.decrypt(b), 1);
+    }
+
+    #[test]
+    fn full_width_128_roundtrip() {
+        let prp = ChunkPrp::new(&[0x77; 16], 128).unwrap();
+        let x = u128::MAX - 12345;
+        assert_eq!(prp.decrypt(prp.encrypt(x)), x);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: cipher round trips, PRP permutation structure, and the
+//! chunk-equality property the searchable index relies on.
+
+use proptest::prelude::*;
+use sdds_cipher::{modes, Aes128, ChunkPrp, KeyMaterial, MasterKey};
+
+proptest! {
+    #[test]
+    fn aes_block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn cbc_roundtrip(key in any::<[u8; 16]>(), iv in any::<[u8; 16]>(), pt in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let aes = Aes128::new(&key);
+        let ct = modes::cbc_encrypt(&aes, &iv, &pt);
+        prop_assert_eq!(modes::cbc_decrypt(&aes, &iv, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn ctr_is_an_involution(key in any::<[u8; 16]>(), nonce in any::<[u8; 16]>(), mut data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let aes = Aes128::new(&key);
+        let orig = data.clone();
+        modes::ctr_xor(&aes, &nonce, &mut data);
+        modes::ctr_xor(&aes, &nonce, &mut data);
+        prop_assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn prp_roundtrip_any_width(key in any::<[u8; 16]>(), width in 1u32..=128, x in any::<u128>()) {
+        let prp = ChunkPrp::new(&key, width).unwrap();
+        let m = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let x = x & m;
+        let y = prp.encrypt(x);
+        prop_assert!(y <= m);
+        prop_assert_eq!(prp.decrypt(y), x);
+    }
+
+    #[test]
+    fn prp_injective_on_samples(key in any::<[u8; 16]>(), width in 2u32..=64, a in any::<u64>(), b in any::<u64>()) {
+        let prp = ChunkPrp::new(&key, width).unwrap();
+        let m = (1u128 << width) - 1;
+        let (a, b) = ((a as u128) & m, (b as u128) & m);
+        if a != b {
+            prop_assert_ne!(prp.encrypt(a), prp.encrypt(b));
+        } else {
+            prop_assert_eq!(prp.encrypt(a), prp.encrypt(b));
+        }
+    }
+
+    #[test]
+    fn key_material_chunk_keys_pairwise_distinct(master in any::<[u8; 16]>(), i in 0u32..64, j in 0u32..64) {
+        let km = KeyMaterial::new(MasterKey::new(master));
+        if i != j {
+            prop_assert_ne!(km.chunk_key(i), km.chunk_key(j));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Bit-packing helpers: chunks of symbols ↔ integer chunk values ↔ the
+//! fixed-width byte encodings stored in index record bodies.
+
+/// Packs a chunk of `f`-bit symbols into a single value, first symbol in
+/// the most significant position.
+pub(crate) fn pack_chunk(symbols: &[u16], symbol_bits: u32) -> u128 {
+    debug_assert!(symbols.len() * symbol_bits as usize <= 128);
+    symbols
+        .iter()
+        .fold(0u128, |acc, &s| (acc << symbol_bits) | u128::from(s))
+}
+
+/// Serializes a value into `nbytes` little-endian bytes.
+pub(crate) fn value_to_bytes(value: u128, nbytes: usize) -> Vec<u8> {
+    debug_assert!(nbytes <= 16);
+    value.to_le_bytes()[..nbytes].to_vec()
+}
+
+/// Reads a value back from `nbytes` little-endian bytes.
+#[cfg(test)]
+pub(crate) fn value_from_bytes(bytes: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u128::from_le_bytes(buf)
+}
+
+/// Splits a record body into its fixed-width elements.
+pub(crate) fn body_elements(body: &[u8], element_bytes: usize) -> Vec<&[u8]> {
+    debug_assert_eq!(body.len() % element_bytes, 0, "ragged index body");
+    body.chunks(element_bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_is_msb_first() {
+        assert_eq!(pack_chunk(&[0xAB, 0xCD], 8), 0xABCD);
+        assert_eq!(pack_chunk(&[0b10, 0b01], 2), 0b1001);
+        assert_eq!(pack_chunk(&[], 8), 0);
+    }
+
+    #[test]
+    fn value_bytes_roundtrip() {
+        for v in [0u128, 1, 0xFFFF, 0xDEAD_BEEF, u64::MAX as u128] {
+            let nbytes = 16;
+            assert_eq!(value_from_bytes(&value_to_bytes(v, nbytes)), v);
+        }
+        // truncated widths keep the low bytes
+        assert_eq!(value_from_bytes(&value_to_bytes(0x1234, 2)), 0x1234);
+        assert_eq!(value_from_bytes(&value_to_bytes(0x34, 1)), 0x34);
+    }
+
+    #[test]
+    fn body_elements_split_evenly() {
+        let body = vec![1u8, 2, 3, 4, 5, 6];
+        let elems = body_elements(&body, 2);
+        assert_eq!(elems, vec![&[1u8, 2][..], &[3, 4], &[5, 6]]);
+    }
+}

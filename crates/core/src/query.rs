@@ -1,0 +1,197 @@
+//! The encrypted query object and the bucket-side scan filter.
+//!
+//! The query carries, for every index-record tag (chunking × dispersion
+//! site), the encrypted-and-dispersed chunk series of each alignment drop.
+//! Bucket sites match series against index-record bodies by **ciphertext
+//! equality of consecutive elements** — they never see plaintext, keys, or
+//! the dispersion matrix.
+
+use crate::pack::body_elements;
+use sdds_lh::ScanFilter;
+use serde::{Deserialize, Serialize};
+
+/// How sites match query series against index-record bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QueryKind {
+    /// Ciphertext equality of fixed-width elements (ECB chunks, dispersed
+    /// shares) — the paper's main scheme.
+    #[default]
+    Equality,
+    /// SWP trapdoor evaluation: bodies hold 16-byte cipherwords, series
+    /// hold 32-byte trapdoors (§8 extension).
+    Swp,
+}
+
+/// A compiled, encrypted search query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptedQuery {
+    /// Tag width of the LH\* key layout.
+    pub tag_bits: u32,
+    /// Fixed element width in the record bodies (per chunk).
+    pub element_bytes: usize,
+    /// Matching semantics.
+    #[serde(default)]
+    pub kind: QueryKind,
+    /// Alignment drop of each series (indexes the per-tag body lists;
+    /// identical across tags). Needed to translate a chunk-level match
+    /// back into a record offset.
+    #[serde(default)]
+    pub series_drops: Vec<usize>,
+    /// Per tag: the encrypted series bodies (one per alignment drop).
+    pub per_tag: Vec<(u32, Vec<Vec<u8>>)>,
+}
+
+impl EncryptedQuery {
+    /// Serializes for the scan wire.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("query serializes")
+    }
+
+    /// Deserializes from the scan wire.
+    pub fn decode(bytes: &[u8]) -> Option<EncryptedQuery> {
+        serde_json::from_slice(bytes).ok()
+    }
+
+    /// The series bodies for one tag, if present.
+    pub fn series_for(&self, tag: u32) -> Option<&[Vec<u8>]> {
+        self.per_tag
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, s)| s.as_slice())
+    }
+
+    /// All positions (chunk indices) at which `series` matches `body`.
+    pub fn match_positions(&self, body: &[u8], series: &[u8]) -> Vec<usize> {
+        match self.kind {
+            QueryKind::Equality => {
+                if !body.len().is_multiple_of(self.element_bytes)
+                    || !series.len().is_multiple_of(self.element_bytes)
+                {
+                    return Vec::new();
+                }
+                let body_el = body_elements(body, self.element_bytes);
+                let series_el = body_elements(series, self.element_bytes);
+                sdds_chunk::find_series(&body_el, &series_el)
+            }
+            QueryKind::Swp => {
+                use crate::swp_chunks::{
+                    cipherword_matches, CIPHERWORD_BYTES, TRAPDOOR_BYTES,
+                };
+                if !body.len().is_multiple_of(CIPHERWORD_BYTES)
+                    || !series.len().is_multiple_of(TRAPDOOR_BYTES)
+                    || series.is_empty()
+                {
+                    return Vec::new();
+                }
+                let words = body_elements(body, CIPHERWORD_BYTES);
+                let trapdoors = body_elements(series, TRAPDOOR_BYTES);
+                if trapdoors.len() > words.len() {
+                    return Vec::new();
+                }
+                (0..=words.len() - trapdoors.len())
+                    .filter(|&start| {
+                        trapdoors
+                            .iter()
+                            .enumerate()
+                            .all(|(i, t)| cipherword_matches(words[start + i], t))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// True if any series of `tag` occurs in `body` (the bucket-side
+    /// predicate).
+    pub fn matches_body(&self, tag: u32, body: &[u8]) -> bool {
+        self.series_for(tag)
+            .map(|series| {
+                series
+                    .iter()
+                    .any(|s| !self.match_positions(body, s).is_empty())
+            })
+            .unwrap_or(false)
+    }
+}
+
+/// The [`ScanFilter`] installed at every bucket of an encrypted store.
+///
+/// Record-store copies (tag 0) never match; index records match when any
+/// encrypted series occurs in their body.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EncryptedIndexFilter;
+
+impl ScanFilter for EncryptedIndexFilter {
+    fn matches(&self, key: u64, value: &[u8], query: &[u8]) -> bool {
+        let Some(q) = EncryptedQuery::decode(query) else {
+            return false;
+        };
+        // tag_bits comes off the wire: validate before shifting with it
+        if q.tag_bits == 0 || q.tag_bits > 32 || q.element_bytes == 0 {
+            return false;
+        }
+        let tag = (key & ((1 << q.tag_bits) - 1)) as u32;
+        if tag == 0 {
+            return false; // strongly encrypted record store copy
+        }
+        q.matches_body(tag, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> EncryptedQuery {
+        EncryptedQuery {
+            tag_bits: 2,
+            element_bytes: 2,
+            kind: QueryKind::Equality,
+            series_drops: vec![0],
+            per_tag: vec![
+                (1, vec![vec![0xAA, 0xBB, 0xCC, 0xDD]]), // elements [AABB][CCDD]
+                (2, vec![vec![0x11, 0x22]]),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let q = query();
+        assert_eq!(EncryptedQuery::decode(&q.encode()), Some(q));
+        assert_eq!(EncryptedQuery::decode(b"junk"), None);
+    }
+
+    #[test]
+    fn match_positions_finds_consecutive_elements() {
+        let q = query();
+        let body = vec![0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF];
+        assert_eq!(q.match_positions(&body, &[0xAA, 0xBB, 0xCC, 0xDD]), vec![1]);
+        assert!(q.match_positions(&body, &[0xCC, 0xDD, 0xAA, 0xBB]).is_empty());
+    }
+
+    #[test]
+    fn ragged_bodies_never_match() {
+        let q = query();
+        assert!(q.match_positions(&[1, 2, 3], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn matches_body_dispatches_on_tag() {
+        let q = query();
+        let body = vec![0xAA, 0xBB, 0xCC, 0xDD];
+        assert!(q.matches_body(1, &body));
+        assert!(!q.matches_body(2, &body));
+        assert!(!q.matches_body(3, &body), "unknown tag");
+    }
+
+    #[test]
+    fn filter_ignores_record_store_and_garbage() {
+        let q = query();
+        let f = EncryptedIndexFilter;
+        let body = vec![0xAA, 0xBB, 0xCC, 0xDD];
+        // key with tag 1 matches, tag 0 (record store) never does
+        assert!(f.matches(0b100 | 1, &body, &q.encode()));
+        assert!(!f.matches(0b100, &body, &q.encode()));
+        assert!(!f.matches(1, &body, b"not a query"));
+    }
+}

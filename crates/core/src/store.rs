@@ -1,0 +1,509 @@
+//! The client-facing store: the complete scheme over a live LH\* cluster.
+
+use crate::config::{ConfigError, SchemeConfig};
+use crate::pipeline::{IndexPipeline, PipelineError};
+use crate::query::EncryptedIndexFilter;
+use sdds_chunk::CombinationRule;
+use sdds_cipher::{KeyMaterial, MasterKey};
+use sdds_lh::{ClusterConfig, LhClient, LhCluster, LhError, ParityConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Store-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// LH\* layer failure.
+    Lh(LhError),
+    /// Pipeline failure (query too short, decryption, …).
+    Pipeline(PipelineError),
+    /// Configuration failure.
+    Config(ConfigError),
+    /// The RID does not fit the key layout (`rid < 2^(64 - tag_bits)`).
+    RidTooLarge(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Lh(e) => write!(f, "lh*: {e}"),
+            StoreError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            StoreError::Config(e) => write!(f, "config: {e}"),
+            StoreError::RidTooLarge(r) => write!(f, "rid {r} exceeds the key layout"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<LhError> for StoreError {
+    fn from(e: LhError) -> Self {
+        StoreError::Lh(e)
+    }
+}
+impl From<PipelineError> for StoreError {
+    fn from(e: PipelineError) -> Self {
+        StoreError::Pipeline(e)
+    }
+}
+impl From<ConfigError> for StoreError {
+    fn from(e: ConfigError) -> Self {
+        StoreError::Config(e)
+    }
+}
+
+/// Detailed search result for experiments.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// RIDs reported after combining per-chunking verdicts.
+    pub rids: Vec<u64>,
+    /// RIDs where at least one index record matched (pre-combination) —
+    /// the single-site answer the paper's §2.4 example warns about.
+    pub candidate_rids: Vec<u64>,
+    /// Number of index records the sites reported as matching.
+    pub matched_index_records: usize,
+    /// Candidate occurrence offsets (symbol index of the match start in
+    /// the record content) per reported RID, deduplicated and sorted.
+    /// Only meaningful under [`PartialChunkPolicy::Store`]; like the RIDs
+    /// themselves, offsets carry the scheme's false positives.
+    ///
+    /// [`PartialChunkPolicy::Store`]: sdds_chunk::PartialChunkPolicy::Store
+    pub positions: HashMap<u64, Vec<usize>>,
+}
+
+/// Builder for [`EncryptedSearchStore`].
+pub struct StoreBuilder {
+    config: SchemeConfig,
+    master: MasterKey,
+    training: Vec<String>,
+    bucket_capacity: usize,
+    parity: Option<ParityConfig>,
+}
+
+impl StoreBuilder {
+    /// Sets the master key from a passphrase.
+    pub fn passphrase(mut self, passphrase: &str) -> StoreBuilder {
+        self.master = MasterKey::from_passphrase(passphrase);
+        self
+    }
+
+    /// Sets the raw master key.
+    pub fn master_key(mut self, key: [u8; 16]) -> StoreBuilder {
+        self.master = MasterKey::new(key);
+        self
+    }
+
+    /// Supplies the representative sample for Stage-2 codebook training.
+    /// Required iff the config enables encoding.
+    pub fn train<I, S>(mut self, sample: I) -> StoreBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.training = sample.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// LH\* bucket capacity (records per bucket before splits).
+    pub fn bucket_capacity(mut self, capacity: usize) -> StoreBuilder {
+        self.bucket_capacity = capacity;
+        self
+    }
+
+    /// Enables LH\*<sub>RS</sub> parity on the underlying file.
+    pub fn parity(mut self, parity: ParityConfig) -> StoreBuilder {
+        self.parity = Some(parity);
+        self
+    }
+
+    /// Starts the cluster and returns the store.
+    ///
+    /// Panics if encoding is enabled but no training sample was supplied —
+    /// the scheme cannot build its frequency-equalising codebook from
+    /// nothing (§3).
+    pub fn start(self) -> EncryptedSearchStore {
+        let keys = KeyMaterial::new(self.master);
+        let need_training =
+            self.config.encoding.is_some() || self.config.precompression.is_some();
+        assert!(
+            !need_training || !self.training.is_empty(),
+            "encoding or pre-compression configured: call train() with a \
+             representative sample"
+        );
+        let precompressor = self.config.precompression.map(|_| {
+            IndexPipeline::train_precompressor(
+                &self.config,
+                self.training.iter().map(|s| s.as_str()),
+            )
+        });
+        // Stage-2 training sees Stage-0 output when both are on
+        let codebook = self.config.encoding.map(|_| {
+            let streams: Vec<Vec<u16>> = self
+                .training
+                .iter()
+                .map(|s| {
+                    let raw: Vec<u16> = s.bytes().map(u16::from).collect();
+                    match &precompressor {
+                        Some(pre) => pre.compress(&raw),
+                        None => raw,
+                    }
+                })
+                .collect();
+            IndexPipeline::train_codebook_streams(&self.config, &streams)
+        });
+        let pipeline = IndexPipeline::with_precompressor(
+            self.config,
+            keys,
+            codebook,
+            precompressor,
+        )
+        .expect("config validated");
+        let cluster = LhCluster::start(ClusterConfig {
+            bucket_capacity: self.bucket_capacity,
+            parity: self.parity,
+            filter: Arc::new(EncryptedIndexFilter),
+            ..ClusterConfig::default()
+        });
+        let client = cluster.client();
+        let handle = StoreHandle { pipeline: Arc::new(pipeline), client };
+        EncryptedSearchStore { handle, cluster }
+    }
+}
+
+/// An encrypted, content-searchable scalable distributed data structure.
+pub struct EncryptedSearchStore {
+    handle: StoreHandle,
+    cluster: LhCluster,
+}
+
+/// An independent client handle on a running store: owns its own network
+/// endpoint and file image, shares the key material and codebooks. Create
+/// one per thread with [`EncryptedSearchStore::handle`] — the paper's
+/// setting has many clients searching the same file concurrently.
+pub struct StoreHandle {
+    pipeline: Arc<IndexPipeline>,
+    client: LhClient,
+}
+
+impl fmt::Debug for EncryptedSearchStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EncryptedSearchStore")
+            .field("config", self.handle.pipeline.config())
+            .field("buckets", &self.cluster.num_buckets())
+            .finish()
+    }
+}
+
+impl EncryptedSearchStore {
+    /// Starts building a store for a validated configuration.
+    pub fn builder(config: SchemeConfig) -> StoreBuilder {
+        StoreBuilder {
+            config,
+            master: MasterKey::new([0; 16]),
+            training: Vec::new(),
+            bucket_capacity: 64,
+            parity: None,
+        }
+    }
+
+    /// The transformation pipeline (for experiments that bypass the
+    /// cluster).
+    pub fn pipeline(&self) -> &IndexPipeline {
+        &self.handle.pipeline
+    }
+
+    /// The underlying cluster (for traffic statistics and fault
+    /// injection).
+    pub fn cluster(&self) -> &LhCluster {
+        &self.cluster
+    }
+
+    /// A fresh, independently routable client handle for concurrent use
+    /// from other threads (each handle owns its endpoint and image).
+    pub fn handle(&self) -> StoreHandle {
+        StoreHandle {
+            pipeline: self.handle.pipeline.clone(),
+            client: self.cluster.client(),
+        }
+    }
+
+    /// Stores a record — see [`StoreHandle::insert`].
+    pub fn insert(&self, rid: u64, rc: &str) -> Result<(), StoreError> {
+        self.handle.insert(rid, rc)
+    }
+
+    /// Bulk load — see [`StoreHandle::insert_many`].
+    pub fn insert_many<'a, I>(&self, records: I) -> Result<(), StoreError>
+    where
+        I: IntoIterator<Item = (u64, &'a str)>,
+    {
+        self.handle.insert_many(records)
+    }
+
+    /// Fetches and decrypts a record — see [`StoreHandle::get`].
+    pub fn get(&self, rid: u64) -> Result<Option<String>, StoreError> {
+        self.handle.get(rid)
+    }
+
+    /// Deletes a record — see [`StoreHandle::delete`].
+    pub fn delete(&self, rid: u64) -> Result<bool, StoreError> {
+        self.handle.delete(rid)
+    }
+
+    /// Substring search — see [`StoreHandle::search`].
+    pub fn search(&self, pattern: &str) -> Result<Vec<u64>, StoreError> {
+        self.handle.search(pattern)
+    }
+
+    /// Search with combination details — see
+    /// [`StoreHandle::search_detailed`].
+    pub fn search_detailed(&self, pattern: &str) -> Result<SearchOutcome, StoreError> {
+        self.handle.search_detailed(pattern)
+    }
+
+    /// Occurrence offsets — see [`StoreHandle::search_positions`].
+    pub fn search_positions(
+        &self,
+        pattern: &str,
+    ) -> Result<HashMap<u64, Vec<usize>>, StoreError> {
+        self.handle.search_positions(pattern)
+    }
+
+    /// Prefix search — see [`StoreHandle::search_starting_with`].
+    pub fn search_starting_with(&self, pattern: &str) -> Result<Vec<u64>, StoreError> {
+        self.handle.search_starting_with(pattern)
+    }
+
+    /// Exact-answer fetch — see [`StoreHandle::fetch_matching`].
+    pub fn fetch_matching(&self, pattern: &str) -> Result<Vec<(u64, String)>, StoreError> {
+        self.handle.fetch_matching(pattern)
+    }
+
+    /// Stops the cluster.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+}
+
+impl StoreHandle {
+    fn check_rid(&self, rid: u64) -> Result<(), StoreError> {
+        let bits = self.pipeline.config().tag_bits();
+        if rid >= (1u64 << (64 - bits)) {
+            return Err(StoreError::RidTooLarge(rid));
+        }
+        Ok(())
+    }
+
+    /// Stores a record: one strongly encrypted copy plus all index
+    /// records, each under its own LH\* key (§5). All `1 + c·k` inserts
+    /// are pipelined into a single round-trip.
+    pub fn insert(&self, rid: u64, rc: &str) -> Result<(), StoreError> {
+        self.check_rid(rid)?;
+        let mut batch =
+            Vec::with_capacity(1 + self.pipeline.config().index_records_per_record());
+        batch.push((self.pipeline.lh_key(rid, 0), self.pipeline.encrypt_record(rid, rc)));
+        for rec in self.pipeline.index_records_for(rid, rc) {
+            let tag = self.pipeline.tag(rec.chunking, rec.site);
+            batch.push((self.pipeline.lh_key(rid, tag), rec.body));
+        }
+        self.client.insert_batch(batch)?;
+        Ok(())
+    }
+
+    /// Bulk load: pipelines many records' inserts into large batches —
+    /// the fastest way to populate a file.
+    pub fn insert_many<'a, I>(&self, records: I) -> Result<(), StoreError>
+    where
+        I: IntoIterator<Item = (u64, &'a str)>,
+    {
+        let per = 1 + self.pipeline.config().index_records_per_record();
+        let mut batch = Vec::new();
+        for (rid, rc) in records {
+            self.check_rid(rid)?;
+            batch.push((self.pipeline.lh_key(rid, 0), self.pipeline.encrypt_record(rid, rc)));
+            for rec in self.pipeline.index_records_for(rid, rc) {
+                let tag = self.pipeline.tag(rec.chunking, rec.site);
+                batch.push((self.pipeline.lh_key(rid, tag), rec.body));
+            }
+            // keep batches bounded so bucket mailboxes and split pressure
+            // stay reasonable
+            if batch.len() >= 64 * per {
+                self.client.insert_batch(std::mem::take(&mut batch))?;
+            }
+        }
+        if !batch.is_empty() {
+            self.client.insert_batch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches and decrypts a record by RID.
+    pub fn get(&self, rid: u64) -> Result<Option<String>, StoreError> {
+        self.check_rid(rid)?;
+        match self.client.lookup(self.pipeline.lh_key(rid, 0))? {
+            Some(ct) => Ok(Some(self.pipeline.decrypt_record(rid, &ct)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Deletes a record and all its index records.
+    pub fn delete(&self, rid: u64) -> Result<bool, StoreError> {
+        self.check_rid(rid)?;
+        let existed = self.client.delete(self.pipeline.lh_key(rid, 0))?;
+        let per = self.pipeline.config().index_records_per_record() as u32;
+        for tag in 1..=per {
+            self.client.delete(self.pipeline.lh_key(rid, tag))?;
+        }
+        Ok(existed)
+    }
+
+    /// Searches for a substring pattern; returns matching RIDs (with the
+    /// scheme's designed false positives).
+    pub fn search(&self, pattern: &str) -> Result<Vec<u64>, StoreError> {
+        Ok(self.search_detailed(pattern)?.rids)
+    }
+
+    /// Searches and reports combination details.
+    pub fn search_detailed(&self, pattern: &str) -> Result<SearchOutcome, StoreError> {
+        let query = self.pipeline.build_query(pattern)?;
+        let payload = query.encode();
+        let matches = self.client.scan(&payload, false)?;
+        let matched_index_records = matches.len();
+        let c = self.pipeline.config().chunking.num_chunkings();
+        let k = self.pipeline.config().k();
+        // rid -> (chunking, site) -> body
+        let mut by_rid: HashMap<u64, HashMap<(usize, usize), Vec<u8>>> = HashMap::new();
+        for m in matches {
+            let (rid, tag) = self.pipeline.parse_key(m.key);
+            if tag == 0 {
+                continue;
+            }
+            let idx = (tag - 1) as usize;
+            let (chunking, site) = (idx / k, idx % k);
+            if let Some(body) = m.value {
+                by_rid.entry(rid).or_default().insert((chunking, site), body);
+            }
+        }
+        let mut rids = Vec::new();
+        let mut candidate_rids: Vec<u64> = by_rid.keys().copied().collect();
+        candidate_rids.sort_unstable();
+        let mut positions: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (&rid, bodies) in &by_rid {
+            let mut chunking_offsets = Vec::with_capacity(c);
+            for j in 0..c {
+                chunking_offsets.push(self.chunking_offsets(&query, bodies, j, k));
+            }
+            let hit = match self.pipeline.config().search_mode.combination() {
+                CombinationRule::All => chunking_offsets.iter().all(|o| !o.is_empty()),
+                CombinationRule::Any => chunking_offsets.iter().any(|o| !o.is_empty()),
+            };
+            if hit {
+                rids.push(rid);
+                let mut offs: Vec<usize> =
+                    chunking_offsets.into_iter().flatten().collect();
+                offs.sort_unstable();
+                offs.dedup();
+                positions.insert(rid, offs);
+            }
+        }
+        rids.sort_unstable();
+        Ok(SearchOutcome { rids, candidate_rids, matched_index_records, positions })
+    }
+
+    /// §4/§5 combination for one chunking: some series must match at the
+    /// same chunk offset on **all** k dispersion sites. Returns the
+    /// candidate occurrence offsets (record symbol positions) this
+    /// chunking attests, empty when it attests none.
+    fn chunking_offsets(
+        &self,
+        query: &crate::query::EncryptedQuery,
+        bodies: &HashMap<(usize, usize), Vec<u8>>,
+        chunking: usize,
+        k: usize,
+    ) -> Vec<usize> {
+        // all sites of this chunking must have reported
+        let site_bodies: Vec<&Vec<u8>> = match (0..k)
+            .map(|site| bodies.get(&(chunking, site)))
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(b) => b,
+            None => return Vec::new(),
+        };
+        let scheme = self.pipeline.config().chunking;
+        let nseries = query
+            .series_for(self.pipeline.tag(chunking, 0))
+            .map(|s| s.len())
+            .unwrap_or(0);
+        let mut offsets = Vec::new();
+        for d in 0..nseries {
+            let mut common: Option<Vec<usize>> = None;
+            for (site, body) in site_bodies.iter().enumerate() {
+                let tag = self.pipeline.tag(chunking, site);
+                let Some(series) = query.series_for(tag) else { return Vec::new() };
+                let positions = query.match_positions(body, &series[d]);
+                common = Some(match common {
+                    None => positions,
+                    Some(prev) => prev
+                        .into_iter()
+                        .filter(|p| positions.contains(p))
+                        .collect(),
+                });
+                if common.as_ref().is_some_and(|c| c.is_empty()) {
+                    break;
+                }
+            }
+            let drop = query.series_drops.get(d).copied().unwrap_or(d);
+            for m in common.unwrap_or_default() {
+                // the drop-d series starting at chunk m implies the query
+                // occurrence begins at chunk_start(j, m) - drop (an offset
+                // into the Stage-1 symbol stream — the pair-compressed
+                // stream when Stage 0 is on)
+                let start = scheme.chunk_start(chunking, m) - drop as isize;
+                if start >= 0 {
+                    offsets.push(start as usize);
+                }
+            }
+        }
+        offsets
+    }
+
+    /// Searches and reports the candidate occurrence offsets inside each
+    /// matching record — "all sites report a hit at the same offset" (§5)
+    /// turned into a client API.
+    pub fn search_positions(
+        &self,
+        pattern: &str,
+    ) -> Result<HashMap<u64, Vec<usize>>, StoreError> {
+        Ok(self.search_detailed(pattern)?.positions)
+    }
+
+    /// Prefix search: records whose content *starts with* the pattern —
+    /// the index-level form of the paper's anchored queries ("we should
+    /// actually search for 'Schwarz ' with a leading space", §2.5).
+    pub fn search_starting_with(&self, pattern: &str) -> Result<Vec<u64>, StoreError> {
+        let outcome = self.search_detailed(pattern)?;
+        let mut rids: Vec<u64> = outcome
+            .positions
+            .iter()
+            .filter(|(_, offs)| offs.contains(&0))
+            .map(|(&rid, _)| rid)
+            .collect();
+        rids.sort_unstable();
+        Ok(rids)
+    }
+
+    /// Convenience: search, fetch, decrypt, and filter out the scheme's
+    /// false positives client-side (final precision step an application
+    /// would do).
+    pub fn fetch_matching(&self, pattern: &str) -> Result<Vec<(u64, String)>, StoreError> {
+        let mut out = Vec::new();
+        for rid in self.search(pattern)? {
+            if let Some(rc) = self.get(rid)? {
+                if rc.contains(pattern) {
+                    out.push((rid, rc));
+                }
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,166 @@
+//! SWP-style chunk encryption — the paper's §8 future work, implemented.
+//!
+//! "Finally, Song's et al. method of encrypting while allowing for word
+//! searches should be adapted to our system." The adaptation treats each
+//! Stage-1 chunk as an SWP "word": the stored cipherword is the chunk's
+//! pre-encryption XORed with a checkable pseudorandom stream keyed by
+//! record, chunking and position. Two consequences versus ECB chunks:
+//!
+//! * **at rest, equal chunks look different** — an index site can no
+//!   longer run the frequency analysis that Stages 2/3 exist to blunt;
+//! * **matching requires a trapdoor**: the site learns chunk equality only
+//!   for the chunks a query discloses, and only while it holds the query.
+//!
+//! The cost is storage (16 bytes per chunk regardless of chunk size) and
+//! query size (32 bytes per chunk), and the mode cannot compose with
+//! Stage-3 dispersion (shares require deterministic chunk images).
+
+use sdds_cipher::{Aes128, KeyMaterial};
+
+/// Stored cipherword width.
+pub(crate) const CIPHERWORD_BYTES: usize = 16;
+/// Query trapdoor width (pre-encryption ‖ check key).
+pub(crate) const TRAPDOOR_BYTES: usize = 32;
+
+/// Chunk-granular SWP for one chunking.
+pub(crate) struct ChunkSwp {
+    /// E — chunk pre-encryption.
+    word_cipher: Aes128,
+    /// f — derives the per-chunk check key from the left half.
+    key_derive: Aes128,
+    /// source of the position stream S.
+    stream: Aes128,
+}
+
+impl ChunkSwp {
+    pub(crate) fn new(keys: &KeyMaterial, chunking: u32) -> ChunkSwp {
+        ChunkSwp {
+            word_cipher: Aes128::new(&keys.swp_key("word", chunking)),
+            key_derive: Aes128::new(&keys.swp_key("kd", chunking)),
+            stream: Aes128::new(&keys.swp_key("stream", chunking)),
+        }
+    }
+
+    /// `X = E(chunk)`: the deterministic pre-encryption of a chunk value.
+    fn pre_encrypt(&self, chunk_value: u128) -> [u8; 16] {
+        let mut x = chunk_value.to_le_bytes();
+        self.word_cipher.encrypt_block(&mut x);
+        x
+    }
+
+    fn check_key(&self, left: &[u8]) -> [u8; 16] {
+        self.key_derive.prf(left)
+    }
+
+    /// Encrypts one chunk for storage: `C = X ⊕ ⟨S, F_{k}(S)⟩` with `S`
+    /// derived from `(rid, position)` so re-inserting a record is
+    /// idempotent while equal chunks at different positions (or in
+    /// different records) encrypt differently.
+    pub(crate) fn encrypt_chunk(
+        &self,
+        rid: u64,
+        position: u64,
+        chunk_value: u128,
+    ) -> [u8; CIPHERWORD_BYTES] {
+        let x = self.pre_encrypt(chunk_value);
+        let (l, r) = x.split_at(8);
+        let mut seed = [0u8; 16];
+        seed[..8].copy_from_slice(&rid.to_le_bytes());
+        seed[8..].copy_from_slice(&position.to_le_bytes());
+        let s = &self.stream.prf(&seed)[..8];
+        let ki = self.check_key(l);
+        let f = &Aes128::new(&ki).prf(s)[..8];
+        let mut c = [0u8; CIPHERWORD_BYTES];
+        for b in 0..8 {
+            c[b] = l[b] ^ s[b];
+            c[8 + b] = r[b] ^ f[b];
+        }
+        c
+    }
+
+    /// Builds the search trapdoor for a chunk value: `X ‖ k_X`.
+    pub(crate) fn trapdoor(&self, chunk_value: u128) -> [u8; TRAPDOOR_BYTES] {
+        let x = self.pre_encrypt(chunk_value);
+        let kw = self.check_key(&x[..8]);
+        let mut t = [0u8; TRAPDOOR_BYTES];
+        t[..16].copy_from_slice(&x);
+        t[16..].copy_from_slice(&kw);
+        t
+    }
+}
+
+/// The stateless site-side check (a site needs no keys): does the stored
+/// cipherword hold the trapdoor's chunk?
+pub(crate) fn cipherword_matches(cipherword: &[u8], trapdoor: &[u8]) -> bool {
+    if cipherword.len() != CIPHERWORD_BYTES || trapdoor.len() != TRAPDOOR_BYTES {
+        return false;
+    }
+    let x = &trapdoor[..16];
+    let kw: [u8; 16] = trapdoor[16..].try_into().expect("length checked");
+    let mut s = [0u8; 8];
+    let mut t = [0u8; 8];
+    for b in 0..8 {
+        s[b] = cipherword[b] ^ x[b];
+        t[b] = cipherword[8 + b] ^ x[8 + b];
+    }
+    let f = Aes128::new(&kw).prf(&s);
+    f[..8] == t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_cipher::MasterKey;
+
+    fn swp() -> ChunkSwp {
+        ChunkSwp::new(&KeyMaterial::new(MasterKey::new([6; 16])), 0)
+    }
+
+    #[test]
+    fn trapdoor_matches_own_chunk() {
+        let s = swp();
+        let c = s.encrypt_chunk(1, 0, 0xABCD);
+        assert!(cipherword_matches(&c, &s.trapdoor(0xABCD)));
+        assert!(!cipherword_matches(&c, &s.trapdoor(0xABCE)));
+    }
+
+    #[test]
+    fn equal_chunks_encrypt_differently_across_positions() {
+        // the whole point versus ECB
+        let s = swp();
+        let c0 = s.encrypt_chunk(1, 0, 0xAB);
+        let c1 = s.encrypt_chunk(1, 1, 0xAB);
+        let c2 = s.encrypt_chunk(2, 0, 0xAB);
+        assert_ne!(c0, c1);
+        assert_ne!(c0, c2);
+        // yet the single trapdoor finds all of them
+        let t = s.trapdoor(0xAB);
+        assert!(cipherword_matches(&c0, &t));
+        assert!(cipherword_matches(&c1, &t));
+        assert!(cipherword_matches(&c2, &t));
+    }
+
+    #[test]
+    fn reinsertion_is_idempotent() {
+        let s = swp();
+        assert_eq!(s.encrypt_chunk(9, 3, 0xFF), s.encrypt_chunk(9, 3, 0xFF));
+    }
+
+    #[test]
+    fn per_chunking_keys_are_independent() {
+        let keys = KeyMaterial::new(MasterKey::new([6; 16]));
+        let s0 = ChunkSwp::new(&keys, 0);
+        let s1 = ChunkSwp::new(&keys, 1);
+        let c = s0.encrypt_chunk(1, 0, 0xAB);
+        assert!(!cipherword_matches(&c, &s1.trapdoor(0xAB)));
+    }
+
+    #[test]
+    fn malformed_inputs_never_match() {
+        let s = swp();
+        let c = s.encrypt_chunk(1, 0, 7);
+        let t = s.trapdoor(7);
+        assert!(!cipherword_matches(&c[..8], &t));
+        assert!(!cipherword_matches(&c, &t[..16]));
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests of Stage-0 searchable pre-compression (§8's
+//! "searchable compression as a main mean of redundancy removal")
+//! composed with the full scheme.
+
+use sdds_core::{EncryptedSearchStore, PrecompressionConfig, SchemeConfig, StoreError};
+use sdds_corpus::DirectoryGenerator;
+
+fn config() -> SchemeConfig {
+    let mut cfg = SchemeConfig::basic(4, 4).unwrap();
+    cfg.precompression = Some(PrecompressionConfig { max_pairs: 64 });
+    cfg.validated().unwrap()
+}
+
+#[test]
+fn config_validates_and_widens_symbols() {
+    let cfg = config();
+    assert_eq!(cfg.effective_symbol_bits(), 9);
+    assert_eq!(cfg.chunk_bits(), 36); // 4 symbols x 9 bits
+    // pair budget over the alphabet is rejected
+    let mut bad = SchemeConfig::basic(4, 4).unwrap();
+    bad.precompression = Some(PrecompressionConfig { max_pairs: 1 << 20 });
+    assert!(bad.validated().is_err());
+}
+
+#[test]
+fn compressed_store_is_complete_on_the_phonebook() {
+    let records = DirectoryGenerator::new(51).generate(250);
+    let store = EncryptedSearchStore::builder(config())
+        .passphrase("stage0")
+        .bucket_capacity(64)
+        .train(records.iter().take(200).map(|r| r.rc.clone()))
+        .start();
+    for r in &records {
+        store.insert(r.rid, &r.rc).unwrap();
+    }
+    for pattern in ["MARTINEZ", "WILLIAMS", "ANDERSON", "RODRIGUEZ"] {
+        let hits = store.search(pattern).unwrap();
+        for r in records.iter().filter(|r| r.rc.contains(pattern)) {
+            assert!(hits.contains(&r.rid), "missed {pattern} in rid {}", r.rid);
+        }
+    }
+    assert!(store.search("ZZZZZZZZZZZZ").unwrap().is_empty());
+    store.shutdown();
+}
+
+#[test]
+fn compression_shrinks_the_index() {
+    let records = DirectoryGenerator::new(52).generate(300);
+    let plain_store = EncryptedSearchStore::builder(SchemeConfig::basic(4, 4).unwrap())
+        .passphrase("x")
+        .start();
+    let comp_store = EncryptedSearchStore::builder(config())
+        .passphrase("x")
+        .train(records.iter().map(|r| r.rc.clone()))
+        .start();
+    let body_bytes = |store: &EncryptedSearchStore| -> usize {
+        records
+            .iter()
+            .map(|r| {
+                store
+                    .pipeline()
+                    .index_records_for(r.rid, &r.rc)
+                    .iter()
+                    .map(|rec| rec.body.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    };
+    let plain = body_bytes(&plain_store);
+    let compressed = body_bytes(&comp_store);
+    // 9-bit symbols cost more per chunk (5-byte elements vs 4), but pair
+    // compression removes enough chunks to come out ahead per symbol:
+    // compare chunk *counts*
+    let chunks = |store: &EncryptedSearchStore| -> usize {
+        let eb = store.pipeline().config().element_bytes();
+        records
+            .iter()
+            .map(|r| {
+                store
+                    .pipeline()
+                    .index_records_for(r.rid, &r.rc)
+                    .iter()
+                    .map(|rec| rec.body.len() / eb)
+                    .sum::<usize>()
+            })
+            .sum()
+    };
+    assert!(
+        chunks(&comp_store) < chunks(&plain_store),
+        "pair compression should reduce the chunk count: {} vs {}",
+        chunks(&comp_store),
+        chunks(&plain_store)
+    );
+    // and the byte totals stay in the same ballpark
+    assert!(compressed < plain * 2, "{compressed} vs {plain}");
+    plain_store.shutdown();
+    comp_store.shutdown();
+}
+
+#[test]
+fn short_patterns_error_rather_than_miss() {
+    let records = DirectoryGenerator::new(53).generate(100);
+    let store = EncryptedSearchStore::builder(config())
+        .passphrase("strict")
+        .train(records.iter().map(|r| r.rc.clone()))
+        .start();
+    for r in &records {
+        store.insert(r.rid, &r.rc).unwrap();
+    }
+    // a 4-symbol pattern compresses below the 4-code minimum
+    match store.search("MART") {
+        Err(StoreError::Pipeline(_)) => {}
+        Ok(hits) => {
+            // acceptable only if no variant was shortened below min — then
+            // completeness still holds; verify it
+            for r in records.iter().filter(|r| r.rc.contains("MART")) {
+                assert!(hits.contains(&r.rid));
+            }
+        }
+        Err(e) => panic!("unexpected error {e}"),
+    }
+    store.shutdown();
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests of the §8 extension: SWP-encrypted chunk indexes.
+
+use sdds_core::{ConfigError, EncryptedSearchStore, IndexKind, SchemeConfig};
+use sdds_corpus::DirectoryGenerator;
+
+#[test]
+fn swp_config_validates_and_rejects_dispersion() {
+    let cfg = SchemeConfig::swp_chunks(4, 4).unwrap();
+    assert_eq!(cfg.index_kind, IndexKind::SwpChunks);
+    assert_eq!(cfg.element_bytes(), 16, "cipherwords are 16 bytes");
+    let mut bad = cfg;
+    bad.dispersion = Some(4);
+    assert_eq!(bad.validated().unwrap_err(), ConfigError::SwpWithDispersion);
+}
+
+#[test]
+fn swp_store_search_is_complete() {
+    let records = DirectoryGenerator::new(31).generate(250);
+    let store = EncryptedSearchStore::builder(SchemeConfig::swp_chunks(4, 4).unwrap())
+        .passphrase("swp")
+        .bucket_capacity(32)
+        .start();
+    for r in &records {
+        store.insert(r.rid, &r.rc).unwrap();
+    }
+    for pattern in ["MARTINEZ", "NGUYEN", "WILLIAMS"] {
+        let hits = store.search(pattern).unwrap();
+        for r in records.iter().filter(|r| r.rc.contains(pattern)) {
+            assert!(hits.contains(&r.rid), "missed {pattern} in rid {}", r.rid);
+        }
+    }
+    assert!(store.search("QQQQQQQQ").unwrap().is_empty());
+    store.shutdown();
+}
+
+#[test]
+fn swp_hides_equal_chunk_structure_at_rest() {
+    // the headline improvement over ECB: a repeated-chunk record stores no
+    // repeated bytes, in contrast to the ECB index
+    let swp_store = EncryptedSearchStore::builder(SchemeConfig::swp_chunks(4, 1).unwrap())
+        .passphrase("x")
+        .start();
+    let ecb_store = EncryptedSearchStore::builder(SchemeConfig::basic(4, 1).unwrap())
+        .passphrase("x")
+        .start();
+    let rc = "ABCDABCDABCD"; // three identical chunks in chunking 0
+
+    let swp_body = &swp_store.pipeline().index_records_for(1, rc)[0].body;
+    let (a, rest) = swp_body.split_at(16);
+    let (b, c) = rest.split_at(16);
+    assert_ne!(a, b, "SWP cipherwords must differ across positions");
+    assert_ne!(b, c);
+
+    let ecb_body = &ecb_store.pipeline().index_records_for(1, rc)[0].body;
+    assert_eq!(&ecb_body[0..4], &ecb_body[4..8], "ECB keeps equal images");
+
+    // and across records: same RC, different RID → unlinkable under SWP
+    let swp_other = &swp_store.pipeline().index_records_for(2, rc)[0].body;
+    assert_ne!(swp_body, swp_other);
+    let ecb_other = &ecb_store.pipeline().index_records_for(2, rc)[0].body;
+    assert_eq!(ecb_body, ecb_other, "ECB bodies are linkable across records");
+
+    swp_store.shutdown();
+    ecb_store.shutdown();
+}
+
+#[test]
+fn swp_mode_has_no_encoding_false_positives() {
+    // without Stage-2 conflation, SWP chunk search has the same accuracy
+    // as plaintext chunk matching: only chunk-alignment FPs remain
+    let store = EncryptedSearchStore::builder(SchemeConfig::swp_chunks(4, 4).unwrap())
+        .passphrase("acc")
+        .start();
+    store.insert(1, "ABCDEFGHIJKLMNOP").unwrap();
+    store.insert(2, "ZYXWVUTSRQPONMLK").unwrap();
+    assert_eq!(store.search("CDEFGHIJ").unwrap(), vec![1]);
+    assert_eq!(store.search("XWVUTSRQ").unwrap(), vec![2]);
+    store.shutdown();
+}
+
+#[test]
+fn swp_mode_interoperates_with_updates_and_deletes() {
+    let store = EncryptedSearchStore::builder(SchemeConfig::swp_chunks(4, 2).unwrap())
+        .passphrase("mut")
+        .start();
+    store.insert(5, "SCHWARZ THOMAS").unwrap();
+    assert_eq!(store.search("THOMAS").unwrap(), vec![5]);
+    // overwrite changes the index
+    store.insert(5, "LITWIN WITOLD").unwrap();
+    assert!(store.search("WITOLD").unwrap().contains(&5));
+    store.delete(5).unwrap();
+    assert!(store.search("WITOLD").unwrap().is_empty());
+    assert_eq!(store.get(5).unwrap(), None);
+    store.shutdown();
+}
+
+#[test]
+fn swp_query_is_larger_but_index_leaks_less() {
+    // quantify the §8 trade-off: trapdoors double the per-chunk query
+    // bytes and the body is wider
+    let swp = EncryptedSearchStore::builder(SchemeConfig::swp_chunks(4, 2).unwrap())
+        .passphrase("q")
+        .start();
+    let ecb = EncryptedSearchStore::builder(SchemeConfig::basic(4, 2).unwrap())
+        .passphrase("q")
+        .start();
+    let swp_q = swp.pipeline().build_query("ABCDEFGH").unwrap();
+    let ecb_q = ecb.pipeline().build_query("ABCDEFGH").unwrap();
+    let qsize = |q: &sdds_core::EncryptedQuery| -> usize {
+        q.per_tag.iter().map(|(_, s)| s.iter().map(Vec::len).sum::<usize>()).sum()
+    };
+    assert!(qsize(&swp_q) > qsize(&ecb_q), "trapdoors cost query bytes");
+    swp.shutdown();
+    ecb.shutdown();
+}

@@ -1,0 +1,143 @@
+//! The fixed-width directory file format of Figure 4.
+//!
+//! Each line is `NAME%%%…%PHONE$$`: the name padded with `%` to a fixed
+//! field width, followed by the display phone number and the `$$` record
+//! terminator, e.g.
+//!
+//! ```text
+//! AKIMOTO YOSHIMI%%%%%%%%%%%415-409-0019$$
+//! ```
+
+use crate::record::Record;
+use std::fmt;
+
+/// Width of the padded name field (the paper's extract pads names to a
+/// fixed column before the phone number).
+pub const NAME_FIELD_WIDTH: usize = 26;
+
+/// Errors from parsing the fixed-width format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Line does not end in the `$$` terminator.
+    MissingTerminator(usize),
+    /// Phone number field is malformed.
+    BadPhone(usize, String),
+    /// Name field is empty after stripping padding.
+    EmptyName(usize),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::MissingTerminator(l) => write!(f, "line {l}: missing $$ terminator"),
+            FormatError::BadPhone(l, p) => write!(f, "line {l}: bad phone number {p:?}"),
+            FormatError::EmptyName(l) => write!(f, "line {l}: empty name field"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Renders records in the Figure-4 layout, one per line.
+pub fn format_directory(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let pad = NAME_FIELD_WIDTH.saturating_sub(r.rc.len());
+        out.push_str(&r.rc);
+        for _ in 0..pad.max(1) {
+            out.push('%');
+        }
+        out.push_str(&r.phone_display());
+        out.push_str("$$\n");
+    }
+    out
+}
+
+/// Parses the Figure-4 layout back into records.
+pub fn parse_directory(text: &str) -> Result<Vec<Record>, FormatError> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let body = line
+            .strip_suffix("$$")
+            .ok_or(FormatError::MissingTerminator(lineno + 1))?;
+        // phone is the trailing 12 characters XXX-XXX-XXXX
+        if body.len() < 12 {
+            return Err(FormatError::BadPhone(lineno + 1, body.to_string()));
+        }
+        let (name_part, phone) = body.split_at(body.len() - 12);
+        let digits: String = phone.chars().filter(|c| c.is_ascii_digit()).collect();
+        if digits.len() != 10 || phone.as_bytes()[3] != b'-' || phone.as_bytes()[7] != b'-' {
+            return Err(FormatError::BadPhone(lineno + 1, phone.to_string()));
+        }
+        let rid: u64 = digits
+            .parse()
+            .map_err(|_| FormatError::BadPhone(lineno + 1, phone.to_string()))?;
+        let name = name_part.trim_end_matches('%');
+        if name.is_empty() {
+            return Err(FormatError::EmptyName(lineno + 1));
+        }
+        records.push(Record::new(rid, name));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::DirectoryGenerator;
+
+    #[test]
+    fn roundtrip_generated_directory() {
+        let recs = DirectoryGenerator::new(11).generate(1000);
+        let text = format_directory(&recs);
+        let parsed = parse_directory(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn format_matches_figure_4_shape() {
+        let recs = vec![Record::new(4154090019, "AKIMOTO YOSHIMI")];
+        let text = format_directory(&recs);
+        assert_eq!(text, "AKIMOTO YOSHIMI%%%%%%%%%%%415-409-0019$$\n");
+    }
+
+    #[test]
+    fn long_names_still_get_one_percent_separator() {
+        let recs = vec![Record::new(4154090000, "A".repeat(30))];
+        let text = format_directory(&recs);
+        assert!(text.contains(&format!("{}%415-409-0000$$", "A".repeat(30))));
+        let parsed = parse_directory(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let err = parse_directory("SMITH%%%%415-409-0000").unwrap_err();
+        assert_eq!(err, FormatError::MissingTerminator(1));
+    }
+
+    #[test]
+    fn rejects_bad_phone() {
+        let err = parse_directory("SMITH%%%%415X409-0000$$").unwrap_err();
+        assert!(matches!(err, FormatError::BadPhone(1, _)));
+        let err = parse_directory("AB$$").unwrap_err();
+        assert!(matches!(err, FormatError::BadPhone(1, _)));
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        let err = parse_directory("%%%%%%%%%%415-409-0000$$").unwrap_err();
+        assert_eq!(err, FormatError::EmptyName(1));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let recs = vec![Record::new(4154090019, "YU")];
+        let text = format!("\n{}\n\n", format_directory(&recs));
+        assert_eq!(parse_directory(&text).unwrap(), recs);
+    }
+}

@@ -1,0 +1,156 @@
+//! Query workload generation for search experiments.
+//!
+//! The paper's false-positive experiments query "the 1000 last names" of
+//! the sampled records (§7). Beyond that exact workload, benches need
+//! substring queries with guaranteed hits and popularity-skewed query
+//! streams; all are deterministic per seed.
+
+use crate::record::Record;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// The paper's Table-4/5 workload: every record's last name, duplicates
+/// preserved (repeated names repeat as queries, which is what makes the
+/// short-name effect visible).
+///
+/// ```
+/// use sdds_corpus::{workload, DirectoryGenerator};
+///
+/// let records = DirectoryGenerator::new(1).generate(50);
+/// let queries = workload::last_name_queries(&records);
+/// assert_eq!(queries.len(), records.len());
+/// ```
+pub fn last_name_queries(records: &[Record]) -> Vec<String> {
+    records.iter().map(|r| r.last_name().to_string()).collect()
+}
+
+/// Random substrings of the records' contents, each of length
+/// `min_len..=max_len` where the record allows — guaranteed true hits for
+/// completeness and latency benches.
+pub fn substring_queries(
+    records: &[Record],
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+    seed: u64,
+) -> Vec<String> {
+    assert!(min_len >= 1 && max_len >= min_len, "bad length range");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let eligible: Vec<&Record> =
+        records.iter().filter(|r| r.rc.len() >= min_len).collect();
+    assert!(!eligible.is_empty(), "no record long enough for the range");
+    (0..count)
+        .map(|_| {
+            let r = eligible[rng.gen_range(0..eligible.len())];
+            let len = rng.gen_range(min_len..=max_len.min(r.rc.len()));
+            let start = rng.gen_range(0..=r.rc.len() - len);
+            r.rc[start..start + len].to_string()
+        })
+        .collect()
+}
+
+/// A popularity-skewed query stream over the distinct last names: name
+/// ranks follow a Zipf-like law with exponent `s` (s = 0 is uniform,
+/// s = 1 classic Zipf) — models the hot-key skew real directory lookups
+/// have.
+pub fn zipf_name_queries(
+    records: &[Record],
+    count: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<String> {
+    let mut by_freq: HashMap<&str, u64> = HashMap::new();
+    for r in records {
+        *by_freq.entry(r.last_name()).or_insert(0) += 1;
+    }
+    let mut names: Vec<(&str, u64)> = by_freq.into_iter().collect();
+    // rank by corpus frequency, ties broken lexicographically
+    names.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let weights: Vec<f64> = (1..=names.len())
+        .map(|rank| 1.0 / (rank as f64).powf(exponent))
+        .collect();
+    let dist = WeightedIndex::new(&weights).expect("positive weights");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| names[dist.sample(&mut rng)].0.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::DirectoryGenerator;
+
+    fn records() -> Vec<Record> {
+        DirectoryGenerator::new(77).generate(500)
+    }
+
+    #[test]
+    fn last_names_preserve_duplicates() {
+        let recs = records();
+        let q = last_name_queries(&recs);
+        assert_eq!(q.len(), recs.len());
+        // a directory of 500 has repeated surnames
+        let distinct: std::collections::HashSet<&String> = q.iter().collect();
+        assert!(distinct.len() < q.len());
+    }
+
+    #[test]
+    fn substrings_always_hit() {
+        let recs = records();
+        let qs = substring_queries(&recs, 100, 4, 8, 1);
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert!((4..=8).contains(&q.len()));
+            assert!(
+                recs.iter().any(|r| r.rc.contains(q.as_str())),
+                "query {q:?} hits nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn substring_queries_deterministic_per_seed() {
+        let recs = records();
+        assert_eq!(
+            substring_queries(&recs, 50, 4, 8, 9),
+            substring_queries(&recs, 50, 4, 8, 9)
+        );
+        assert_ne!(
+            substring_queries(&recs, 50, 4, 8, 9),
+            substring_queries(&recs, 50, 4, 8, 10)
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_popular_names() {
+        let recs = records();
+        let qs = zipf_name_queries(&recs, 2000, 1.2, 3);
+        let mut counts: HashMap<&String, usize> = HashMap::new();
+        for q in &qs {
+            *counts.entry(q).or_insert(0) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let distinct = counts.len();
+        // hot head: the most popular query is much more frequent than the
+        // uniform share
+        assert!(max > 2000 / distinct * 3, "max {max}, distinct {distinct}");
+        // uniform exponent spreads out
+        let uq = zipf_name_queries(&recs, 2000, 0.0, 3);
+        let mut ucounts: HashMap<&String, usize> = HashMap::new();
+        for q in &uq {
+            *ucounts.entry(q).or_insert(0) += 1;
+        }
+        let umax = ucounts.values().max().copied().unwrap();
+        assert!(umax < max, "uniform should be flatter: {umax} vs {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad length range")]
+    fn bad_range_panics() {
+        substring_queries(&records(), 1, 5, 4, 0);
+    }
+}

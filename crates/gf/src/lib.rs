@@ -1,0 +1,39 @@
+//! Galois-field arithmetic, matrices and Reed–Solomon erasure coding.
+//!
+//! This crate is the algebraic substrate of the ICDE'06 encrypted
+//! searchable SDDS reproduction. It provides:
+//!
+//! * [`Field`] — arithmetic in GF(2^g) for `1 <= g <= 16`, backed by
+//!   log/antilog tables built from a primitive polynomial (§4 of the paper:
+//!   "We construct a Galois field Φ = GF(2^g) … Multiplication and division
+//!   are more involved operations, but there exist a number of good methods
+//!   to implement them in the literature").
+//! * [`Matrix`] — dense matrices over a field with multiplication,
+//!   Gauss–Jordan inversion, and the Cauchy / Vandermonde constructors the
+//!   paper suggests for dispersion matrices **E**.
+//! * [`rs`] — systematic Cauchy–Reed–Solomon erasure coding used by the
+//!   LH\*<sub>RS</sub> high-availability substrate \[LMS05\].
+//!
+//! # Example
+//!
+//! ```
+//! use sdds_gf::{Field, Matrix};
+//!
+//! let f = Field::new(8).unwrap();             // GF(256)
+//! let a = f.mul(0x57, 0x83);                  // field multiplication
+//! assert_eq!(f.div(a, 0x83), 0x57);           // and its inverse
+//!
+//! // The identity matrix is its own inverse.
+//! let m = Matrix::identity(&f, 4);
+//! assert_eq!(m.clone().inverse(&f).unwrap(), m);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod matrix;
+pub mod rs;
+
+pub use field::{Field, FieldError};
+pub use matrix::{Matrix, MatrixError};

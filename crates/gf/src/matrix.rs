@@ -1,0 +1,485 @@
+//! Dense matrices over GF(2^g).
+//!
+//! The dispersion stage of the paper (§4) multiplies each chunk — viewed as
+//! a row vector over GF(2^g) — by an invertible k×k matrix **E** and stores
+//! component *i* of the product on dispersion site *i*. The paper remarks
+//! that "a good **E** seems to be one where all coefficients are nonzero
+//! (… such matrices exist in abundance, e.g. as Cauchy matrices or
+//! Vandermonde matrices)". This module supplies exactly those constructors,
+//! plus Gauss–Jordan inversion so decoders can reassemble chunks.
+
+use crate::field::Field;
+use rand::Rng;
+use std::fmt;
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Attempted to invert or decompose a singular matrix.
+    Singular,
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Left operand shape `(rows, cols)`.
+        left: (usize, usize),
+        /// Right operand shape `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// Construction parameters exceed the field size (e.g. a Cauchy matrix
+    /// needs `rows + cols` distinct field elements).
+    FieldTooSmall {
+        /// Elements required.
+        needed: usize,
+        /// Field order available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::FieldTooSmall { needed, available } => write!(
+                f,
+                "field too small: construction needs {needed} distinct elements, \
+                 field has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense `rows x cols` matrix over GF(2^g), stored row-major.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:4x}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Creates the n×n identity matrix.
+    pub fn identity(_field: &Field, n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data. Panics if the element count
+    /// does not match the shape.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<u16>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u16 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u16) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u16] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A `rows(sel) x cols` matrix assembled from the selected rows.
+    pub fn select_rows(&self, sel: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(sel.len() * self.cols);
+        for &r in sel {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix { rows: sel.len(), cols: self.cols, data }
+    }
+
+    /// True if every coefficient is non-zero — the paper's heuristic for a
+    /// "good" dispersion matrix (every share then depends on the whole
+    /// chunk, hampering per-share frequency analysis).
+    pub fn all_nonzero(&self) -> bool {
+        self.data.iter().all(|&v| v != 0)
+    }
+
+    /// Cauchy matrix `M[i][j] = 1 / (x_i + y_j)` with
+    /// `x_i = i` and `y_j = rows + j`. Every square submatrix of a Cauchy
+    /// matrix is invertible, and every coefficient is non-zero.
+    pub fn cauchy(field: &Field, rows: usize, cols: usize) -> Result<Matrix, MatrixError> {
+        let needed = rows + cols;
+        if needed > field.order() as usize {
+            return Err(MatrixError::FieldTooSmall {
+                needed,
+                available: field.order() as usize,
+            });
+        }
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let x = i as u16;
+                let y = (rows + j) as u16;
+                m.set(i, j, field.inv(field.add(x, y)));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Vandermonde matrix `M[i][j] = x_i ^ j` with `x_i = exp(i)` (the
+    /// powers of the generator), guaranteeing distinct non-zero evaluation
+    /// points so any `cols` rows with distinct points are independent.
+    pub fn vandermonde(field: &Field, rows: usize, cols: usize) -> Result<Matrix, MatrixError> {
+        if rows > field.order() as usize - 1 {
+            return Err(MatrixError::FieldTooSmall {
+                needed: rows,
+                available: field.order() as usize - 1,
+            });
+        }
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            let x = field.exp(i as u32);
+            for j in 0..cols {
+                m.set(i, j, field.pow(x, j as u32));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Samples random square matrices until one is invertible, optionally
+    /// insisting (like the paper) that all coefficients be non-zero.
+    ///
+    /// Rejection sampling terminates fast: a random matrix over GF(q) is
+    /// non-singular with probability `prod (1 - q^-i) > 0.28` even for q=2.
+    pub fn random_nonsingular<R: Rng + ?Sized>(
+        field: &Field,
+        n: usize,
+        require_all_nonzero: bool,
+        rng: &mut R,
+    ) -> Matrix {
+        let mask = field.mask();
+        loop {
+            let mut m = Matrix::zero(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    let v = if require_all_nonzero {
+                        loop {
+                            let v = rng.gen::<u16>() & mask;
+                            if v != 0 {
+                                break v;
+                            }
+                        }
+                    } else {
+                        rng.gen::<u16>() & mask
+                    };
+                    m.set(r, c, v);
+                }
+            }
+            if m.clone().inverse(field).is_ok() {
+                return m;
+            }
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, field: &Field, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = field.mul(a, rhs.get(k, j));
+                    out.set(i, j, field.add(out.get(i, j), prod));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-vector × matrix product, the dispersion hot path:
+    /// `d = c · E` for a chunk `c`.
+    pub fn vec_mul(&self, field: &Field, v: &[u16]) -> Result<Vec<u16>, MatrixError> {
+        if v.len() != self.rows {
+            return Err(MatrixError::ShapeMismatch {
+                left: (1, v.len()),
+                right: (self.rows, self.cols),
+            });
+        }
+        let mut out = vec![0u16; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi != 0 {
+                field.mul_acc_slice(&mut out, self.row(i), vi);
+            }
+        }
+        Ok(out)
+    }
+
+    /// In-place Gauss–Jordan inversion. Returns the inverse, consuming the
+    /// working copy; `Err(Singular)` if no inverse exists.
+    pub fn inverse(mut self, field: &Field) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (self.cols, self.rows),
+            });
+        }
+        let n = self.rows;
+        let mut inv = Matrix::identity(field, n);
+        for col in 0..n {
+            // find pivot
+            let pivot = (col..n)
+                .find(|&r| self.get(r, col) != 0)
+                .ok_or(MatrixError::Singular)?;
+            if pivot != col {
+                self.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // normalize pivot row
+            let pv = self.get(col, col);
+            if pv != 1 {
+                let ipv = field.inv(pv);
+                field.scale_slice(self.row_mut(col), ipv);
+                field.scale_slice(inv.row_mut(col), ipv);
+            }
+            // eliminate other rows
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = self.get(r, col);
+                if factor == 0 {
+                    continue;
+                }
+                // row_r ^= factor * row_col  (for both matrices)
+                let (src, dst) = row_pair(&mut self.data, self.cols, col, r);
+                field.mul_acc_slice(dst, src, factor);
+                let (src, dst) = row_pair(&mut inv.data, inv.cols, col, r);
+                field.mul_acc_slice(dst, src, factor);
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    fn row_mut(&mut self, r: usize) -> &mut [u16] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+/// Splits the backing store into one immutable source row and one mutable
+/// destination row (distinct indices required).
+fn row_pair(data: &mut [u16], cols: usize, src: usize, dst: usize) -> (&[u16], &mut [u16]) {
+    assert_ne!(src, dst);
+    if src < dst {
+        let (head, tail) = data.split_at_mut(dst * cols);
+        (&head[src * cols..(src + 1) * cols], &mut tail[..cols])
+    } else {
+        let (head, tail) = data.split_at_mut(src * cols);
+        (&tail[..cols], &mut head[dst * cols..(dst + 1) * cols])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn f8() -> Field {
+        Field::new(8).unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let f = f8();
+        let id = Matrix::identity(&f, 5);
+        assert_eq!(id.clone().inverse(&f).unwrap(), id);
+        assert_eq!(id.mul(&f, &id).unwrap(), id);
+    }
+
+    #[test]
+    fn mul_shape_mismatch() {
+        let f = f8();
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        assert!(matches!(a.mul(&f, &b), Err(MatrixError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn cauchy_all_nonzero_and_invertible() {
+        let f = f8();
+        for n in 1..=8 {
+            let m = Matrix::cauchy(&f, n, n).unwrap();
+            assert!(m.all_nonzero());
+            let inv = m.clone().inverse(&f).unwrap();
+            let prod = m.mul(&f, &inv).unwrap();
+            assert_eq!(prod, Matrix::identity(&f, n));
+        }
+    }
+
+    #[test]
+    fn cauchy_field_too_small() {
+        let f = Field::new(2).unwrap(); // 4 elements
+        assert!(matches!(
+            Matrix::cauchy(&f, 3, 3),
+            Err(MatrixError::FieldTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn vandermonde_square_invertible() {
+        let f = f8();
+        for n in 1..=6 {
+            let m = Matrix::vandermonde(&f, n, n).unwrap();
+            let inv = m.clone().inverse(&f).unwrap();
+            assert_eq!(m.mul(&f, &inv).unwrap(), Matrix::identity(&f, n));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let f = f8();
+        // two identical rows
+        let m = Matrix::from_rows(2, 2, vec![1, 2, 1, 2]);
+        assert_eq!(m.inverse(&f), Err(MatrixError::Singular));
+        // zero matrix
+        let z = Matrix::zero(3, 3);
+        assert_eq!(z.inverse(&f), Err(MatrixError::Singular));
+    }
+
+    #[test]
+    fn random_nonsingular_inverts_and_respects_nonzero_flag() {
+        let f = Field::new(2).unwrap(); // worst case: GF(4), paper's k=4 on 8-bit chunks
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..20 {
+            let m = Matrix::random_nonsingular(&f, 4, true, &mut rng);
+            assert!(m.all_nonzero());
+            let inv = m.clone().inverse(&f).unwrap();
+            assert_eq!(m.mul(&f, &inv).unwrap(), Matrix::identity(&f, 4));
+        }
+    }
+
+    #[test]
+    fn vec_mul_matches_matrix_mul() {
+        let f = f8();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = Matrix::random_nonsingular(&f, 6, false, &mut rng);
+        let v: Vec<u16> = (0..6).map(|i| (i * 40 + 3) as u16).collect();
+        let as_row = Matrix::from_rows(1, 6, v.clone());
+        let expect = as_row.mul(&f, &m).unwrap();
+        let got = m.vec_mul(&f, &v).unwrap();
+        assert_eq!(got, expect.row(0));
+    }
+
+    #[test]
+    fn vec_mul_roundtrips_through_inverse() {
+        // Dispersion correctness: c · E · E^-1 == c.
+        let f = Field::new(4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let e = Matrix::random_nonsingular(&f, 4, true, &mut rng);
+        let einv = e.clone().inverse(&f).unwrap();
+        for trial in 0..50u16 {
+            let c: Vec<u16> = (0..4).map(|i| (trial.wrapping_mul(7).wrapping_add(i)) & 0xF).collect();
+            let d = e.vec_mul(&f, &c).unwrap();
+            let back = einv.vec_mul(&f, &d).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_expected() {
+        let m = Matrix::from_rows(3, 2, vec![1, 2, 3, 4, 5, 6]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5, 6]);
+        assert_eq!(s.row(1), &[1, 2]);
+    }
+
+    #[test]
+    fn any_square_submatrix_of_cauchy_extension_is_invertible() {
+        // The property Cauchy–RS relies on: [I; C] has every k×k row subset
+        // invertible. Spot-check several subsets for k=4, m=3.
+        let f = f8();
+        let k = 4;
+        let m = 3;
+        let mut gen = Matrix::zero(k + m, k);
+        for i in 0..k {
+            gen.set(i, i, 1);
+        }
+        let c = Matrix::cauchy(&f, m, k).unwrap();
+        for i in 0..m {
+            for j in 0..k {
+                gen.set(k + i, j, c.get(i, j));
+            }
+        }
+        let subsets: &[&[usize]] = &[
+            &[0, 1, 2, 3],
+            &[0, 1, 2, 4],
+            &[0, 1, 4, 5],
+            &[0, 4, 5, 6],
+            &[3, 4, 5, 6],
+            &[1, 2, 5, 6],
+        ];
+        for sel in subsets {
+            let sub = gen.select_rows(sel);
+            assert!(sub.inverse(&f).is_ok(), "subset {sel:?} singular");
+        }
+    }
+}

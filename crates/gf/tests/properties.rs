@@ -1,0 +1,106 @@
+//! Property-based tests for the GF(2^g) field axioms, matrix algebra and
+//! Reed–Solomon recovery invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sdds_gf::{rs::ReedSolomon, Field, Matrix};
+
+fn elem(g: u32) -> impl Strategy<Value = u16> {
+    0u16..(1u16 << g)
+}
+
+proptest! {
+    #[test]
+    fn field_axioms_gf256(a in elem(8), b in elem(8), c in elem(8)) {
+        let f = Field::new(8).unwrap();
+        // commutativity
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        // associativity
+        prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        // distributivity
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        // identities
+        prop_assert_eq!(f.add(a, 0), a);
+        prop_assert_eq!(f.mul(a, 1), a);
+        // additive inverse (characteristic 2: self-inverse)
+        prop_assert_eq!(f.add(a, a), 0);
+    }
+
+    #[test]
+    fn field_axioms_small_widths(g in 1u32..=12, seed in any::<u64>()) {
+        let f = Field::new(g).unwrap();
+        let mask = f.mask();
+        let a = (seed as u16) & mask;
+        let b = ((seed >> 16) as u16) & mask;
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        if b != 0 {
+            prop_assert_eq!(f.mul(f.div(a, b), b), a);
+        }
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip(seed in any::<u64>(), n in 1usize..=6) {
+        let f = Field::new(8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = Matrix::random_nonsingular(&f, n, false, &mut rng);
+        let inv = m.clone().inverse(&f).unwrap();
+        prop_assert_eq!(m.mul(&f, &inv).unwrap(), Matrix::identity(&f, n));
+        prop_assert_eq!(inv.mul(&f, &m).unwrap(), Matrix::identity(&f, n));
+    }
+
+    #[test]
+    fn matrix_mul_associative(seed in any::<u64>()) {
+        let f = Field::new(8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::random_nonsingular(&f, 4, false, &mut rng);
+        let b = Matrix::random_nonsingular(&f, 4, false, &mut rng);
+        let c = Matrix::random_nonsingular(&f, 4, false, &mut rng);
+        let left = a.mul(&f, &b).unwrap().mul(&f, &c).unwrap();
+        let right = a.mul(&f, &b.mul(&f, &c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn dispersion_vector_roundtrip(seed in any::<u64>(), g in 2u32..=8, k in 2usize..=4) {
+        // c · E recoverable via E^-1 for the paper's dispersion parameters.
+        let f = Field::new(g).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let e = Matrix::random_nonsingular(&f, k, true, &mut rng);
+        let einv = e.clone().inverse(&f).unwrap();
+        let mask = f.mask();
+        let c: Vec<u16> = (0..k).map(|i| ((seed >> (i * 8)) as u16) & mask).collect();
+        let d = e.vec_mul(&f, &c).unwrap();
+        prop_assert_eq!(einv.vec_mul(&f, &d).unwrap(), c);
+    }
+
+    #[test]
+    fn rs_recovers_any_erasure_pattern(
+        seed in any::<u64>(),
+        k in 1usize..=6,
+        m in 0usize..=3,
+        len in 0usize..64,
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let data: Vec<Vec<u8>> = (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect();
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        // erase up to m shares chosen by the seed
+        let mut shares: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
+        let mut erased = 0;
+        let mut idx = (seed % (k + m) as u64) as usize;
+        while erased < m {
+            shares[idx % (k + m)] = None;
+            idx = idx.wrapping_mul(31).wrapping_add(7);
+            erased += 1;
+        }
+        prop_assert_eq!(rs.reconstruct(&shares).unwrap(), data);
+    }
+}

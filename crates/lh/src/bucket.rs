@@ -1,0 +1,793 @@
+//! The LH\* bucket: a site thread owning one bucket of the file.
+//!
+//! Buckets hold records, serve key operations with the classical LH\*
+//! forwarding rule (each hop re-addresses with the *receiving* bucket's
+//! level; at most two hops are ever needed), execute splits ordered by the
+//! coordinator, evaluate scan filters locally, and — when LH\*<sub>RS</sub>
+//! parity is on — stream slot deltas to their group's parity sites.
+
+use crate::cluster::{Directory, ParityConfig};
+use crate::filter::ScanFilter;
+use crate::hash::h;
+use crate::messages::{Op, OpResult, ScanMatch, Wire};
+use crate::parity::{slot_delta, slot_of};
+use sdds_net::{Endpoint, SiteId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Forwarding-hop hard stop; LH\* proves 2 suffice, we allow slack for the
+/// transient window during a split.
+const MAX_HOPS: u8 = 4;
+
+/// Mutable bucket state (pure logic; the thread loop drives it).
+pub(crate) struct BucketState {
+    addr: u64,
+    level: u8,
+    capacity: usize,
+    records: BTreeMap<u64, Vec<u8>>,
+    // LH*RS rank bookkeeping (empty when parity is off)
+    ranks: Vec<Option<u64>>,
+    key_rank: HashMap<u64, u32>,
+    free_ranks: Vec<u32>,
+    overflow_reported: bool,
+    underflow_reported: bool,
+}
+
+/// Immutable wiring a bucket needs to route messages.
+pub(crate) struct BucketCtx {
+    pub directory: Arc<Directory>,
+    pub coordinator: SiteId,
+    pub filter: Arc<dyn ScanFilter>,
+    pub parity: Option<ParityConfig>,
+}
+
+impl BucketState {
+    pub(crate) fn new(addr: u64, level: u8, capacity: usize) -> BucketState {
+        BucketState {
+            addr,
+            level,
+            capacity,
+            records: BTreeMap::new(),
+            ranks: Vec::new(),
+            key_rank: HashMap::new(),
+            free_ranks: Vec::new(),
+            overflow_reported: false,
+            underflow_reported: false,
+        }
+    }
+
+    /// Shrink threshold: an eighth of the capacity (hysteresis well below
+    /// the split threshold so files do not thrash).
+    fn underflow_threshold(&self) -> usize {
+        self.capacity / 8
+    }
+
+    #[allow(dead_code)] // diagnostics + unit tests
+    pub(crate) fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Processes one message, returning the messages to send out.
+    pub(crate) fn handle(
+        &mut self,
+        from: SiteId,
+        msg: Wire,
+        ctx: &BucketCtx,
+    ) -> Vec<(SiteId, Wire)> {
+        match msg {
+            Wire::Request { req_id, client, hops, op } => {
+                self.handle_request(req_id, client, hops, op, ctx)
+            }
+            Wire::ScanReq { req_id, client, query, keys_only } => {
+                let matches = self.scan(&query, keys_only, ctx);
+                vec![(
+                    SiteId(client),
+                    Wire::ScanResp { req_id, bucket: self.addr, matches },
+                )]
+            }
+            Wire::SplitCmd { addr, new_addr, new_site } => {
+                debug_assert_eq!(addr, self.addr, "split sent to wrong bucket");
+                self.split(new_addr, SiteId(new_site), ctx)
+            }
+            Wire::MergeCmd { addr, into_addr, into_site } => {
+                debug_assert_eq!(addr, self.addr, "merge sent to wrong bucket");
+                self.merge_into(into_addr, SiteId(into_site), ctx)
+            }
+            Wire::TransferBatch { level, addr, records } => {
+                debug_assert_eq!(addr, self.addr);
+                self.level = level;
+                self.overflow_reported = false;
+                self.underflow_reported = false;
+                let mut out = Vec::new();
+                for (key, value) in records {
+                    out.extend(self.store(key, value, ctx));
+                }
+                // adoption of transferred records can itself overflow
+                out.extend(self.maybe_report_overflow(ctx));
+                out
+            }
+            Wire::SlotsRead { req_id, client } => {
+                let slots = self.slot_table(ctx);
+                vec![(
+                    SiteId(client),
+                    Wire::SlotsState { req_id, addr: self.addr, level: self.level, slots },
+                )]
+            }
+            Wire::Adopt { addr, level, slots } => {
+                debug_assert_eq!(addr, self.addr);
+                self.adopt(level, slots);
+                Vec::new()
+            }
+            Wire::Dump { req_id, client } => {
+                let records = self
+                    .records
+                    .iter()
+                    .map(|(&k, v)| (k, v.clone()))
+                    .collect();
+                vec![(
+                    SiteId(client),
+                    Wire::DumpState { req_id, addr: self.addr, level: self.level, records },
+                )]
+            }
+            // Shutdown handled by the loop; everything else is not ours.
+            _ => {
+                let _ = from;
+                Vec::new()
+            }
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        req_id: u64,
+        client: u32,
+        hops: u8,
+        op: Op,
+        ctx: &BucketCtx,
+    ) -> Vec<(SiteId, Wire)> {
+        let key = op.key();
+        // The LH* server address computation (A1 of [LNS96]): re-address
+        // with *this* bucket's level; the h_{j-1} guard stops the forward
+        // from overshooting the file's extent (without it, a level-(j)
+        // bucket could route to a bucket that does not exist yet).
+        let mut target = h(key, self.level);
+        if target != self.addr && self.level > 0 {
+            let conservative = h(key, self.level - 1);
+            if conservative > self.addr && conservative < target {
+                target = conservative;
+            }
+        }
+        if target != self.addr && hops < MAX_HOPS {
+            // The target may be transiently absent from the directory
+            // (mid-split spawn, or a merge retiring the file's last
+            // bucket). Serving locally here would strand the record in
+            // the wrong bucket; instead descend levels — h at a lower
+            // level addresses the target's split ancestor, which is where
+            // a merge ships its records and where lookups will land after
+            // the structure change completes. Level 0 (bucket 0) always
+            // exists, so the walk terminates.
+            let mut resolved = target;
+            let mut level = self.level;
+            while resolved != self.addr
+                && ctx.directory.bucket_site(resolved).is_none()
+                && level > 0
+            {
+                level -= 1;
+                resolved = h(key, level);
+            }
+            if resolved != self.addr {
+                if let Some(site) = ctx.directory.bucket_site(resolved) {
+                    return vec![(
+                        site,
+                        Wire::Request { req_id, client, hops: hops + 1, op },
+                    )];
+                }
+            }
+            // resolved == self.addr: at this level view we are the home;
+            // serve locally.
+        }
+        let mut out = Vec::new();
+        let result = match op {
+            Op::Insert { key, value } => {
+                if let Some(cfg) = &ctx.parity {
+                    if value.len() + 2 > cfg.slot_size {
+                        let message = format!(
+                            "value of {} bytes exceeds parity slot capacity {}",
+                            value.len(),
+                            cfg.slot_size - 2
+                        );
+                        out.push((
+                            SiteId(client),
+                            Wire::Response {
+                                req_id,
+                                result: OpResult::Error { message },
+                                served_by: self.addr,
+                                bucket_level: self.level,
+                                hops,
+                            },
+                        ));
+                        return out;
+                    }
+                }
+                let existed = self.records.contains_key(&key);
+                out.extend(self.store(key, value, ctx));
+                out.extend(self.maybe_report_overflow(ctx));
+                OpResult::Inserted { replaced: existed }
+            }
+            Op::Lookup { key } => OpResult::Found { value: self.records.get(&key).cloned() },
+            Op::Delete { key } => {
+                let existed = self.records.contains_key(&key);
+                if existed {
+                    out.extend(self.remove(key, ctx));
+                    out.extend(self.maybe_report_underflow(ctx));
+                }
+                OpResult::Deleted { existed }
+            }
+        };
+        out.push((
+            SiteId(client),
+            Wire::Response {
+                req_id,
+                result,
+                served_by: self.addr,
+                bucket_level: self.level,
+                hops,
+            },
+        ));
+        out
+    }
+
+    /// Inserts/overwrites a record and emits parity deltas.
+    fn store(&mut self, key: u64, value: Vec<u8>, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        let old = self.records.insert(key, value.clone());
+        let Some(cfg) = &ctx.parity else { return Vec::new() };
+        let rank = match self.key_rank.get(&key) {
+            Some(&r) => r,
+            None => {
+                let r = self.free_ranks.pop().unwrap_or_else(|| {
+                    self.ranks.push(None);
+                    (self.ranks.len() - 1) as u32
+                });
+                self.key_rank.insert(key, r);
+                self.ranks[r as usize] = Some(key);
+                r
+            }
+        };
+        let delta = slot_delta(old.as_deref(), Some(&value), cfg.slot_size);
+        self.parity_update(rank, Some(key), delta, cfg, ctx)
+    }
+
+    /// Deletes a record and emits parity deltas.
+    fn remove(&mut self, key: u64, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        let old = self.records.remove(&key);
+        let Some(cfg) = &ctx.parity else { return Vec::new() };
+        let Some(rank) = self.key_rank.remove(&key) else { return Vec::new() };
+        self.ranks[rank as usize] = None;
+        self.free_ranks.push(rank);
+        let delta = slot_delta(old.as_deref(), None, cfg.slot_size);
+        self.parity_update(rank, None, delta, cfg, ctx)
+    }
+
+    fn parity_update(
+        &self,
+        rank: u32,
+        key: Option<u64>,
+        delta: Vec<u8>,
+        cfg: &ParityConfig,
+        ctx: &BucketCtx,
+    ) -> Vec<(SiteId, Wire)> {
+        if delta.iter().all(|&b| b == 0) {
+            return Vec::new();
+        }
+        let group = self.addr / cfg.group_size as u64;
+        let member = (self.addr % cfg.group_size as u64) as u32;
+        ctx.directory
+            .parity_sites(group)
+            .into_iter()
+            .map(|site| {
+                (
+                    site,
+                    Wire::ParityUpdate { group, member, rank, key, delta: delta.clone() },
+                )
+            })
+            .collect()
+    }
+
+    /// Restores reconstructed state verbatim (recovery): same ranks, no
+    /// parity emissions.
+    fn adopt(&mut self, level: u8, slots: Vec<Option<(u64, Vec<u8>)>>) {
+        self.level = level;
+        self.records.clear();
+        self.ranks.clear();
+        self.key_rank.clear();
+        self.free_ranks.clear();
+        for (rank, entry) in slots.into_iter().enumerate() {
+            match entry {
+                Some((key, value)) => {
+                    self.records.insert(key, value);
+                    self.ranks.push(Some(key));
+                    self.key_rank.insert(key, rank as u32);
+                }
+                None => {
+                    self.ranks.push(None);
+                    self.free_ranks.push(rank as u32);
+                }
+            }
+        }
+    }
+
+    fn maybe_report_overflow(&mut self, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        if self.records.len() > self.capacity && !self.overflow_reported {
+            self.overflow_reported = true;
+            self.underflow_reported = false;
+            vec![(
+                ctx.coordinator,
+                Wire::Overflow { addr: self.addr, level: self.level, size: self.records.len() },
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn maybe_report_underflow(&mut self, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        if self.records.len() < self.underflow_threshold() && !self.underflow_reported {
+            self.underflow_reported = true;
+            self.overflow_reported = false;
+            vec![(
+                ctx.coordinator,
+                Wire::Underflow { addr: self.addr, size: self.records.len() },
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Dissolves this bucket into its split parent (the reverse of a
+    /// split): ship every record over, then report completion. The
+    /// coordinator retires this site afterwards.
+    fn merge_into(
+        &mut self,
+        into_addr: u64,
+        into_site: SiteId,
+        ctx: &BucketCtx,
+    ) -> Vec<(SiteId, Wire)> {
+        let keys: Vec<u64> = self.records.keys().copied().collect();
+        let mut out = Vec::new();
+        let mut batch = Vec::with_capacity(keys.len());
+        for key in keys {
+            let value = self.records.get(&key).cloned().expect("key just listed");
+            // remove() emits the parity deltas for the departing records
+            out.extend(self.remove(key, ctx));
+            batch.push((key, value));
+        }
+        out.push((
+            into_site,
+            Wire::TransferBatch {
+                level: self.level - 1,
+                addr: into_addr,
+                records: batch,
+            },
+        ));
+        out.push((ctx.coordinator, Wire::MergeDone { addr: self.addr }));
+        out
+    }
+
+    /// Executes a split: raise the level, move rehashing records to the new
+    /// bucket, tell the coordinator.
+    fn split(&mut self, new_addr: u64, new_site: SiteId, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        self.level += 1;
+        self.overflow_reported = false;
+        let moving: Vec<u64> = self
+            .records
+            .keys()
+            .copied()
+            .filter(|&k| h(k, self.level) == new_addr)
+            .collect();
+        let mut out = Vec::new();
+        let mut batch = Vec::with_capacity(moving.len());
+        for key in moving {
+            // remove() also emits the parity deltas for the departing records
+            let value = self.records.get(&key).cloned().expect("key just listed");
+            out.extend(self.remove(key, ctx));
+            batch.push((key, value));
+        }
+        out.push((
+            new_site,
+            Wire::TransferBatch { level: self.level, addr: new_addr, records: batch },
+        ));
+        out.push((ctx.coordinator, Wire::SplitDone { addr: self.addr }));
+        out
+    }
+
+    fn scan(&self, query: &[u8], keys_only: bool, ctx: &BucketCtx) -> Vec<ScanMatch> {
+        self.records
+            .iter()
+            .filter(|(&k, v)| ctx.filter.matches(k, v, query))
+            .map(|(&key, v)| ScanMatch {
+                key,
+                value: if keys_only { None } else { Some(v.clone()) },
+            })
+            .collect()
+    }
+
+    /// The rank-indexed slot table for recovery reads.
+    fn slot_table(&self, ctx: &BucketCtx) -> Vec<Option<(u64, Vec<u8>)>> {
+        let Some(cfg) = &ctx.parity else { return Vec::new() };
+        self.ranks
+            .iter()
+            .map(|maybe_key| {
+                maybe_key.map(|k| {
+                    let v = self.records.get(&k).expect("rank table consistent");
+                    (k, slot_of(v, cfg.slot_size))
+                })
+            })
+            .collect()
+    }
+}
+
+/// The bucket thread loop: decode, dispatch, send, until [`Wire::Shutdown`].
+pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: BucketCtx) {
+    while let Ok(env) = endpoint.recv() {
+        let Some(msg) = Wire::decode(&env.payload) else { continue };
+        if matches!(msg, Wire::Shutdown) {
+            break;
+        }
+        for (to, out) in state.handle(env.from, msg, &ctx) {
+            // A send can fail if the peer already shut down; that is fine
+            // during teardown.
+            let _ = endpoint.send(to, out.encode());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::SubstringFilter;
+    use sdds_net::{NetConfig, Network};
+
+    fn ctx(net: &Network) -> (BucketCtx, SiteId) {
+        let directory = Arc::new(Directory::new());
+        let coord = net.register();
+        let coord_id = coord.id();
+        std::mem::forget(coord); // keep channel alive for the test
+        (
+            BucketCtx {
+                directory,
+                coordinator: coord_id,
+                filter: Arc::new(SubstringFilter),
+                parity: None,
+            },
+            coord_id,
+        )
+    }
+
+    #[test]
+    fn serves_insert_lookup_delete_locally() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, _) = ctx(&net);
+        let mut b = BucketState::new(0, 0, 100);
+        let out = b.handle(
+            SiteId(9),
+            Wire::Request {
+                req_id: 1,
+                client: 9,
+                hops: 0,
+                op: Op::Insert { key: 5, value: vec![1] },
+            },
+            &ctx,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0].1,
+            Wire::Response { result: OpResult::Inserted { replaced: false }, .. }
+        ));
+        let out = b.handle(
+            SiteId(9),
+            Wire::Request { req_id: 2, client: 9, hops: 0, op: Op::Lookup { key: 5 } },
+            &ctx,
+        );
+        assert!(matches!(
+            &out[0].1,
+            Wire::Response { result: OpResult::Found { value: Some(v) }, .. } if v == &vec![1]
+        ));
+        let out = b.handle(
+            SiteId(9),
+            Wire::Request { req_id: 3, client: 9, hops: 0, op: Op::Delete { key: 5 } },
+            &ctx,
+        );
+        assert!(out.iter().any(|(_, m)| matches!(
+            m,
+            Wire::Response { result: OpResult::Deleted { existed: true }, .. }
+        )));
+        // the bucket is now far below the shrink threshold and says so
+        assert!(out.iter().any(|(_, m)| matches!(m, Wire::Underflow { .. })));
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn forwards_misaddressed_requests() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, _) = ctx(&net);
+        ctx.directory.set_bucket(0, SiteId(10));
+        ctx.directory.set_bucket(1, SiteId(11));
+        // bucket 0 at level 1: key 3 hashes to 1 → forward
+        let mut b = BucketState::new(0, 1, 100);
+        let out = b.handle(
+            SiteId(9),
+            Wire::Request { req_id: 1, client: 9, hops: 0, op: Op::Lookup { key: 3 } },
+            &ctx,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(11));
+        assert!(matches!(out[0].1, Wire::Request { hops: 1, .. }));
+    }
+
+    #[test]
+    fn missing_target_descends_to_split_ancestor() {
+        // Regression: during a merge the victim is retired from the
+        // directory before its records land at the parent. A request whose
+        // target is the retired bucket must be forwarded to the split
+        // ancestor (where the records are heading), never stored locally
+        // at a wrong bucket where it would become unreachable.
+        let net = Network::new(NetConfig::default());
+        let (ctx, _) = ctx(&net);
+        ctx.directory.set_bucket(0, SiteId(10));
+        ctx.directory.set_bucket(1, SiteId(11));
+        // bucket 3 (the merge victim) is retired: no directory entry
+        // bucket 0 at level 2: key 3 targets bucket 3
+        let mut b = BucketState::new(0, 2, 100);
+        let out = b.handle(
+            SiteId(9),
+            Wire::Request {
+                req_id: 1,
+                client: 9,
+                hops: 0,
+                op: Op::Insert { key: 3, value: vec![1] },
+            },
+            &ctx,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(11), "descend to h(3, level-1) = bucket 1");
+        assert!(matches!(out[0].1, Wire::Request { hops: 1, .. }));
+        assert_eq!(b.len(), 0, "nothing stored at the wrong bucket");
+    }
+
+    #[test]
+    fn overflow_reported_once() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, coord) = ctx(&net);
+        let mut b = BucketState::new(0, 0, 2);
+        let mut overflow_msgs = 0;
+        for key in 0..5u64 {
+            let out = b.handle(
+                SiteId(9),
+                Wire::Request {
+                    req_id: key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Insert { key, value: vec![] },
+                },
+                &ctx,
+            );
+            overflow_msgs += out
+                .iter()
+                .filter(|(to, m)| *to == coord && matches!(m, Wire::Overflow { .. }))
+                .count();
+        }
+        assert_eq!(overflow_msgs, 1, "overflow must be reported exactly once");
+    }
+
+    #[test]
+    fn split_moves_rehashing_records() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, coord) = ctx(&net);
+        let mut b = BucketState::new(0, 0, 100);
+        for key in 0..10u64 {
+            b.handle(
+                SiteId(9),
+                Wire::Request {
+                    req_id: key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Insert { key, value: vec![key as u8] },
+                },
+                &ctx,
+            );
+        }
+        let out = b.handle(
+            coord,
+            Wire::SplitCmd { addr: 0, new_addr: 1, new_site: 77 },
+            &ctx,
+        );
+        // transfer carries the odd keys (h_1(k) == 1)
+        let transfer = out
+            .iter()
+            .find_map(|(to, m)| match m {
+                Wire::TransferBatch { records, level, addr } if *to == SiteId(77) => {
+                    Some((records.clone(), *level, *addr))
+                }
+                _ => None,
+            })
+            .expect("transfer sent");
+        assert_eq!(transfer.1, 1);
+        assert_eq!(transfer.2, 1);
+        let moved: Vec<u64> = transfer.0.iter().map(|(k, _)| *k).collect();
+        assert_eq!(moved, vec![1, 3, 5, 7, 9]);
+        assert_eq!(b.len(), 5);
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == coord && matches!(m, Wire::SplitDone { addr: 0 })));
+    }
+
+    #[test]
+    fn merge_ships_everything_and_reports() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, coord) = ctx(&net);
+        let mut b = BucketState::new(2, 2, 100);
+        for key in [2u64, 6, 10] {
+            b.handle(
+                SiteId(9),
+                Wire::Request {
+                    req_id: key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Insert { key, value: vec![key as u8] },
+                },
+                &ctx,
+            );
+        }
+        let out = b.handle(
+            coord,
+            Wire::MergeCmd { addr: 2, into_addr: 0, into_site: 50 },
+            &ctx,
+        );
+        let transfer = out
+            .iter()
+            .find_map(|(to, m)| match m {
+                Wire::TransferBatch { records, level, addr } if *to == SiteId(50) => {
+                    Some((records.clone(), *level, *addr))
+                }
+                _ => None,
+            })
+            .expect("transfer sent");
+        // the parent adopts the pre-merge level minus one, at its address
+        assert_eq!(transfer.1, 1);
+        assert_eq!(transfer.2, 0);
+        let keys: Vec<u64> = transfer.0.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 6, 10], "every record ships");
+        assert_eq!(b.len(), 0, "dissolved bucket is empty");
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == coord && matches!(m, Wire::MergeDone { addr: 2 })));
+    }
+
+    #[test]
+    fn adopt_restores_ranks_verbatim_without_parity_noise() {
+        let net = Network::new(NetConfig::default());
+        let directory = Arc::new(Directory::new());
+        let coord = net.register();
+        let parity_site = net.register();
+        directory.set_parity(0, vec![parity_site.id()]);
+        let ctx = BucketCtx {
+            directory,
+            coordinator: coord.id(),
+            filter: Arc::new(SubstringFilter),
+            parity: Some(ParityConfig { group_size: 2, parity_count: 1, slot_size: 32 }),
+        };
+        let mut b = BucketState::new(0, 1, 100);
+        // adopt a reconstructed slot table with a hole at rank 1
+        let out = b.handle(
+            coord.id(),
+            Wire::Adopt {
+                addr: 0,
+                level: 1,
+                slots: vec![Some((4, vec![1])), None, Some((8, vec![2]))],
+            },
+            &ctx,
+        );
+        assert!(out.is_empty(), "adopt must not emit parity updates");
+        assert_eq!(b.len(), 2);
+        // a subsequent insert reuses the free rank 1 (parity rows stay aligned)
+        let out = b.handle(
+            SiteId(9),
+            Wire::Request {
+                req_id: 1,
+                client: 9,
+                hops: 0,
+                op: Op::Insert { key: 12, value: vec![3] },
+            },
+            &ctx,
+        );
+        let update = out
+            .iter()
+            .find_map(|(to, m)| match m {
+                Wire::ParityUpdate { rank, key, .. } if *to == parity_site.id() => {
+                    Some((*rank, *key))
+                }
+                _ => None,
+            })
+            .expect("parity update for the new record");
+        assert_eq!(update, (1, Some(12)), "free rank from the adopted table is reused");
+    }
+
+    #[test]
+    fn dump_reports_full_contents() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, _) = ctx(&net);
+        let mut b = BucketState::new(3, 2, 10);
+        b.handle(
+            SiteId(9),
+            Wire::Request {
+                req_id: 1,
+                client: 9,
+                hops: 0,
+                op: Op::Insert { key: 3, value: vec![7] },
+            },
+            &ctx,
+        );
+        let out = b.handle(SiteId(5), Wire::Dump { req_id: 9, client: 5 }, &ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(5));
+        assert!(matches!(
+            &out[0].1,
+            Wire::DumpState { req_id: 9, addr: 3, level: 2, records }
+                if records == &vec![(3u64, vec![7u8])]
+        ));
+    }
+
+    #[test]
+    fn underflow_reports_once_until_refilled() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, coord) = ctx(&net);
+        let mut b = BucketState::new(0, 0, 64); // threshold 8
+        for key in 0..10u64 {
+            b.handle(
+                SiteId(9),
+                Wire::Request {
+                    req_id: key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Insert { key, value: vec![] },
+                },
+                &ctx,
+            );
+        }
+        let mut underflows = 0;
+        for key in 0..10u64 {
+            let out = b.handle(
+                SiteId(9),
+                Wire::Request { req_id: 100 + key, client: 9, hops: 0, op: Op::Delete { key } },
+                &ctx,
+            );
+            underflows += out
+                .iter()
+                .filter(|(to, m)| *to == coord && matches!(m, Wire::Underflow { .. }))
+                .count();
+        }
+        assert_eq!(underflows, 1, "underflow must be reported exactly once");
+    }
+
+    #[test]
+    fn scan_applies_filter() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, _) = ctx(&net);
+        let mut b = BucketState::new(0, 0, 100);
+        for (key, val) in [(1u64, b"SCHWARZ".to_vec()), (2, b"LITWIN".to_vec())] {
+            b.handle(
+                SiteId(9),
+                Wire::Request { req_id: key, client: 9, hops: 0, op: Op::Insert { key, value: val } },
+                &ctx,
+            );
+        }
+        let out = b.handle(
+            SiteId(9),
+            Wire::ScanReq { req_id: 5, client: 9, query: b"WARZ".to_vec(), keys_only: false },
+            &ctx,
+        );
+        let Wire::ScanResp { matches, .. } = &out[0].1 else { panic!("scan resp") };
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].key, 1);
+        assert_eq!(matches[0].value.as_deref(), Some(b"SCHWARZ".as_slice()));
+    }
+}

@@ -1,0 +1,407 @@
+//! The LH\* client: key operations through a possibly-stale file image.
+
+use crate::cluster::Directory;
+use crate::hash::ClientImage;
+use crate::messages::{Op, OpResult, ScanMatch, Wire};
+use sdds_net::{Endpoint, NetError, SiteId};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced to LH\* applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LhError {
+    /// Underlying network failure.
+    Net(NetError),
+    /// No response arrived in time.
+    Timeout,
+    /// The serving bucket rejected the operation.
+    Rejected(String),
+}
+
+impl fmt::Display for LhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LhError::Net(e) => write!(f, "network error: {e}"),
+            LhError::Timeout => write!(f, "request timed out"),
+            LhError::Rejected(m) => write!(f, "operation rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LhError {}
+
+impl From<NetError> for LhError {
+    fn from(e: NetError) -> LhError {
+        LhError::Net(e)
+    }
+}
+
+/// A client of an LH\* file. Each client owns a network endpoint and its
+/// private [`ClientImage`], updated by Image Adjustment Messages.
+pub struct LhClient {
+    endpoint: Endpoint,
+    directory: Arc<Directory>,
+    coordinator: SiteId,
+    image: Cell<ClientImage>,
+    next_req: Cell<u64>,
+    timeout: Cell<Duration>,
+    /// Total IAMs received — observable measure of image staleness.
+    iams: Cell<u64>,
+    /// Total forwarding hops reported — the paper's ≤2 invariant.
+    hops: Cell<u64>,
+}
+
+impl fmt::Debug for LhClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LhClient")
+            .field("site", &self.endpoint.id())
+            .field("image", &self.image.get())
+            .finish()
+    }
+}
+
+impl LhClient {
+    pub(crate) fn new(
+        endpoint: Endpoint,
+        directory: Arc<Directory>,
+        coordinator: SiteId,
+    ) -> LhClient {
+        LhClient {
+            endpoint,
+            directory,
+            coordinator,
+            image: Cell::new(ClientImage::default()),
+            next_req: Cell::new(1),
+            timeout: Cell::new(Duration::from_secs(10)),
+            iams: Cell::new(0),
+            hops: Cell::new(0),
+        }
+    }
+
+    /// Sets the total per-operation timeout (spread over the retry
+    /// attempts). Useful under fault injection to fail fast.
+    pub fn set_timeout(&self, timeout: Duration) {
+        self.timeout.set(timeout);
+    }
+
+    /// The client's current image of the file.
+    pub fn image(&self) -> ClientImage {
+        self.image.get()
+    }
+
+    /// Image adjustments received so far.
+    pub fn iam_count(&self) -> u64 {
+        self.iams.get()
+    }
+
+    /// Total forwarding hops across all requests so far.
+    pub fn hop_count(&self) -> u64 {
+        self.hops.get()
+    }
+
+    fn fresh_req_id(&self) -> u64 {
+        let id = self.next_req.get();
+        self.next_req.set(id + 1);
+        id
+    }
+
+    /// Inserts or overwrites; returns true if a previous value existed.
+    pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<bool, LhError> {
+        match self.call(Op::Insert { key, value })? {
+            OpResult::Inserted { replaced } => Ok(replaced),
+            OpResult::Error { message } => Err(LhError::Rejected(message)),
+            other => unreachable!("insert answered with {other:?}"),
+        }
+    }
+
+    /// Looks a key up.
+    pub fn lookup(&self, key: u64) -> Result<Option<Vec<u8>>, LhError> {
+        match self.call(Op::Lookup { key })? {
+            OpResult::Found { value } => Ok(value),
+            OpResult::Error { message } => Err(LhError::Rejected(message)),
+            other => unreachable!("lookup answered with {other:?}"),
+        }
+    }
+
+    /// Deletes a key; returns true if it existed.
+    pub fn delete(&self, key: u64) -> Result<bool, LhError> {
+        match self.call(Op::Delete { key })? {
+            OpResult::Deleted { existed } => Ok(existed),
+            OpResult::Error { message } => Err(LhError::Rejected(message)),
+            other => unreachable!("delete answered with {other:?}"),
+        }
+    }
+
+    /// Per-call retransmission attempts: the simulated network may drop
+    /// messages (fault injection), so requests are retried like any
+    /// RPC-over-datagram protocol. Key operations are idempotent, so
+    /// retries are safe even if the original request was served and only
+    /// the response was lost.
+    const ATTEMPTS: u32 = 5;
+
+    fn call(&self, op: Op) -> Result<OpResult, LhError> {
+        let req_id = self.fresh_req_id();
+        let key = op.key();
+        let msg = Wire::Request {
+            req_id,
+            client: self.endpoint.id().0,
+            hops: 0,
+            op,
+        };
+        let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
+        for _attempt in 0..Self::ATTEMPTS {
+            let mut image = self.image.get();
+            let addr = image.address(key);
+            let site = self
+                .directory
+                .bucket_site(addr)
+                .or_else(|| self.directory.bucket_site(0))
+                .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
+            if self.endpoint.send(site, msg.encode()).is_err() {
+                // The addressed bucket was merged away between the
+                // directory read and the send (the file shrank). Bucket 0
+                // always exists and forwards correctly.
+                let fallback = self
+                    .directory
+                    .bucket_site(0)
+                    .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
+                self.endpoint.send(fallback, msg.encode())?;
+            }
+            let deadline = Instant::now() + attempt_timeout;
+            while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
+                let env = match self.endpoint.recv_timeout(remaining) {
+                    Ok(env) => env,
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(e.into()),
+                };
+                let Some(Wire::Response {
+                    req_id: rid,
+                    result,
+                    served_by,
+                    bucket_level,
+                    hops,
+                }) = Wire::decode(&env.payload)
+                else {
+                    continue; // stray message (late scan reply etc.)
+                };
+                if rid != req_id {
+                    continue; // late response to an abandoned request
+                }
+                if hops > 0 {
+                    self.iams.set(self.iams.get() + 1);
+                    self.hops.set(self.hops.get() + hops as u64);
+                    image.adjust(served_by, bucket_level);
+                    self.image.set(image);
+                }
+                return Ok(result);
+            }
+        }
+        Err(LhError::Timeout)
+    }
+
+    /// Pipelined bulk insert: all requests are sent before any response is
+    /// awaited, so a batch costs one round-trip of latency instead of one
+    /// per record (the record store copy and its index records travel
+    /// together). Lost messages are retransmitted per item.
+    pub fn insert_batch(&self, items: Vec<(u64, Vec<u8>)>) -> Result<(), LhError> {
+        let mut pending: HashMap<u64, Wire> = HashMap::with_capacity(items.len());
+        for (key, value) in items {
+            let req_id = self.fresh_req_id();
+            pending.insert(
+                req_id,
+                Wire::Request {
+                    req_id,
+                    client: self.endpoint.id().0,
+                    hops: 0,
+                    op: Op::Insert { key, value },
+                },
+            );
+        }
+        let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
+        for _attempt in 0..Self::ATTEMPTS {
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let image = self.image.get();
+            for msg in pending.values() {
+                let Wire::Request { op, .. } = msg else { unreachable!() };
+                let addr = image.address(op.key());
+                let site = self
+                    .directory
+                    .bucket_site(addr)
+                    .or_else(|| self.directory.bucket_site(0))
+                    .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
+                if self.endpoint.send(site, msg.encode()).is_err() {
+                    if let Some(fallback) = self.directory.bucket_site(0) {
+                        let _ = self.endpoint.send(fallback, msg.encode());
+                    }
+                }
+            }
+            let deadline = Instant::now() + attempt_timeout;
+            while !pending.is_empty() {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now())
+                else {
+                    break;
+                };
+                let env = match self.endpoint.recv_timeout(remaining) {
+                    Ok(env) => env,
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(e.into()),
+                };
+                let Some(Wire::Response {
+                    req_id,
+                    result,
+                    served_by,
+                    bucket_level,
+                    hops,
+                }) = Wire::decode(&env.payload)
+                else {
+                    continue;
+                };
+                if pending.remove(&req_id).is_some() {
+                    if let OpResult::Error { message } = result {
+                        return Err(LhError::Rejected(message));
+                    }
+                    if hops > 0 {
+                        self.iams.set(self.iams.get() + 1);
+                        self.hops.set(self.hops.get() + hops as u64);
+                        let mut img = self.image.get();
+                        img.adjust(served_by, bucket_level);
+                        self.image.set(img);
+                    }
+                }
+            }
+        }
+        if pending.is_empty() {
+            Ok(())
+        } else {
+            Err(LhError::Timeout)
+        }
+    }
+
+    /// Refreshes the image from the coordinator and returns the exact file
+    /// extent (used by scans; one round trip, retried on loss).
+    pub fn refresh_image(&self) -> Result<u64, LhError> {
+        self.refresh_image_detail().map(|(extent, _)| extent)
+    }
+
+    /// [`refresh_image`](Self::refresh_image) plus the coordinator's busy
+    /// flag (splits/merges running or queued).
+    fn refresh_image_detail(&self) -> Result<(u64, bool), LhError> {
+        let req_id = self.fresh_req_id();
+        let msg = Wire::ExtentReq { req_id, client: self.endpoint.id().0 };
+        let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
+        for _attempt in 0..Self::ATTEMPTS {
+            self.endpoint.send(self.coordinator, msg.encode())?;
+            let deadline = Instant::now() + attempt_timeout;
+            while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
+                let env = match self.endpoint.recv_timeout(remaining) {
+                    Ok(env) => env,
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(e.into()),
+                };
+                match Wire::decode(&env.payload) {
+                    Some(Wire::ExtentResp { req_id: rid, level, split, busy })
+                        if rid == req_id =>
+                    {
+                        self.image.set(ClientImage { level, split });
+                        return Ok((ClientImage { level, split }.extent(), busy));
+                    }
+                    _ => continue,
+                }
+            }
+        }
+        Err(LhError::Timeout)
+    }
+
+    /// Waits until no splits or merges are running or queued, then returns
+    /// the exact extent. Scans call this so a record mid-transfer between
+    /// buckets cannot be missed; with writers still active the wait can
+    /// time out (scans concurrent with sustained inserts see the usual
+    /// SDDS weak-consistency caveat).
+    fn refresh_image_quiescent(&self) -> Result<u64, LhError> {
+        let deadline = Instant::now() + self.timeout.get();
+        loop {
+            let (extent, busy) = self.refresh_image_detail()?;
+            if !busy {
+                return Ok(extent);
+            }
+            if Instant::now() >= deadline {
+                return Ok(extent); // best effort under sustained writes
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Parallel scan: sends the opaque `query` to every bucket, which
+    /// evaluates its installed [`ScanFilter`](crate::ScanFilter); gathers
+    /// all answers. This is the paper's "search records … by content in
+    /// parallel at all storage sites".
+    pub fn scan(&self, query: &[u8], keys_only: bool) -> Result<Vec<ScanMatch>, LhError> {
+        let extent = self.refresh_image_quiescent()?;
+        let req_id = self.fresh_req_id();
+        let msg = Wire::ScanReq {
+            req_id,
+            client: self.endpoint.id().0,
+            query: query.to_vec(),
+            keys_only,
+        };
+        let payload = msg.encode();
+        // buckets still owing an answer; lost requests/answers are retried
+        let mut outstanding: Vec<u64> = (0..extent).collect();
+        let mut matches: HashMap<u64, ScanMatch> = HashMap::new();
+        let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
+        for _attempt in 0..Self::ATTEMPTS {
+            let mut awaited = std::collections::HashSet::new();
+            for &addr in &outstanding {
+                if let Some(site) = self.directory.bucket_site(addr) {
+                    // a dead bucket (awaiting recovery) is skipped
+                    if self.endpoint.send(site, payload.clone()).is_ok() {
+                        awaited.insert(addr);
+                    }
+                }
+            }
+            if awaited.is_empty() {
+                return Ok(finish(matches));
+            }
+            let deadline = Instant::now() + attempt_timeout;
+            while !awaited.is_empty() {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now())
+                else {
+                    break;
+                };
+                let env = match self.endpoint.recv_timeout(remaining) {
+                    Ok(env) => env,
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(e.into()),
+                };
+                match Wire::decode(&env.payload) {
+                    Some(Wire::ScanResp { req_id: rid, bucket, matches: m })
+                        if rid == req_id =>
+                    {
+                        awaited.remove(&bucket);
+                        for sm in m {
+                            matches.insert(sm.key, sm);
+                        }
+                    }
+                    _ => continue,
+                }
+            }
+            outstanding = awaited.into_iter().collect();
+            if outstanding.is_empty() {
+                return Ok(finish(matches));
+            }
+        }
+        Err(LhError::Timeout)
+    }
+}
+
+/// Sorted scan output.
+fn finish(matches: HashMap<u64, ScanMatch>) -> Vec<ScanMatch> {
+    let mut out: Vec<ScanMatch> = matches.into_values().collect();
+    out.sort_by_key(|m| m.key);
+    out
+}

@@ -1,0 +1,517 @@
+//! The cluster facade: spawns sites, wires the directory, manages
+//! lifecycle, and exposes LH\*<sub>RS</sub> recovery.
+
+use crate::bucket::{run_bucket, BucketCtx, BucketState};
+use crate::client::{LhClient, LhError};
+use crate::coordinator::{run_coordinator, BucketSpawner};
+use crate::filter::{ScanFilter, SubstringFilter};
+use crate::hash::ClientImage;
+use crate::messages::{ParityRow, Wire};
+use crate::parity::{reconstruct_member, run_parity, ParityState};
+use parking_lot::{Mutex, RwLock};
+use sdds_net::{NetConfig, NetError, Network, SiteId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Maps bucket addresses and parity groups to network sites. The LH\*
+/// papers assume a computable address→node mapping known to all parties;
+/// the directory models that static naming service. It is *not* consulted
+/// for file state — clients still learn levels and split pointers only via
+/// IAMs, which is the protocol under test.
+pub struct Directory {
+    buckets: RwLock<Vec<Option<SiteId>>>,
+    parity: RwLock<HashMap<u64, Vec<SiteId>>>,
+}
+
+impl Directory {
+    pub(crate) fn new() -> Directory {
+        Directory { buckets: RwLock::new(Vec::new()), parity: RwLock::new(HashMap::new()) }
+    }
+
+    pub(crate) fn set_bucket(&self, addr: u64, site: SiteId) {
+        let mut v = self.buckets.write();
+        if v.len() <= addr as usize {
+            v.resize(addr as usize + 1, None);
+        }
+        v[addr as usize] = Some(site);
+    }
+
+    pub(crate) fn clear_bucket(&self, addr: u64) {
+        if let Some(slot) = self.buckets.write().get_mut(addr as usize) {
+            *slot = None;
+        }
+    }
+
+    pub(crate) fn bucket_site(&self, addr: u64) -> Option<SiteId> {
+        self.buckets.read().get(addr as usize).copied().flatten()
+    }
+
+    /// Number of bucket addresses ever materialised.
+    pub(crate) fn num_buckets(&self) -> usize {
+        self.buckets.read().len()
+    }
+
+    pub(crate) fn set_parity(&self, group: u64, sites: Vec<SiteId>) {
+        self.parity.write().insert(group, sites);
+    }
+
+    pub(crate) fn parity_sites(&self, group: u64) -> Vec<SiteId> {
+        self.parity.read().get(&group).cloned().unwrap_or_default()
+    }
+}
+
+/// A consistent snapshot of an LH\* file: file state plus all bucket
+/// contents. Serializable, so files survive process restarts
+/// (`serde_json::to_writer` / `from_reader`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FileSnapshot {
+    /// File level at snapshot time.
+    pub level: u8,
+    /// Split pointer at snapshot time.
+    pub split: u64,
+    /// Per-bucket contents, address-ordered.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl FileSnapshot {
+    /// Total records across all buckets.
+    pub fn record_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.records.len()).sum()
+    }
+}
+
+/// One bucket's part of a [`FileSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BucketSnapshot {
+    /// Bucket address.
+    pub addr: u64,
+    /// Bucket level at snapshot time.
+    pub level: u8,
+    /// All records of the bucket.
+    pub records: Vec<(u64, Vec<u8>)>,
+}
+
+/// LH\*<sub>RS</sub> parity parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityConfig {
+    /// Data buckets per parity group (`k`).
+    pub group_size: usize,
+    /// Parity sites per group (`m`) — failures survivable per group.
+    pub parity_count: usize,
+    /// Fixed record slot size in bytes (values may be at most
+    /// `slot_size - 2` bytes).
+    pub slot_size: usize,
+}
+
+impl Default for ParityConfig {
+    fn default() -> ParityConfig {
+        ParityConfig { group_size: 4, parity_count: 1, slot_size: 256 }
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Records per bucket before an overflow is reported (LH\* splits keep
+    /// the load near this bound).
+    pub bucket_capacity: usize,
+    /// Enables LH\*<sub>RS</sub> record-group parity.
+    pub parity: Option<ParityConfig>,
+    /// Scan filter installed at every bucket.
+    pub filter: Arc<dyn ScanFilter>,
+    /// Latency model for the simulated network.
+    pub net: NetConfig,
+}
+
+impl fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("bucket_capacity", &self.bucket_capacity)
+            .field("parity", &self.parity)
+            .finish()
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            bucket_capacity: 64,
+            parity: None,
+            filter: Arc::new(SubstringFilter),
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// A running LH\* file: coordinator + bucket sites (+ parity sites), all on
+/// the simulated multicomputer.
+pub struct LhCluster {
+    network: Network,
+    directory: Arc<Directory>,
+    coordinator: SiteId,
+    config: ClusterConfig,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Sites that accept [`Wire::Shutdown`].
+    shutdown_sites: Arc<Mutex<Vec<SiteId>>>,
+    spawner: Mutex<BucketSpawner>,
+}
+
+impl LhCluster {
+    /// Starts a cluster with one bucket and its coordinator.
+    pub fn start(config: ClusterConfig) -> LhCluster {
+        let network = Network::new(config.net.clone());
+        let directory = Arc::new(Directory::new());
+        let handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let shutdown_sites: Arc<Mutex<Vec<SiteId>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let coordinator_ep = network.register();
+        let coordinator = coordinator_ep.id();
+        shutdown_sites.lock().push(coordinator);
+
+        let mut spawner = make_spawner(
+            &network,
+            &directory,
+            &config,
+            coordinator,
+            &handles,
+            &shutdown_sites,
+        );
+        // bucket 0 — the primordial file
+        spawner(0, 0);
+
+        // the coordinator gets its own spawner instance
+        let coord_spawner = make_spawner(
+            &network,
+            &directory,
+            &config,
+            coordinator,
+            &handles,
+            &shutdown_sites,
+        );
+        let dir = directory.clone();
+        let lookup = Box::new(move |addr: u64| dir.bucket_site(addr));
+        let dir = directory.clone();
+        let retirer = Box::new(move |addr: u64| dir.clear_bucket(addr));
+        let h = std::thread::spawn(move || {
+            run_coordinator(coordinator_ep, coord_spawner, retirer, lookup)
+        });
+        handles.lock().push(h);
+
+        LhCluster {
+            network,
+            directory,
+            coordinator,
+            config,
+            handles,
+            shutdown_sites,
+            spawner: Mutex::new(spawner),
+        }
+    }
+
+    /// Registers a new client of the file.
+    pub fn client(&self) -> LhClient {
+        LhClient::new(self.network.register(), self.directory.clone(), self.coordinator)
+    }
+
+    /// The underlying network (for traffic statistics).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Number of bucket addresses materialised so far.
+    pub fn num_buckets(&self) -> usize {
+        self.directory.num_buckets()
+    }
+
+    /// Kills a bucket site (crash simulation for LH\*<sub>RS</sub> tests).
+    /// The address is kept reserved; [`recover_bucket`](Self::recover_bucket)
+    /// restores it.
+    pub fn kill_bucket(&self, addr: u64) {
+        if let Some(site) = self.directory.bucket_site(addr) {
+            let control = self.network.register();
+            let _ = control.send(site, Wire::Shutdown.encode());
+            self.directory.clear_bucket(addr);
+        }
+    }
+
+    /// Recovers a killed bucket from its group's survivors and parity
+    /// sites, spawning a fresh site that adopts the reconstructed state.
+    ///
+    /// Requires parity to be enabled and mutations to the group to be
+    /// quiescent during the recovery (as in LH\*RS, where the coordinator
+    /// locks the group).
+    pub fn recover_bucket(&self, addr: u64) -> Result<(), LhError> {
+        let cfg = self
+            .config
+            .parity
+            .ok_or_else(|| LhError::Rejected("parity not enabled".into()))?;
+        let k = cfg.group_size;
+        let m = cfg.parity_count;
+        let group = addr / k as u64;
+        let failed = (addr % k as u64) as usize;
+        let control = self.network.register();
+        let timeout = Duration::from_secs(10);
+        // the true file extent distinguishes merged-away members (empty by
+        // construction: the merge shipped their records out and emitted
+        // the parity removals) from crashed ones
+        let extent = {
+            let probe = self.client();
+            probe.refresh_image()?;
+            probe.image()
+        };
+        let file_extent = extent.extent();
+
+        // 1. survivors' slot tables
+        #[allow(clippy::type_complexity)]
+        let mut members: Vec<Option<Vec<Option<(u64, Vec<u8>)>>>> = vec![None; k];
+        let mut awaiting: HashMap<u64, usize> = HashMap::new(); // req_id -> member
+        let mut req_id = 1u64;
+        #[allow(clippy::needless_range_loop)] // `member` is also arithmetic input
+        for member in 0..k {
+            let baddr = group * k as u64 + member as u64;
+            if member == failed {
+                continue;
+            }
+            match self.directory.bucket_site(baddr) {
+                Some(site) => {
+                    let msg = Wire::SlotsRead { req_id, client: control.id().0 };
+                    control.send(site, msg.encode())?;
+                    awaiting.insert(req_id, member);
+                    req_id += 1;
+                }
+                // never created, or retired by a merge: holds no records
+                None if baddr as usize >= self.directory.num_buckets()
+                    || baddr >= file_extent =>
+                {
+                    members[member] = Some(Vec::new());
+                }
+                None => return Err(LhError::Rejected(format!(
+                    "member bucket {baddr} is also down; need {m} or fewer failures"
+                ))),
+            }
+        }
+        // 2. parity rows
+        let mut parities: Vec<Option<Vec<ParityRow>>> = vec![None; m];
+        let psites = self.directory.parity_sites(group);
+        for site in &psites {
+            let msg = Wire::ParityRead { req_id, client: control.id().0, group };
+            control.send(*site, msg.encode())?;
+            awaiting.insert(req_id, usize::MAX); // parity marker
+            req_id += 1;
+        }
+        // 3. gather
+        let deadline = Instant::now() + timeout;
+        let mut outstanding = awaiting.len();
+        while outstanding > 0 {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(LhError::Timeout)?;
+            let env = match control.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => return Err(LhError::Timeout),
+                Err(e) => return Err(e.into()),
+            };
+            match Wire::decode(&env.payload) {
+                Some(Wire::SlotsState { req_id: rid, slots, .. }) => {
+                    if let Some(&member) = awaiting.get(&rid) {
+                        members[member] = Some(slots);
+                        outstanding -= 1;
+                    }
+                }
+                Some(Wire::ParityState { req_id: rid, parity_index, rows }) => {
+                    if awaiting.contains_key(&rid) {
+                        parities[parity_index as usize] = Some(rows);
+                        outstanding -= 1;
+                    }
+                }
+                _ => continue,
+            }
+        }
+        // 4. reconstruct
+        let slots = reconstruct_member(k, m, cfg.slot_size, failed, &members, &parities)
+            .map_err(LhError::Rejected)?;
+        // 5. spawn a fresh site and adopt at the level the true file
+        // state implies.
+        let level = bucket_level(addr, extent);
+        let site = (self.spawner.lock())(addr, level);
+        control.send(site, Wire::Adopt { addr, level, slots }.encode())?;
+        Ok(())
+    }
+
+    /// Takes a consistent snapshot of the file: the coordinator's state
+    /// plus every bucket's contents. Mutations must be quiescent (the
+    /// classic external-backup contract).
+    pub fn snapshot(&self) -> Result<FileSnapshot, LhError> {
+        let probe = self.client();
+        probe.refresh_image()?;
+        let image = probe.image();
+        let control = self.network.register();
+        let mut awaiting = std::collections::HashMap::new();
+        for (req_id, addr) in (0..image.extent()).enumerate() {
+            let Some(site) = self.directory.bucket_site(addr) else {
+                return Err(LhError::Rejected(format!(
+                    "bucket {addr} is down; recover it before snapshotting"
+                )));
+            };
+            control.send(
+                site,
+                Wire::Dump { req_id: req_id as u64, client: control.id().0 }.encode(),
+            )?;
+            awaiting.insert(req_id as u64, addr);
+        }
+        let mut buckets: Vec<BucketSnapshot> = Vec::with_capacity(awaiting.len());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !awaiting.is_empty() {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(LhError::Timeout)?;
+            let env = match control.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => return Err(LhError::Timeout),
+                Err(e) => return Err(e.into()),
+            };
+            if let Some(Wire::DumpState { req_id, addr, level, records }) =
+                Wire::decode(&env.payload)
+            {
+                if awaiting.remove(&req_id).is_some() {
+                    buckets.push(BucketSnapshot { addr, level, records });
+                }
+            }
+        }
+        buckets.sort_by_key(|b| b.addr);
+        Ok(FileSnapshot { level: image.level, split: image.split, buckets })
+    }
+
+    /// Starts a fresh cluster and repopulates it from a snapshot: the
+    /// coordinator adopts the file state, the bucket sites are spawned at
+    /// their recorded levels, and contents are replayed (rebuilding
+    /// LH\*<sub>RS</sub> parity when the new config enables it).
+    pub fn restore(config: ClusterConfig, snapshot: &FileSnapshot) -> Result<LhCluster, LhError> {
+        if let Some(p) = config.parity {
+            // the replay path bypasses the insert-time size check, so an
+            // oversized value would panic the bucket's slot encoder
+            for b in &snapshot.buckets {
+                if let Some((key, v)) = b.records.iter().find(|(_, v)| v.len() + 2 > p.slot_size)
+                {
+                    return Err(LhError::Rejected(format!(
+                        "snapshot record {key} ({} bytes) exceeds the parity slot                          capacity {}; restore with a larger slot_size or without parity",
+                        v.len(),
+                        p.slot_size - 2
+                    )));
+                }
+            }
+        }
+        let cluster = LhCluster::start(config);
+        let control = cluster.network.register();
+        control.send(
+            cluster.coordinator,
+            Wire::AdoptFileState { level: snapshot.level, split: snapshot.split }.encode(),
+        )?;
+        {
+            let mut spawner = cluster.spawner.lock();
+            for b in &snapshot.buckets {
+                if b.addr > 0 {
+                    spawner(b.addr, b.level);
+                }
+            }
+        }
+        for b in &snapshot.buckets {
+            let site = cluster
+                .directory
+                .bucket_site(b.addr)
+                .expect("just spawned");
+            control.send(
+                site,
+                Wire::TransferBatch {
+                    level: b.level,
+                    addr: b.addr,
+                    records: b.records.clone(),
+                }
+                .encode(),
+            )?;
+        }
+        Ok(cluster)
+    }
+
+    /// Stops every site thread and joins them.
+    pub fn shutdown(self) {
+        let control = self.network.register();
+        for site in self.shutdown_sites.lock().drain(..) {
+            let _ = control.send(site, Wire::Shutdown.encode());
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.handles.lock();
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Level of bucket `addr` in a file whose true state is `image`.
+fn bucket_level(addr: u64, image: ClientImage) -> u8 {
+    if addr < image.split || addr >= (1u64 << image.level) {
+        image.level + 1
+    } else {
+        image.level
+    }
+}
+
+/// Builds the closure that materialises bucket sites (and, lazily, their
+/// group's parity sites).
+fn make_spawner(
+    network: &Network,
+    directory: &Arc<Directory>,
+    config: &ClusterConfig,
+    coordinator: SiteId,
+    handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown_sites: &Arc<Mutex<Vec<SiteId>>>,
+) -> BucketSpawner {
+    let network = network.clone();
+    let directory = directory.clone();
+    let capacity = config.bucket_capacity;
+    let parity = config.parity;
+    let filter = config.filter.clone();
+    let handles = handles.clone();
+    let shutdown_sites = shutdown_sites.clone();
+    Box::new(move |addr: u64, level: u8| {
+        // lazily create the group's parity sites
+        if let Some(cfg) = parity {
+            let group = addr / cfg.group_size as u64;
+            if directory.parity_sites(group).is_empty() {
+                let mut sites = Vec::with_capacity(cfg.parity_count);
+                for p in 0..cfg.parity_count {
+                    let ep = network.register();
+                    sites.push(ep.id());
+                    shutdown_sites.lock().push(ep.id());
+                    let state = ParityState::new(
+                        group,
+                        p as u32,
+                        cfg.group_size,
+                        cfg.parity_count,
+                        cfg.slot_size,
+                    );
+                    handles.lock().push(std::thread::spawn(move || run_parity(ep, state)));
+                }
+                directory.set_parity(group, sites);
+            }
+        }
+        let ep = network.register();
+        let site = ep.id();
+        directory.set_bucket(addr, site);
+        shutdown_sites.lock().push(site);
+        let ctx = BucketCtx {
+            directory: directory.clone(),
+            coordinator,
+            filter: filter.clone(),
+            parity,
+        };
+        let state = BucketState::new(addr, level, capacity);
+        handles.lock().push(std::thread::spawn(move || run_bucket(ep, state, ctx)));
+        site
+    })
+}

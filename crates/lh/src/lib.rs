@@ -1,0 +1,49 @@
+//! LH\* — the Scalable Distributed Data Structure of Litwin, Neimat and
+//! Schneider \[LNS96\] — with the LH\*<sub>RS</sub> high-availability
+//! extension \[LMS05\], running over the simulated multicomputer of
+//! `sdds-net`.
+//!
+//! This is the storage substrate the ICDE'06 paper assumes: "a standard
+//! SDDS such as LH\* or its high-availability version LH\*RS is used to
+//! store index records and the records themselves" (§5). The
+//! implementation is a real distributed protocol: every bucket is a site
+//! thread exchanging serialized messages; clients keep a possibly-stale
+//! *file image* and learn through Image Adjustment Messages; addressing
+//! errors cost at most two forwarding hops (the LH\* invariant).
+//!
+//! Main entry points:
+//!
+//! * [`LhCluster`] — spawns a coordinator and bucket sites and hands out
+//!   clients.
+//! * [`LhClient`] — key operations (`insert`, `lookup`, `delete`) and
+//!   parallel scans with a server-side [`ScanFilter`].
+//! * [`ParityConfig`] — enables LH\*<sub>RS</sub> record-group parity so
+//!   bucket failures are recoverable (Reed–Solomon over `sdds-gf`).
+//!
+//! ```
+//! use sdds_lh::{ClusterConfig, LhCluster};
+//!
+//! let cluster = LhCluster::start(ClusterConfig::default());
+//! let client = cluster.client();
+//! client.insert(42, b"hello".to_vec()).unwrap();
+//! assert_eq!(client.lookup(42).unwrap(), Some(b"hello".to_vec()));
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bucket;
+mod client;
+mod cluster;
+mod coordinator;
+mod filter;
+mod hash;
+mod messages;
+mod parity;
+
+pub use client::{LhClient, LhError};
+pub use cluster::{BucketSnapshot, ClusterConfig, FileSnapshot, LhCluster, ParityConfig};
+pub use filter::{ScanFilter, SubstringFilter};
+pub use hash::{address, ClientImage};
+pub use messages::ScanMatch;

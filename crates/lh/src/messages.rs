@@ -1,0 +1,393 @@
+//! The LH\* wire protocol.
+//!
+//! Every message is a serde-serialized [`Wire`] variant. JSON is used as
+//! the wire format: the reproduction's benchmarks measure message counts
+//! and protocol shape (the paper's constant-hop claims), not marshalling
+//! micro-costs, and JSON keeps captured traffic debuggable.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A key operation requested by a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Insert or overwrite `key`.
+    Insert {
+        /// Record key.
+        key: u64,
+        /// Record payload.
+        value: Vec<u8>,
+    },
+    /// Look up `key`.
+    Lookup {
+        /// Record key.
+        key: u64,
+    },
+    /// Delete `key`.
+    Delete {
+        /// Record key.
+        key: u64,
+    },
+}
+
+impl Op {
+    /// The key this operation addresses.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Insert { key, .. } | Op::Lookup { key } | Op::Delete { key } => key,
+        }
+    }
+}
+
+/// Result of a key operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpResult {
+    /// Insert completed; `replaced` tells whether a previous value existed.
+    Inserted {
+        /// True if an existing record was overwritten.
+        replaced: bool,
+    },
+    /// Lookup completed.
+    Found {
+        /// The value, if the key was present.
+        value: Option<Vec<u8>>,
+    },
+    /// Delete completed; `existed` tells whether the key was present.
+    Deleted {
+        /// True if a record was removed.
+        existed: bool,
+    },
+    /// The bucket rejected the operation (e.g. a value too large for the
+    /// LH*RS parity slot).
+    Error {
+        /// Human-readable rejection reason.
+        message: String,
+    },
+}
+
+/// One record matched by a scan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanMatch {
+    /// Record key.
+    pub key: u64,
+    /// Record payload (present unless the scan asked for keys only).
+    pub value: Option<Vec<u8>>,
+}
+
+/// Everything that travels between sites.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Wire {
+    /// Client → bucket (and bucket → bucket when forwarding).
+    Request {
+        /// Correlation id chosen by the client.
+        req_id: u64,
+        /// Client site to reply to.
+        client: u32,
+        /// Forwarding hops so far (LH\* guarantees ≤ 2).
+        hops: u8,
+        /// The operation.
+        op: Op,
+    },
+    /// Bucket → client.
+    Response {
+        /// Correlation id.
+        req_id: u64,
+        /// Operation outcome.
+        result: OpResult,
+        /// Address of the bucket that served the request.
+        served_by: u64,
+        /// That bucket's level — drives the IAM image update.
+        bucket_level: u8,
+        /// Hops the request took (0 = client image was correct).
+        hops: u8,
+    },
+    /// Client → bucket: scan this bucket with the installed filter.
+    ScanReq {
+        /// Correlation id.
+        req_id: u64,
+        /// Client site to reply to.
+        client: u32,
+        /// Opaque query handed to the bucket's [`ScanFilter`].
+        ///
+        /// [`ScanFilter`]: crate::ScanFilter
+        query: Vec<u8>,
+        /// If true, replies carry keys only (saves bandwidth).
+        keys_only: bool,
+    },
+    /// Bucket → client scan answer.
+    ScanResp {
+        /// Correlation id.
+        req_id: u64,
+        /// Bucket address that produced these matches.
+        bucket: u64,
+        /// Matching records.
+        matches: Vec<ScanMatch>,
+    },
+    /// Bucket → coordinator: bucket exceeded its capacity.
+    Overflow {
+        /// Overflowing bucket address.
+        addr: u64,
+        /// Its current level.
+        level: u8,
+        /// Its current record count.
+        size: usize,
+    },
+    /// Bucket → coordinator: bucket load fell below the shrink threshold.
+    Underflow {
+        /// Underflowing bucket address.
+        addr: u64,
+        /// Its current record count.
+        size: usize,
+    },
+    /// Coordinator → the last bucket of the file: merge yourself back into
+    /// your split parent (the reverse of a split; shrinks the file by one
+    /// bucket).
+    MergeCmd {
+        /// Address of the bucket being dissolved (the file's last bucket).
+        addr: u64,
+        /// The split parent receiving the records.
+        into_addr: u64,
+        /// The parent's site.
+        into_site: u32,
+    },
+    /// Dissolving bucket → coordinator: merge finished.
+    MergeDone {
+        /// Address of the dissolved bucket.
+        addr: u64,
+    },
+    /// Coordinator → bucket `n`: split yourself into `new_addr`.
+    SplitCmd {
+        /// Address of the bucket being split (consistency check).
+        addr: u64,
+        /// Address of the new bucket (`n + 2^i`).
+        new_addr: u64,
+        /// Site where the new bucket has been spawned.
+        new_site: u32,
+    },
+    /// Splitting bucket → new bucket: records that rehash to you, plus
+    /// your starting level.
+    TransferBatch {
+        /// New bucket's level.
+        level: u8,
+        /// New bucket's address.
+        addr: u64,
+        /// The records moving.
+        records: Vec<(u64, Vec<u8>)>,
+    },
+    /// Splitting bucket → coordinator: split finished.
+    SplitDone {
+        /// Address of the bucket that split.
+        addr: u64,
+    },
+    /// Client → coordinator: tell me the current file state.
+    ExtentReq {
+        /// Correlation id.
+        req_id: u64,
+        /// Client site to reply to.
+        client: u32,
+    },
+    /// Coordinator → client.
+    ExtentResp {
+        /// Correlation id.
+        req_id: u64,
+        /// Current file level.
+        level: u8,
+        /// Current split pointer.
+        split: u64,
+        /// True while splits/merges are running or queued — scans wait for
+        /// quiescence so records mid-transfer are not missed.
+        #[serde(default)]
+        busy: bool,
+    },
+    /// Data bucket → parity site: a slot changed (LH*RS).
+    ParityUpdate {
+        /// Parity group number.
+        group: u64,
+        /// Member index of the reporting bucket within the group.
+        member: u32,
+        /// Rank (row) of the record inside its bucket.
+        rank: u32,
+        /// Key now occupying the rank (`None` = rank freed).
+        key: Option<u64>,
+        /// XOR delta between old and new fixed-size slot contents.
+        delta: Vec<u8>,
+    },
+    /// Recovery manager → parity site: send your state for `group`.
+    ParityRead {
+        /// Correlation id.
+        req_id: u64,
+        /// Requester site.
+        client: u32,
+        /// Parity group wanted.
+        group: u64,
+    },
+    /// Parity site → recovery manager.
+    ParityState {
+        /// Correlation id.
+        req_id: u64,
+        /// Parity index of the responding site within the group (0-based).
+        parity_index: u32,
+        /// Per-rank: keys of members and this site's parity slot.
+        rows: Vec<ParityRow>,
+    },
+    /// Recovery manager → data bucket: send your slot table.
+    SlotsRead {
+        /// Correlation id.
+        req_id: u64,
+        /// Requester site.
+        client: u32,
+    },
+    /// Data bucket → recovery manager.
+    SlotsState {
+        /// Correlation id.
+        req_id: u64,
+        /// Bucket address.
+        addr: u64,
+        /// Bucket level.
+        level: u8,
+        /// Per-rank `(key, slot)` pairs (`None` = free rank).
+        slots: Vec<Option<(u64, Vec<u8>)>>,
+    },
+    /// Recovery manager → fresh bucket site: adopt this reconstructed
+    /// state verbatim. The rank-indexed layout is preserved so future
+    /// parity deltas keep addressing the same rows, and **no** parity
+    /// updates are emitted (the parity sites already cover these records).
+    Adopt {
+        /// Bucket address being restored.
+        addr: u64,
+        /// Bucket level to adopt.
+        level: u8,
+        /// Rank-indexed `(key, value)` slots (`None` = free rank).
+        slots: Vec<Option<(u64, Vec<u8>)>>,
+    },
+    /// Snapshot protocol: control endpoint → bucket, dump your contents.
+    Dump {
+        /// Correlation id.
+        req_id: u64,
+        /// Requester site.
+        client: u32,
+    },
+    /// Bucket → control endpoint: full contents for a snapshot.
+    DumpState {
+        /// Correlation id.
+        req_id: u64,
+        /// Bucket address.
+        addr: u64,
+        /// Bucket level.
+        level: u8,
+        /// All records.
+        records: Vec<(u64, Vec<u8>)>,
+    },
+    /// Restore protocol: cluster facade → coordinator, adopt this file
+    /// state (level, split pointer) before any traffic flows.
+    AdoptFileState {
+        /// File level to adopt.
+        level: u8,
+        /// Split pointer to adopt.
+        split: u64,
+    },
+    /// Orderly shutdown of a site thread.
+    Shutdown,
+}
+
+/// One rank row of a parity site's state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityRow {
+    /// Keys of the group's members at this rank (index = member).
+    pub keys: Vec<Option<u64>>,
+    /// This parity site's encoded slot for the rank.
+    pub slot: Vec<u8>,
+}
+
+impl Wire {
+    /// Serializes for the network.
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("Wire serializes"))
+    }
+
+    /// Deserializes from the network.
+    pub fn decode(bytes: &[u8]) -> Option<Wire> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            Wire::Request {
+                req_id: 1,
+                client: 2,
+                hops: 0,
+                op: Op::Insert { key: 3, value: vec![1, 2, 3] },
+            },
+            Wire::Response {
+                req_id: 1,
+                result: OpResult::Found { value: Some(vec![9]) },
+                served_by: 4,
+                bucket_level: 2,
+                hops: 1,
+            },
+            Wire::ScanReq { req_id: 9, client: 1, query: vec![0xFF], keys_only: true },
+            Wire::ScanResp {
+                req_id: 9,
+                bucket: 3,
+                matches: vec![ScanMatch { key: 5, value: None }],
+            },
+            Wire::Overflow { addr: 0, level: 1, size: 100 },
+            Wire::Underflow { addr: 3, size: 2 },
+            Wire::MergeCmd { addr: 3, into_addr: 1, into_site: 8 },
+            Wire::MergeDone { addr: 3 },
+            Wire::SplitCmd { addr: 0, new_addr: 2, new_site: 7 },
+            Wire::TransferBatch { level: 2, addr: 2, records: vec![(1, vec![])] },
+            Wire::SplitDone { addr: 0 },
+            Wire::ExtentReq { req_id: 4, client: 6 },
+            Wire::ExtentResp { req_id: 4, level: 3, split: 1, busy: false },
+            Wire::ParityUpdate {
+                group: 0,
+                member: 1,
+                rank: 2,
+                key: Some(77),
+                delta: vec![0xAA],
+            },
+            Wire::ParityRead { req_id: 8, client: 1, group: 0 },
+            Wire::ParityState {
+                req_id: 8,
+                parity_index: 0,
+                rows: vec![ParityRow { keys: vec![Some(1), None], slot: vec![3] }],
+            },
+            Wire::SlotsRead { req_id: 2, client: 3 },
+            Wire::SlotsState {
+                req_id: 2,
+                addr: 1,
+                level: 1,
+                slots: vec![Some((5, vec![1])), None],
+            },
+            Wire::Adopt { addr: 1, level: 1, slots: vec![Some((5, vec![1])), None] },
+            Wire::Dump { req_id: 3, client: 4 },
+            Wire::DumpState { req_id: 3, addr: 0, level: 2, records: vec![(1, vec![2])] },
+            Wire::AdoptFileState { level: 3, split: 2 },
+            Wire::Shutdown,
+        ];
+        for m in msgs {
+            let enc = m.encode();
+            assert_eq!(Wire::decode(&enc), Some(m));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Wire::decode(b"not json"), None);
+        assert_eq!(Wire::decode(b"{}"), None);
+    }
+
+    #[test]
+    fn op_key_extraction() {
+        assert_eq!(Op::Insert { key: 7, value: vec![] }.key(), 7);
+        assert_eq!(Op::Lookup { key: 8 }.key(), 8);
+        assert_eq!(Op::Delete { key: 9 }.key(), 9);
+    }
+}

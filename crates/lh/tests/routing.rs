@@ -1,0 +1,119 @@
+//! The LH\* routing theorem, checked exhaustively and by property test:
+//! starting from ANY address a client with a not-ahead image could compute,
+//! the forwarding rule ("re-address with the receiving bucket's level")
+//! reaches the key's home bucket in at most two hops.
+//!
+//! This is the paper's performance foundation — "constant speed operations
+//! …, independent of the number of nodes" (§1) — verified as pure
+//! addressing logic, independent of threads and channels.
+
+use proptest::prelude::*;
+use sdds_lh::{address, ClientImage};
+
+/// Level of bucket `addr` in a file at `(level, split)`.
+fn bucket_level(addr: u64, level: u8, split: u64) -> u8 {
+    if addr < split || addr >= (1 << level) {
+        level + 1
+    } else {
+        level
+    }
+}
+
+fn h(key: u64, level: u8) -> u64 {
+    key & ((1u64 << level) - 1)
+}
+
+/// Simulates the bucket-side forwarding rule (A1 of \[LNS96\], as
+/// implemented by `BucketState::handle_request`); returns (home, hops).
+fn route(key: u64, mut addr: u64, level: u8, split: u64) -> (u64, u32) {
+    let extent = (1u64 << level) + split;
+    let mut hops = 0;
+    loop {
+        let j = bucket_level(addr, level, split);
+        let mut target = h(key, j);
+        if target != addr && j > 0 {
+            let conservative = h(key, j - 1);
+            if conservative > addr && conservative < target {
+                target = conservative;
+            }
+        }
+        if target == addr {
+            return (addr, hops);
+        }
+        assert!(target < extent, "forwarded to nonexistent bucket {target}");
+        addr = target;
+        hops += 1;
+        assert!(hops <= 8, "routing diverged");
+    }
+}
+
+#[test]
+fn exhaustive_two_hop_bound_small_files() {
+    for level in 0..6u8 {
+        for split in 0..(1u64 << level) {
+            let extent = (1u64 << level) + split;
+            for key in 0..512u64 {
+                let home = address(key, level, split);
+                // from every client-computable start address
+                for img_level in 0..=level {
+                    for img_split in 0..(1u64 << img_level) {
+                        let img = ClientImage { level: img_level, split: img_split };
+                        if img.extent() > extent {
+                            continue; // image may never be ahead of the file
+                        }
+                        let start = img.address(key);
+                        let (reached, hops) = route(key, start, level, split);
+                        assert_eq!(
+                            reached, home,
+                            "key {key} from {start} in file ({level},{split})"
+                        );
+                        assert!(
+                            hops <= 2,
+                            "LH* bound violated: {hops} hops for key {key} from \
+                             {start} in file ({level},{split})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn two_hop_bound_large_files(
+        key in any::<u64>(),
+        level in 6u8..20,
+        split_frac in 0.0f64..1.0,
+        img_level_back in 0u8..6,
+        img_split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((1u64 << level) as f64 * split_frac) as u64 % (1u64 << level);
+        let extent = (1u64 << level) + split;
+        let home = address(key, level, split);
+        // a stale image up to img_level_back levels behind
+        let img_level = level - img_level_back;
+        let img_split =
+            ((1u64 << img_level) as f64 * img_split_frac) as u64 % (1u64 << img_level);
+        let img = ClientImage { level: img_level, split: img_split };
+        prop_assume!(img.extent() <= extent);
+        let start = img.address(key);
+        let (reached, hops) = route(key, start, level, split);
+        prop_assert_eq!(reached, home);
+        prop_assert!(hops <= 2, "{} hops", hops);
+    }
+
+    #[test]
+    fn home_bucket_accepts_and_every_bucket_reaches_it(
+        key in any::<u64>(),
+        level in 1u8..16,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((1u64 << level) as f64 * split_frac) as u64 % (1u64 << level);
+        let home = address(key, level, split);
+        // the home bucket serves without forwarding
+        let (reached, hops) = route(key, home, level, split);
+        prop_assert_eq!(reached, home);
+        prop_assert_eq!(hops, 0);
+    }
+}

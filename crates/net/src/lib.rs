@@ -1,0 +1,41 @@
+//! A simulated multicomputer: addressable sites, reliable in-order message
+//! passing, traffic accounting and a latency model.
+//!
+//! The paper's setting is "multicomputers, systems utilizing many
+//! interconnected computers (called the nodes or sites)" (§1) whose data
+//! structures — LH\* files and the encrypted index — live across sites.
+//! This crate gives those sites an execution substrate that is:
+//!
+//! * **real enough** — every site runs its own thread and communicates
+//!   only through messages, so the LH\* forwarding logic, the parallel
+//!   scatter/gather of searches, and the dispersion-site AND-combination
+//!   are exercised as genuinely concurrent distributed protocols;
+//! * **measurable** — [`NetStats`] counts messages and bytes per site and
+//!   in total, and a configurable [`LatencyModel`] converts traffic into
+//!   simulated network time without wall-clock sleeps;
+//! * **deterministic under test** — channels are FIFO per sender/receiver
+//!   pair and no time-dependent behaviour exists unless callers add it.
+//!
+//! ```
+//! use sdds_net::{Network, NetConfig};
+//! use bytes::Bytes;
+//!
+//! let net = Network::new(NetConfig::default());
+//! let a = net.register();
+//! let b = net.register();
+//! a.send(b.id(), Bytes::from_static(b"hello")).unwrap();
+//! let env = b.recv().unwrap();
+//! assert_eq!(env.from, a.id());
+//! assert_eq!(&env.payload[..], b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod network;
+mod stats;
+
+pub use latency::LatencyModel;
+pub use network::{Endpoint, Envelope, NetConfig, NetError, Network, SiteId};
+pub use stats::NetStats;

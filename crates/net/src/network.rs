@@ -1,0 +1,395 @@
+//! Site registry, endpoints and message delivery.
+
+use crate::latency::LatencyModel;
+use crate::stats::NetStats;
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Address of a site in the multicomputer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site-{}", self.0)
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+/// Errors from the messaging layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination site was never registered.
+    UnknownSite(SiteId),
+    /// The destination endpoint has been dropped.
+    Disconnected(SiteId),
+    /// A blocking receive timed out.
+    Timeout,
+    /// The mailbox is empty (non-blocking receive).
+    Empty,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            NetError::Disconnected(s) => write!(f, "site {s} disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Empty => write!(f, "mailbox empty"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Network construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct NetConfig {
+    /// Latency model used for simulated-time accounting.
+    pub latency: LatencyModel,
+    /// Fault injection: probability in `[0, 1)` that any message is
+    /// silently dropped (UDP-style loss). Deterministic per `fault_seed`.
+    pub drop_probability: f64,
+    /// Seed for the drop decision stream.
+    pub fault_seed: u64,
+}
+
+struct Inner {
+    mailboxes: RwLock<Vec<Sender<Envelope>>>,
+    stats: NetStats,
+    latency: LatencyModel,
+    drop_probability: f64,
+    fault_rng: std::sync::atomic::AtomicU64,
+}
+
+/// The multicomputer fabric: a registry of sites plus traffic accounting.
+/// Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Inner>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(config: NetConfig) -> Network {
+        Network {
+            inner: Arc::new(Inner {
+                mailboxes: RwLock::new(Vec::new()),
+                stats: NetStats::new(),
+                latency: config.latency,
+                drop_probability: config.drop_probability,
+                fault_rng: std::sync::atomic::AtomicU64::new(config.fault_seed | 1),
+            }),
+        }
+    }
+
+    /// Registers a new site and returns its endpoint. Site ids are dense,
+    /// starting at 0 — convenient for LH\* bucket addressing.
+    pub fn register(&self) -> Endpoint {
+        let (tx, rx) = channel::unbounded();
+        let mut boxes = self.inner.mailboxes.write();
+        let id = SiteId(boxes.len() as u32);
+        boxes.push(tx);
+        Endpoint { id, rx, network: self.clone() }
+    }
+
+    /// Number of registered sites.
+    pub fn num_sites(&self) -> usize {
+        self.inner.mailboxes.read().len()
+    }
+
+    /// Traffic statistics handle.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Total simulated network time accrued by all messages under the
+    /// configured latency model.
+    pub fn simulated_time(&self) -> Duration {
+        self.inner.latency.total_time(&self.inner.stats)
+    }
+
+    fn deliver(&self, env: Envelope) -> Result<(), NetError> {
+        let boxes = self.inner.mailboxes.read();
+        let tx = boxes
+            .get(env.to.0 as usize)
+            .ok_or(NetError::UnknownSite(env.to))?;
+        self.inner.stats.record(env.from, env.to, env.payload.len());
+        if self.inner.drop_probability > 0.0 && self.draw_drop() {
+            // silent loss, like a UDP datagram: the sender sees success
+            self.inner.stats.record_dropped();
+            return Ok(());
+        }
+        tx.send(env.clone()).map_err(|_| NetError::Disconnected(env.to))
+    }
+
+    /// Deterministic xorshift64* drop decision (no extra dependency, and
+    /// reproducible for a given fault seed).
+    fn draw_drop(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let mut x = self.inner.fault_rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.inner.fault_rng.store(x, Ordering::Relaxed);
+        let draw = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64
+            / (1u64 << 53) as f64;
+        draw < self.inner.drop_probability
+    }
+}
+
+/// A site's attachment to the network: its identity, its mailbox, and the
+/// ability to send to any other site.
+pub struct Endpoint {
+    id: SiteId,
+    rx: Receiver<Envelope>,
+    network: Network,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("id", &self.id).finish()
+    }
+}
+
+impl Endpoint {
+    /// This site's address.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The network this endpoint belongs to.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Sends a payload to another site (or to self).
+    pub fn send(&self, to: SiteId, payload: Bytes) -> Result<(), NetError> {
+        self.network.deliver(Envelope { from: self.id, to, payload })
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected(self.id))
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            channel::RecvTimeoutError::Disconnected => NetError::Disconnected(self.id),
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Envelope, NetError> {
+        self.rx.try_recv().map_err(|e| match e {
+            channel::TryRecvError::Empty => NetError::Empty,
+            channel::TryRecvError::Disconnected => NetError::Disconnected(self.id),
+        })
+    }
+
+    /// Sends the same payload to many sites (scatter).
+    pub fn broadcast<I: IntoIterator<Item = SiteId>>(
+        &self,
+        to: I,
+        payload: &Bytes,
+    ) -> Result<(), NetError> {
+        for site in to {
+            self.send(site, payload.clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_dense_ids() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        let c = net.register();
+        assert_eq!(a.id(), SiteId(0));
+        assert_eq!(b.id(), SiteId(1));
+        assert_eq!(c.id(), SiteId(2));
+        assert_eq!(net.num_sites(), 3);
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        a.send(b.id(), Bytes::from_static(b"ping")).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.from, a.id());
+        assert_eq!(env.to, b.id());
+        assert_eq!(&env.payload[..], b"ping");
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        for i in 0..100u8 {
+            a.send(b.id(), Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b.recv().unwrap().payload[0], i);
+        }
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        assert_eq!(
+            a.send(SiteId(42), Bytes::new()),
+            Err(NetError::UnknownSite(SiteId(42)))
+        );
+    }
+
+    #[test]
+    fn self_send_works() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        a.send(a.id(), Bytes::from_static(b"loop")).unwrap();
+        assert_eq!(&a.recv().unwrap().payload[..], b"loop");
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        assert_eq!(a.try_recv().unwrap_err(), NetError::Empty);
+    }
+
+    #[test]
+    fn recv_timeout_elapses() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let err = a.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn disconnected_receiver_detected() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        let b_id = b.id();
+        drop(b);
+        assert_eq!(
+            a.send(b_id, Bytes::new()),
+            Err(NetError::Disconnected(b_id))
+        );
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        a.send(b.id(), Bytes::from_static(b"12345")).unwrap();
+        a.send(b.id(), Bytes::from_static(b"678")).unwrap();
+        assert_eq!(net.stats().messages(), 2);
+        assert_eq!(net.stats().bytes(), 8);
+        assert_eq!(net.stats().messages_from(a.id()), 2);
+        assert_eq!(net.stats().messages_to(b.id()), 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let sites: Vec<Endpoint> = (0..5).map(|_| net.register()).collect();
+        let ids: Vec<SiteId> = sites.iter().map(|s| s.id()).collect();
+        a.broadcast(ids, &Bytes::from_static(b"all")).unwrap();
+        for s in &sites {
+            assert_eq!(&s.recv().unwrap().payload[..], b"all");
+        }
+    }
+
+    #[test]
+    fn fault_injection_drops_deterministically() {
+        let lossy = NetConfig {
+            drop_probability: 0.3,
+            fault_seed: 42,
+            ..NetConfig::default()
+        };
+        let net = Network::new(lossy.clone());
+        let a = net.register();
+        let b = net.register();
+        for i in 0..1000u32 {
+            a.send(b.id(), Bytes::copy_from_slice(&i.to_le_bytes())).unwrap();
+        }
+        let dropped = net.stats().dropped();
+        assert!(
+            (200..400).contains(&(dropped as usize)),
+            "expected ~30% of 1000 dropped, got {dropped}"
+        );
+        // delivered + dropped = sent
+        let mut received = 0;
+        while a.try_recv().is_ok() || b.try_recv().is_ok() {
+            received += 1;
+        }
+        assert_eq!(received as u64 + dropped, 1000);
+        // determinism: an identical network drops the identical messages
+        let net2 = Network::new(lossy);
+        let a2 = net2.register();
+        let b2 = net2.register();
+        for i in 0..1000u32 {
+            a2.send(b2.id(), Bytes::copy_from_slice(&i.to_le_bytes())).unwrap();
+        }
+        assert_eq!(net2.stats().dropped(), dropped);
+    }
+
+    #[test]
+    fn zero_drop_probability_never_drops() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        for _ in 0..100 {
+            a.send(a.id(), Bytes::new()).unwrap();
+        }
+        assert_eq!(net.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let net = Network::new(NetConfig::default());
+        let server = net.register();
+        let client = net.register();
+        let server_id = server.id();
+        let handle = std::thread::spawn(move || {
+            // echo server: double the byte back
+            let env = server.recv().unwrap();
+            let reply = Bytes::copy_from_slice(&[env.payload[0] * 2]);
+            server.send(env.from, reply).unwrap();
+        });
+        client.send(server_id, Bytes::copy_from_slice(&[21])).unwrap();
+        let env = client.recv().unwrap();
+        assert_eq!(env.payload[0], 42);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Traffic accounting.
+
+use crate::network::SiteId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Message and byte counters, total and per site. Thread-safe; counters
+/// use relaxed atomics (totals only, no inter-counter invariants).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    dropped: AtomicU64,
+    per_site: Mutex<HashMap<SiteId, SiteCounters>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SiteCounters {
+    sent_msgs: u64,
+    sent_bytes: u64,
+    recv_msgs: u64,
+    recv_bytes: u64,
+}
+
+impl NetStats {
+    /// Creates zeroed counters.
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    pub(crate) fn record(&self, from: SiteId, to: SiteId, len: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+        let mut map = self.per_site.lock();
+        let s = map.entry(from).or_default();
+        s.sent_msgs += 1;
+        s.sent_bytes += len as u64;
+        let r = map.entry(to).or_default();
+        r.recv_msgs += 1;
+        r.recv_bytes += len as u64;
+    }
+
+    pub(crate) fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total messages delivered.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Messages lost to fault injection.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Messages sent by a site.
+    pub fn messages_from(&self, site: SiteId) -> u64 {
+        self.per_site.lock().get(&site).map_or(0, |c| c.sent_msgs)
+    }
+
+    /// Messages received by a site.
+    pub fn messages_to(&self, site: SiteId) -> u64 {
+        self.per_site.lock().get(&site).map_or(0, |c| c.recv_msgs)
+    }
+
+    /// Payload bytes sent by a site.
+    pub fn bytes_from(&self, site: SiteId) -> u64 {
+        self.per_site.lock().get(&site).map_or(0, |c| c.sent_bytes)
+    }
+
+    /// Payload bytes received by a site.
+    pub fn bytes_to(&self, site: SiteId) -> u64 {
+        self.per_site.lock().get(&site).map_or(0, |c| c.recv_bytes)
+    }
+
+    /// Resets all counters — lets benches measure per-phase traffic.
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.per_site.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let stats = NetStats::new();
+        stats.record(SiteId(0), SiteId(1), 10);
+        stats.record(SiteId(0), SiteId(2), 5);
+        stats.record(SiteId(1), SiteId(0), 1);
+        assert_eq!(stats.messages(), 3);
+        assert_eq!(stats.bytes(), 16);
+        assert_eq!(stats.messages_from(SiteId(0)), 2);
+        assert_eq!(stats.bytes_from(SiteId(0)), 15);
+        assert_eq!(stats.messages_to(SiteId(0)), 1);
+        assert_eq!(stats.bytes_to(SiteId(2)), 5);
+    }
+
+    #[test]
+    fn unknown_site_reads_zero() {
+        let stats = NetStats::new();
+        assert_eq!(stats.messages_from(SiteId(9)), 0);
+        assert_eq!(stats.bytes_to(SiteId(9)), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = NetStats::new();
+        stats.record(SiteId(0), SiteId(1), 100);
+        stats.reset();
+        assert_eq!(stats.messages(), 0);
+        assert_eq!(stats.bytes(), 0);
+        assert_eq!(stats.messages_from(SiteId(0)), 0);
+    }
+
+    #[test]
+    fn self_send_counts_both_directions() {
+        let stats = NetStats::new();
+        stats.record(SiteId(3), SiteId(3), 7);
+        assert_eq!(stats.messages_from(SiteId(3)), 1);
+        assert_eq!(stats.messages_to(SiteId(3)), 1);
+    }
+}

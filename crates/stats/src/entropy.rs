@@ -1,0 +1,94 @@
+//! Shannon entropy estimates.
+//!
+//! The paper's §6 discusses how much information an index record may retain:
+//! "a letter in an English text contains between 2 and 3 bits of
+//! information \[S51\], thus storing only 2 bits for each byte should be
+//! safe". These helpers quantify that for our streams.
+
+use crate::ngram::NgramCounter;
+
+/// Shannon entropy (bits/symbol) of an empirical distribution given as
+/// counts. Zero counts contribute nothing.
+pub fn shannon_entropy<I: IntoIterator<Item = u64>>(counts: I) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Per-symbol entropy of order `n`: `H(n-grams) / n`, an upper bound that
+/// tightens as `n` grows (Shannon's block-entropy estimate).
+pub fn block_entropy_rate(counter: &NgramCounter) -> f64 {
+    let h = shannon_entropy(counter.iter().map(|(_, c)| c));
+    h / counter.order() as f64
+}
+
+/// Conditional entropy estimate `H(X_n | X_1..X_{n-1}) = H_n - H_{n-1}`
+/// from two counters of consecutive orders — the quantity that exposes the
+/// inter-chunk predictability the paper worries about ("'SMIT' … chances
+/// are that the next chunk will start with an 'H'").
+pub fn conditional_entropy(counter_n: &NgramCounter, counter_prev: &NgramCounter) -> f64 {
+    assert_eq!(
+        counter_n.order(),
+        counter_prev.order() + 1,
+        "counters must have consecutive orders"
+    );
+    let hn = shannon_entropy(counter_n.iter().map(|(_, c)| c));
+    let hp = shannon_entropy(counter_prev.iter().map(|(_, c)| c));
+    (hn - hp).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_has_log2_k_bits() {
+        assert!((shannon_entropy([1u64; 8]) - 3.0).abs() < 1e-12);
+        assert!((shannon_entropy([5u64; 256]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_distribution_has_zero_entropy() {
+        assert_eq!(shannon_entropy([42u64]), 0.0);
+        assert_eq!(shannon_entropy([0u64, 0, 7]), 0.0);
+        assert_eq!(shannon_entropy(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn binary_biased_entropy() {
+        // p = 0.25: H = 0.811278...
+        let h = shannon_entropy([1u64, 3]);
+        assert!((h - 0.8112781244591328).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_entropy_rate_of_uniform_pairs() {
+        let mut c = NgramCounter::new(2, 2);
+        // all four bigrams equally often
+        c.add_record(&[0, 0, 1, 1, 0, 1, 0, 0, 1]);
+        let rate = block_entropy_rate(&c);
+        assert!(rate > 0.9 && rate <= 1.0);
+    }
+
+    #[test]
+    fn conditional_entropy_of_deterministic_successor_is_zero() {
+        // alternating 0101..: knowing previous symbol determines the next
+        let seq: Vec<u16> = (0..100).map(|i| (i % 2) as u16).collect();
+        let mut c2 = NgramCounter::new(2, 2);
+        let mut c1 = NgramCounter::new(1, 2);
+        c2.add_record(&seq);
+        c1.add_record(&seq);
+        let ce = conditional_entropy(&c2, &c1);
+        assert!(ce < 0.01, "ce={ce}");
+    }
+}

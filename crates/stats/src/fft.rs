@@ -1,0 +1,123 @@
+//! A minimal radix-2 FFT — the numerical substrate for the SP 800-22
+//! spectral test. Self-contained (no complex-number dependency): values
+//! are `(re, im)` pairs.
+
+/// In-place iterative Cooley–Tukey FFT. `data.len()` must be a power of
+/// two (panics otherwise).
+pub fn fft(data: &mut [(f64, f64)]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // butterflies
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + len / 2] = (ar - tr, ai - ti);
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Moduli of the spectrum of a real sequence (first half, which carries
+/// all the information for real input).
+pub fn spectrum_moduli(real: &[f64]) -> Vec<f64> {
+    let n = real.len().next_power_of_two() / if real.len().is_power_of_two() { 1 } else { 2 };
+    let n = n.min(real.len());
+    let mut data: Vec<(f64, f64)> = real[..n].iter().map(|&x| (x, 0.0)).collect();
+    fft(&mut data);
+    data[..n / 2]
+        .iter()
+        .map(|&(re, im)| (re * re + im * im).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference DFT.
+    fn naive_dft(x: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (j, &(re, im)) in x.iter().enumerate() {
+                    let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    let (c, s) = (angle.cos(), angle.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let input: Vec<(f64, f64)> = (0..n)
+                .map(|i| ((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut fast = input.clone();
+            fft(&mut fast);
+            let slow = naive_dft(&input);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!((a.0 - b.0).abs() < 1e-9, "re mismatch n={n}");
+                assert!((a.1 - b.1).abs() < 1e-9, "im mismatch n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 64;
+        let real: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 4.0 * i as f64 / n as f64).cos())
+            .collect();
+        let mods = spectrum_moduli(&real);
+        let peak = mods
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 4, "tone at bin 4");
+    }
+
+    #[test]
+    fn constant_signal_is_dc_only() {
+        let mods = spectrum_moduli(&[1.0; 32]);
+        assert!(mods[0] > 31.0);
+        assert!(mods[1..].iter().all(|&m| m < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut d = vec![(0.0, 0.0); 6];
+        fft(&mut d);
+    }
+}

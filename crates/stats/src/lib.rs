@@ -1,0 +1,32 @@
+//! Statistical machinery for evaluating the encrypted index records.
+//!
+//! The paper's evaluation (§6–§7, Tables 1–5) rests on χ² statistics of
+//! single symbols, doublets and triplets before and after each stage of the
+//! scheme, plus the observation that "ideally, the contents of the
+//! dispersed, chunked, and preprocessed index records are indistinguishable
+//! from random bits". This crate supplies:
+//!
+//! * [`ngram`] — n-gram counting over symbol streams (records never bleed
+//!   into each other);
+//! * [`chi2`] — χ² against the uniform distribution, the paper's headline
+//!   metric;
+//! * [`entropy`] — Shannon entropy estimates;
+//! * [`randomness`] — NIST SP 800-22-style tests (monobit, block frequency,
+//!   runs, serial, approximate entropy) with real p-values, which the paper
+//!   cites (\[R&al01\], \[S99\]) as the better way it intends to evaluate
+//!   closeness to randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod entropy;
+pub mod fft;
+pub mod ngram;
+pub mod randomness;
+mod special;
+
+pub use chi2::{chi2_uniform, Chi2Report};
+pub use entropy::shannon_entropy;
+pub use ngram::NgramCounter;
+pub use randomness::{RandomnessReport, TestResult};

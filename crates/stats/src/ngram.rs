@@ -1,0 +1,183 @@
+//! n-gram counting over symbol streams.
+//!
+//! Symbols are `u16` so the same counter serves raw 8-bit ASCII, the 2-bit
+//! dispersion shares of Table 2, and Stage-2 code alphabets of up to 2^16
+//! codes. Counting is per record: an n-gram never spans two records, which
+//! matches how the paper treats its phone-book entries.
+
+use std::collections::HashMap;
+
+/// Counts n-grams of a fixed order `n` over records of symbols.
+///
+/// ```
+/// use sdds_stats::NgramCounter;
+///
+/// let mut doublets = NgramCounter::new(2, 256);
+/// doublets.add_record(&"ANNA".bytes().map(u16::from).collect::<Vec<_>>());
+/// assert_eq!(doublets.count(&[b'N'.into(), b'N'.into()]), 1);
+/// assert!(doublets.chi2_uniform() > 0.0); // far from uniform
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramCounter {
+    n: usize,
+    alphabet: usize,
+    counts: HashMap<Vec<u16>, u64>,
+    total: u64,
+}
+
+impl NgramCounter {
+    /// Creates a counter for `n`-grams over an alphabet of `alphabet`
+    /// symbols (`0..alphabet`). Panics if `n == 0` or `alphabet == 0`.
+    pub fn new(n: usize, alphabet: usize) -> NgramCounter {
+        assert!(n > 0, "n-gram order must be positive");
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        NgramCounter { n, alphabet, counts: HashMap::new(), total: 0 }
+    }
+
+    /// n-gram order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Alphabet size used for the uniform-χ² category count.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Adds one record's symbols. Records shorter than `n` contribute no
+    /// n-grams. Symbols outside the alphabet panic in debug builds.
+    pub fn add_record(&mut self, symbols: &[u16]) {
+        if symbols.len() < self.n {
+            return;
+        }
+        for w in symbols.windows(self.n) {
+            debug_assert!(
+                w.iter().all(|&s| (s as usize) < self.alphabet),
+                "symbol out of alphabet"
+            );
+            *self.counts.entry(w.to_vec()).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Total number of n-grams counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of *distinct* n-grams observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of possible n-grams, `alphabet^n`, saturating at `u64::MAX`.
+    pub fn categories(&self) -> u64 {
+        let mut c: u64 = 1;
+        for _ in 0..self.n {
+            c = c.saturating_mul(self.alphabet as u64);
+        }
+        c
+    }
+
+    /// Count of a specific n-gram.
+    pub fn count(&self, gram: &[u16]) -> u64 {
+        self.counts.get(gram).copied().unwrap_or(0)
+    }
+
+    /// The `m` most frequent n-grams with their relative frequencies,
+    /// descending, ties broken by n-gram value for determinism.
+    pub fn top(&self, m: usize) -> Vec<(Vec<u16>, f64)> {
+        let mut items: Vec<(&Vec<u16>, &u64)> = self.counts.iter().collect();
+        items.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        items
+            .into_iter()
+            .take(m)
+            .map(|(g, &c)| (g.clone(), c as f64 / self.total.max(1) as f64))
+            .collect()
+    }
+
+    /// Iterator over `(gram, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u16], u64)> {
+        self.counts.iter().map(|(g, &c)| (g.as_slice(), c))
+    }
+
+    /// χ² statistic of the observed counts against the uniform distribution
+    /// over all `alphabet^n` categories (zero-count categories included —
+    /// essential: the paper's huge χ² values come largely from the mass of
+    /// never-seen n-grams).
+    pub fn chi2_uniform(&self) -> f64 {
+        let k = self.categories();
+        crate::chi2::chi2_uniform_from_counts(
+            self.counts.values().copied(),
+            self.total,
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_unigrams() {
+        let mut c = NgramCounter::new(1, 4);
+        c.add_record(&[0, 1, 1, 2]);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count(&[1]), 2);
+        assert_eq!(c.count(&[3]), 0);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn bigrams_do_not_span_records() {
+        let mut c = NgramCounter::new(2, 4);
+        c.add_record(&[0, 1]);
+        c.add_record(&[2, 3]);
+        assert_eq!(c.count(&[1, 2]), 0, "cross-record bigram must not exist");
+        assert_eq!(c.count(&[0, 1]), 1);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn short_records_contribute_nothing() {
+        let mut c = NgramCounter::new(3, 4);
+        c.add_record(&[0, 1]);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn top_sorts_desc_with_deterministic_ties() {
+        let mut c = NgramCounter::new(1, 8);
+        c.add_record(&[5, 5, 5, 2, 2, 7]);
+        let top = c.top(3);
+        assert_eq!(top[0].0, vec![5]);
+        assert!((top[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(top[1].0, vec![2]);
+        assert_eq!(top[2].0, vec![7]);
+    }
+
+    #[test]
+    fn categories_counts_alphabet_power() {
+        let c = NgramCounter::new(3, 256);
+        assert_eq!(c.categories(), 256u64.pow(3));
+        // 65536^4 = 2^64 overflows u64: categories() saturates instead
+        let c = NgramCounter::new(4, 65536);
+        assert_eq!(c.categories(), u64::MAX);
+    }
+
+    #[test]
+    fn chi2_zero_for_perfectly_uniform() {
+        let mut c = NgramCounter::new(1, 4);
+        c.add_record(&[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert!(c.chi2_uniform().abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_large_for_constant_stream() {
+        let mut c = NgramCounter::new(1, 4);
+        c.add_record(&[0; 100]);
+        // all mass in one of four categories: chi2 = 100*(4-1) = 300
+        assert!((c.chi2_uniform() - 300.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! `sdds` — command-line front end for the encrypted searchable SDDS.
+//!
+//! ```text
+//! sdds generate --entries 1000 --seed 7 --out directory.txt
+//! sdds search --pattern MARTINEZ [--file directory.txt | --entries 2000]
+//!             [--config basic|paper|swp] [--exact]
+//! sdds bench-load --entries 5000
+//! ```
+
+use sdds_repro::core::{EncryptedSearchStore, SchemeConfig};
+use sdds_repro::corpus::{format_directory, parse_directory, DirectoryGenerator, Record};
+use std::collections::HashMap;
+use std::process::exit;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    match command.as_str() {
+        "generate" => generate(&flags),
+        "search" => search(&flags),
+        "bench-load" => bench_load(&flags),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  sdds generate  --entries N [--seed S] [--out FILE]\n  \
+         sdds search    --pattern P [--file FILE | --entries N] \
+         [--config basic|paper|swp] [--exact] [--prefix]\n  \
+         sdds bench-load --entries N [--config basic|paper|swp]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].trim_start_matches("--").to_string();
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            flags.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(key, String::new());
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags.get(key).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} needs a number, got {v:?}");
+            exit(2);
+        })
+    })
+}
+
+fn load_records(flags: &HashMap<String, String>) -> Vec<Record> {
+    if let Some(path) = flags.get("file") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        parse_directory(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1);
+        })
+    } else {
+        let entries = flag_usize(flags, "entries", 1000);
+        let seed = flag_usize(flags, "seed", 42) as u64;
+        DirectoryGenerator::new(seed).generate(entries)
+    }
+}
+
+fn config_for(flags: &HashMap<String, String>) -> SchemeConfig {
+    match flags.get("config").map(String::as_str).unwrap_or("basic") {
+        "basic" => SchemeConfig::basic(4, 4).expect("valid"),
+        "paper" => SchemeConfig::paper_recommended(),
+        "swp" => SchemeConfig::swp_chunks(4, 4).expect("valid"),
+        other => {
+            eprintln!("unknown --config {other:?}; use basic|paper|swp");
+            exit(2);
+        }
+    }
+}
+
+fn build_store(records: &[Record], flags: &HashMap<String, String>) -> EncryptedSearchStore {
+    let config = config_for(flags);
+    let mut builder = EncryptedSearchStore::builder(config)
+        .passphrase(flags.get("passphrase").map(String::as_str).unwrap_or("sdds-cli"))
+        .bucket_capacity(128);
+    if config.encoding.is_some() {
+        builder = builder.train(records.iter().take(1000).map(|r| r.rc.clone()));
+    }
+    builder.start()
+}
+
+fn generate(flags: &HashMap<String, String>) {
+    let entries = flag_usize(flags, "entries", 1000);
+    let seed = flag_usize(flags, "seed", 42) as u64;
+    let records = DirectoryGenerator::new(seed).generate(entries);
+    let text = format_directory(&records);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            eprintln!("wrote {entries} records to {path}");
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn search(flags: &HashMap<String, String>) {
+    let Some(pattern) = flags.get("pattern") else {
+        eprintln!("search needs --pattern");
+        exit(2);
+    };
+    config_for(flags); // validate --config before doing any work
+    let records = load_records(flags);
+    eprintln!("loading {} records …", records.len());
+    let store = build_store(&records, flags);
+    let t0 = Instant::now();
+    store
+        .insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+        .unwrap_or_else(|e| {
+            eprintln!("load failed: {e}");
+            exit(1);
+        });
+    eprintln!(
+        "loaded into {} LH* buckets in {:?}",
+        store.cluster().num_buckets(),
+        t0.elapsed()
+    );
+    store.cluster().network().stats().reset();
+    let t0 = Instant::now();
+    let result = if flags.contains_key("exact") {
+        store.fetch_matching(pattern).map(|hits| {
+            hits.into_iter().map(|(rid, rc)| (rid, Some(rc))).collect::<Vec<_>>()
+        })
+    } else if flags.contains_key("prefix") {
+        store
+            .search_starting_with(pattern)
+            .map(|rids| rids.into_iter().map(|rid| (rid, None)).collect())
+    } else {
+        store
+            .search(pattern)
+            .map(|rids| rids.into_iter().map(|rid| (rid, None)).collect())
+    };
+    match result {
+        Ok(hits) => {
+            let elapsed = t0.elapsed();
+            let stats = store.cluster().network().stats();
+            for (rid, rc) in &hits {
+                match rc {
+                    Some(rc) => println!("{rid}  {rc}"),
+                    None => {
+                        let digits = format!("{rid:010}");
+                        println!(
+                            "{}-{}-{}",
+                            &digits[0..3],
+                            &digits[3..6],
+                            &digits[6..10]
+                        );
+                    }
+                }
+            }
+            eprintln!(
+                "{} hit(s) in {elapsed:?} — {} messages, {} bytes on the wire",
+                hits.len(),
+                stats.messages(),
+                stats.bytes()
+            );
+        }
+        Err(e) => {
+            eprintln!("search failed: {e}");
+            exit(1);
+        }
+    }
+    store.shutdown();
+}
+
+fn bench_load(flags: &HashMap<String, String>) {
+    let records = load_records(flags);
+    let store = build_store(&records, flags);
+    let t0 = Instant::now();
+    store
+        .insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+        .unwrap_or_else(|e| {
+            eprintln!("load failed: {e}");
+            exit(1);
+        });
+    let elapsed = t0.elapsed();
+    let stats = store.cluster().network().stats();
+    println!(
+        "{} records in {elapsed:?} ({:.0} rec/s) — {} buckets, {} messages, {} bytes",
+        records.len(),
+        records.len() as f64 / elapsed.as_secs_f64(),
+        store.cluster().num_buckets(),
+        stats.messages(),
+        stats.bytes()
+    );
+    store.shutdown();
+}
