@@ -66,7 +66,12 @@ impl NaiveStore {
             ..ClusterConfig::default()
         });
         let client = cluster.client();
-        NaiveStore { cipher: keys.record_cipher(), keys, cluster, client }
+        NaiveStore {
+            cipher: keys.record_cipher(),
+            keys,
+            cluster,
+            client,
+        }
     }
 
     /// Inserts a record (strongly encrypted).
@@ -85,10 +90,9 @@ impl NaiveStore {
         for m in all {
             let Some(ct) = m.value else { continue };
             let iv = self.keys.record_iv(m.key);
-            let pt = modes::cbc_decrypt(&self.cipher, &iv, &ct)
-                .map_err(NaiveError::Decrypt)?;
-            let matched = pattern.is_empty()
-                || pt.windows(pattern.len()).any(|w| w == pattern.as_bytes());
+            let pt = modes::cbc_decrypt(&self.cipher, &iv, &ct).map_err(NaiveError::Decrypt)?;
+            let matched =
+                pattern.is_empty() || pt.windows(pattern.len()).any(|w| w == pattern.as_bytes());
             if matched {
                 hits.push(m.key);
             }

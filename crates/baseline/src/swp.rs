@@ -147,7 +147,11 @@ impl SwpStore {
             ..ClusterConfig::default()
         });
         let client = cluster.client();
-        SwpStore { scheme: SwpScheme::new(master), cluster, client }
+        SwpStore {
+            scheme: SwpScheme::new(master),
+            cluster,
+            client,
+        }
     }
 
     /// Inserts a record's searchable word stream.
@@ -247,7 +251,10 @@ mod tests {
         hits.sort_unstable();
         assert_eq!(hits, vec![1, 3]);
         assert!(store.search_word("NOBODY").unwrap().is_empty());
-        assert!(store.search_word("THOMA").unwrap().is_empty(), "word granularity");
+        assert!(
+            store.search_word("THOMA").unwrap().is_empty(),
+            "word granularity"
+        );
         store.shutdown();
     }
 }

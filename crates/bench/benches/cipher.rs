@@ -37,7 +37,8 @@ fn bench_chunk_prp(c: &mut Criterion) {
         let prp = ChunkPrp::new(&[3; 16], width).unwrap();
         g.throughput(Throughput::Elements(1));
         g.bench_with_input(BenchmarkId::new("encrypt", width), &prp, |b, prp| {
-            let mut x = 0x1234_5678_9ABCu128 & ((1u128 << (width - 1)) | ((1u128 << (width - 1)) - 1));
+            let mut x =
+                0x1234_5678_9ABCu128 & ((1u128 << (width - 1)) | ((1u128 << (width - 1)) - 1));
             b.iter(|| {
                 x = prp.encrypt(black_box(x));
                 x

@@ -127,7 +127,9 @@ fn bench_scheme_insert(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("insert", name), |b| {
             b.iter(|| {
                 rid += 1;
-                store.insert(rid, &training[(rid as usize) % training.len()]).unwrap()
+                store
+                    .insert(rid, &training[(rid as usize) % training.len()])
+                    .unwrap()
             });
         });
         store.shutdown();
@@ -143,8 +145,22 @@ fn bench_parity(c: &mut Criterion) {
     g.sample_size(10);
     for (name, parity) in [
         ("no_parity", None),
-        ("parity_m1", Some(ParityConfig { group_size: 4, parity_count: 1, slot_size: 64 })),
-        ("parity_m2", Some(ParityConfig { group_size: 4, parity_count: 2, slot_size: 64 })),
+        (
+            "parity_m1",
+            Some(ParityConfig {
+                group_size: 4,
+                parity_count: 1,
+                slot_size: 64,
+            }),
+        ),
+        (
+            "parity_m2",
+            Some(ParityConfig {
+                group_size: 4,
+                parity_count: 2,
+                slot_size: 64,
+            }),
+        ),
     ] {
         let cluster = LhCluster::start(ClusterConfig {
             bucket_capacity: 1024,
@@ -164,7 +180,11 @@ fn bench_parity(c: &mut Criterion) {
     // recovery wall-clock for a 2000-record file
     let cluster = LhCluster::start(ClusterConfig {
         bucket_capacity: 64,
-        parity: Some(ParityConfig { group_size: 2, parity_count: 1, slot_size: 64 }),
+        parity: Some(ParityConfig {
+            group_size: 2,
+            parity_count: 1,
+            slot_size: 64,
+        }),
         ..ClusterConfig::default()
     });
     let client = cluster.client();

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use sdds_chunk::PartialChunkPolicy;
 use sdds_cipher::{KeyMaterial, MasterKey};
 use sdds_core::{EncodingConfig, IndexPipeline, PrecompressionConfig, SchemeConfig};
-use sdds_encode::PairCompressor;
 use sdds_corpus::DirectoryGenerator;
+use sdds_encode::PairCompressor;
 use std::hint::black_box;
 
 fn keys() -> KeyMaterial {
@@ -49,13 +49,17 @@ fn bench_stage_ablation(c: &mut Criterion) {
         ("stage1_2_3_k4", make(true, Some(4))),
     ];
     for (name, pipeline) in &variants {
-        g.bench_with_input(BenchmarkId::new("index_records", *name), pipeline, |b, p| {
-            b.iter(|| {
-                for rc in &rcs {
-                    black_box(p.index_records(black_box(rc)));
-                }
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("index_records", *name),
+            pipeline,
+            |b, p| {
+                b.iter(|| {
+                    for rc in &rcs {
+                        black_box(p.index_records(black_box(rc)));
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -126,8 +130,7 @@ fn bench_precompression(c: &mut Criterion) {
     let total_bytes: u64 = rcs.iter().map(|r| r.len() as u64).sum();
     let mut g = c.benchmark_group("precompression");
     g.throughput(Throughput::Bytes(total_bytes));
-    let compressor =
-        PairCompressor::train(streams.iter().map(|v| v.as_slice()), 256, 128);
+    let compressor = PairCompressor::train(streams.iter().map(|v| v.as_slice()), 256, 128);
     // report the achieved ratio once
     let compressed: usize = streams.iter().map(|s| compressor.compress(s).len()).sum();
     let raw: usize = streams.iter().map(Vec::len).sum();
@@ -160,7 +163,10 @@ fn bench_precompression(c: &mut Criterion) {
     )
     .unwrap();
     let plain = IndexPipeline::new(SchemeConfig::basic(4, 2).unwrap(), keys(), None).unwrap();
-    for (name, p) in [("index_with_stage0", &pre), ("index_without_stage0", &plain)] {
+    for (name, p) in [
+        ("index_with_stage0", &pre),
+        ("index_without_stage0", &plain),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 for rc in &rcs {

@@ -6,11 +6,17 @@ use sdds_bench::{cli, figure5};
 fn main() {
     let (entries, seed, json) = cli::parse(1000);
     let f = figure5::run(entries, seed, 8);
-    println!("Figure 5: Encoding Assignment for {} possible encodings", f.encodings);
+    println!(
+        "Figure 5: Encoding Assignment for {} possible encodings",
+        f.encodings
+    );
     println!("({} records, seed {seed})\n", f.entries);
     println!("  {:<8} | {:>8} | {:>8}", "Symbol", "Quantity", "Encoding");
     for row in &f.rows {
-        println!("  {:<8} | {:>8} | {:>8}", row.symbol, row.quantity, row.encoding);
+        println!(
+            "  {:<8} | {:>8} | {:>8}",
+            row.symbol, row.quantity, row.encoding
+        );
     }
     println!("\nBucket loads: {:?}", f.bucket_loads);
     cli::maybe_json(&f, json);

@@ -36,7 +36,14 @@ fn main() {
     let mut rows = Vec::new();
     println!(
         "{:>8} {:>8} {:>9} {:>10} {:>10} {:>12} {:>11} {:>12}",
-        "records", "buckets", "load ms", "lookup µs", "search ms", "search B", "search msg", "naive B"
+        "records",
+        "buckets",
+        "load ms",
+        "lookup µs",
+        "search ms",
+        "search B",
+        "search msg",
+        "naive B"
     );
     for n in sizes {
         let records = DirectoryGenerator::new(seed).generate(n);

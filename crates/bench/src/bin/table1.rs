@@ -7,7 +7,10 @@ fn main() {
     let (entries, seed, json) = cli::parse(PAPER_CORPUS_SIZE);
     let t = table1::run(entries, seed);
     println!("Table 1: chi^2-values for the synthetic SF Phone Directory");
-    println!("({} entries, seed {seed}, alphabet {} symbols)\n", t.entries, t.alphabet);
+    println!(
+        "({} entries, seed {seed}, alphabet {} symbols)\n",
+        t.entries, t.alphabet
+    );
     println!("  chi^2 (Single Letter) | {:>12}", fmt_chi2(t.chi2_single));
     println!("  chi^2 (Doublets)      | {:>12}", fmt_chi2(t.chi2_double));
     println!("  chi^2 (Triplets)      | {:>12}", fmt_chi2(t.chi2_triple));

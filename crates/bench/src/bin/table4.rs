@@ -10,9 +10,14 @@ fn main() {
     let t = table4::run(entries, seed);
     println!("Table 4: False Positives after symbol encoding (FP1) and");
     println!("after symbol encoding + chunking with chunk size = 2 (FP2)");
-    println!("({} records, queries = their last names, seed {seed})", t.entries);
-    for (title, rows) in [("(a) All entries", &t.all), ("(b) Names longer than 5 characters", &t.long_names)]
-    {
+    println!(
+        "({} records, queries = their last names, seed {seed})",
+        t.entries
+    );
+    for (title, rows) in [
+        ("(a) All entries", &t.all),
+        ("(b) Names longer than 5 characters", &t.long_names),
+    ] {
         println!("\n{title}");
         println!(
             "  {:>3} | {:>12} | {:>12} | {:>12} | {:>7} | {:>7}",

@@ -1,15 +1,23 @@
 //! Regenerates Table 5: false positives after two-symbol chunk encoding.
 
-use sdds_bench::common::fmt_chi2;
+use sdds_bench::common::{cluster_probe, fmt_chi2};
 use sdds_bench::{cli, table5};
 
 fn main() {
     let (entries, seed, json) = cli::parse(1000);
+    // drive a live LH* cluster first so the metrics sidecar carries per-op
+    // latency, hop/IAM and scan fan-out numbers next to the offline table
+    cluster_probe(entries, seed);
     let t = table5::run(entries, seed);
     println!("Table 5: False Positives after chunk encoding (2-symbol chunks)");
-    println!("({} records, queries = their last names, seed {seed})", t.entries);
-    for (title, rows) in [("(a) All entries", &t.all), ("(b) Last names longer than 5 characters", &t.long_names)]
-    {
+    println!(
+        "({} records, queries = their last names, seed {seed})",
+        t.entries
+    );
+    for (title, rows) in [
+        ("(a) All entries", &t.all),
+        ("(b) Last names longer than 5 characters", &t.long_names),
+    ] {
         println!("\n{title}");
         println!(
             "  {:>3} | {:>12} | {:>12} | {:>12} | {:>7}",

@@ -1,10 +1,18 @@
 //! Tiny argument parsing shared by the table binaries.
 //!
-//! Usage: `tableN [--entries N] [--seed S] [--json PATH] [--quick]`.
+//! Usage: `tableN [--entries N] [--seed S] [--json PATH] [--metrics-json PATH] [--quick]`.
 //! `--quick` caps the corpus at 5,000 entries for a fast sanity run.
+//!
+//! Every `--json` artefact gains a metrics sidecar at `PATH.metrics.json`
+//! (an [`sdds_obs::MetricsSnapshot`] of the whole run); `--metrics-json`
+//! overrides the sidecar path and also works without `--json`.
 
 use crate::DEFAULT_SEED;
 use serde::Serialize;
+use std::sync::OnceLock;
+
+/// Explicit sidecar path from `--metrics-json`, when given.
+static METRICS_JSON: OnceLock<String> = OnceLock::new();
 
 /// Parses `(entries, seed, json_path)` from `std::env::args`.
 pub fn parse(default_entries: usize) -> (usize, u64, Option<String>) {
@@ -37,9 +45,22 @@ pub fn parse(default_entries: usize) -> (usize, u64, Option<String>) {
                 );
                 i += 1;
             }
+            "--metrics-json" => {
+                let path = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| die("--metrics-json needs a path"));
+                let _ = METRICS_JSON.set(path);
+                i += 1;
+            }
             "--quick" => entries = entries.min(5_000),
             "--help" | "-h" => {
-                eprintln!("usage: [--entries N] [--seed S] [--json PATH] [--quick]");
+                eprintln!(
+                    "usage: [--entries N] [--seed S] [--json PATH] \
+                     [--metrics-json PATH] [--quick]\n\
+                     --json PATH also writes a PATH.metrics.json observability \
+                     sidecar; --metrics-json overrides the sidecar path"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument {other:?}")),
@@ -54,11 +75,21 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Writes the artefact as JSON if a path was requested.
+/// Writes the artefact as JSON if a path was requested, plus the metrics
+/// sidecar (`PATH.metrics.json`, or the `--metrics-json` override).
 pub fn maybe_json<T: Serialize>(artefact: &T, path: Option<String>) {
+    let sidecar = METRICS_JSON
+        .get()
+        .cloned()
+        .or_else(|| path.as_ref().map(|p| format!("{p}.metrics.json")));
     if let Some(path) = path {
         let body = serde_json::to_string_pretty(artefact).expect("artefact serializes");
         std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = sidecar {
+        let body = sdds_obs::MetricsSnapshot::capture().to_json();
+        std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote {path} (metrics sidecar)");
     }
 }

@@ -49,7 +49,12 @@ pub fn run(entries: usize, seed: u64, encodings: usize) -> Figure5 {
             encoding: *code,
         })
         .collect();
-    Figure5 { entries, encodings, rows, bucket_loads: book.bucket_loads() }
+    Figure5 {
+        entries,
+        encodings,
+        rows,
+        bucket_loads: book.bucket_loads(),
+    }
 }
 
 #[cfg(test)]

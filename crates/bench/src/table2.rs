@@ -41,11 +41,8 @@ pub fn run(entries: usize, seed: u64) -> Table2 {
         disperser.disperse_record(&chunks).into_iter()
     });
     let (c1, c2, c3) = ngram_counters(streams, 4);
-    let mut share_frequencies: Vec<(u16, f64)> = c1
-        .top(4)
-        .into_iter()
-        .map(|(g, f)| (g[0], f))
-        .collect();
+    let mut share_frequencies: Vec<(u16, f64)> =
+        c1.top(4).into_iter().map(|(g, f)| (g[0], f)).collect();
     share_frequencies.sort_by(|a, b| b.1.total_cmp(&a.1));
     Table2 {
         entries,
@@ -74,7 +71,11 @@ mod tests {
         // encouraging."
         let raw = table1::run(5_000, 9);
         let dispersed = run(5_000, 9);
-        assert!(dispersed.chi2_single > 10.0, "still skewed: {}", dispersed.chi2_single);
+        assert!(
+            dispersed.chi2_single > 10.0,
+            "still skewed: {}",
+            dispersed.chi2_single
+        );
         assert!(
             dispersed.chi2_triple < raw.chi2_triple,
             "dispersion should shrink higher-order structure: {} vs {}",

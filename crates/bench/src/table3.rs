@@ -103,7 +103,11 @@ mod tests {
             .find(|r| r.chunk_size == 4 && r.encodings == 16)
             .unwrap();
         assert!(row.distinct_chunks > 16 * 10);
-        assert!(row.chi2_single < 1.0, "χ² single {} too big", row.chi2_single);
+        assert!(
+            row.chi2_single < 1.0,
+            "χ² single {} too big",
+            row.chi2_single
+        );
     }
 
     #[test]
@@ -112,8 +116,16 @@ mod tests {
         // cs=1/enc=16 row explodes (352,565); ours must also blow up
         // relative to the balanced cells.
         let t = quick();
-        let bad = t.rows.iter().find(|r| r.chunk_size == 1 && r.encodings == 16).unwrap();
-        let good = t.rows.iter().find(|r| r.chunk_size == 1 && r.encodings == 2).unwrap();
+        let bad = t
+            .rows
+            .iter()
+            .find(|r| r.chunk_size == 1 && r.encodings == 16)
+            .unwrap();
+        let good = t
+            .rows
+            .iter()
+            .find(|r| r.chunk_size == 1 && r.encodings == 2)
+            .unwrap();
         assert!(
             bad.chi2_single > 100.0 * good.chi2_single.max(0.01),
             "cs1/enc16 {} vs cs1/enc2 {}",
@@ -141,8 +153,7 @@ mod tests {
         // (the paper's rows are monotone in every group)
         let t = quick();
         for cs in [2usize, 4, 6] {
-            let group: Vec<&Table3Row> =
-                t.rows.iter().filter(|r| r.chunk_size == cs).collect();
+            let group: Vec<&Table3Row> = t.rows.iter().filter(|r| r.chunk_size == cs).collect();
             for w in group.windows(2) {
                 assert!(
                     w[1].chi2_double > w[0].chi2_double,
@@ -189,8 +200,16 @@ mod tests {
         // at a fixed code count, larger chunks absorb more context:
         // triplet χ² at cs=6 below cs=2 (paper: 2.3M vs 193.8M at 128)
         let t = quick();
-        let cs2 = t.rows.iter().find(|r| r.chunk_size == 2 && r.encodings == 128).unwrap();
-        let cs6 = t.rows.iter().find(|r| r.chunk_size == 6 && r.encodings == 128).unwrap();
+        let cs2 = t
+            .rows
+            .iter()
+            .find(|r| r.chunk_size == 2 && r.encodings == 128)
+            .unwrap();
+        let cs6 = t
+            .rows
+            .iter()
+            .find(|r| r.chunk_size == 6 && r.encodings == 128)
+            .unwrap();
         assert!(
             cs6.chi2_triple < cs2.chi2_triple,
             "cs6 {} !< cs2 {}",

@@ -78,8 +78,7 @@ fn chunked_hit(record_codes: &[u16], query_codes: &[u16]) -> bool {
             continue;
         }
         for chunking in &record_chunkings {
-            if chunking.len() >= series.len()
-                && chunking.windows(series.len()).any(|w| w == series)
+            if chunking.len() >= series.len() && chunking.windows(series.len()).any(|w| w == series)
             {
                 return true;
             }
@@ -124,8 +123,10 @@ pub fn run_row(records: &[Record], encodings: usize) -> (Table4Row, Table4Row) {
         counter.add_record(&r.symbols(), 0);
     }
     let book = Codebook::build_equalized(&counter, encodings);
-    let encoded: Vec<Vec<u16>> =
-        records.iter().map(|r| book.encode_stream(&r.symbols(), 0)).collect();
+    let encoded: Vec<Vec<u16>> = records
+        .iter()
+        .map(|r| book.encode_stream(&r.symbols(), 0))
+        .collect();
     let (c1, c2, c3) = ngram_counters(encoded.iter().cloned(), encodings);
     let all_queries: Vec<&str> = records.iter().map(|r| r.last_name()).collect();
     let long_queries: Vec<&str> = all_queries
@@ -143,7 +144,11 @@ pub fn run_row(records: &[Record], encodings: usize) -> (Table4Row, Table4Row) {
         fp1: fp1_all,
         fp2: fp2_all,
     };
-    let long = Table4Row { fp1: fp1_long, fp2: fp2_long, ..base.clone() };
+    let long = Table4Row {
+        fp1: fp1_long,
+        fp2: fp2_long,
+        ..base.clone()
+    };
     (base, long)
 }
 
@@ -157,7 +162,11 @@ pub fn run(entries: usize, seed: u64) -> Table4 {
         all.push(a);
         long_names.push(l);
     }
-    Table4 { entries, all, long_names }
+    Table4 {
+        entries,
+        all,
+        long_names,
+    }
 }
 
 #[cfg(test)]

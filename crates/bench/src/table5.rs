@@ -42,7 +42,10 @@ pub struct Table5 {
 /// Encoded chunk streams of a symbol stream at offsets 0 and 1 (partial
 /// chunks deleted, as in the paper).
 fn chunk_streams(book: &Codebook, symbols: &[u16]) -> [Vec<u16>; 2] {
-    [book.encode_stream(symbols, 0), book.encode_stream(symbols, 1)]
+    [
+        book.encode_stream(symbols, 0),
+        book.encode_stream(symbols, 1),
+    ]
 }
 
 /// Hit: any query alignment's code series occurs in any record stream.
@@ -52,9 +55,7 @@ fn hit(record_streams: &[Vec<u16>; 2], query_streams: &[Vec<u16>; 2]) -> bool {
             continue;
         }
         for stream in record_streams {
-            if stream.len() >= series.len()
-                && stream.windows(series.len()).any(|w| w == series)
-            {
+            if stream.len() >= series.len() && stream.windows(series.len()).any(|w| w == series) {
                 return true;
             }
         }
@@ -91,13 +92,17 @@ pub fn run_row(records: &[Record], encodings: usize) -> (Table5Row, Table5Row) {
         counter.add_record_all_offsets(&r.symbols());
     }
     let book = Codebook::build_equalized(&counter, encodings);
-    let streams: Vec<[Vec<u16>; 2]> =
-        records.iter().map(|r| chunk_streams(&book, &r.symbols())).collect();
-    let (c1, c2, c3) =
-        ngram_counters(streams.iter().flat_map(|s| s.iter().cloned()), encodings);
+    let streams: Vec<[Vec<u16>; 2]> = records
+        .iter()
+        .map(|r| chunk_streams(&book, &r.symbols()))
+        .collect();
+    let (c1, c2, c3) = ngram_counters(streams.iter().flat_map(|s| s.iter().cloned()), encodings);
     let all_queries: Vec<&str> = records.iter().map(|r| r.last_name()).collect();
-    let long_queries: Vec<&str> =
-        all_queries.iter().copied().filter(|n| n.len() > 5).collect();
+    let long_queries: Vec<&str> = all_queries
+        .iter()
+        .copied()
+        .filter(|n| n.len() > 5)
+        .collect();
     let base = Table5Row {
         encodings,
         chi2_single: c1.chi2_uniform(),
@@ -122,7 +127,11 @@ pub fn run(entries: usize, seed: u64) -> Table5 {
         all.push(a);
         long_names.push(l);
     }
-    Table5 { entries, all, long_names }
+    Table5 {
+        entries,
+        all,
+        long_names,
+    }
 }
 
 #[cfg(test)]

@@ -30,12 +30,18 @@ impl fmt::Display for ChunkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChunkError::ZeroChunkSize => write!(f, "chunk size must be positive"),
-            ChunkError::BadChunkingCount { chunk_size, chunkings } => write!(
+            ChunkError::BadChunkingCount {
+                chunk_size,
+                chunkings,
+            } => write!(
                 f,
                 "number of chunkings {chunkings} must divide chunk size {chunk_size}"
             ),
             ChunkError::QueryTooShort { len, min } => {
-                write!(f, "query length {len} below minimum searchable length {min}")
+                write!(
+                    f,
+                    "query length {len} below minimum searchable length {min}"
+                )
             }
         }
     }
@@ -91,9 +97,15 @@ impl ChunkingScheme {
             return Err(ChunkError::ZeroChunkSize);
         }
         if chunkings == 0 || chunkings > chunk_size || !chunk_size.is_multiple_of(chunkings) {
-            return Err(ChunkError::BadChunkingCount { chunk_size, chunkings });
+            return Err(ChunkError::BadChunkingCount {
+                chunk_size,
+                chunkings,
+            });
         }
-        Ok(ChunkingScheme { chunk_size, chunkings })
+        Ok(ChunkingScheme {
+            chunk_size,
+            chunkings,
+        })
     }
 
     /// The full scheme of §2.1: `s` chunkings of chunk size `s`.
@@ -178,7 +190,10 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert_eq!(ChunkingScheme::new(0, 1).unwrap_err(), ChunkError::ZeroChunkSize);
+        assert_eq!(
+            ChunkingScheme::new(0, 1).unwrap_err(),
+            ChunkError::ZeroChunkSize
+        );
         assert!(matches!(
             ChunkingScheme::new(8, 3).unwrap_err(),
             ChunkError::BadChunkingCount { .. }
@@ -257,10 +272,15 @@ mod tests {
     #[test]
     fn empty_record_yields_no_chunks() {
         let scheme = ChunkingScheme::full(4).unwrap();
-        assert!(scheme.chunk_record(0, &[], PartialChunkPolicy::Store).is_empty());
+        assert!(scheme
+            .chunk_record(0, &[], PartialChunkPolicy::Store)
+            .is_empty());
         // chunking with padding only produces the all-pad chunk when storing
         let c = scheme.chunk_record(1, &[], PartialChunkPolicy::Store);
-        assert!(c.is_empty(), "pad-only record area should produce no chunks: {c:?}");
+        assert!(
+            c.is_empty(),
+            "pad-only record area should produce no chunks: {c:?}"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl ChunkingScheme {
         let s = self.chunk_size();
         let min = self.min_search_len(mode);
         if query.len() < min {
-            return Err(ChunkError::QueryTooShort { len: query.len(), min });
+            return Err(ChunkError::QueryTooShort {
+                len: query.len(),
+                min,
+            });
         }
         let ndrops = match mode {
             SearchMode::Exhaustive => s,
@@ -91,8 +94,7 @@ impl ChunkingScheme {
         let mut out = Vec::with_capacity(ndrops);
         for drop in 0..ndrops {
             let rest = &query[drop..];
-            let chunks: Vec<Vec<u16>> =
-                rest.chunks_exact(s).map(|c| c.to_vec()).collect();
+            let chunks: Vec<Vec<u16>> = rest.chunks_exact(s).map(|c| c.to_vec()).collect();
             debug_assert!(!chunks.is_empty(), "min length guarantees >= 1 chunk");
             out.push(SearchSeries { drop, chunks });
         }

@@ -7,9 +7,7 @@
 //!   true occurrence position.
 
 use proptest::prelude::*;
-use sdds_chunk::{
-    find_series, ChunkingScheme, CombinationRule, PartialChunkPolicy, SearchMode,
-};
+use sdds_chunk::{find_series, ChunkingScheme, CombinationRule, PartialChunkPolicy, SearchMode};
 
 /// Runs a full plaintext search: chunks the record under every chunking,
 /// generates the query series, and combines per-chunking verdicts.
@@ -39,10 +37,19 @@ fn plaintext_search(
 }
 
 fn schemes() -> Vec<ChunkingScheme> {
-    [(4, 4), (4, 2), (4, 1), (8, 8), (8, 4), (8, 2), (6, 3), (2, 2)]
-        .into_iter()
-        .map(|(s, c)| ChunkingScheme::new(s, c).unwrap())
-        .collect()
+    [
+        (4, 4),
+        (4, 2),
+        (4, 1),
+        (8, 8),
+        (8, 4),
+        (8, 2),
+        (6, 3),
+        (2, 2),
+    ]
+    .into_iter()
+    .map(|(s, c)| ChunkingScheme::new(s, c).unwrap())
+    .collect()
 }
 
 #[test]

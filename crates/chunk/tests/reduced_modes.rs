@@ -3,9 +3,7 @@
 //! mean fewer sites and longer minimum queries; Exhaustive mode buys the
 //! AND rule's false-positive cuts at 2s-1 minimum length.
 
-use sdds_chunk::{
-    find_series, ChunkingScheme, CombinationRule, PartialChunkPolicy, SearchMode,
-};
+use sdds_chunk::{find_series, ChunkingScheme, CombinationRule, PartialChunkPolicy, SearchMode};
 
 fn search(
     scheme: &ChunkingScheme,
@@ -17,7 +15,9 @@ fn search(
     let verdicts: Vec<bool> = (0..scheme.num_chunkings())
         .map(|j| {
             let chunks = scheme.chunk_record(j, record, PartialChunkPolicy::Store);
-            series.iter().any(|s| !find_series(&chunks, &s.chunks).is_empty())
+            series
+                .iter()
+                .any(|s| !find_series(&chunks, &s.chunks).is_empty())
         })
         .collect();
     Some(match mode.combination() {
@@ -43,10 +43,16 @@ fn storage_against_search_length_tradeoff() {
     // fewer chunkings stored ⇒ longer minimum query, exactly s + s/c - 1
     for (s, c, min) in [(8usize, 8usize, 8usize), (8, 4, 9), (8, 2, 11), (8, 1, 15)] {
         let scheme = ChunkingScheme::new(s, c).unwrap();
-        assert_eq!(scheme.min_search_len(SearchMode::Minimal), min, "s={s} c={c}");
+        assert_eq!(
+            scheme.min_search_len(SearchMode::Minimal),
+            min,
+            "s={s} c={c}"
+        );
         // one symbol below the minimum is rejected
         let too_short: Vec<u16> = (1..min as u16).collect();
-        assert!(scheme.search_series(&too_short, SearchMode::Minimal).is_err());
+        assert!(scheme
+            .search_series(&too_short, SearchMode::Minimal)
+            .is_err());
         // the minimum itself works end to end
         let record: Vec<u16> = (1..=40).collect();
         let q = &record[3..3 + min];
@@ -67,11 +73,17 @@ fn exhaustive_mode_works_on_reduced_storage_too() {
     assert_eq!(min, 15); // 2s - 1
     for start in 0..20 {
         let q = &record[start..start + min];
-        assert_eq!(search(&scheme, &record, q, SearchMode::Exhaustive), Some(true));
+        assert_eq!(
+            search(&scheme, &record, q, SearchMode::Exhaustive),
+            Some(true)
+        );
     }
     // absent pattern rejected by every chunking
     let phantom: Vec<u16> = (100..115).collect();
-    assert_eq!(search(&scheme, &record, &phantom, SearchMode::Exhaustive), Some(false));
+    assert_eq!(
+        search(&scheme, &record, &phantom, SearchMode::Exhaustive),
+        Some(false)
+    );
 }
 
 #[test]
@@ -85,7 +97,9 @@ fn minimal_mode_single_site_reports_per_occurrence() {
     let reporting: usize = (0..scheme.num_chunkings())
         .filter(|&j| {
             let chunks = scheme.chunk_record(j, &record, PartialChunkPolicy::Store);
-            series.iter().any(|s| !find_series(&chunks, &s.chunks).is_empty())
+            series
+                .iter()
+                .any(|s| !find_series(&chunks, &s.chunks).is_empty())
         })
         .count();
     assert_eq!(reporting, 1, "exactly one chunking should attest");
@@ -102,8 +116,13 @@ fn repeated_content_can_make_multiple_sites_report() {
     let reporting: usize = (0..scheme.num_chunkings())
         .filter(|&j| {
             let chunks = scheme.chunk_record(j, &record, PartialChunkPolicy::Store);
-            series.iter().any(|s| !find_series(&chunks, &s.chunks).is_empty())
+            series
+                .iter()
+                .any(|s| !find_series(&chunks, &s.chunks).is_empty())
         })
         .count();
-    assert!(reporting > 1, "repetition should multiply hits: {reporting}");
+    assert!(
+        reporting > 1,
+        "repetition should multiply hits: {reporting}"
+    );
 }

@@ -65,12 +65,8 @@ fn build_sbox() -> ([u8; 256], [u8; 256]) {
     for i in 0..256usize {
         let x = ginv(i as u8);
         // affine transform: b ^= rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
-        let s = x
-            ^ x.rotate_left(1)
-            ^ x.rotate_left(2)
-            ^ x.rotate_left(3)
-            ^ x.rotate_left(4)
-            ^ 0x63;
+        let s =
+            x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
         sbox[i] = s;
         inv_sbox[s as usize] = i as u8;
     }
@@ -159,7 +155,12 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
-        Aes128 { round_keys, sbox, inv_sbox, mul }
+        Aes128 {
+            round_keys,
+            sbox,
+            inv_sbox,
+            mul,
+        }
     }
 
     #[inline]
@@ -205,8 +206,12 @@ impl Aes128 {
         let m = &self.mul;
         for c in 0..4 {
             let col = &mut state[4 * c..4 * c + 4];
-            let (a0, a1, a2, a3) =
-                (col[0] as usize, col[1] as usize, col[2] as usize, col[3] as usize);
+            let (a0, a1, a2, a3) = (
+                col[0] as usize,
+                col[1] as usize,
+                col[2] as usize,
+                col[3] as usize,
+            );
             col[0] = m.m2[a0] ^ m.m3[a1] ^ a2 as u8 ^ a3 as u8;
             col[1] = a0 as u8 ^ m.m2[a1] ^ m.m3[a2] ^ a3 as u8;
             col[2] = a0 as u8 ^ a1 as u8 ^ m.m2[a2] ^ m.m3[a3];
@@ -218,8 +223,12 @@ impl Aes128 {
         let m = &self.mul;
         for c in 0..4 {
             let col = &mut state[4 * c..4 * c + 4];
-            let (a0, a1, a2, a3) =
-                (col[0] as usize, col[1] as usize, col[2] as usize, col[3] as usize);
+            let (a0, a1, a2, a3) = (
+                col[0] as usize,
+                col[1] as usize,
+                col[2] as usize,
+                col[3] as usize,
+            );
             col[0] = m.m14[a0] ^ m.m11[a1] ^ m.m13[a2] ^ m.m9[a3];
             col[1] = m.m9[a0] ^ m.m14[a1] ^ m.m11[a2] ^ m.m13[a3];
             col[2] = m.m13[a0] ^ m.m9[a1] ^ m.m14[a2] ^ m.m11[a3];
@@ -335,8 +344,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0,
-                0x37, 0x07, 0x34
+                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                0x07, 0x34
             ]
         );
     }

@@ -98,7 +98,8 @@ impl KeyMaterial {
 
     /// Sub-keys for the SWP-chunk index mode (one role key per chunking).
     pub fn swp_key(&self, role: &str, chunking: u32) -> [u8; 16] {
-        self.master.derive(&format!("swp-chunk-{role}"), chunking as u64)
+        self.master
+            .derive(&format!("swp-chunk-{role}"), chunking as u64)
     }
 }
 

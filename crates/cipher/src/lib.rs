@@ -42,7 +42,10 @@ impl std::fmt::Display for CipherError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CipherError::RaggedCiphertext(n) => {
-                write!(f, "ciphertext length {n} is not a multiple of the block size")
+                write!(
+                    f,
+                    "ciphertext length {n} is not a multiple of the block size"
+                )
             }
             CipherError::BadPadding => write!(f, "invalid PKCS#7 padding"),
         }

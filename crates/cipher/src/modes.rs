@@ -48,11 +48,7 @@ pub fn cbc_encrypt(aes: &Aes128, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
 }
 
 /// CBC-mode decryption with PKCS#7 validation.
-pub fn cbc_decrypt(
-    aes: &Aes128,
-    iv: &[u8; 16],
-    ciphertext: &[u8],
-) -> Result<Vec<u8>, CipherError> {
+pub fn cbc_decrypt(aes: &Aes128, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, CipherError> {
     if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
         return Err(CipherError::RaggedCiphertext(ciphertext.len()));
     }
@@ -152,7 +148,10 @@ mod tests {
         let mut ct = cbc_encrypt(&aes, &[0; 16], b"hello world");
         let n = ct.len();
         ct[n - 1] ^= 0xFF; // garble final block -> padding check must fail
-        assert_eq!(cbc_decrypt(&aes, &[0; 16], &ct), Err(CipherError::BadPadding));
+        assert_eq!(
+            cbc_decrypt(&aes, &[0; 16], &ct),
+            Err(CipherError::BadPadding)
+        );
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub struct ChunkPrp {
 
 impl fmt::Debug for ChunkPrp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ChunkPrp").field("width", &self.width).finish()
+        f.debug_struct("ChunkPrp")
+            .field("width", &self.width)
+            .finish()
     }
 }
 
@@ -85,7 +87,12 @@ impl ChunkPrp {
         }
         let left_bits = width / 2;
         let right_bits = width - left_bits;
-        Ok(ChunkPrp { aes: Aes128::new(key), width, left_bits, right_bits })
+        Ok(ChunkPrp {
+            aes: Aes128::new(key),
+            width,
+            left_bits,
+            right_bits,
+        })
     }
 
     /// Permutation width in bits.
@@ -152,8 +159,14 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_width() {
-        assert_eq!(ChunkPrp::new(&[0; 16], 0).unwrap_err(), PrpError::UnsupportedWidth(0));
-        assert_eq!(ChunkPrp::new(&[0; 16], 129).unwrap_err(), PrpError::UnsupportedWidth(129));
+        assert_eq!(
+            ChunkPrp::new(&[0; 16], 0).unwrap_err(),
+            PrpError::UnsupportedWidth(0)
+        );
+        assert_eq!(
+            ChunkPrp::new(&[0; 16], 129).unwrap_err(),
+            PrpError::UnsupportedWidth(129)
+        );
     }
 
     #[test]
@@ -173,7 +186,9 @@ mod tests {
 
     #[test]
     fn decrypt_inverts_encrypt_across_widths() {
-        for width in [1u32, 2, 3, 7, 8, 15, 16, 24, 31, 32, 48, 63, 64, 100, 127, 128] {
+        for width in [
+            1u32, 2, 3, 7, 8, 15, 16, 24, 31, 32, 48, 63, 64, 100, 127, 128,
+        ] {
             let prp = ChunkPrp::new(&[9; 16], width).unwrap();
             let m = mask(width);
             for i in 0..200u128 {
@@ -195,8 +210,13 @@ mod tests {
     fn key_sensitivity() {
         let p1 = ChunkPrp::new(&[1; 16], 32).unwrap();
         let p2 = ChunkPrp::new(&[2; 16], 32).unwrap();
-        let differing = (0..256u128).filter(|&x| p1.encrypt(x) != p2.encrypt(x)).count();
-        assert!(differing > 240, "keys should change almost all outputs: {differing}");
+        let differing = (0..256u128)
+            .filter(|&x| p1.encrypt(x) != p2.encrypt(x))
+            .count();
+        assert!(
+            differing > 240,
+            "keys should change almost all outputs: {differing}"
+        );
     }
 
     #[test]
@@ -212,7 +232,10 @@ mod tests {
             total += (y0 ^ y1).count_ones();
         }
         let avg = total as f64 / trials as f64;
-        assert!((12.0..36.0).contains(&avg), "poor avalanche: avg {avg} of 48 bits");
+        assert!(
+            (12.0..36.0).contains(&avg),
+            "poor avalanche: avg {avg} of 48 bits"
+        );
     }
 
     #[test]

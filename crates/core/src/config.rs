@@ -61,12 +61,18 @@ pub struct EncodingConfig {
 impl EncodingConfig {
     /// Whole-chunk codes (§3's primary procedure).
     pub fn whole_chunk(num_codes: usize) -> EncodingConfig {
-        EncodingConfig { num_codes, granularity: EncodingGranularity::WholeChunk }
+        EncodingConfig {
+            num_codes,
+            granularity: EncodingGranularity::WholeChunk,
+        }
     }
 
     /// Per-symbol codes (§3's large-chunk fallback).
     pub fn per_symbol(num_codes: usize) -> EncodingConfig {
-        EncodingConfig { num_codes, granularity: EncodingGranularity::PerSymbol }
+        EncodingConfig {
+            num_codes,
+            granularity: EncodingGranularity::PerSymbol,
+        }
     }
 
     /// Bits per code.
@@ -197,7 +203,10 @@ impl SchemeConfig {
 
     /// The §8 extension: SWP-encrypted chunks (position-randomised at
     /// rest, trapdoor-matched).
-    pub fn swp_chunks(chunk_size: usize, num_chunkings: usize) -> Result<SchemeConfig, ConfigError> {
+    pub fn swp_chunks(
+        chunk_size: usize,
+        num_chunkings: usize,
+    ) -> Result<SchemeConfig, ConfigError> {
         let mut cfg = SchemeConfig::basic(chunk_size, num_chunkings)?;
         cfg.index_kind = IndexKind::SwpChunks;
         cfg.validated()
@@ -323,7 +332,10 @@ mod tests {
     fn rejects_bad_dispersion() {
         let mut cfg = SchemeConfig::basic(4, 2).unwrap(); // 32-bit chunks
         cfg.dispersion = Some(3); // 3 does not divide 32
-        assert!(matches!(cfg.validated().unwrap_err(), ConfigError::Dispersion(_)));
+        assert!(matches!(
+            cfg.validated().unwrap_err(),
+            ConfigError::Dispersion(_)
+        ));
     }
 
     #[test]

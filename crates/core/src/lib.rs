@@ -49,8 +49,7 @@ mod store;
 mod swp_chunks;
 
 pub use config::{
-    ConfigError, EncodingConfig, EncodingGranularity, IndexKind, PrecompressionConfig,
-    SchemeConfig,
+    ConfigError, EncodingConfig, EncodingGranularity, IndexKind, PrecompressionConfig, SchemeConfig,
 };
 pub use pipeline::{IndexPipeline, IndexRecord, StorageReport};
 pub use query::{EncryptedIndexFilter, EncryptedQuery};

@@ -102,9 +102,7 @@ impl IndexPipeline {
         );
         let width = config.chunk_bits() as u32;
         let prps = (0..config.chunking.num_chunkings())
-            .map(|j| {
-                ChunkPrp::new(&keys.chunk_key(j as u32), width).expect("validated width")
-            })
+            .map(|j| ChunkPrp::new(&keys.chunk_key(j as u32), width).expect("validated width"))
             .collect();
         let disperser = config.dispersion.map(|k| {
             let dc = DispersalConfig::new(config.chunk_bits(), k).expect("validated");
@@ -116,7 +114,15 @@ impl IndexPipeline {
                 .collect(),
             IndexKind::EcbChunks => Vec::new(),
         };
-        Ok(IndexPipeline { config, keys, prps, swps, codebook, precompressor, disperser })
+        Ok(IndexPipeline {
+            config,
+            keys,
+            prps,
+            swps,
+            codebook,
+            precompressor,
+            disperser,
+        })
     }
 
     /// Trains the Stage-0 searchable pair compressor on a representative
@@ -166,15 +172,18 @@ impl IndexPipeline {
     /// streams — the form to use when Stage-0 pre-compression feeds
     /// Stage 2 (train on the *compressed* streams).
     pub fn train_codebook_streams(config: &SchemeConfig, streams: &[Vec<u16>]) -> Codebook {
-        let enc = config.encoding.expect("training requires an encoding config");
+        let enc = config
+            .encoding
+            .expect("training requires an encoding config");
         match enc.granularity {
             EncodingGranularity::WholeChunk => {
                 let s = config.chunking.chunk_size();
                 let mut counter = GramCounter::new(s);
                 for symbols in streams {
                     for j in 0..config.chunking.num_chunkings() {
-                        for chunk in
-                            config.chunking.chunk_record(j, symbols, config.partial_chunks)
+                        for chunk in config
+                            .chunking
+                            .chunk_record(j, symbols, config.partial_chunks)
                         {
                             counter.add_record(&chunk, 0);
                         }
@@ -231,11 +240,19 @@ impl IndexPipeline {
         let element_bytes = self.config.element_bytes();
         let mut out = Vec::with_capacity(c * k);
         for j in 0..c {
-            let chunks =
-                self.config.chunking.chunk_record(j, &symbols, self.config.partial_chunks);
+            let chunk_timer = sdds_obs::histogram("core.chunk_seconds").start_timer();
+            let chunks = self
+                .config
+                .chunking
+                .chunk_record(j, &symbols, self.config.partial_chunks);
+            drop(chunk_timer);
+            let encode_timer = sdds_obs::histogram("core.encode_seconds").start_timer();
             let values: Vec<u128> = chunks.iter().map(|ch| self.chunk_value(j, ch)).collect();
+            drop(encode_timer);
             match &self.disperser {
                 Some(d) => {
+                    let _disperse_timer =
+                        sdds_obs::histogram("core.disperse_seconds").start_timer();
                     let mut bodies = vec![Vec::with_capacity(values.len() * element_bytes); k];
                     for &v in &values {
                         for (site, &share) in d.disperse(v).iter().enumerate() {
@@ -244,7 +261,11 @@ impl IndexPipeline {
                         }
                     }
                     for (site, body) in bodies.into_iter().enumerate() {
-                        out.push(IndexRecord { chunking: j, site, body });
+                        out.push(IndexRecord {
+                            chunking: j,
+                            site,
+                            body,
+                        });
                     }
                 }
                 None => {
@@ -252,7 +273,11 @@ impl IndexPipeline {
                     for &v in &values {
                         body.extend_from_slice(&value_to_bytes(v, element_bytes));
                     }
-                    out.push(IndexRecord { chunking: j, site: 0, body });
+                    out.push(IndexRecord {
+                        chunking: j,
+                        site: 0,
+                        body,
+                    });
                 }
             }
         }
@@ -270,14 +295,20 @@ impl IndexPipeline {
         let c = self.config.chunking.num_chunkings();
         let mut out = Vec::with_capacity(c);
         for j in 0..c {
-            let chunks =
-                self.config.chunking.chunk_record(j, symbols, self.config.partial_chunks);
+            let chunks = self
+                .config
+                .chunking
+                .chunk_record(j, symbols, self.config.partial_chunks);
             let mut body = Vec::with_capacity(chunks.len() * 16);
             for (pos, chunk) in chunks.iter().enumerate() {
                 let value = self.chunk_plain_value(chunk);
                 body.extend_from_slice(&self.swps[j].encrypt_chunk(rid, pos as u64, value));
             }
-            out.push(IndexRecord { chunking: j, site: 0, body });
+            out.push(IndexRecord {
+                chunking: j,
+                site: 0,
+                body,
+            });
         }
         out
     }
@@ -293,8 +324,7 @@ impl IndexPipeline {
     pub fn decrypt_record(&self, rid: u64, ciphertext: &[u8]) -> Result<String, PipelineError> {
         let aes = self.keys.record_cipher();
         let iv = self.keys.record_iv(rid);
-        let bytes =
-            modes::cbc_decrypt(&aes, &iv, ciphertext).map_err(PipelineError::Decrypt)?;
+        let bytes = modes::cbc_decrypt(&aes, &iv, ciphertext).map_err(PipelineError::Decrypt)?;
         String::from_utf8(bytes).map_err(|_| PipelineError::NotUtf8)
     }
 
@@ -304,6 +334,7 @@ impl IndexPipeline {
     /// search variants (the text may absorb the pattern's edge symbols
     /// into pair codes); the query carries the series of every variant.
     pub fn build_query(&self, pattern: &str) -> Result<EncryptedQuery, PipelineError> {
+        let _timer = sdds_obs::histogram("core.query_build_seconds").start_timer();
         let raw = rc_symbols(pattern);
         let variants: Vec<Vec<u16>> = match &self.precompressor {
             Some(p) => p.search_variants(&raw),
@@ -356,7 +387,12 @@ impl IndexPipeline {
             // encrypt every series under chunking j's key
             let encrypted_series: Vec<Vec<u128>> = series
                 .iter()
-                .map(|ser| ser.chunks.iter().map(|ch| self.chunk_value(j, ch)).collect())
+                .map(|ser| {
+                    ser.chunks
+                        .iter()
+                        .map(|ch| self.chunk_value(j, ch))
+                        .collect()
+                })
                 .collect();
             match &self.disperser {
                 Some(d) => {
@@ -365,8 +401,7 @@ impl IndexPipeline {
                         let bodies: Vec<Vec<u8>> = encrypted_series
                             .iter()
                             .map(|vals| {
-                                let mut body =
-                                    Vec::with_capacity(vals.len() * element_bytes);
+                                let mut body = Vec::with_capacity(vals.len() * element_bytes);
                                 for &v in vals {
                                     let share = d.disperse(v)[site];
                                     body.extend_from_slice(&value_to_bytes(
@@ -496,7 +531,7 @@ mod tests {
         let p = basic_pipeline();
         let recs = p.index_records("ABCDEFGHIJKL");
         assert_eq!(recs.len(), 4); // 4 chunkings × k=1
-        // chunking 0: 3 chunks of 4 bytes each → 12-byte body (4B elements)
+                                   // chunking 0: 3 chunks of 4 bytes each → 12-byte body (4B elements)
         assert_eq!(recs[0].body.len(), 3 * 4);
         // chunking 1 pads by 1 → 4 chunks
         assert_eq!(recs[1].body.len(), 4 * 4);
@@ -554,8 +589,7 @@ mod tests {
             assert_eq!(w[1] - w[0], 1, "tags occupy consecutive keys");
         }
         // so mod 2^i addressing separates them once the file has >= 8 buckets
-        let distinct: std::collections::HashSet<u64> =
-            keys.iter().map(|k| k % 8).collect();
+        let distinct: std::collections::HashSet<u64> = keys.iter().map(|k| k % 8).collect();
         assert_eq!(distinct.len(), 5);
     }
 
@@ -600,7 +634,7 @@ mod tests {
         let q = p.build_query("ABCDEFGH").unwrap();
         assert_eq!(q.tag_bits, p.config().tag_bits());
         assert_eq!(q.per_tag.len(), 4); // 4 chunkings × k=1
-        // Minimal mode on full scheme: t = 1 drop → 1 series per tag
+                                        // Minimal mode on full scheme: t = 1 drop → 1 series per tag
         for (_, series) in &q.per_tag {
             assert_eq!(series.len(), 1);
         }

@@ -74,9 +74,7 @@ impl EncryptedQuery {
                 sdds_chunk::find_series(&body_el, &series_el)
             }
             QueryKind::Swp => {
-                use crate::swp_chunks::{
-                    cipherword_matches, CIPHERWORD_BYTES, TRAPDOOR_BYTES,
-                };
+                use crate::swp_chunks::{cipherword_matches, CIPHERWORD_BYTES, TRAPDOOR_BYTES};
                 if !body.len().is_multiple_of(CIPHERWORD_BYTES)
                     || !series.len().is_multiple_of(TRAPDOOR_BYTES)
                     || series.is_empty()
@@ -166,7 +164,9 @@ mod tests {
         let q = query();
         let body = vec![0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF];
         assert_eq!(q.match_positions(&body, &[0xAA, 0xBB, 0xCC, 0xDD]), vec![1]);
-        assert!(q.match_positions(&body, &[0xCC, 0xDD, 0xAA, 0xBB]).is_empty());
+        assert!(q
+            .match_positions(&body, &[0xCC, 0xDD, 0xAA, 0xBB])
+            .is_empty());
     }
 
     #[test]

@@ -123,8 +123,7 @@ impl StoreBuilder {
     /// nothing (§3).
     pub fn start(self) -> EncryptedSearchStore {
         let keys = KeyMaterial::new(self.master);
-        let need_training =
-            self.config.encoding.is_some() || self.config.precompression.is_some();
+        let need_training = self.config.encoding.is_some() || self.config.precompression.is_some();
         assert!(
             !need_training || !self.training.is_empty(),
             "encoding or pre-compression configured: call train() with a \
@@ -151,13 +150,9 @@ impl StoreBuilder {
                 .collect();
             IndexPipeline::train_codebook_streams(&self.config, &streams)
         });
-        let pipeline = IndexPipeline::with_precompressor(
-            self.config,
-            keys,
-            codebook,
-            precompressor,
-        )
-        .expect("config validated");
+        let pipeline =
+            IndexPipeline::with_precompressor(self.config, keys, codebook, precompressor)
+                .expect("config validated");
         let cluster = LhCluster::start(ClusterConfig {
             bucket_capacity: self.bucket_capacity,
             parity: self.parity,
@@ -165,7 +160,10 @@ impl StoreBuilder {
             ..ClusterConfig::default()
         });
         let client = cluster.client();
-        let handle = StoreHandle { pipeline: Arc::new(pipeline), client };
+        let handle = StoreHandle {
+            pipeline: Arc::new(pipeline),
+            client,
+        };
         EncryptedSearchStore { handle, cluster }
     }
 }
@@ -262,10 +260,7 @@ impl EncryptedSearchStore {
     }
 
     /// Occurrence offsets — see [`StoreHandle::search_positions`].
-    pub fn search_positions(
-        &self,
-        pattern: &str,
-    ) -> Result<HashMap<u64, Vec<usize>>, StoreError> {
+    pub fn search_positions(&self, pattern: &str) -> Result<HashMap<u64, Vec<usize>>, StoreError> {
         self.handle.search_positions(pattern)
     }
 
@@ -299,9 +294,11 @@ impl StoreHandle {
     /// are pipelined into a single round-trip.
     pub fn insert(&self, rid: u64, rc: &str) -> Result<(), StoreError> {
         self.check_rid(rid)?;
-        let mut batch =
-            Vec::with_capacity(1 + self.pipeline.config().index_records_per_record());
-        batch.push((self.pipeline.lh_key(rid, 0), self.pipeline.encrypt_record(rid, rc)));
+        let mut batch = Vec::with_capacity(1 + self.pipeline.config().index_records_per_record());
+        batch.push((
+            self.pipeline.lh_key(rid, 0),
+            self.pipeline.encrypt_record(rid, rc),
+        ));
         for rec in self.pipeline.index_records_for(rid, rc) {
             let tag = self.pipeline.tag(rec.chunking, rec.site);
             batch.push((self.pipeline.lh_key(rid, tag), rec.body));
@@ -320,7 +317,10 @@ impl StoreHandle {
         let mut batch = Vec::new();
         for (rid, rc) in records {
             self.check_rid(rid)?;
-            batch.push((self.pipeline.lh_key(rid, 0), self.pipeline.encrypt_record(rid, rc)));
+            batch.push((
+                self.pipeline.lh_key(rid, 0),
+                self.pipeline.encrypt_record(rid, rc),
+            ));
             for rec in self.pipeline.index_records_for(rid, rc) {
                 let tag = self.pipeline.tag(rec.chunking, rec.site);
                 batch.push((self.pipeline.lh_key(rid, tag), rec.body));
@@ -381,7 +381,10 @@ impl StoreHandle {
             let idx = (tag - 1) as usize;
             let (chunking, site) = (idx / k, idx % k);
             if let Some(body) = m.value {
-                by_rid.entry(rid).or_default().insert((chunking, site), body);
+                by_rid
+                    .entry(rid)
+                    .or_default()
+                    .insert((chunking, site), body);
             }
         }
         let mut rids = Vec::new();
@@ -399,15 +402,21 @@ impl StoreHandle {
             };
             if hit {
                 rids.push(rid);
-                let mut offs: Vec<usize> =
-                    chunking_offsets.into_iter().flatten().collect();
+                let mut offs: Vec<usize> = chunking_offsets.into_iter().flatten().collect();
                 offs.sort_unstable();
                 offs.dedup();
                 positions.insert(rid, offs);
             }
         }
         rids.sort_unstable();
-        Ok(SearchOutcome { rids, candidate_rids, matched_index_records, positions })
+        sdds_obs::counter("core.search_candidates_pruned")
+            .add(candidate_rids.len().saturating_sub(rids.len()) as u64);
+        Ok(SearchOutcome {
+            rids,
+            candidate_rids,
+            matched_index_records,
+            positions,
+        })
     }
 
     /// §4/§5 combination for one chunking: some series must match at the
@@ -439,14 +448,13 @@ impl StoreHandle {
             let mut common: Option<Vec<usize>> = None;
             for (site, body) in site_bodies.iter().enumerate() {
                 let tag = self.pipeline.tag(chunking, site);
-                let Some(series) = query.series_for(tag) else { return Vec::new() };
+                let Some(series) = query.series_for(tag) else {
+                    return Vec::new();
+                };
                 let positions = query.match_positions(body, &series[d]);
                 common = Some(match common {
                     None => positions,
-                    Some(prev) => prev
-                        .into_iter()
-                        .filter(|p| positions.contains(p))
-                        .collect(),
+                    Some(prev) => prev.into_iter().filter(|p| positions.contains(p)).collect(),
                 });
                 if common.as_ref().is_some_and(|c| c.is_empty()) {
                     break;
@@ -470,10 +478,7 @@ impl StoreHandle {
     /// Searches and reports the candidate occurrence offsets inside each
     /// matching record — "all sites report a hit at the same offset" (§5)
     /// turned into a client API.
-    pub fn search_positions(
-        &self,
-        pattern: &str,
-    ) -> Result<HashMap<u64, Vec<usize>>, StoreError> {
+    pub fn search_positions(&self, pattern: &str) -> Result<HashMap<u64, Vec<usize>>, StoreError> {
         Ok(self.search_detailed(pattern)?.positions)
     }
 
@@ -501,6 +506,8 @@ impl StoreHandle {
             if let Some(rc) = self.get(rid)? {
                 if rc.contains(pattern) {
                     out.push((rid, rc));
+                } else {
+                    sdds_obs::counter("core.search_false_positives").inc();
                 }
             }
         }

@@ -46,7 +46,10 @@ fn basic_store_insert_search_get_delete() {
     assert_eq!(store.get(7).unwrap(), Some("SCHWARZ THOMAS".into()));
     assert!(store.delete(7).unwrap());
     assert_eq!(store.get(7).unwrap(), None);
-    assert!(store.search("THOMAS").unwrap().is_empty(), "index cleaned up");
+    assert!(
+        store.search("THOMAS").unwrap().is_empty(),
+        "index cleaned up"
+    );
     store.shutdown();
 }
 
@@ -207,7 +210,10 @@ fn concurrent_handles_search_and_write_in_parallel() {
         });
     });
     // writes landed
-    assert_eq!(store.get(9_000_000).unwrap(), Some("CONCURRENT WRITER".into()));
+    assert_eq!(
+        store.get(9_000_000).unwrap(),
+        Some("CONCURRENT WRITER".into())
+    );
     store.shutdown();
 }
 
@@ -227,7 +233,10 @@ fn storage_report_quantifies_the_ablation_axes() {
     assert_eq!(rf.records, 100);
     assert!(rf.index_records > rr.index_records);
     let ratio = rf.index_bytes as f64 / rr.index_bytes as f64;
-    assert!((1.8..2.2).contains(&ratio), "chunkings halved should ~halve bytes: {ratio}");
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "chunkings halved should ~halve bytes: {ratio}"
+    );
     // Stage-2 compression shrinks the index below the plaintext
     let mut cfg = SchemeConfig::basic(4, 2).unwrap();
     cfg.encoding = Some(EncodingConfig::whole_chunk(256));
@@ -255,8 +264,16 @@ fn positions_locate_the_occurrence() {
     store.insert(1, "XXXXSCHWARZXXXX").unwrap();
     store.insert(2, "SCHWARZ THOMAS").unwrap();
     let positions = store.search_positions("SCHWARZ").unwrap();
-    assert!(positions[&1].contains(&4), "rid 1 positions: {:?}", positions[&1]);
-    assert!(positions[&2].contains(&0), "rid 2 positions: {:?}", positions[&2]);
+    assert!(
+        positions[&1].contains(&4),
+        "rid 1 positions: {:?}",
+        positions[&1]
+    );
+    assert!(
+        positions[&2].contains(&0),
+        "rid 2 positions: {:?}",
+        positions[&2]
+    );
     store.shutdown();
 }
 
@@ -316,7 +333,10 @@ fn store_scales_across_buckets_with_index_fan_out() {
         store.cluster().num_buckets()
     );
     // records still retrievable and searchable after all the splits
-    assert_eq!(store.get(records[0].rid).unwrap(), Some(records[0].rc.clone()));
+    assert_eq!(
+        store.get(records[0].rid).unwrap(),
+        Some(records[0].rc.clone())
+    );
     assert_complete(&store, &records, "MARTINEZ");
     store.shutdown();
 }

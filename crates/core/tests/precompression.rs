@@ -16,7 +16,7 @@ fn config_validates_and_widens_symbols() {
     let cfg = config();
     assert_eq!(cfg.effective_symbol_bits(), 9);
     assert_eq!(cfg.chunk_bits(), 36); // 4 symbols x 9 bits
-    // pair budget over the alphabet is rejected
+                                      // pair budget over the alphabet is rejected
     let mut bad = SchemeConfig::basic(4, 4).unwrap();
     bad.precompression = Some(PrecompressionConfig { max_pairs: 1 << 20 });
     assert!(bad.validated().is_err());

@@ -35,9 +35,7 @@ fn local_search(pipeline: &IndexPipeline, rid: u64, rc: &str, pattern: &str) -> 
                 let positions = query.match_positions(body, series);
                 common = Some(match common {
                     None => positions,
-                    Some(prev) => {
-                        prev.into_iter().filter(|p| positions.contains(p)).collect()
-                    }
+                    Some(prev) => prev.into_iter().filter(|p| positions.contains(p)).collect(),
                 });
                 if common.as_ref().is_some_and(|c| c.is_empty()) {
                     continue 'series;

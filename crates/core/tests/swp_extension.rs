@@ -58,7 +58,10 @@ fn swp_hides_equal_chunk_structure_at_rest() {
     let swp_other = &swp_store.pipeline().index_records_for(2, rc)[0].body;
     assert_ne!(swp_body, swp_other);
     let ecb_other = &ecb_store.pipeline().index_records_for(2, rc)[0].body;
-    assert_eq!(ecb_body, ecb_other, "ECB bodies are linkable across records");
+    assert_eq!(
+        ecb_body, ecb_other,
+        "ECB bodies are linkable across records"
+    );
 
     swp_store.shutdown();
     ecb_store.shutdown();
@@ -107,7 +110,10 @@ fn swp_query_is_larger_but_index_leaks_less() {
     let swp_q = swp.pipeline().build_query("ABCDEFGH").unwrap();
     let ecb_q = ecb.pipeline().build_query("ABCDEFGH").unwrap();
     let qsize = |q: &sdds_core::EncryptedQuery| -> usize {
-        q.per_tag.iter().map(|(_, s)| s.iter().map(Vec::len).sum::<usize>()).sum()
+        q.per_tag
+            .iter()
+            .map(|(_, s)| s.iter().map(Vec::len).sum::<usize>())
+            .sum()
     };
     assert!(qsize(&swp_q) > qsize(&ecb_q), "trapdoors cost query bytes");
     swp.shutdown();

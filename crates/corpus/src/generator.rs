@@ -27,15 +27,61 @@ pub struct DirectoryGenerator {
 
 /// San Francisco street names for the address-extended corpus.
 const STREETS: &[&str] = &[
-    "MISSION ST", "MARKET ST", "FOLSOM ST", "HOWARD ST", "VALENCIA ST", "GEARY BLVD",
-    "CALIFORNIA ST", "SACRAMENTO ST", "CLEMENT ST", "IRVING ST", "JUDAH ST", "NORIEGA ST",
-    "TARAVAL ST", "OCEAN AVE", "SILVER AVE", "SAN BRUNO AVE", "POTRERO AVE", "DOLORES ST",
-    "GUERRERO ST", "CASTRO ST", "DIVISADERO ST", "FILLMORE ST", "VAN NESS AVE", "POLK ST",
-    "LARKIN ST", "HYDE ST", "LEAVENWORTH ST", "JONES ST", "TAYLOR ST", "MASON ST",
-    "POWELL ST", "STOCKTON ST", "GRANT AVE", "KEARNY ST", "MONTGOMERY ST", "SANSOME ST",
-    "BATTERY ST", "FRONT ST", "BALBOA ST", "CABRILLO ST", "FULTON ST", "HAIGHT ST",
-    "PAGE ST", "OAK ST", "FELL ST", "HAYES ST", "GROVE ST", "EDDY ST", "TURK ST",
-    "COLUMBUS AVE", "LOMBARD ST", "CHESTNUT ST", "UNION ST", "GREEN ST", "VALLEJO ST",
+    "MISSION ST",
+    "MARKET ST",
+    "FOLSOM ST",
+    "HOWARD ST",
+    "VALENCIA ST",
+    "GEARY BLVD",
+    "CALIFORNIA ST",
+    "SACRAMENTO ST",
+    "CLEMENT ST",
+    "IRVING ST",
+    "JUDAH ST",
+    "NORIEGA ST",
+    "TARAVAL ST",
+    "OCEAN AVE",
+    "SILVER AVE",
+    "SAN BRUNO AVE",
+    "POTRERO AVE",
+    "DOLORES ST",
+    "GUERRERO ST",
+    "CASTRO ST",
+    "DIVISADERO ST",
+    "FILLMORE ST",
+    "VAN NESS AVE",
+    "POLK ST",
+    "LARKIN ST",
+    "HYDE ST",
+    "LEAVENWORTH ST",
+    "JONES ST",
+    "TAYLOR ST",
+    "MASON ST",
+    "POWELL ST",
+    "STOCKTON ST",
+    "GRANT AVE",
+    "KEARNY ST",
+    "MONTGOMERY ST",
+    "SANSOME ST",
+    "BATTERY ST",
+    "FRONT ST",
+    "BALBOA ST",
+    "CABRILLO ST",
+    "FULTON ST",
+    "HAIGHT ST",
+    "PAGE ST",
+    "OAK ST",
+    "FELL ST",
+    "HAYES ST",
+    "GROVE ST",
+    "EDDY ST",
+    "TURK ST",
+    "COLUMBUS AVE",
+    "LOMBARD ST",
+    "CHESTNUT ST",
+    "UNION ST",
+    "GREEN ST",
+    "VALLEJO ST",
 ];
 
 impl DirectoryGenerator {
@@ -97,10 +143,7 @@ impl DirectoryGenerator {
             // LAST I   ("AFDAHL E")
             60..=71 => format!("{last} {}", (b'A' + rng.gen_range(0..26u8)) as char),
             // LAST FIRST M   ("ARMENANTE MARK A")
-            72..=81 => format!(
-                "{last} {first} {}",
-                (b'A' + rng.gen_range(0..26u8)) as char
-            ),
+            72..=81 => format!("{last} {first} {}", (b'A' + rng.gen_range(0..26u8)) as char),
             // LAST FIRST & SPOUSE  ("ABOGADO ALEJANDRO & CATHERINE")
             82..=89 => {
                 let spouse = GIVEN_NAMES[given_dist.sample(rng)].0;
@@ -144,7 +187,8 @@ mod tests {
         let recs = DirectoryGenerator::new(2).generate(5_000);
         for r in &recs {
             assert!(
-                r.rc.bytes().all(|b| b.is_ascii_uppercase() || b == b' ' || b == b'&'),
+                r.rc.bytes()
+                    .all(|b| b.is_ascii_uppercase() || b == b' ' || b == b'&'),
                 "unexpected byte in {:?}",
                 r.rc
             );
@@ -158,11 +202,16 @@ mod tests {
         // The paper's false-positive analysis depends on these names being
         // common; verify they collectively exceed ~8% of records.
         let recs = DirectoryGenerator::new(3).generate(20_000);
-        let shorts: HashSet<&str> = ["YU", "OU", "IP", "BA", "WU", "LI", "LE", "WOO", "KAY",
-            "KIM", "LEE", "SEE", "MAI", "LIM", "MAK", "LEW"]
-            .into_iter()
-            .collect();
-        let hits = recs.iter().filter(|r| shorts.contains(r.last_name())).count();
+        let shorts: HashSet<&str> = [
+            "YU", "OU", "IP", "BA", "WU", "LI", "LE", "WOO", "KAY", "KIM", "LEE", "SEE", "MAI",
+            "LIM", "MAK", "LEW",
+        ]
+        .into_iter()
+        .collect();
+        let hits = recs
+            .iter()
+            .filter(|r| shorts.contains(r.last_name()))
+            .count();
         assert!(
             hits as f64 / recs.len() as f64 > 0.08,
             "short-surname rate too low: {hits} / {}",
@@ -185,7 +234,10 @@ mod tests {
         }
         let mut ranked: Vec<(usize, u64)> = counts.iter().copied().enumerate().collect();
         ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-        let top4: Vec<char> = ranked[..4].iter().map(|&(i, _)| (b'A' + i as u8) as char).collect();
+        let top4: Vec<char> = ranked[..4]
+            .iter()
+            .map(|&(i, _)| (b'A' + i as u8) as char)
+            .collect();
         assert!(top4.contains(&'A'), "top4={top4:?}");
         assert!(top4.contains(&'E') || top4.contains(&'N'), "top4={top4:?}");
         // A should be around 8-14% like the paper's 11.1%

@@ -39,8 +39,7 @@ pub fn substring_queries(
 ) -> Vec<String> {
     assert!(min_len >= 1 && max_len >= min_len, "bad length range");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let eligible: Vec<&Record> =
-        records.iter().filter(|r| r.rc.len() >= min_len).collect();
+    let eligible: Vec<&Record> = records.iter().filter(|r| r.rc.len() >= min_len).collect();
     assert!(!eligible.is_empty(), "no record long enough for the range");
     (0..count)
         .map(|_| {

@@ -144,24 +144,45 @@ impl Disperser {
         let field = Field::new(config.share_bits() as u32).expect("validated width");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let require_all_nonzero = field.order() > 2 || config.k() == 1;
-        let matrix =
-            Matrix::random_nonsingular(&field, config.k(), require_all_nonzero, &mut rng);
-        let inverse = matrix.clone().inverse(&field).expect("non-singular by construction");
-        Disperser { config, field, matrix, inverse }
+        let matrix = Matrix::random_nonsingular(&field, config.k(), require_all_nonzero, &mut rng);
+        let inverse = matrix
+            .clone()
+            .inverse(&field)
+            .expect("non-singular by construction");
+        Disperser {
+            config,
+            field,
+            matrix,
+            inverse,
+        }
     }
 
     /// Builds a disperser from an explicit matrix (must be k×k and
     /// invertible over GF(2^g)).
-    pub fn from_matrix(config: DispersalConfig, matrix: Matrix) -> Result<Disperser, DisperseError> {
+    pub fn from_matrix(
+        config: DispersalConfig,
+        matrix: Matrix,
+    ) -> Result<Disperser, DisperseError> {
         let field = Field::new(config.share_bits() as u32).expect("validated width");
         if matrix.rows() != config.k() || matrix.cols() != config.k() {
-            return Err(DisperseError::ShareCount { expected: config.k(), got: matrix.rows() });
+            return Err(DisperseError::ShareCount {
+                expected: config.k(),
+                got: matrix.rows(),
+            });
         }
         let inverse = matrix
             .clone()
             .inverse(&field)
-            .map_err(|_| DisperseError::ShareCount { expected: config.k(), got: config.k() })?;
-        Ok(Disperser { config, field, matrix, inverse })
+            .map_err(|_| DisperseError::ShareCount {
+                expected: config.k(),
+                got: config.k(),
+            })?;
+        Ok(Disperser {
+            config,
+            field,
+            matrix,
+            inverse,
+        })
     }
 
     /// The configuration.
@@ -174,7 +195,11 @@ impl Disperser {
     pub fn split(&self, chunk: u128) -> Vec<u16> {
         let g = self.config.share_bits();
         let k = self.config.k();
-        let mask = if g == 128 { u128::MAX } else { (1u128 << g) - 1 };
+        let mask = if g == 128 {
+            u128::MAX
+        } else {
+            (1u128 << g) - 1
+        };
         (0..k)
             .map(|i| ((chunk >> ((k - 1 - i) * g)) & mask) as u16)
             .collect()
@@ -191,12 +216,13 @@ impl Disperser {
     /// Computes the `k` shares `d = c · E` of a chunk.
     pub fn disperse(&self, chunk: u128) -> Vec<u16> {
         debug_assert!(
-            self.config.chunk_bits() == 128
-                || chunk < (1u128 << self.config.chunk_bits()),
+            self.config.chunk_bits() == 128 || chunk < (1u128 << self.config.chunk_bits()),
             "chunk wider than configured"
         );
         let c = self.split(chunk);
-        self.matrix.vec_mul(&self.field, &c).expect("dimension checked")
+        self.matrix
+            .vec_mul(&self.field, &c)
+            .expect("dimension checked")
     }
 
     /// Inverts [`disperse`](Self::disperse): recovers the chunk from all
@@ -312,7 +338,7 @@ mod tests {
         let d = table2_disperser();
         let base = d.disperse(0b00_00_00_11);
         let flipped_high = d.disperse(0b01_00_00_11); // change top component
-        // all-nonzero E ⇒ every share sees top-component changes
+                                                      // all-nonzero E ⇒ every share sees top-component changes
         for site in 0..4 {
             assert_ne!(base[site], flipped_high[site], "site {site} blind to c_1");
         }
@@ -335,7 +361,10 @@ mod tests {
         let d = table2_disperser();
         assert!(matches!(
             d.reassemble(&[1, 2]),
-            Err(DisperseError::ShareCount { expected: 4, got: 2 })
+            Err(DisperseError::ShareCount {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 

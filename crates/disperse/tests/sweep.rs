@@ -23,7 +23,11 @@ fn every_valid_config_constructs_and_roundtrips() {
     for (chunk_bits, k) in valid_configs() {
         let cfg = DispersalConfig::new(chunk_bits, k).unwrap();
         let d = Disperser::from_seed(cfg, 42);
-        let mask = if chunk_bits == 128 { u128::MAX } else { (1u128 << chunk_bits) - 1 };
+        let mask = if chunk_bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << chunk_bits) - 1
+        };
         for i in 0..40u128 {
             let v = i.wrapping_mul(0x9E3779B97F4A7C15) & mask;
             let shares = d.disperse(v);

@@ -25,7 +25,10 @@ impl fmt::Display for EncodeError {
                 write!(f, "number of codes {n} must be in 2..=65536")
             }
             EncodeError::RaggedStream { remainder } => {
-                write!(f, "stream leaves {remainder} symbols that do not form a gram")
+                write!(
+                    f,
+                    "stream leaves {remainder} symbols that do not form a gram"
+                )
             }
         }
     }
@@ -66,13 +69,22 @@ impl From<CodebookRepr> for Codebook {
             .iter()
             .map(|(gram, _, code)| (gram.clone(), *code))
             .collect();
-        Codebook { g: r.g, num_codes: r.num_codes, map, assignments: r.assignments }
+        Codebook {
+            g: r.g,
+            num_codes: r.num_codes,
+            map,
+            assignments: r.assignments,
+        }
     }
 }
 
 impl From<Codebook> for CodebookRepr {
     fn from(c: Codebook) -> CodebookRepr {
-        CodebookRepr { g: c.g, num_codes: c.num_codes, assignments: c.assignments }
+        CodebookRepr {
+            g: c.g,
+            num_codes: c.num_codes,
+            assignments: c.assignments,
+        }
     }
 }
 
@@ -111,7 +123,12 @@ impl Codebook {
             map.insert(gram.clone(), best as u16);
             assignments.push((gram, count, best as u16));
         }
-        Ok(Codebook { g: counter.gram_size(), num_codes, map, assignments })
+        Ok(Codebook {
+            g: counter.gram_size(),
+            num_codes,
+            map,
+            assignments,
+        })
     }
 
     /// Gram size `g`.
@@ -307,7 +324,10 @@ mod tests {
         }
         let book = Codebook::build_equalized(&counter, 8);
         let encoded = book.encode_stream(&syms("ABOGADO ALEJANDRO & CATHERINE"), 0);
-        let s: String = encoded.iter().map(|c| char::from(b'0' + *c as u8)).collect();
+        let s: String = encoded
+            .iter()
+            .map(|c| char::from(b'0' + *c as u8))
+            .collect();
         assert_eq!(s, "10661260172413246060316524532");
     }
 
@@ -342,8 +362,10 @@ mod tests {
         let mut counter = GramCounter::new(1);
         counter.add_record(&syms("ABCDEFGH"), 0);
         let book = Codebook::build_equalized(&counter, 8);
-        let codes: std::collections::HashSet<u16> =
-            "ABCDEFGH".bytes().map(|b| book.encode_gram(&[u16::from(b)])).collect();
+        let codes: std::collections::HashSet<u16> = "ABCDEFGH"
+            .bytes()
+            .map(|b| book.encode_gram(&[u16::from(b)]))
+            .collect();
         assert_eq!(codes.len(), 8);
     }
 

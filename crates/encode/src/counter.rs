@@ -18,7 +18,11 @@ impl GramCounter {
     /// Creates a counter for grams of `g` symbols. Panics if `g == 0`.
     pub fn new(g: usize) -> GramCounter {
         assert!(g > 0, "gram size must be positive");
-        GramCounter { g, counts: HashMap::new(), total: 0 }
+        GramCounter {
+            g,
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Gram size.

@@ -76,7 +76,10 @@ impl From<PairRepr> for PairCompressor {
 
 impl From<PairCompressor> for PairRepr {
     fn from(c: PairCompressor) -> PairRepr {
-        PairRepr { base: c.base, codes: c.codes }
+        PairRepr {
+            base: c.base,
+            codes: c.codes,
+        }
     }
 }
 
@@ -206,7 +209,11 @@ impl PairCompressor {
         if n == 1 {
             // the symbol may live inside any pair code containing it
             let s = query[0];
-            for c in self.codes_ending(s).into_iter().chain(self.codes_starting(s)) {
+            for c in self
+                .codes_ending(s)
+                .into_iter()
+                .chain(self.codes_starting(s))
+            {
                 variants.push(vec![c]);
             }
         } else {
@@ -242,8 +249,7 @@ impl PairCompressor {
     /// dropped edge symbol differs — the lossy edge the paper accepts).
     pub fn search(&self, compressed: &[u16], query: &[u16]) -> bool {
         self.search_variants(query).iter().any(|v| {
-            v.len() <= compressed.len()
-                && compressed.windows(v.len()).any(|w| w == v.as_slice())
+            v.len() <= compressed.len() && compressed.windows(v.len()).any(|w| w == v.as_slice())
         })
     }
 }
@@ -274,7 +280,10 @@ mod tests {
     fn discipline_keeps_sets_disjoint() {
         let c = trained();
         assert!(c.num_pairs() > 0);
-        assert!(c.starters.is_disjoint(&c.enders), "context-free discipline violated");
+        assert!(
+            c.starters.is_disjoint(&c.enders),
+            "context-free discipline violated"
+        );
     }
 
     #[test]
@@ -303,8 +312,7 @@ mod tests {
         let ctext = c.compress(&text);
         let csub = c.compress(&sub);
         assert!(
-            ctext.windows(csub.len()).any(|w| w == csub.as_slice())
-                || c.search(&ctext, &sub),
+            ctext.windows(csub.len()).any(|w| w == csub.as_slice()) || c.search(&ctext, &sub),
             "substring image must appear"
         );
     }

@@ -19,23 +19,23 @@ use std::fmt;
 /// `0x11B` is irreducible but *not* primitive and lives in
 /// [`Field::new_with_poly`]-land for callers that need it.)
 const PRIMITIVE_POLY: [u32; 17] = [
-    0, // unused (g = 0)
-    0b11,                // g=1:  x + 1 (GF(2) degenerate)
-    0b111,               // g=2:  x^2 + x + 1
-    0b1011,              // g=3:  x^3 + x + 1
-    0b10011,             // g=4:  x^4 + x + 1
-    0b100101,            // g=5:  x^5 + x^2 + 1
-    0b1000011,           // g=6:  x^6 + x + 1
-    0b10001001,          // g=7:  x^7 + x^3 + 1
-    0x11D,               // g=8:  x^8 + x^4 + x^3 + x^2 + 1
-    0x211,               // g=9:  x^9 + x^4 + 1
-    0x409,               // g=10: x^10 + x^3 + 1
-    0x805,               // g=11: x^11 + x^2 + 1
-    0x1053,              // g=12: x^12 + x^6 + x^4 + x + 1
-    0x201B,              // g=13: x^13 + x^4 + x^3 + x + 1
-    0x402B,              // g=14: x^14 + x^5 + x^3 + x + 1
-    0x8003,              // g=15: x^15 + x + 1
-    0x1002D,             // g=16: x^16 + x^5 + x^3 + x^2 + 1
+    0,          // unused (g = 0)
+    0b11,       // g=1:  x + 1 (GF(2) degenerate)
+    0b111,      // g=2:  x^2 + x + 1
+    0b1011,     // g=3:  x^3 + x + 1
+    0b10011,    // g=4:  x^4 + x + 1
+    0b100101,   // g=5:  x^5 + x^2 + 1
+    0b1000011,  // g=6:  x^6 + x + 1
+    0b10001001, // g=7:  x^7 + x^3 + 1
+    0x11D,      // g=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,      // g=9:  x^9 + x^4 + 1
+    0x409,      // g=10: x^10 + x^3 + 1
+    0x805,      // g=11: x^11 + x^2 + 1
+    0x1053,     // g=12: x^12 + x^6 + x^4 + x + 1
+    0x201B,     // g=13: x^13 + x^4 + x^3 + x + 1
+    0x402B,     // g=14: x^14 + x^5 + x^3 + x + 1
+    0x8003,     // g=15: x^15 + x + 1
+    0x1002D,    // g=16: x^16 + x^5 + x^3 + x^2 + 1
 ];
 
 /// Errors from field construction.
@@ -80,10 +80,10 @@ impl std::error::Error for FieldError {}
 #[derive(Clone)]
 pub struct Field {
     g: u32,
-    order: u32,          // 2^g
-    poly: u32,           // reduction polynomial incl. leading term
-    log: Vec<u16>,       // log[a] for a in 1..order
-    exp: Vec<u16>,       // exp[i] for i in 0..2*(order-1): doubled to skip a mod
+    order: u32,    // 2^g
+    poly: u32,     // reduction polynomial incl. leading term
+    log: Vec<u16>, // log[a] for a in 1..order
+    exp: Vec<u16>, // exp[i] for i in 0..2*(order-1): doubled to skip a mod
 }
 
 impl fmt::Debug for Field {
@@ -144,7 +144,13 @@ impl Field {
         for i in 0..(order as usize - 1) {
             exp[i + order as usize - 1] = exp[i];
         }
-        Ok(Field { g, order, poly, log, exp })
+        Ok(Field {
+            g,
+            order,
+            poly,
+            log,
+            exp,
+        })
     }
 
     /// Field width `g` in bits.
@@ -306,7 +312,10 @@ mod tests {
     #[test]
     fn rejects_bad_width() {
         assert_eq!(Field::new(0).unwrap_err(), FieldError::UnsupportedWidth(0));
-        assert_eq!(Field::new(17).unwrap_err(), FieldError::UnsupportedWidth(17));
+        assert_eq!(
+            Field::new(17).unwrap_err(),
+            FieldError::UnsupportedWidth(17)
+        );
     }
 
     #[test]

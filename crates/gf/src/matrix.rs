@@ -80,7 +80,11 @@ impl Matrix {
     /// Creates a zero matrix.
     pub fn zero(rows: usize, cols: usize) -> Matrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates the n×n identity matrix.
@@ -135,7 +139,11 @@ impl Matrix {
         for &r in sel {
             data.extend_from_slice(self.row(r));
         }
-        Matrix { rows: sel.len(), cols: self.cols, data }
+        Matrix {
+            rows: sel.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// True if every coefficient is non-zero — the paper's heuristic for a
@@ -360,7 +368,10 @@ mod tests {
         let f = f8();
         let a = Matrix::zero(2, 3);
         let b = Matrix::zero(2, 3);
-        assert!(matches!(a.mul(&f, &b), Err(MatrixError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.mul(&f, &b),
+            Err(MatrixError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -437,7 +448,9 @@ mod tests {
         let e = Matrix::random_nonsingular(&f, 4, true, &mut rng);
         let einv = e.clone().inverse(&f).unwrap();
         for trial in 0..50u16 {
-            let c: Vec<u16> = (0..4).map(|i| (trial.wrapping_mul(7).wrapping_add(i)) & 0xF).collect();
+            let c: Vec<u16> = (0..4)
+                .map(|i| (trial.wrapping_mul(7).wrapping_add(i)) & 0xF)
+                .collect();
             let d = e.vec_mul(&f, &c).unwrap();
             let back = einv.vec_mul(&f, &d).unwrap();
             assert_eq!(back, c);

@@ -102,7 +102,12 @@ impl ReedSolomon {
                 }
             }
         }
-        Ok(ReedSolomon { k, m, field, generator })
+        Ok(ReedSolomon {
+            k,
+            m,
+            field,
+            generator,
+        })
     }
 
     /// Number of data shares.
@@ -143,7 +148,9 @@ impl ReedSolomon {
         }
         let len = data[0].len();
         if data.iter().any(|d| d.len() != len) {
-            return Err(RsError::ShapeMismatch("data shares differ in length".into()));
+            return Err(RsError::ShapeMismatch(
+                "data shares differ in length".into(),
+            ));
         }
         let mut parity = vec![vec![0u8; len]; self.m];
         for (pi, p) in parity.iter_mut().enumerate() {
@@ -180,7 +187,10 @@ impl ReedSolomon {
             .filter_map(|(i, s)| s.as_ref().map(|_| i))
             .collect();
         if avail.len() < self.k {
-            return Err(RsError::NotEnoughShares { needed: self.k, have: avail.len() });
+            return Err(RsError::NotEnoughShares {
+                needed: self.k,
+                have: avail.len(),
+            });
         }
         let use_rows = &avail[..self.k];
         let len = shares[use_rows[0]].as_ref().unwrap().len();
@@ -190,7 +200,11 @@ impl ReedSolomon {
             }
         }
         // Fast path: all data shares survived.
-        if use_rows.iter().take(self.k).eq((0..self.k).collect::<Vec<_>>().iter()) {
+        if use_rows
+            .iter()
+            .take(self.k)
+            .eq((0..self.k).collect::<Vec<_>>().iter())
+        {
             return Ok((0..self.k)
                 .map(|i| shares[i].as_ref().unwrap().clone())
                 .collect());
@@ -221,7 +235,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 5) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 5) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -245,8 +263,12 @@ mod tests {
         let rs = ReedSolomon::new(3, 2).unwrap();
         let data = sample_data(3, 32);
         let parity = rs.encode(&data).unwrap();
-        let mut shares: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        let mut shares: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
         let got = rs.reconstruct(&shares).unwrap();
         assert_eq!(got, data);
         // Also when extra parity present but data intact with holes in parity.
@@ -306,8 +328,12 @@ mod tests {
         let rs = ReedSolomon::new(8, 3).unwrap();
         let data = sample_data(8, 128);
         let parity = rs.encode(&data).unwrap();
-        let mut shares: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        let mut shares: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
         shares[0] = None;
         shares[3] = None;
         shares[7] = None;

@@ -75,25 +75,49 @@ impl BucketState {
         ctx: &BucketCtx,
     ) -> Vec<(SiteId, Wire)> {
         match msg {
-            Wire::Request { req_id, client, hops, op } => {
-                self.handle_request(req_id, client, hops, op, ctx)
-            }
-            Wire::ScanReq { req_id, client, query, keys_only } => {
+            Wire::Request {
+                req_id,
+                client,
+                hops,
+                op,
+            } => self.handle_request(req_id, client, hops, op, ctx),
+            Wire::ScanReq {
+                req_id,
+                client,
+                query,
+                keys_only,
+            } => {
                 let matches = self.scan(&query, keys_only, ctx);
                 vec![(
                     SiteId(client),
-                    Wire::ScanResp { req_id, bucket: self.addr, matches },
+                    Wire::ScanResp {
+                        req_id,
+                        bucket: self.addr,
+                        matches,
+                    },
                 )]
             }
-            Wire::SplitCmd { addr, new_addr, new_site } => {
+            Wire::SplitCmd {
+                addr,
+                new_addr,
+                new_site,
+            } => {
                 debug_assert_eq!(addr, self.addr, "split sent to wrong bucket");
                 self.split(new_addr, SiteId(new_site), ctx)
             }
-            Wire::MergeCmd { addr, into_addr, into_site } => {
+            Wire::MergeCmd {
+                addr,
+                into_addr,
+                into_site,
+            } => {
                 debug_assert_eq!(addr, self.addr, "merge sent to wrong bucket");
                 self.merge_into(into_addr, SiteId(into_site), ctx)
             }
-            Wire::TransferBatch { level, addr, records } => {
+            Wire::TransferBatch {
+                level,
+                addr,
+                records,
+            } => {
                 debug_assert_eq!(addr, self.addr);
                 self.level = level;
                 self.overflow_reported = false;
@@ -110,7 +134,12 @@ impl BucketState {
                 let slots = self.slot_table(ctx);
                 vec![(
                     SiteId(client),
-                    Wire::SlotsState { req_id, addr: self.addr, level: self.level, slots },
+                    Wire::SlotsState {
+                        req_id,
+                        addr: self.addr,
+                        level: self.level,
+                        slots,
+                    },
                 )]
             }
             Wire::Adopt { addr, level, slots } => {
@@ -119,14 +148,15 @@ impl BucketState {
                 Vec::new()
             }
             Wire::Dump { req_id, client } => {
-                let records = self
-                    .records
-                    .iter()
-                    .map(|(&k, v)| (k, v.clone()))
-                    .collect();
+                let records = self.records.iter().map(|(&k, v)| (k, v.clone())).collect();
                 vec![(
                     SiteId(client),
-                    Wire::DumpState { req_id, addr: self.addr, level: self.level, records },
+                    Wire::DumpState {
+                        req_id,
+                        addr: self.addr,
+                        level: self.level,
+                        records,
+                    },
                 )]
             }
             // Shutdown handled by the loop; everything else is not ours.
@@ -177,9 +207,15 @@ impl BucketState {
             }
             if resolved != self.addr {
                 if let Some(site) = ctx.directory.bucket_site(resolved) {
+                    sdds_obs::counter("lh.forwards").inc();
                     return vec![(
                         site,
-                        Wire::Request { req_id, client, hops: hops + 1, op },
+                        Wire::Request {
+                            req_id,
+                            client,
+                            hops: hops + 1,
+                            op,
+                        },
                     )];
                 }
             }
@@ -214,7 +250,9 @@ impl BucketState {
                 out.extend(self.maybe_report_overflow(ctx));
                 OpResult::Inserted { replaced: existed }
             }
-            Op::Lookup { key } => OpResult::Found { value: self.records.get(&key).cloned() },
+            Op::Lookup { key } => OpResult::Found {
+                value: self.records.get(&key).cloned(),
+            },
             Op::Delete { key } => {
                 let existed = self.records.contains_key(&key);
                 if existed {
@@ -240,7 +278,9 @@ impl BucketState {
     /// Inserts/overwrites a record and emits parity deltas.
     fn store(&mut self, key: u64, value: Vec<u8>, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
         let old = self.records.insert(key, value.clone());
-        let Some(cfg) = &ctx.parity else { return Vec::new() };
+        let Some(cfg) = &ctx.parity else {
+            return Vec::new();
+        };
         let rank = match self.key_rank.get(&key) {
             Some(&r) => r,
             None => {
@@ -260,8 +300,12 @@ impl BucketState {
     /// Deletes a record and emits parity deltas.
     fn remove(&mut self, key: u64, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
         let old = self.records.remove(&key);
-        let Some(cfg) = &ctx.parity else { return Vec::new() };
-        let Some(rank) = self.key_rank.remove(&key) else { return Vec::new() };
+        let Some(cfg) = &ctx.parity else {
+            return Vec::new();
+        };
+        let Some(rank) = self.key_rank.remove(&key) else {
+            return Vec::new();
+        };
         self.ranks[rank as usize] = None;
         self.free_ranks.push(rank);
         let delta = slot_delta(old.as_deref(), None, cfg.slot_size);
@@ -287,7 +331,13 @@ impl BucketState {
             .map(|site| {
                 (
                     site,
-                    Wire::ParityUpdate { group, member, rank, key, delta: delta.clone() },
+                    Wire::ParityUpdate {
+                        group,
+                        member,
+                        rank,
+                        key,
+                        delta: delta.clone(),
+                    },
                 )
             })
             .collect()
@@ -322,7 +372,11 @@ impl BucketState {
             self.underflow_reported = false;
             vec![(
                 ctx.coordinator,
-                Wire::Overflow { addr: self.addr, level: self.level, size: self.records.len() },
+                Wire::Overflow {
+                    addr: self.addr,
+                    level: self.level,
+                    size: self.records.len(),
+                },
             )]
         } else {
             Vec::new()
@@ -335,7 +389,10 @@ impl BucketState {
             self.overflow_reported = false;
             vec![(
                 ctx.coordinator,
-                Wire::Underflow { addr: self.addr, size: self.records.len() },
+                Wire::Underflow {
+                    addr: self.addr,
+                    size: self.records.len(),
+                },
             )]
         } else {
             Vec::new()
@@ -351,6 +408,7 @@ impl BucketState {
         into_site: SiteId,
         ctx: &BucketCtx,
     ) -> Vec<(SiteId, Wire)> {
+        sdds_obs::counter("lh.merges").inc();
         let keys: Vec<u64> = self.records.keys().copied().collect();
         let mut out = Vec::new();
         let mut batch = Vec::with_capacity(keys.len());
@@ -375,6 +433,7 @@ impl BucketState {
     /// Executes a split: raise the level, move rehashing records to the new
     /// bucket, tell the coordinator.
     fn split(&mut self, new_addr: u64, new_site: SiteId, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        sdds_obs::counter("lh.splits").inc();
         self.level += 1;
         self.overflow_reported = false;
         let moving: Vec<u64> = self
@@ -393,7 +452,11 @@ impl BucketState {
         }
         out.push((
             new_site,
-            Wire::TransferBatch { level: self.level, addr: new_addr, records: batch },
+            Wire::TransferBatch {
+                level: self.level,
+                addr: new_addr,
+                records: batch,
+            },
         ));
         out.push((ctx.coordinator, Wire::SplitDone { addr: self.addr }));
         out
@@ -412,7 +475,9 @@ impl BucketState {
 
     /// The rank-indexed slot table for recovery reads.
     fn slot_table(&self, ctx: &BucketCtx) -> Vec<Option<(u64, Vec<u8>)>> {
-        let Some(cfg) = &ctx.parity else { return Vec::new() };
+        let Some(cfg) = &ctx.parity else {
+            return Vec::new();
+        };
         self.ranks
             .iter()
             .map(|maybe_key| {
@@ -428,7 +493,9 @@ impl BucketState {
 /// The bucket thread loop: decode, dispatch, send, until [`Wire::Shutdown`].
 pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: BucketCtx) {
     while let Ok(env) = endpoint.recv() {
-        let Some(msg) = Wire::decode(&env.payload) else { continue };
+        let Some(msg) = Wire::decode(&env.payload) else {
+            continue;
+        };
         if matches!(msg, Wire::Shutdown) {
             break;
         }
@@ -473,18 +540,29 @@ mod tests {
                 req_id: 1,
                 client: 9,
                 hops: 0,
-                op: Op::Insert { key: 5, value: vec![1] },
+                op: Op::Insert {
+                    key: 5,
+                    value: vec![1],
+                },
             },
             &ctx,
         );
         assert_eq!(out.len(), 1);
         assert!(matches!(
             out[0].1,
-            Wire::Response { result: OpResult::Inserted { replaced: false }, .. }
+            Wire::Response {
+                result: OpResult::Inserted { replaced: false },
+                ..
+            }
         ));
         let out = b.handle(
             SiteId(9),
-            Wire::Request { req_id: 2, client: 9, hops: 0, op: Op::Lookup { key: 5 } },
+            Wire::Request {
+                req_id: 2,
+                client: 9,
+                hops: 0,
+                op: Op::Lookup { key: 5 },
+            },
             &ctx,
         );
         assert!(matches!(
@@ -493,12 +571,20 @@ mod tests {
         ));
         let out = b.handle(
             SiteId(9),
-            Wire::Request { req_id: 3, client: 9, hops: 0, op: Op::Delete { key: 5 } },
+            Wire::Request {
+                req_id: 3,
+                client: 9,
+                hops: 0,
+                op: Op::Delete { key: 5 },
+            },
             &ctx,
         );
         assert!(out.iter().any(|(_, m)| matches!(
             m,
-            Wire::Response { result: OpResult::Deleted { existed: true }, .. }
+            Wire::Response {
+                result: OpResult::Deleted { existed: true },
+                ..
+            }
         )));
         // the bucket is now far below the shrink threshold and says so
         assert!(out.iter().any(|(_, m)| matches!(m, Wire::Underflow { .. })));
@@ -515,7 +601,12 @@ mod tests {
         let mut b = BucketState::new(0, 1, 100);
         let out = b.handle(
             SiteId(9),
-            Wire::Request { req_id: 1, client: 9, hops: 0, op: Op::Lookup { key: 3 } },
+            Wire::Request {
+                req_id: 1,
+                client: 9,
+                hops: 0,
+                op: Op::Lookup { key: 3 },
+            },
             &ctx,
         );
         assert_eq!(out.len(), 1);
@@ -543,7 +634,10 @@ mod tests {
                 req_id: 1,
                 client: 9,
                 hops: 0,
-                op: Op::Insert { key: 3, value: vec![1] },
+                op: Op::Insert {
+                    key: 3,
+                    value: vec![1],
+                },
             },
             &ctx,
         );
@@ -590,23 +684,32 @@ mod tests {
                     req_id: key,
                     client: 9,
                     hops: 0,
-                    op: Op::Insert { key, value: vec![key as u8] },
+                    op: Op::Insert {
+                        key,
+                        value: vec![key as u8],
+                    },
                 },
                 &ctx,
             );
         }
         let out = b.handle(
             coord,
-            Wire::SplitCmd { addr: 0, new_addr: 1, new_site: 77 },
+            Wire::SplitCmd {
+                addr: 0,
+                new_addr: 1,
+                new_site: 77,
+            },
             &ctx,
         );
         // transfer carries the odd keys (h_1(k) == 1)
         let transfer = out
             .iter()
             .find_map(|(to, m)| match m {
-                Wire::TransferBatch { records, level, addr } if *to == SiteId(77) => {
-                    Some((records.clone(), *level, *addr))
-                }
+                Wire::TransferBatch {
+                    records,
+                    level,
+                    addr,
+                } if *to == SiteId(77) => Some((records.clone(), *level, *addr)),
                 _ => None,
             })
             .expect("transfer sent");
@@ -632,22 +735,31 @@ mod tests {
                     req_id: key,
                     client: 9,
                     hops: 0,
-                    op: Op::Insert { key, value: vec![key as u8] },
+                    op: Op::Insert {
+                        key,
+                        value: vec![key as u8],
+                    },
                 },
                 &ctx,
             );
         }
         let out = b.handle(
             coord,
-            Wire::MergeCmd { addr: 2, into_addr: 0, into_site: 50 },
+            Wire::MergeCmd {
+                addr: 2,
+                into_addr: 0,
+                into_site: 50,
+            },
             &ctx,
         );
         let transfer = out
             .iter()
             .find_map(|(to, m)| match m {
-                Wire::TransferBatch { records, level, addr } if *to == SiteId(50) => {
-                    Some((records.clone(), *level, *addr))
-                }
+                Wire::TransferBatch {
+                    records,
+                    level,
+                    addr,
+                } if *to == SiteId(50) => Some((records.clone(), *level, *addr)),
                 _ => None,
             })
             .expect("transfer sent");
@@ -673,7 +785,11 @@ mod tests {
             directory,
             coordinator: coord.id(),
             filter: Arc::new(SubstringFilter),
-            parity: Some(ParityConfig { group_size: 2, parity_count: 1, slot_size: 32 }),
+            parity: Some(ParityConfig {
+                group_size: 2,
+                parity_count: 1,
+                slot_size: 32,
+            }),
         };
         let mut b = BucketState::new(0, 1, 100);
         // adopt a reconstructed slot table with a hole at rank 1
@@ -695,7 +811,10 @@ mod tests {
                 req_id: 1,
                 client: 9,
                 hops: 0,
-                op: Op::Insert { key: 12, value: vec![3] },
+                op: Op::Insert {
+                    key: 12,
+                    value: vec![3],
+                },
             },
             &ctx,
         );
@@ -708,7 +827,11 @@ mod tests {
                 _ => None,
             })
             .expect("parity update for the new record");
-        assert_eq!(update, (1, Some(12)), "free rank from the adopted table is reused");
+        assert_eq!(
+            update,
+            (1, Some(12)),
+            "free rank from the adopted table is reused"
+        );
     }
 
     #[test]
@@ -722,11 +845,21 @@ mod tests {
                 req_id: 1,
                 client: 9,
                 hops: 0,
-                op: Op::Insert { key: 3, value: vec![7] },
+                op: Op::Insert {
+                    key: 3,
+                    value: vec![7],
+                },
             },
             &ctx,
         );
-        let out = b.handle(SiteId(5), Wire::Dump { req_id: 9, client: 5 }, &ctx);
+        let out = b.handle(
+            SiteId(5),
+            Wire::Dump {
+                req_id: 9,
+                client: 5,
+            },
+            &ctx,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, SiteId(5));
         assert!(matches!(
@@ -757,7 +890,12 @@ mod tests {
         for key in 0..10u64 {
             let out = b.handle(
                 SiteId(9),
-                Wire::Request { req_id: 100 + key, client: 9, hops: 0, op: Op::Delete { key } },
+                Wire::Request {
+                    req_id: 100 + key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Delete { key },
+                },
                 &ctx,
             );
             underflows += out
@@ -776,16 +914,28 @@ mod tests {
         for (key, val) in [(1u64, b"SCHWARZ".to_vec()), (2, b"LITWIN".to_vec())] {
             b.handle(
                 SiteId(9),
-                Wire::Request { req_id: key, client: 9, hops: 0, op: Op::Insert { key, value: val } },
+                Wire::Request {
+                    req_id: key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Insert { key, value: val },
+                },
                 &ctx,
             );
         }
         let out = b.handle(
             SiteId(9),
-            Wire::ScanReq { req_id: 5, client: 9, query: b"WARZ".to_vec(), keys_only: false },
+            Wire::ScanReq {
+                req_id: 5,
+                client: 9,
+                query: b"WARZ".to_vec(),
+                keys_only: false,
+            },
             &ctx,
         );
-        let Wire::ScanResp { matches, .. } = &out[0].1 else { panic!("scan resp") };
+        let Wire::ScanResp { matches, .. } = &out[0].1 else {
+            panic!("scan resp")
+        };
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].key, 1);
         assert_eq!(matches[0].value.as_deref(), Some(b"SCHWARZ".as_slice()));

@@ -19,6 +19,13 @@ pub enum LhError {
     Timeout,
     /// The serving bucket rejected the operation.
     Rejected(String),
+    /// A scan could not obtain an answer from every bucket (typically
+    /// because one is dead and awaiting recovery); returning `Ok` would
+    /// silently hide the coverage gap.
+    ScanIncomplete {
+        /// Bucket addresses that never answered.
+        missing: Vec<u64>,
+    },
 }
 
 impl fmt::Display for LhError {
@@ -27,6 +34,9 @@ impl fmt::Display for LhError {
             LhError::Net(e) => write!(f, "network error: {e}"),
             LhError::Timeout => write!(f, "request timed out"),
             LhError::Rejected(m) => write!(f, "operation rejected: {m}"),
+            LhError::ScanIncomplete { missing } => {
+                write!(f, "scan incomplete: no answer from buckets {missing:?}")
+            }
         }
     }
 }
@@ -143,6 +153,13 @@ impl LhClient {
     const ATTEMPTS: u32 = 5;
 
     fn call(&self, op: Op) -> Result<OpResult, LhError> {
+        let op_name = match &op {
+            Op::Insert { .. } => "insert",
+            Op::Lookup { .. } => "lookup",
+            Op::Delete { .. } => "delete",
+        };
+        let _span = sdds_obs::span("lh.call");
+        let _timer = sdds_obs::histogram(&format!("lh.{op_name}_seconds")).start_timer();
         let req_id = self.fresh_req_id();
         let key = op.key();
         let msg = Wire::Request {
@@ -152,7 +169,10 @@ impl LhClient {
             op,
         };
         let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
-        for _attempt in 0..Self::ATTEMPTS {
+        for attempt in 0..Self::ATTEMPTS {
+            if attempt > 0 {
+                sdds_obs::counter("lh.retries").inc();
+            }
             let mut image = self.image.get();
             let addr = image.address(key);
             let site = self
@@ -190,7 +210,9 @@ impl LhClient {
                 if rid != req_id {
                     continue; // late response to an abandoned request
                 }
+                record_hops(hops);
                 if hops > 0 {
+                    sdds_obs::counter("lh.iams").inc();
                     self.iams.set(self.iams.get() + 1);
                     self.hops.set(self.hops.get() + hops as u64);
                     image.adjust(served_by, bucket_level);
@@ -207,6 +229,8 @@ impl LhClient {
     /// per record (the record store copy and its index records travel
     /// together). Lost messages are retransmitted per item.
     pub fn insert_batch(&self, items: Vec<(u64, Vec<u8>)>) -> Result<(), LhError> {
+        let _timer = sdds_obs::histogram("lh.insert_batch_seconds").start_timer();
+        sdds_obs::counter("lh.insert_batch_items").add(items.len() as u64);
         let mut pending: HashMap<u64, Wire> = HashMap::with_capacity(items.len());
         for (key, value) in items {
             let req_id = self.fresh_req_id();
@@ -227,7 +251,9 @@ impl LhClient {
             }
             let image = self.image.get();
             for msg in pending.values() {
-                let Wire::Request { op, .. } = msg else { unreachable!() };
+                let Wire::Request { op, .. } = msg else {
+                    unreachable!()
+                };
                 let addr = image.address(op.key());
                 let site = self
                     .directory
@@ -242,8 +268,7 @@ impl LhClient {
             }
             let deadline = Instant::now() + attempt_timeout;
             while !pending.is_empty() {
-                let Some(remaining) = deadline.checked_duration_since(Instant::now())
-                else {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                     break;
                 };
                 let env = match self.endpoint.recv_timeout(remaining) {
@@ -265,7 +290,9 @@ impl LhClient {
                     if let OpResult::Error { message } = result {
                         return Err(LhError::Rejected(message));
                     }
+                    record_hops(hops);
                     if hops > 0 {
+                        sdds_obs::counter("lh.iams").inc();
                         self.iams.set(self.iams.get() + 1);
                         self.hops.set(self.hops.get() + hops as u64);
                         let mut img = self.image.get();
@@ -292,7 +319,10 @@ impl LhClient {
     /// flag (splits/merges running or queued).
     fn refresh_image_detail(&self) -> Result<(u64, bool), LhError> {
         let req_id = self.fresh_req_id();
-        let msg = Wire::ExtentReq { req_id, client: self.endpoint.id().0 };
+        let msg = Wire::ExtentReq {
+            req_id,
+            client: self.endpoint.id().0,
+        };
         let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
         for _attempt in 0..Self::ATTEMPTS {
             self.endpoint.send(self.coordinator, msg.encode())?;
@@ -304,9 +334,12 @@ impl LhClient {
                     Err(e) => return Err(e.into()),
                 };
                 match Wire::decode(&env.payload) {
-                    Some(Wire::ExtentResp { req_id: rid, level, split, busy })
-                        if rid == req_id =>
-                    {
+                    Some(Wire::ExtentResp {
+                        req_id: rid,
+                        level,
+                        split,
+                        busy,
+                    }) if rid == req_id => {
                         self.image.set(ClientImage { level, split });
                         return Ok((ClientImage { level, split }.extent(), busy));
                     }
@@ -341,7 +374,11 @@ impl LhClient {
     /// all answers. This is the paper's "search records … by content in
     /// parallel at all storage sites".
     pub fn scan(&self, query: &[u8], keys_only: bool) -> Result<Vec<ScanMatch>, LhError> {
+        let _span = sdds_obs::span("lh.scan");
+        let _timer = sdds_obs::histogram("lh.scan_seconds").start_timer();
+        sdds_obs::counter("lh.scans").inc();
         let extent = self.refresh_image_quiescent()?;
+        sdds_obs::counter("lh.scan_fanout_buckets").add(extent);
         let req_id = self.fresh_req_id();
         let msg = Wire::ScanReq {
             req_id,
@@ -354,23 +391,35 @@ impl LhClient {
         let mut outstanding: Vec<u64> = (0..extent).collect();
         let mut matches: HashMap<u64, ScanMatch> = HashMap::new();
         let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
+        if outstanding.is_empty() {
+            return Ok(finish(matches));
+        }
         for _attempt in 0..Self::ATTEMPTS {
             let mut awaited = std::collections::HashSet::new();
+            // Buckets that cannot even be addressed this attempt — dead
+            // (no directory entry, awaiting recovery) or unreachable.
+            // They stay outstanding: dropping them would let the scan
+            // report success while silently missing part of the file.
+            let mut dead: Vec<u64> = Vec::new();
             for &addr in &outstanding {
-                if let Some(site) = self.directory.bucket_site(addr) {
-                    // a dead bucket (awaiting recovery) is skipped
-                    if self.endpoint.send(site, payload.clone()).is_ok() {
+                match self.directory.bucket_site(addr) {
+                    Some(site) if self.endpoint.send(site, payload.clone()).is_ok() => {
                         awaited.insert(addr);
                     }
+                    _ => dead.push(addr),
                 }
             }
             if awaited.is_empty() {
-                return Ok(finish(matches));
+                // nothing reachable right now; give a recovery in
+                // progress a chance before the next attempt
+                outstanding = dead;
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
             }
+            let gather_timer = sdds_obs::histogram("lh.scan_gather_seconds").start_timer();
             let deadline = Instant::now() + attempt_timeout;
             while !awaited.is_empty() {
-                let Some(remaining) = deadline.checked_duration_since(Instant::now())
-                else {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                     break;
                 };
                 let env = match self.endpoint.recv_timeout(remaining) {
@@ -379,9 +428,11 @@ impl LhClient {
                     Err(e) => return Err(e.into()),
                 };
                 match Wire::decode(&env.payload) {
-                    Some(Wire::ScanResp { req_id: rid, bucket, matches: m })
-                        if rid == req_id =>
-                    {
+                    Some(Wire::ScanResp {
+                        req_id: rid,
+                        bucket,
+                        matches: m,
+                    }) if rid == req_id => {
                         awaited.remove(&bucket);
                         for sm in m {
                             matches.insert(sm.key, sm);
@@ -390,13 +441,36 @@ impl LhClient {
                     _ => continue,
                 }
             }
-            outstanding = awaited.into_iter().collect();
+            drop(gather_timer);
+            outstanding = awaited.into_iter().chain(dead).collect();
             if outstanding.is_empty() {
                 return Ok(finish(matches));
             }
+            sdds_obs::counter("lh.scan_retries").inc();
         }
-        Err(LhError::Timeout)
+        outstanding.sort_unstable();
+        sdds_obs::counter("lh.scan_incomplete").inc();
+        Err(LhError::ScanIncomplete {
+            missing: outstanding,
+        })
     }
+}
+
+/// Records one served request's forwarding-hop count. The paper proves at
+/// most two hops are ever needed; `lh.requests_hops_gt2` staying zero is
+/// that invariant as a queryable metric.
+fn record_hops(hops: u8) {
+    sdds_obs::counter("lh.requests").inc();
+    sdds_obs::counter("lh.hops").add(hops as u64);
+    // materialize every bucket so the >2 counter is readable as an
+    // explicit 0 — an absent counter would leave the invariant unchecked
+    let buckets = [
+        sdds_obs::counter("lh.requests_hops_0"),
+        sdds_obs::counter("lh.requests_hops_1"),
+        sdds_obs::counter("lh.requests_hops_2"),
+        sdds_obs::counter("lh.requests_hops_gt2"),
+    ];
+    buckets[(hops as usize).min(3)].inc();
 }
 
 /// Sorted scan output.

@@ -28,7 +28,10 @@ pub struct Directory {
 
 impl Directory {
     pub(crate) fn new() -> Directory {
-        Directory { buckets: RwLock::new(Vec::new()), parity: RwLock::new(HashMap::new()) }
+        Directory {
+            buckets: RwLock::new(Vec::new()),
+            parity: RwLock::new(HashMap::new()),
+        }
     }
 
     pub(crate) fn set_bucket(&self, addr: u64, site: SiteId) {
@@ -108,7 +111,11 @@ pub struct ParityConfig {
 
 impl Default for ParityConfig {
     fn default() -> ParityConfig {
-        ParityConfig { group_size: 4, parity_count: 1, slot_size: 256 }
+        ParityConfig {
+            group_size: 4,
+            parity_count: 1,
+            slot_size: 256,
+        }
     }
 }
 
@@ -213,7 +220,11 @@ impl LhCluster {
 
     /// Registers a new client of the file.
     pub fn client(&self) -> LhClient {
-        LhClient::new(self.network.register(), self.directory.clone(), self.coordinator)
+        LhClient::new(
+            self.network.register(),
+            self.directory.clone(),
+            self.coordinator,
+        )
     }
 
     /// The underlying network (for traffic statistics).
@@ -248,6 +259,8 @@ impl LhCluster {
             .config
             .parity
             .ok_or_else(|| LhError::Rejected("parity not enabled".into()))?;
+        sdds_obs::counter("lh.recoveries").inc();
+        let _timer = sdds_obs::histogram("lh.recovery_seconds").start_timer();
         let k = cfg.group_size;
         let m = cfg.parity_count;
         let group = addr / k as u64;
@@ -277,27 +290,34 @@ impl LhCluster {
             }
             match self.directory.bucket_site(baddr) {
                 Some(site) => {
-                    let msg = Wire::SlotsRead { req_id, client: control.id().0 };
+                    let msg = Wire::SlotsRead {
+                        req_id,
+                        client: control.id().0,
+                    };
                     control.send(site, msg.encode())?;
                     awaiting.insert(req_id, member);
                     req_id += 1;
                 }
                 // never created, or retired by a merge: holds no records
-                None if baddr as usize >= self.directory.num_buckets()
-                    || baddr >= file_extent =>
-                {
+                None if baddr as usize >= self.directory.num_buckets() || baddr >= file_extent => {
                     members[member] = Some(Vec::new());
                 }
-                None => return Err(LhError::Rejected(format!(
-                    "member bucket {baddr} is also down; need {m} or fewer failures"
-                ))),
+                None => {
+                    return Err(LhError::Rejected(format!(
+                        "member bucket {baddr} is also down; need {m} or fewer failures"
+                    )))
+                }
             }
         }
         // 2. parity rows
         let mut parities: Vec<Option<Vec<ParityRow>>> = vec![None; m];
         let psites = self.directory.parity_sites(group);
         for site in &psites {
-            let msg = Wire::ParityRead { req_id, client: control.id().0, group };
+            let msg = Wire::ParityRead {
+                req_id,
+                client: control.id().0,
+                group,
+            };
             control.send(*site, msg.encode())?;
             awaiting.insert(req_id, usize::MAX); // parity marker
             req_id += 1;
@@ -315,13 +335,19 @@ impl LhCluster {
                 Err(e) => return Err(e.into()),
             };
             match Wire::decode(&env.payload) {
-                Some(Wire::SlotsState { req_id: rid, slots, .. }) => {
+                Some(Wire::SlotsState {
+                    req_id: rid, slots, ..
+                }) => {
                     if let Some(&member) = awaiting.get(&rid) {
                         members[member] = Some(slots);
                         outstanding -= 1;
                     }
                 }
-                Some(Wire::ParityState { req_id: rid, parity_index, rows }) => {
+                Some(Wire::ParityState {
+                    req_id: rid,
+                    parity_index,
+                    rows,
+                }) => {
                     if awaiting.contains_key(&rid) {
                         parities[parity_index as usize] = Some(rows);
                         outstanding -= 1;
@@ -358,7 +384,11 @@ impl LhCluster {
             };
             control.send(
                 site,
-                Wire::Dump { req_id: req_id as u64, client: control.id().0 }.encode(),
+                Wire::Dump {
+                    req_id: req_id as u64,
+                    client: control.id().0,
+                }
+                .encode(),
             )?;
             awaiting.insert(req_id as u64, addr);
         }
@@ -373,16 +403,28 @@ impl LhCluster {
                 Err(NetError::Timeout) => return Err(LhError::Timeout),
                 Err(e) => return Err(e.into()),
             };
-            if let Some(Wire::DumpState { req_id, addr, level, records }) =
-                Wire::decode(&env.payload)
+            if let Some(Wire::DumpState {
+                req_id,
+                addr,
+                level,
+                records,
+            }) = Wire::decode(&env.payload)
             {
                 if awaiting.remove(&req_id).is_some() {
-                    buckets.push(BucketSnapshot { addr, level, records });
+                    buckets.push(BucketSnapshot {
+                        addr,
+                        level,
+                        records,
+                    });
                 }
             }
         }
         buckets.sort_by_key(|b| b.addr);
-        Ok(FileSnapshot { level: image.level, split: image.split, buckets })
+        Ok(FileSnapshot {
+            level: image.level,
+            split: image.split,
+            buckets,
+        })
     }
 
     /// Starts a fresh cluster and repopulates it from a snapshot: the
@@ -394,8 +436,7 @@ impl LhCluster {
             // the replay path bypasses the insert-time size check, so an
             // oversized value would panic the bucket's slot encoder
             for b in &snapshot.buckets {
-                if let Some((key, v)) = b.records.iter().find(|(_, v)| v.len() + 2 > p.slot_size)
-                {
+                if let Some((key, v)) = b.records.iter().find(|(_, v)| v.len() + 2 > p.slot_size) {
                     return Err(LhError::Rejected(format!(
                         "snapshot record {key} ({} bytes) exceeds the parity slot                          capacity {}; restore with a larger slot_size or without parity",
                         v.len(),
@@ -408,7 +449,11 @@ impl LhCluster {
         let control = cluster.network.register();
         control.send(
             cluster.coordinator,
-            Wire::AdoptFileState { level: snapshot.level, split: snapshot.split }.encode(),
+            Wire::AdoptFileState {
+                level: snapshot.level,
+                split: snapshot.split,
+            }
+            .encode(),
         )?;
         {
             let mut spawner = cluster.spawner.lock();
@@ -419,10 +464,7 @@ impl LhCluster {
             }
         }
         for b in &snapshot.buckets {
-            let site = cluster
-                .directory
-                .bucket_site(b.addr)
-                .expect("just spawned");
+            let site = cluster.directory.bucket_site(b.addr).expect("just spawned");
             control.send(
                 site,
                 Wire::TransferBatch {
@@ -495,7 +537,9 @@ fn make_spawner(
                         cfg.parity_count,
                         cfg.slot_size,
                     );
-                    handles.lock().push(std::thread::spawn(move || run_parity(ep, state)));
+                    handles
+                        .lock()
+                        .push(std::thread::spawn(move || run_parity(ep, state)));
                 }
                 directory.set_parity(group, sites);
             }
@@ -511,7 +555,9 @@ fn make_spawner(
             parity,
         };
         let state = BucketState::new(addr, level, capacity);
-        handles.lock().push(std::thread::spawn(move || run_bucket(ep, state, ctx)));
+        handles
+            .lock()
+            .push(std::thread::spawn(move || run_bucket(ep, state, ctx)));
         site
     })
 }

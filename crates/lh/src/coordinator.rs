@@ -133,7 +133,11 @@ impl CoordinatorState {
             let victim_site = bucket_site(victim).expect("split victim exists");
             return vec![(
                 victim_site,
-                Wire::SplitCmd { addr: victim, new_addr, new_site: new_site.0 },
+                Wire::SplitCmd {
+                    addr: victim,
+                    new_addr,
+                    new_site: new_site.0,
+                },
             )];
         }
         if self.pending_merges > 0 {
@@ -149,8 +153,7 @@ impl CoordinatorState {
             } else {
                 (1u64 << (self.level - 1)) - 1
             };
-            let (Some(victim_site), Some(parent_site)) =
-                (bucket_site(victim), bucket_site(parent))
+            let (Some(victim_site), Some(parent_site)) = (bucket_site(victim), bucket_site(parent))
             else {
                 return Vec::new(); // victim already retired (stale report)
             };
@@ -160,7 +163,11 @@ impl CoordinatorState {
             retirer(victim);
             return vec![(
                 victim_site,
-                Wire::MergeCmd { addr: victim, into_addr: parent, into_site: parent_site.0 },
+                Wire::MergeCmd {
+                    addr: victim,
+                    into_addr: parent,
+                    into_site: parent_site.0,
+                },
             )];
         }
         Vec::new()
@@ -176,7 +183,9 @@ pub(crate) fn run_coordinator(
 ) {
     let mut state = CoordinatorState::new();
     while let Ok(env) = endpoint.recv() {
-        let Some(msg) = Wire::decode(&env.payload) else { continue };
+        let Some(msg) = Wire::decode(&env.payload) else {
+            continue;
+        };
         if matches!(msg, Wire::Shutdown) {
             break;
         }
@@ -221,7 +230,11 @@ mod tests {
     fn overflow_triggers_split_of_split_pointer() {
         let (mut st, mut spawner, mut retirer, _sites, lookup) = harness();
         let out = st.handle(
-            Wire::Overflow { addr: 0, level: 0, size: 10 },
+            Wire::Overflow {
+                addr: 0,
+                level: 0,
+                size: 10,
+            },
             &mut spawner,
             &mut retirer,
             lookup.as_ref(),
@@ -230,26 +243,60 @@ mod tests {
         assert_eq!(out[0].0, SiteId(100)); // bucket 0's site
         assert_eq!(
             out[0].1,
-            Wire::SplitCmd { addr: 0, new_addr: 1, new_site: 101 }
+            Wire::SplitCmd {
+                addr: 0,
+                new_addr: 1,
+                new_site: 101
+            }
         );
     }
 
     #[test]
     fn split_done_advances_pointer_and_level() {
         let (mut st, mut spawner, mut retirer, _sites, lookup) = harness();
-        st.handle(Wire::Overflow { addr: 0, level: 0, size: 9 }, &mut spawner, &mut retirer, lookup.as_ref());
-        // level 0: extent 1; after split of bucket 0, level = 1, split = 0
-        st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
-        assert_eq!(st.file_state(), (1, 0));
-        // next split victim is bucket 0 again, creating bucket 2
-        let out = st.handle(
-            Wire::Overflow { addr: 1, level: 1, size: 9 },
+        st.handle(
+            Wire::Overflow {
+                addr: 0,
+                level: 0,
+                size: 9,
+            },
             &mut spawner,
             &mut retirer,
             lookup.as_ref(),
         );
-        assert_eq!(out[0].1, Wire::SplitCmd { addr: 0, new_addr: 2, new_site: 102 });
-        st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
+        // level 0: extent 1; after split of bucket 0, level = 1, split = 0
+        st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        assert_eq!(st.file_state(), (1, 0));
+        // next split victim is bucket 0 again, creating bucket 2
+        let out = st.handle(
+            Wire::Overflow {
+                addr: 1,
+                level: 1,
+                size: 9,
+            },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        assert_eq!(
+            out[0].1,
+            Wire::SplitCmd {
+                addr: 0,
+                new_addr: 2,
+                new_site: 102
+            }
+        );
+        st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert_eq!(st.file_state(), (1, 1));
     }
 
@@ -257,7 +304,11 @@ mod tests {
     fn one_split_at_a_time_and_queueing() {
         let (mut st, mut spawner, mut retirer, _sites, lookup) = harness();
         let first = st.handle(
-            Wire::Overflow { addr: 0, level: 0, size: 9 },
+            Wire::Overflow {
+                addr: 0,
+                level: 0,
+                size: 9,
+            },
             &mut spawner,
             &mut retirer,
             lookup.as_ref(),
@@ -265,26 +316,70 @@ mod tests {
         assert_eq!(first.len(), 1);
         // overflow during the running split queues
         let second = st.handle(
-            Wire::Overflow { addr: 0, level: 0, size: 12 },
+            Wire::Overflow {
+                addr: 0,
+                level: 0,
+                size: 12,
+            },
             &mut spawner,
             &mut retirer,
             lookup.as_ref(),
         );
         assert!(second.is_empty(), "split must not start while one runs");
         // completion starts the queued split immediately
-        let third = st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
+        let third = st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert_eq!(third.len(), 1);
-        assert!(matches!(third[0].1, Wire::SplitCmd { addr: 0, new_addr: 2, .. }));
+        assert!(matches!(
+            third[0].1,
+            Wire::SplitCmd {
+                addr: 0,
+                new_addr: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn underflow_triggers_merge_of_last_bucket() {
         let (mut st, mut spawner, mut retirer, sites, lookup) = harness();
         // grow the file to 3 buckets: (0,0) -> (1,0) -> (1,1)
-        st.handle(Wire::Overflow { addr: 0, level: 0, size: 9 }, &mut spawner, &mut retirer, lookup.as_ref());
-        st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
-        st.handle(Wire::Overflow { addr: 0, level: 1, size: 9 }, &mut spawner, &mut retirer, lookup.as_ref());
-        st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
+        st.handle(
+            Wire::Overflow {
+                addr: 0,
+                level: 0,
+                size: 9,
+            },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        st.handle(
+            Wire::Overflow {
+                addr: 0,
+                level: 1,
+                size: 9,
+            },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert_eq!(st.file_state(), (1, 1));
         // underflow: merge bucket 2 back into its parent 0
         let out = st.handle(
@@ -296,22 +391,47 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(
             out[0].1,
-            Wire::MergeCmd { addr: 2, into_addr: 0, into_site: 100 }
+            Wire::MergeCmd {
+                addr: 2,
+                into_addr: 0,
+                into_site: 100
+            }
         );
         // the victim was retired from the directory immediately
         assert!(!sites.lock().unwrap().contains_key(&2));
         // completion regresses the file state and shuts the site down
-        let out = st.handle(Wire::MergeDone { addr: 2 }, &mut spawner, &mut retirer, lookup.as_ref());
+        let out = st.handle(
+            Wire::MergeDone { addr: 2 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert_eq!(st.file_state(), (1, 0));
-        assert!(out.iter().any(|(to, m)| *to == SiteId(102) && matches!(m, Wire::Shutdown)));
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == SiteId(102) && matches!(m, Wire::Shutdown)));
     }
 
     #[test]
     fn merge_across_level_boundary() {
         let (mut st, mut spawner, mut retirer, _sites, lookup) = harness();
         // grow to exactly (1, 0): two buckets
-        st.handle(Wire::Overflow { addr: 0, level: 0, size: 9 }, &mut spawner, &mut retirer, lookup.as_ref());
-        st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
+        st.handle(
+            Wire::Overflow {
+                addr: 0,
+                level: 0,
+                size: 9,
+            },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert_eq!(st.file_state(), (1, 0));
         let out = st.handle(
             Wire::Underflow { addr: 0, size: 0 },
@@ -320,8 +440,20 @@ mod tests {
             lookup.as_ref(),
         );
         // merge bucket 1 into bucket 0, regressing to level 0
-        assert_eq!(out[0].1, Wire::MergeCmd { addr: 1, into_addr: 0, into_site: 100 });
-        st.handle(Wire::MergeDone { addr: 1 }, &mut spawner, &mut retirer, lookup.as_ref());
+        assert_eq!(
+            out[0].1,
+            Wire::MergeCmd {
+                addr: 1,
+                into_addr: 0,
+                into_site: 100
+            }
+        );
+        st.handle(
+            Wire::MergeDone { addr: 1 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert_eq!(st.file_state(), (0, 0));
     }
 
@@ -345,10 +477,33 @@ mod tests {
         // split could starve an over-capacity bucket forever).
         let (mut st, mut spawner, mut retirer, _sites, lookup) = harness();
         // grow to 2 buckets first so a merge would be possible
-        st.handle(Wire::Overflow { addr: 0, level: 0, size: 9 }, &mut spawner, &mut retirer, lookup.as_ref());
-        st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
+        st.handle(
+            Wire::Overflow {
+                addr: 0,
+                level: 0,
+                size: 9,
+            },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         // start a split, then queue an underflow during it
-        st.handle(Wire::Overflow { addr: 1, level: 1, size: 9 }, &mut spawner, &mut retirer, lookup.as_ref());
+        st.handle(
+            Wire::Overflow {
+                addr: 1,
+                level: 1,
+                size: 9,
+            },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         let during = st.handle(
             Wire::Underflow { addr: 0, size: 0 },
             &mut spawner,
@@ -357,16 +512,39 @@ mod tests {
         );
         assert!(during.is_empty(), "busy: nothing starts");
         // queue one more overflow: it must run BEFORE the merge
-        st.handle(Wire::Overflow { addr: 1, level: 1, size: 9 }, &mut spawner, &mut retirer, lookup.as_ref());
-        let after = st.handle(Wire::SplitDone { addr: 0 }, &mut spawner, &mut retirer, lookup.as_ref());
+        st.handle(
+            Wire::Overflow {
+                addr: 1,
+                level: 1,
+                size: 9,
+            },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
+        let after = st.handle(
+            Wire::SplitDone { addr: 0 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert!(
-            after.iter().any(|(_, m)| matches!(m, Wire::SplitCmd { .. })),
+            after
+                .iter()
+                .any(|(_, m)| matches!(m, Wire::SplitCmd { .. })),
             "queued split starts next: {after:?}"
         );
         // and once that split finishes, the queued merge runs
-        let finally = st.handle(Wire::SplitDone { addr: 1 }, &mut spawner, &mut retirer, lookup.as_ref());
+        let finally = st.handle(
+            Wire::SplitDone { addr: 1 },
+            &mut spawner,
+            &mut retirer,
+            lookup.as_ref(),
+        );
         assert!(
-            finally.iter().any(|(_, m)| matches!(m, Wire::MergeCmd { .. })),
+            finally
+                .iter()
+                .any(|(_, m)| matches!(m, Wire::MergeCmd { .. })),
             "queued merge runs after: {finally:?}"
         );
     }
@@ -375,7 +553,10 @@ mod tests {
     fn extent_request_reports_file_state() {
         let (mut st, mut spawner, mut retirer, _sites, lookup) = harness();
         let out = st.handle(
-            Wire::ExtentReq { req_id: 5, client: 9 },
+            Wire::ExtentReq {
+                req_id: 5,
+                client: 9,
+            },
             &mut spawner,
             &mut retirer,
             lookup.as_ref(),
@@ -384,7 +565,12 @@ mod tests {
             out,
             vec![(
                 SiteId(9),
-                Wire::ExtentResp { req_id: 5, level: 0, split: 0, busy: false }
+                Wire::ExtentResp {
+                    req_id: 5,
+                    level: 0,
+                    split: 0,
+                    busy: false
+                }
             )]
         );
     }

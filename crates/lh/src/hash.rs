@@ -44,15 +44,13 @@ pub fn extent(level: u8, split: u64) -> u64 {
 /// Clients start with the primordial image (one bucket) and converge
 /// through Image Adjustment Messages; the guarantee is never more than two
 /// forwarding hops regardless of staleness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct ClientImage {
     /// Presumed file level `i'`.
     pub level: u8,
     /// Presumed split pointer `n'`.
     pub split: u64,
 }
-
 
 impl ClientImage {
     /// Address of `key` under this image.
@@ -132,7 +130,10 @@ mod tests {
                 let ext = extent(level, split);
                 for key in 0..500u64 {
                     let a = address(key, level, split);
-                    assert!(a < ext, "key {key} level {level} split {split} -> {a} >= {ext}");
+                    assert!(
+                        a < ext,
+                        "key {key} level {level} split {split} -> {a} >= {ext}"
+                    );
                 }
             }
         }
@@ -165,7 +166,10 @@ mod tests {
         let mut img = ClientImage::default();
         for key in 0..200u64 {
             let true_addr = address(key, true_level, true_split);
-            img.adjust(true_addr, true_bucket_level(true_addr, true_level, true_split));
+            img.adjust(
+                true_addr,
+                true_bucket_level(true_addr, true_level, true_split),
+            );
             assert!(img.extent() <= extent(true_level, true_split));
         }
         // after many adjustments the image is close to the true state
@@ -184,7 +188,10 @@ mod tests {
                     // try several starting images at or below the state
                     for img_level in 0..=level {
                         for img_split in 0..(1u64 << img_level) {
-                            let mut img = ClientImage { level: img_level, split: img_split };
+                            let mut img = ClientImage {
+                                level: img_level,
+                                split: img_split,
+                            };
                             if img.extent() > ext {
                                 continue;
                             }

@@ -322,30 +322,67 @@ mod tests {
                 req_id: 1,
                 client: 2,
                 hops: 0,
-                op: Op::Insert { key: 3, value: vec![1, 2, 3] },
+                op: Op::Insert {
+                    key: 3,
+                    value: vec![1, 2, 3],
+                },
             },
             Wire::Response {
                 req_id: 1,
-                result: OpResult::Found { value: Some(vec![9]) },
+                result: OpResult::Found {
+                    value: Some(vec![9]),
+                },
                 served_by: 4,
                 bucket_level: 2,
                 hops: 1,
             },
-            Wire::ScanReq { req_id: 9, client: 1, query: vec![0xFF], keys_only: true },
+            Wire::ScanReq {
+                req_id: 9,
+                client: 1,
+                query: vec![0xFF],
+                keys_only: true,
+            },
             Wire::ScanResp {
                 req_id: 9,
                 bucket: 3,
-                matches: vec![ScanMatch { key: 5, value: None }],
+                matches: vec![ScanMatch {
+                    key: 5,
+                    value: None,
+                }],
             },
-            Wire::Overflow { addr: 0, level: 1, size: 100 },
+            Wire::Overflow {
+                addr: 0,
+                level: 1,
+                size: 100,
+            },
             Wire::Underflow { addr: 3, size: 2 },
-            Wire::MergeCmd { addr: 3, into_addr: 1, into_site: 8 },
+            Wire::MergeCmd {
+                addr: 3,
+                into_addr: 1,
+                into_site: 8,
+            },
             Wire::MergeDone { addr: 3 },
-            Wire::SplitCmd { addr: 0, new_addr: 2, new_site: 7 },
-            Wire::TransferBatch { level: 2, addr: 2, records: vec![(1, vec![])] },
+            Wire::SplitCmd {
+                addr: 0,
+                new_addr: 2,
+                new_site: 7,
+            },
+            Wire::TransferBatch {
+                level: 2,
+                addr: 2,
+                records: vec![(1, vec![])],
+            },
             Wire::SplitDone { addr: 0 },
-            Wire::ExtentReq { req_id: 4, client: 6 },
-            Wire::ExtentResp { req_id: 4, level: 3, split: 1, busy: false },
+            Wire::ExtentReq {
+                req_id: 4,
+                client: 6,
+            },
+            Wire::ExtentResp {
+                req_id: 4,
+                level: 3,
+                split: 1,
+                busy: false,
+            },
             Wire::ParityUpdate {
                 group: 0,
                 member: 1,
@@ -353,22 +390,44 @@ mod tests {
                 key: Some(77),
                 delta: vec![0xAA],
             },
-            Wire::ParityRead { req_id: 8, client: 1, group: 0 },
+            Wire::ParityRead {
+                req_id: 8,
+                client: 1,
+                group: 0,
+            },
             Wire::ParityState {
                 req_id: 8,
                 parity_index: 0,
-                rows: vec![ParityRow { keys: vec![Some(1), None], slot: vec![3] }],
+                rows: vec![ParityRow {
+                    keys: vec![Some(1), None],
+                    slot: vec![3],
+                }],
             },
-            Wire::SlotsRead { req_id: 2, client: 3 },
+            Wire::SlotsRead {
+                req_id: 2,
+                client: 3,
+            },
             Wire::SlotsState {
                 req_id: 2,
                 addr: 1,
                 level: 1,
                 slots: vec![Some((5, vec![1])), None],
             },
-            Wire::Adopt { addr: 1, level: 1, slots: vec![Some((5, vec![1])), None] },
-            Wire::Dump { req_id: 3, client: 4 },
-            Wire::DumpState { req_id: 3, addr: 0, level: 2, records: vec![(1, vec![2])] },
+            Wire::Adopt {
+                addr: 1,
+                level: 1,
+                slots: vec![Some((5, vec![1])), None],
+            },
+            Wire::Dump {
+                req_id: 3,
+                client: 4,
+            },
+            Wire::DumpState {
+                req_id: 3,
+                addr: 0,
+                level: 2,
+                records: vec![(1, vec![2])],
+            },
             Wire::AdoptFileState { level: 3, split: 2 },
             Wire::Shutdown,
         ];
@@ -386,7 +445,14 @@ mod tests {
 
     #[test]
     fn op_key_extraction() {
-        assert_eq!(Op::Insert { key: 7, value: vec![] }.key(), 7);
+        assert_eq!(
+            Op::Insert {
+                key: 7,
+                value: vec![]
+            }
+            .key(),
+            7
+        );
         assert_eq!(Op::Lookup { key: 8 }.key(), 8);
         assert_eq!(Op::Delete { key: 9 }.key(), 9);
     }

@@ -38,9 +38,17 @@ pub(crate) fn value_of(slot: &[u8]) -> Vec<u8> {
 /// XOR delta between the slot encodings of an old and a new value
 /// (`None` = absent record = all-zero slot).
 pub(crate) fn slot_delta(old: Option<&[u8]>, new: Option<&[u8]>, slot_size: usize) -> Vec<u8> {
-    let old_slot = old.map(|v| slot_of(v, slot_size)).unwrap_or_else(|| vec![0; slot_size]);
-    let new_slot = new.map(|v| slot_of(v, slot_size)).unwrap_or_else(|| vec![0; slot_size]);
-    old_slot.iter().zip(new_slot.iter()).map(|(a, b)| a ^ b).collect()
+    let old_slot = old
+        .map(|v| slot_of(v, slot_size))
+        .unwrap_or_else(|| vec![0; slot_size]);
+    let new_slot = new
+        .map(|v| slot_of(v, slot_size))
+        .unwrap_or_else(|| vec![0; slot_size]);
+    old_slot
+        .iter()
+        .zip(new_slot.iter())
+        .map(|(a, b)| a ^ b)
+        .collect()
 }
 
 /// State of one parity site: `parity_index`-th parity of one group.
@@ -89,7 +97,9 @@ impl ParityState {
     /// Applies an update delta: `slot += coef(parity_index, member) · delta`.
     pub(crate) fn apply(&mut self, member: u32, rank: u32, key: Option<u64>, delta: &[u8]) {
         debug_assert_eq!(delta.len(), self.slot_size);
-        let coef = self.rs.parity_coefficient(self.parity_index as usize, member as usize);
+        let coef = self
+            .rs
+            .parity_coefficient(self.parity_index as usize, member as usize);
         let scaled = self.rs.scale_bytes(delta, coef);
         let row = self.row_mut(rank);
         row.keys[member as usize] = key;
@@ -102,18 +112,31 @@ impl ParityState {
     pub(crate) fn rows(&self) -> Vec<ParityRow> {
         self.rows
             .iter()
-            .map(|r| ParityRow { keys: r.keys.clone(), slot: r.slot.clone() })
+            .map(|r| ParityRow {
+                keys: r.keys.clone(),
+                slot: r.slot.clone(),
+            })
             .collect()
     }
 
     pub(crate) fn handle(&mut self, msg: Wire) -> Vec<(SiteId, Wire)> {
         match msg {
-            Wire::ParityUpdate { group, member, rank, key, delta } => {
+            Wire::ParityUpdate {
+                group,
+                member,
+                rank,
+                key,
+                delta,
+            } => {
                 debug_assert_eq!(group, self.group);
                 self.apply(member, rank, key, &delta);
                 Vec::new()
             }
-            Wire::ParityRead { req_id, client, group } => {
+            Wire::ParityRead {
+                req_id,
+                client,
+                group,
+            } => {
                 debug_assert_eq!(group, self.group);
                 vec![(
                     SiteId(client),
@@ -132,7 +155,9 @@ impl ParityState {
 /// The parity-site thread loop.
 pub(crate) fn run_parity(endpoint: Endpoint, mut state: ParityState) {
     while let Ok(env) = endpoint.recv() {
-        let Some(msg) = Wire::decode(&env.payload) else { continue };
+        let Some(msg) = Wire::decode(&env.payload) else {
+            continue;
+        };
         if matches!(msg, Wire::Shutdown) {
             break;
         }
@@ -307,7 +332,10 @@ mod tests {
             &[Some(p.rows())],
         )
         .unwrap();
-        assert_eq!(rec, vec![Some((1, b"a".to_vec())), Some((2, b"b".to_vec()))]);
+        assert_eq!(
+            rec,
+            vec![Some((1, b"a".to_vec())), Some((2, b"b".to_vec()))]
+        );
     }
 
     #[test]
@@ -321,12 +349,22 @@ mod tests {
         }
         // both members lost
         let rec0 = reconstruct_member(
-            k, m, slot, 0, &[None, None], &[Some(p0.rows()), Some(p1.rows())],
+            k,
+            m,
+            slot,
+            0,
+            &[None, None],
+            &[Some(p0.rows()), Some(p1.rows())],
         )
         .unwrap();
         assert_eq!(rec0, vec![Some((1, b"one".to_vec()))]);
         let rec1 = reconstruct_member(
-            k, m, slot, 1, &[None, None], &[Some(p0.rows()), Some(p1.rows())],
+            k,
+            m,
+            slot,
+            1,
+            &[None, None],
+            &[Some(p0.rows()), Some(p1.rows())],
         )
         .unwrap();
         assert_eq!(rec1, vec![Some((2, b"two".to_vec()))]);

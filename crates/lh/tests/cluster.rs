@@ -4,7 +4,10 @@ use sdds_lh::{ClusterConfig, LhCluster, ParityConfig, SubstringFilter};
 use std::sync::Arc;
 
 fn small_bucket_config(capacity: usize) -> ClusterConfig {
-    ClusterConfig { bucket_capacity: capacity, ..ClusterConfig::default() }
+    ClusterConfig {
+        bucket_capacity: capacity,
+        ..ClusterConfig::default()
+    }
 }
 
 #[test]
@@ -12,7 +15,10 @@ fn insert_lookup_delete_roundtrip() {
     let cluster = LhCluster::start(ClusterConfig::default());
     let client = cluster.client();
     assert!(!client.insert(1, b"one".to_vec()).unwrap());
-    assert!(client.insert(1, b"uno".to_vec()).unwrap(), "overwrite reported");
+    assert!(
+        client.insert(1, b"uno".to_vec()).unwrap(),
+        "overwrite reported"
+    );
     assert_eq!(client.lookup(1).unwrap(), Some(b"uno".to_vec()));
     assert_eq!(client.lookup(2).unwrap(), None);
     assert!(client.delete(1).unwrap());
@@ -98,12 +104,19 @@ fn parallel_substring_scan_finds_matches_across_buckets() {
         ..ClusterConfig::default()
     });
     let client = cluster.client();
-    let names = ["SCHWARZ THOMAS", "TSUI PETER", "LITWIN WITOLD", "SCHWARTZ X"];
+    let names = [
+        "SCHWARZ THOMAS",
+        "TSUI PETER",
+        "LITWIN WITOLD",
+        "SCHWARTZ X",
+    ];
     for (i, name) in names.iter().enumerate() {
         client.insert(i as u64, name.as_bytes().to_vec()).unwrap();
     }
     for filler in 10..200u64 {
-        client.insert(filler, format!("FILLER {filler}").into_bytes()).unwrap();
+        client
+            .insert(filler, format!("FILLER {filler}").into_bytes())
+            .unwrap();
     }
     let hits = client.scan(b"SCHWAR", false).unwrap();
     let keys: Vec<u64> = hits.iter().map(|m| m.key).collect();
@@ -128,7 +141,9 @@ fn concurrent_clients_do_not_interfere() {
             scope.spawn(move || {
                 let base = t as u64 * 10_000;
                 for i in 0..per_thread {
-                    client.insert(base + i, (base + i).to_le_bytes().to_vec()).unwrap();
+                    client
+                        .insert(base + i, (base + i).to_le_bytes().to_vec())
+                        .unwrap();
                 }
                 for i in 0..per_thread {
                     assert_eq!(
@@ -250,8 +265,7 @@ fn stale_image_never_overshoots_the_file() {
 fn batch_insert_is_equivalent_and_cheaper_in_roundtrips() {
     let cluster = LhCluster::start(small_bucket_config(64));
     let client = cluster.client();
-    let items: Vec<(u64, Vec<u8>)> =
-        (0..200u64).map(|k| (k, k.to_le_bytes().to_vec())).collect();
+    let items: Vec<(u64, Vec<u8>)> = (0..200u64).map(|k| (k, k.to_le_bytes().to_vec())).collect();
     client.insert_batch(items.clone()).unwrap();
     for (k, v) in &items {
         assert_eq!(client.lookup(*k).unwrap().as_ref(), Some(v));
@@ -297,7 +311,11 @@ fn operations_survive_a_lossy_network() {
         client.insert(key, vec![key as u8]).unwrap();
     }
     for key in 0..300u64 {
-        assert_eq!(client.lookup(key).unwrap(), Some(vec![key as u8]), "key {key}");
+        assert_eq!(
+            client.lookup(key).unwrap(),
+            Some(vec![key as u8]),
+            "key {key}"
+        );
     }
     // scans also retry per bucket
     let all = client.scan(&[], true).unwrap();
@@ -310,7 +328,11 @@ fn operations_survive_a_lossy_network() {
 }
 
 fn sdds_repro_netcfg(drop_probability: f64, fault_seed: u64) -> sdds_net::NetConfig {
-    sdds_net::NetConfig { drop_probability, fault_seed, ..Default::default() }
+    sdds_net::NetConfig {
+        drop_probability,
+        fault_seed,
+        ..Default::default()
+    }
 }
 
 // ---------- LH*RS high availability ----------
@@ -318,7 +340,11 @@ fn sdds_repro_netcfg(drop_probability: f64, fault_seed: u64) -> sdds_net::NetCon
 fn parity_config() -> ClusterConfig {
     ClusterConfig {
         bucket_capacity: 8,
-        parity: Some(ParityConfig { group_size: 2, parity_count: 1, slot_size: 64 }),
+        parity: Some(ParityConfig {
+            group_size: 2,
+            parity_count: 1,
+            slot_size: 64,
+        }),
         ..ClusterConfig::default()
     }
 }
@@ -329,7 +355,9 @@ fn bucket_recovery_restores_all_records() {
     let client = cluster.client();
     let n = 120u64;
     for key in 0..n {
-        client.insert(key, format!("payload-{key}").into_bytes()).unwrap();
+        client
+            .insert(key, format!("payload-{key}").into_bytes())
+            .unwrap();
     }
     let buckets = cluster.num_buckets() as u64;
     assert!(buckets >= 4, "need several buckets, got {buckets}");
@@ -373,6 +401,52 @@ fn recovery_preserves_updates_and_deletes() {
         };
         assert_eq!(client.lookup(key).unwrap(), expect, "key {key}");
     }
+    cluster.shutdown();
+}
+
+#[test]
+fn scan_over_dead_bucket_reports_incomplete_not_partial() {
+    // Regression: the scan used to drop unreachable buckets from its
+    // outstanding set and return Ok with a silently partial result. It
+    // must instead fail with the missing addresses — and succeed again
+    // once the bucket is recovered.
+    let cluster = LhCluster::start(ClusterConfig {
+        bucket_capacity: 8,
+        filter: Arc::new(SubstringFilter),
+        parity: Some(ParityConfig {
+            group_size: 2,
+            parity_count: 1,
+            slot_size: 64,
+        }),
+        ..ClusterConfig::default()
+    });
+    let client = cluster.client();
+    let n = 100u64;
+    for key in 0..n {
+        client
+            .insert(key, format!("RECORD {key}").into_bytes())
+            .unwrap();
+    }
+    assert!(cluster.num_buckets() >= 4, "need several buckets");
+    // full scan works while everyone is alive
+    assert_eq!(client.scan(b"RECORD", true).unwrap().len(), n as usize);
+    // let parity updates drain, then crash a bucket
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    cluster.kill_bucket(1);
+    client.set_timeout(std::time::Duration::from_millis(300));
+    match client.scan(b"RECORD", true) {
+        Err(sdds_lh::LhError::ScanIncomplete { missing }) => {
+            assert!(
+                missing.contains(&1),
+                "dead bucket not reported: {missing:?}"
+            );
+        }
+        other => panic!("expected ScanIncomplete, got {other:?}"),
+    }
+    // recovery makes the scan whole again
+    client.set_timeout(std::time::Duration::from_secs(5));
+    cluster.recover_bucket(1).unwrap();
+    assert_eq!(client.scan(b"RECORD", true).unwrap().len(), n as usize);
     cluster.shutdown();
 }
 

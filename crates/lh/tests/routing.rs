@@ -57,7 +57,10 @@ fn exhaustive_two_hop_bound_small_files() {
                 // from every client-computable start address
                 for img_level in 0..=level {
                     for img_split in 0..(1u64 << img_level) {
-                        let img = ClientImage { level: img_level, split: img_split };
+                        let img = ClientImage {
+                            level: img_level,
+                            split: img_split,
+                        };
                         if img.extent() > extent {
                             continue; // image may never be ahead of the file
                         }

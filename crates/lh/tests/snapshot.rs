@@ -9,7 +9,9 @@ fn populated_cluster(n: u64) -> LhCluster {
     });
     let client = cluster.client();
     for key in 0..n {
-        client.insert(key, format!("value {key}").into_bytes()).unwrap();
+        client
+            .insert(key, format!("value {key}").into_bytes())
+            .unwrap();
     }
     cluster
 }
@@ -38,7 +40,10 @@ fn restore_reproduces_the_file() {
     cluster.shutdown();
 
     let restored = LhCluster::restore(
-        ClusterConfig { bucket_capacity: 16, ..ClusterConfig::default() },
+        ClusterConfig {
+            bucket_capacity: 16,
+            ..ClusterConfig::default()
+        },
         &snap,
     )
     .unwrap();
@@ -82,7 +87,11 @@ fn restore_can_enable_parity_on_old_data() {
     let restored = LhCluster::restore(
         ClusterConfig {
             bucket_capacity: 16,
-            parity: Some(ParityConfig { group_size: 2, parity_count: 1, slot_size: 64 }),
+            parity: Some(ParityConfig {
+                group_size: 2,
+                parity_count: 1,
+                slot_size: 64,
+            }),
             ..ClusterConfig::default()
         },
         &snap,

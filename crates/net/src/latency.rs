@@ -33,7 +33,10 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// An idealised zero-cost network (pure logic tests).
     pub fn zero() -> LatencyModel {
-        LatencyModel { per_message: Duration::ZERO, per_byte: Duration::ZERO }
+        LatencyModel {
+            per_message: Duration::ZERO,
+            per_byte: Duration::ZERO,
+        }
     }
 
     /// Simulated time for a single message of `len` payload bytes.
@@ -44,8 +47,7 @@ impl LatencyModel {
     /// Total serialized network time for all traffic recorded in `stats`.
     /// (An upper bound: real traffic overlaps across links.)
     pub fn total_time(&self, stats: &NetStats) -> Duration {
-        self.per_message * (stats.messages() as u32)
-            + self.per_byte * (stats.bytes() as u32)
+        self.per_message * (stats.messages() as u32) + self.per_byte * (stats.bytes() as u32)
     }
 }
 
@@ -80,9 +82,6 @@ mod tests {
         stats.record(SiteId(0), SiteId(1), 100);
         stats.record(SiteId(1), SiteId(0), 100);
         let m = LatencyModel::default();
-        assert_eq!(
-            m.total_time(&stats),
-            m.per_message * 2 + m.per_byte * 200
-        );
+        assert_eq!(m.total_time(&stats), m.per_message * 2 + m.per_byte * 200);
     }
 }

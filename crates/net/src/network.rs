@@ -11,9 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Address of a site in the multicomputer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SiteId(pub u32);
 
 impl fmt::Display for SiteId {
@@ -107,7 +105,11 @@ impl Network {
         let mut boxes = self.inner.mailboxes.write();
         let id = SiteId(boxes.len() as u32);
         boxes.push(tx);
-        Endpoint { id, rx, network: self.clone() }
+        Endpoint {
+            id,
+            rx,
+            network: self.clone(),
+        }
     }
 
     /// Number of registered sites.
@@ -131,26 +133,53 @@ impl Network {
         let tx = boxes
             .get(env.to.0 as usize)
             .ok_or(NetError::UnknownSite(env.to))?;
-        self.inner.stats.record(env.from, env.to, env.payload.len());
         if self.inner.drop_probability > 0.0 && self.draw_drop() {
             // silent loss, like a UDP datagram: the sender sees success
             self.inner.stats.record_dropped();
+            sdds_obs::counter("net.dropped").inc();
             return Ok(());
         }
-        tx.send(env.clone()).map_err(|_| NetError::Disconnected(env.to))
+        // Traffic counters reflect messages actually enqueued: a failed
+        // send must not inflate delivered-message stats (drops are
+        // accounted separately above). Record first so a receiver that
+        // dequeues the message always observes it counted, then roll back
+        // on the (rare) disconnected-endpoint failure.
+        let (from, to, len) = (env.from, env.to, env.payload.len());
+        self.inner.stats.record(from, to, len);
+        if tx.send(env).is_err() {
+            self.inner.stats.unrecord(from, to, len);
+            sdds_obs::counter("net.send_failures").inc();
+            return Err(NetError::Disconnected(to));
+        }
+        sdds_obs::counter("net.messages").inc();
+        sdds_obs::counter("net.bytes").add(len as u64);
+        sdds_obs::counter("net.sim_latency_nanos")
+            .add(self.inner.latency.message_time(len).as_nanos() as u64);
+        Ok(())
     }
 
     /// Deterministic xorshift64* drop decision (no extra dependency, and
     /// reproducible for a given fault seed).
     fn draw_drop(&self) -> bool {
         use std::sync::atomic::Ordering;
-        let mut x = self.inner.fault_rng.load(Ordering::Relaxed);
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.inner.fault_rng.store(x, Ordering::Relaxed);
-        let draw = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64
-            / (1u64 << 53) as f64;
+        fn step(mut x: u64) -> u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+        // A CAS loop: concurrent senders must each consume a distinct
+        // state, or two of them can read the same value and emit the
+        // same (duplicated, then lost) stream position.
+        let prev = self
+            .inner
+            .fault_rng
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| Some(step(x)))
+            .expect("xorshift update never fails");
+        // fetch_update returns the state *before* our update; re-apply the
+        // step to obtain the value this draw owns.
+        let x = step(prev);
+        let draw = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
         draw < self.inner.drop_probability
     }
 }
@@ -182,7 +211,11 @@ impl Endpoint {
 
     /// Sends a payload to another site (or to self).
     pub fn send(&self, to: SiteId, payload: Bytes) -> Result<(), NetError> {
-        self.network.deliver(Envelope { from: self.id, to, payload })
+        self.network.deliver(Envelope {
+            from: self.id,
+            to,
+            payload,
+        })
     }
 
     /// Blocking receive.
@@ -342,7 +375,8 @@ mod tests {
         let a = net.register();
         let b = net.register();
         for i in 0..1000u32 {
-            a.send(b.id(), Bytes::copy_from_slice(&i.to_le_bytes())).unwrap();
+            a.send(b.id(), Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
         }
         let dropped = net.stats().dropped();
         assert!(
@@ -360,9 +394,81 @@ mod tests {
         let a2 = net2.register();
         let b2 = net2.register();
         for i in 0..1000u32 {
-            a2.send(b2.id(), Bytes::copy_from_slice(&i.to_le_bytes())).unwrap();
+            a2.send(b2.id(), Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
         }
         assert_eq!(net2.stats().dropped(), dropped);
+    }
+
+    #[test]
+    fn concurrent_senders_drop_deterministically() {
+        // The drop decisions come from one shared xorshift stream; the CAS
+        // in draw_drop guarantees each send consumes a distinct position,
+        // so the *count* of drops over N sends is the count of
+        // sub-threshold values in the first N stream positions — invariant
+        // under thread interleaving.
+        let lossy = NetConfig {
+            drop_probability: 0.3,
+            fault_seed: 977,
+            ..NetConfig::default()
+        };
+        let run = || {
+            let net = Network::new(lossy.clone());
+            let sink = net.register();
+            let nthreads = 8;
+            let per_thread = 250u64;
+            std::thread::scope(|scope| {
+                for _ in 0..nthreads {
+                    let tx = net.register();
+                    let to = sink.id();
+                    scope.spawn(move || {
+                        for i in 0..per_thread {
+                            tx.send(to, Bytes::copy_from_slice(&i.to_le_bytes()))
+                                .unwrap();
+                        }
+                    });
+                }
+            });
+            let mut received = 0u64;
+            while sink.try_recv().is_ok() {
+                received += 1;
+            }
+            let dropped = net.stats().dropped();
+            assert_eq!(
+                received + dropped,
+                nthreads * per_thread,
+                "every send must be either delivered or counted dropped"
+            );
+            dropped
+        };
+        let d1 = run();
+        let d2 = run();
+        assert!(
+            (450..750).contains(&(d1 as usize)),
+            "expected ~30% of 2000 dropped, got {d1}"
+        );
+        assert_eq!(d1, d2, "drop count must not depend on thread interleaving");
+    }
+
+    #[test]
+    fn failed_send_does_not_inflate_stats() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        let b_id = b.id();
+        drop(b);
+        assert_eq!(
+            a.send(b_id, Bytes::from_static(b"lost")),
+            Err(NetError::Disconnected(b_id))
+        );
+        assert_eq!(net.stats().messages(), 0, "failed send counted as traffic");
+        assert_eq!(net.stats().bytes(), 0);
+        assert_eq!(net.stats().messages_from(a.id()), 0);
+        assert_eq!(net.stats().messages_to(b_id), 0);
+        // a subsequent successful send still counts normally
+        a.send(a.id(), Bytes::from_static(b"ok")).unwrap();
+        assert_eq!(net.stats().messages(), 1);
+        assert_eq!(net.stats().bytes(), 2);
     }
 
     #[test]
@@ -387,7 +493,9 @@ mod tests {
             let reply = Bytes::copy_from_slice(&[env.payload[0] * 2]);
             server.send(env.from, reply).unwrap();
         });
-        client.send(server_id, Bytes::copy_from_slice(&[21])).unwrap();
+        client
+            .send(server_id, Bytes::copy_from_slice(&[21]))
+            .unwrap();
         let env = client.recv().unwrap();
         assert_eq!(env.payload[0], 42);
         handle.join().unwrap();

@@ -41,6 +41,23 @@ impl NetStats {
         r.recv_bytes += len as u64;
     }
 
+    /// Rolls back a [`record`](Self::record) for a send that failed after
+    /// being provisionally counted (the counters must not include messages
+    /// that were never enqueued).
+    pub(crate) fn unrecord(&self, from: SiteId, to: SiteId, len: usize) {
+        self.messages.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(len as u64, Ordering::Relaxed);
+        let mut map = self.per_site.lock();
+        if let Some(s) = map.get_mut(&from) {
+            s.sent_msgs = s.sent_msgs.saturating_sub(1);
+            s.sent_bytes = s.sent_bytes.saturating_sub(len as u64);
+        }
+        if let Some(r) = map.get_mut(&to) {
+            r.recv_msgs = r.recv_msgs.saturating_sub(1);
+            r.recv_bytes = r.recv_bytes.saturating_sub(len as u64);
+        }
+    }
+
     pub(crate) fn record_dropped(&self) {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }

@@ -38,7 +38,10 @@ fn per_pair_fifo_survives_many_senders() {
             }
         });
     });
-    assert_eq!(net.stats().messages(), u64::from(nsenders) * u64::from(per_sender));
+    assert_eq!(
+        net.stats().messages(),
+        u64::from(nsenders) * u64::from(per_sender)
+    );
 }
 
 #[test]

@@ -1,0 +1,480 @@
+//! Workspace-wide observability: metrics and (optional) tracing.
+//!
+//! Deliberately dependency-free so every crate in the workspace can link
+//! it without cycles: a process-global registry of named atomic
+//! [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s, plus
+//! a [`MetricsSnapshot`] that serializes the whole registry to JSON for
+//! `results/` sidecar artefacts.
+//!
+//! ```
+//! sdds_obs::counter("demo.requests").inc();
+//! let timer = sdds_obs::histogram("demo.latency_seconds").start_timer();
+//! // ... do work ...
+//! drop(timer);
+//! let json = sdds_obs::MetricsSnapshot::capture().to_json();
+//! assert!(json.contains("demo.requests"));
+//! ```
+//!
+//! Tracing spans ([`span`]) are compiled to no-ops unless the `trace`
+//! cargo feature is enabled, in which case enter/exit lines with
+//! wall-clock durations go to stderr.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (in seconds) of the fixed histogram buckets: exponential
+/// from 1 µs to ~67 s, plus a +∞ overflow bucket. Chosen to straddle both
+/// in-process pipeline stages (µs) and simulated network round trips (ms).
+pub const BUCKET_BOUNDS: [f64; 27] = [
+    1e-6, 2e-6, 4e-6, 8e-6, 16e-6, 32e-6, 64e-6, 128e-6, 256e-6, 512e-6, 1e-3, 2e-3, 4e-3, 8e-3,
+    16e-3, 32e-3, 64e-3, 128e-3, 256e-3, 512e-3, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+];
+
+/// A fixed-bucket histogram of seconds (atomic, lock-free on the record
+/// path). `sum` is tracked in nanoseconds for lossless atomic addition.
+#[derive(Debug, Default)]
+pub struct HistogramInner {
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation of `seconds`.
+    pub fn observe(&self, seconds: f64) {
+        let seconds = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        let idx = BUCKET_BOUNDS.partition_point(|&b| b < seconds);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0
+            .sum_nanos
+            .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`].
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Starts a timer that records into this histogram when dropped.
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            histogram: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum(&self) -> f64 {
+        self.0.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+/// Guard recording elapsed time on drop.
+pub struct HistogramTimer {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.histogram.observe_duration(self.start.elapsed());
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The counter registered under `name` (created on first use).
+pub fn counter(name: &str) -> Counter {
+    let mut map = registry()
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    map.entry(name.to_string())
+        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+        .clone()
+}
+
+/// The gauge registered under `name` (created on first use).
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = registry().gauges.lock().unwrap_or_else(|e| e.into_inner());
+    map.entry(name.to_string())
+        .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+        .clone()
+}
+
+/// The histogram registered under `name` (created on first use).
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    map.entry(name.to_string())
+        .or_insert_with(|| Histogram(Arc::new(HistogramInner::default())))
+        .clone()
+}
+
+/// Zeroes every registered metric (benches measure per-phase deltas by
+/// resetting between phases). Handles stay valid.
+pub fn reset() {
+    let reg = registry();
+    for c in reg
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        c.0.store(0, Ordering::Relaxed);
+    }
+    for g in reg
+        .gauges
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        g.0.store(0, Ordering::Relaxed);
+    }
+    for h in reg
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        for b in &h.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.0.count.store(0, Ordering::Relaxed);
+        h.0.sum_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Frozen histogram contents.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations in seconds.
+    pub sum_seconds: f64,
+    /// Per-bucket counts; entry `i` counts observations ≤
+    /// [`BUCKET_BOUNDS`]`[i]`, with one final overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile (0.0–1.0) from the bucket bounds; `None` when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(*BUCKET_BOUNDS.get(i).unwrap_or(&f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Mean observation in seconds (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_seconds / self.count as f64)
+    }
+}
+
+impl MetricsSnapshot {
+    /// Captures the current state of the global registry.
+    pub fn capture() -> MetricsSnapshot {
+        let reg = registry();
+        let counters = reg
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = reg
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = reg
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum_seconds: h.sum(),
+                        buckets: h
+                            .0
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Serializes to a self-contained JSON document (see
+    /// `docs/PROTOCOL.md` for the schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"counters\": {");
+        join(&mut out, self.counters.iter(), |out, (k, v)| {
+            out.push_str(&format!("\n    {}: {v}", quote(k)));
+        });
+        out.push_str("\n  },\n  \"gauges\": {");
+        join(&mut out, self.gauges.iter(), |out, (k, v)| {
+            out.push_str(&format!("\n    {}: {v}", quote(k)));
+        });
+        out.push_str("\n  },\n  \"histograms\": {");
+        join(&mut out, self.histograms.iter(), |out, (k, h)| {
+            out.push_str(&format!(
+                "\n    {}: {{ \"count\": {}, \"sum_seconds\": {}, \"mean_seconds\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [{}] }}",
+                quote(k),
+                h.count,
+                fmt_f64(h.sum_seconds),
+                h.mean().map_or("null".into(), fmt_f64),
+                h.quantile(0.50).map_or("null".into(), fmt_f64),
+                h.quantile(0.99).map_or("null".into(), fmt_f64),
+                h.buckets
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        });
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn join<I: Iterator, F: FnMut(&mut String, I::Item)>(out: &mut String, items: I, mut f: F) {
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        f(out, item);
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing spans
+// ---------------------------------------------------------------------------
+
+/// A tracing span guard; see [`span`].
+pub struct Span {
+    #[cfg(feature = "trace")]
+    name: &'static str,
+    #[cfg(feature = "trace")]
+    start: Instant,
+}
+
+/// Opens a span. With the `trace` feature enabled, prints
+/// `trace: enter <name>` now and `trace: exit <name> (<elapsed>)` when the
+/// guard drops; otherwise compiles to a no-op.
+pub fn span(name: &'static str) -> Span {
+    #[cfg(feature = "trace")]
+    {
+        eprintln!("trace: enter {name}");
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = name;
+        Span {}
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        eprintln!("trace: exit {} ({:?})", self.name, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_and_accumulate() {
+        let c = counter("test.obs.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(counter("test.obs.counter").get(), 5);
+        let g = gauge("test.obs.gauge");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(gauge("test.obs.gauge").get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = histogram("test.obs.hist");
+        h.observe(3e-6); // bucket le=4e-6
+        h.observe(3e-6);
+        h.observe(1.5); // bucket le=2.0
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 1.500006).abs() < 1e-6);
+        let snap = MetricsSnapshot::capture();
+        let hs = &snap.histograms["test.obs.hist"];
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.quantile(0.5), Some(4e-6));
+        assert_eq!(hs.quantile(0.99), Some(2.0));
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let h = histogram("test.obs.timer");
+        let before = h.count();
+        drop(h.start_timer());
+        assert_eq!(h.count(), before + 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        counter("test.obs.json").add(2);
+        histogram("test.obs.json_hist").observe(0.001);
+        let json = MetricsSnapshot::capture().to_json();
+        assert!(json.contains("\"test.obs.json\": 2"));
+        assert!(json.contains("\"test.obs.json_hist\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        // crude structural sanity: balanced braces
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn span_guard_is_usable() {
+        let _s = span("test.obs.span");
+    }
+}

@@ -13,11 +13,7 @@ use serde::Serialize;
 /// `counts` enumerates only the non-zero categories; absent categories are
 /// accounted for in closed form, so triplet alphabets of millions of
 /// categories cost nothing extra.
-pub fn chi2_uniform_from_counts<I: IntoIterator<Item = u64>>(
-    counts: I,
-    total: u64,
-    k: u64,
-) -> f64 {
+pub fn chi2_uniform_from_counts<I: IntoIterator<Item = u64>>(counts: I, total: u64, k: u64) -> f64 {
     if total == 0 || k == 0 {
         return 0.0;
     }

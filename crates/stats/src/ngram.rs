@@ -31,7 +31,12 @@ impl NgramCounter {
     pub fn new(n: usize, alphabet: usize) -> NgramCounter {
         assert!(n > 0, "n-gram order must be positive");
         assert!(alphabet > 0, "alphabet must be non-empty");
-        NgramCounter { n, alphabet, counts: HashMap::new(), total: 0 }
+        NgramCounter {
+            n,
+            alphabet,
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// n-gram order.
@@ -107,11 +112,7 @@ impl NgramCounter {
     /// never-seen n-grams).
     pub fn chi2_uniform(&self) -> f64 {
         let k = self.categories();
-        crate::chi2::chi2_uniform_from_counts(
-            self.counts.values().copied(),
-            self.total,
-            k,
-        )
+        crate::chi2::chi2_uniform_from_counts(self.counts.values().copied(), self.total, k)
     }
 }
 

@@ -44,7 +44,11 @@ pub fn monobit(bytes: &[u8]) -> TestResult {
     let s = 2 * ones - n as i64; // sum of +1/-1
     let s_obs = (s as f64).abs() / (n as f64).sqrt();
     let p = erfc(s_obs / std::f64::consts::SQRT_2);
-    TestResult { name: "monobit", statistic: s_obs, p_value: p }
+    TestResult {
+        name: "monobit",
+        statistic: s_obs,
+        p_value: p,
+    }
 }
 
 /// SP 800-22 §2.2 — block frequency test with block length `m` bits.
@@ -53,7 +57,11 @@ pub fn block_frequency(bytes: &[u8], m: usize) -> TestResult {
     let bits: Vec<u8> = bits_of(bytes).collect();
     let nblocks = bits.len() / m;
     if nblocks == 0 {
-        return TestResult { name: "block-frequency", statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            name: "block-frequency",
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let mut chi2 = 0.0;
     for b in 0..nblocks {
@@ -63,7 +71,11 @@ pub fn block_frequency(bytes: &[u8], m: usize) -> TestResult {
     }
     chi2 *= 4.0 * m as f64;
     let p = igamc(nblocks as f64 / 2.0, chi2 / 2.0);
-    TestResult { name: "block-frequency", statistic: chi2, p_value: p }
+    TestResult {
+        name: "block-frequency",
+        statistic: chi2,
+        p_value: p,
+    }
 }
 
 /// SP 800-22 §2.3 — runs test (total number of runs of identical bits).
@@ -71,19 +83,31 @@ pub fn runs(bytes: &[u8]) -> TestResult {
     let bits: Vec<u8> = bits_of(bytes).collect();
     let n = bits.len();
     if n < 2 {
-        return TestResult { name: "runs", statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            name: "runs",
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let ones: usize = bits.iter().map(|&b| b as usize).sum();
     let pi = ones as f64 / n as f64;
     // prerequisite monobit sanity per NIST: |pi - 0.5| < 2/sqrt(n)
     if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() {
-        return TestResult { name: "runs", statistic: f64::INFINITY, p_value: 0.0 };
+        return TestResult {
+            name: "runs",
+            statistic: f64::INFINITY,
+            p_value: 0.0,
+        };
     }
     let vn = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
     let num = (vn as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
     let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
     let p = erfc(num / den);
-    TestResult { name: "runs", statistic: vn as f64, p_value: p }
+    TestResult {
+        name: "runs",
+        statistic: vn as f64,
+        p_value: p,
+    }
 }
 
 /// ψ²_m helper for the serial test: over all overlapping m-bit patterns of
@@ -111,11 +135,19 @@ pub fn serial(bytes: &[u8], m: usize) -> TestResult {
     assert!(m >= 2, "serial test needs m >= 2");
     let bits: Vec<u8> = bits_of(bytes).collect();
     if bits.len() < (1 << m) {
-        return TestResult { name: "serial", statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            name: "serial",
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let d1 = psi_sq(&bits, m) - psi_sq(&bits, m - 1);
     let p = igamc((1u64 << (m - 2)) as f64, d1 / 2.0);
-    TestResult { name: "serial", statistic: d1, p_value: p }
+    TestResult {
+        name: "serial",
+        statistic: d1,
+        p_value: p,
+    }
 }
 
 /// SP 800-22 §2.12 — approximate entropy test with block length `m`.
@@ -123,7 +155,11 @@ pub fn approximate_entropy(bytes: &[u8], m: usize) -> TestResult {
     let bits: Vec<u8> = bits_of(bytes).collect();
     let n = bits.len();
     if n < (1 << (m + 1)) {
-        return TestResult { name: "approx-entropy", statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            name: "approx-entropy",
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let phi = |m: usize| -> f64 {
         if m == 0 {
@@ -149,7 +185,11 @@ pub fn approximate_entropy(bytes: &[u8], m: usize) -> TestResult {
     let ap_en = phi(m) - phi(m + 1);
     let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - ap_en);
     let p = igamc((1u64 << (m - 1)) as f64, chi2 / 2.0);
-    TestResult { name: "approx-entropy", statistic: chi2, p_value: p }
+    TestResult {
+        name: "approx-entropy",
+        statistic: chi2,
+        p_value: p,
+    }
 }
 
 /// SP 800-22 §2.13 — cumulative sums (forward) test: the maximum partial
@@ -157,7 +197,11 @@ pub fn approximate_entropy(bytes: &[u8], m: usize) -> TestResult {
 pub fn cumulative_sums(bytes: &[u8]) -> TestResult {
     let n = (bytes.len() * 8) as f64;
     if bytes.is_empty() {
-        return TestResult { name: "cusum", statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            name: "cusum",
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let mut sum: i64 = 0;
     let mut z: i64 = 0;
@@ -167,7 +211,11 @@ pub fn cumulative_sums(bytes: &[u8]) -> TestResult {
     }
     let z = z as f64;
     if z == 0.0 {
-        return TestResult { name: "cusum", statistic: 0.0, p_value: 0.0 };
+        return TestResult {
+            name: "cusum",
+            statistic: 0.0,
+            p_value: 0.0,
+        };
     }
     let sqrt_n = n.sqrt();
     let phi = |x: f64| 0.5 * erfc(-x / std::f64::consts::SQRT_2);
@@ -183,7 +231,11 @@ pub fn cumulative_sums(bytes: &[u8]) -> TestResult {
         let k = k as f64;
         p += phi((4.0 * k + 3.0) * z / sqrt_n) - phi((4.0 * k + 1.0) * z / sqrt_n);
     }
-    TestResult { name: "cusum", statistic: z, p_value: p.clamp(0.0, 1.0) }
+    TestResult {
+        name: "cusum",
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    }
 }
 
 /// SP 800-22 §2.4 — longest run of ones in 8-bit blocks (the M = 8
@@ -196,7 +248,11 @@ pub fn longest_run(bytes: &[u8]) -> TestResult {
     let bits: Vec<u8> = bits_of(bytes).take(6272).collect();
     let nblocks = bits.len() / M;
     if nblocks < 16 {
-        return TestResult { name: "longest-run", statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            name: "longest-run",
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let mut v = [0u64; K + 1];
     for b in 0..nblocks {
@@ -228,7 +284,11 @@ pub fn longest_run(bytes: &[u8]) -> TestResult {
         })
         .sum();
     let p = igamc(K as f64 / 2.0, chi2 / 2.0);
-    TestResult { name: "longest-run", statistic: chi2, p_value: p }
+    TestResult {
+        name: "longest-run",
+        statistic: chi2,
+        p_value: p,
+    }
 }
 
 /// SP 800-22 §2.6 — discrete Fourier transform (spectral) test: periodic
@@ -239,7 +299,11 @@ pub fn spectral(bytes: &[u8]) -> TestResult {
         .map(|b| if b == 1 { 1.0 } else { -1.0 })
         .collect();
     if bits.len() < 128 {
-        return TestResult { name: "spectral", statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            name: "spectral",
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let n = 1usize << (usize::BITS - 1 - bits.len().leading_zeros());
     let mods = crate::fft::spectrum_moduli(&bits[..n]);
@@ -248,7 +312,11 @@ pub fn spectral(bytes: &[u8]) -> TestResult {
     let n1 = mods.iter().filter(|&&m| m < threshold).count() as f64;
     let d = (n1 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
     let p = erfc(d.abs() / std::f64::consts::SQRT_2);
-    TestResult { name: "spectral", statistic: d, p_value: p }
+    TestResult {
+        name: "spectral",
+        statistic: d,
+        p_value: p,
+    }
 }
 
 /// Bundled report over the standard battery.
@@ -352,7 +420,11 @@ mod tests {
             .take(4096)
             .collect();
         let s = serial(&text, 4);
-        assert!(s.p_value < 0.01, "ASCII text should fail serial: p={}", s.p_value);
+        assert!(
+            s.p_value < 0.01,
+            "ASCII text should fail serial: p={}",
+            s.p_value
+        );
     }
 
     #[test]
@@ -372,7 +444,11 @@ mod tests {
     #[test]
     fn longest_run_separates_random_from_clumped() {
         let data = pseudo_random_bytes(784, 0x12345);
-        assert!(longest_run(&data).p_value > 0.01, "{:?}", longest_run(&data));
+        assert!(
+            longest_run(&data).p_value > 0.01,
+            "{:?}",
+            longest_run(&data)
+        );
         // every byte 0x0F: every block's longest run is exactly 4
         let clumped = vec![0x0Fu8; 784];
         assert!(longest_run(&clumped).p_value < 1e-10);
@@ -385,9 +461,19 @@ mod tests {
         let data = pseudo_random_bytes(2048, 0xFEED);
         assert!(spectral(&data).p_value > 0.01, "{:?}", spectral(&data));
         // strongly periodic stream: power concentrates above threshold
-        let periodic: Vec<u8> = (0..2048).map(|i| if i % 2 == 0 { 0xF0 } else { 0x0F }).collect();
-        assert!(spectral(&periodic).p_value < 0.01, "{:?}", spectral(&periodic));
-        assert_eq!(spectral(&[0xAA; 4]).p_value, 1.0, "short stream inconclusive");
+        let periodic: Vec<u8> = (0..2048)
+            .map(|i| if i % 2 == 0 { 0xF0 } else { 0x0F })
+            .collect();
+        assert!(
+            spectral(&periodic).p_value < 0.01,
+            "{:?}",
+            spectral(&periodic)
+        );
+        assert_eq!(
+            spectral(&[0xAA; 4]).p_value,
+            1.0,
+            "short stream inconclusive"
+        );
     }
 
     #[test]

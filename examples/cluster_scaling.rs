@@ -11,7 +11,11 @@ use sdds_repro::lh::{ClusterConfig, LhCluster, ParityConfig};
 fn main() {
     let cluster = LhCluster::start(ClusterConfig {
         bucket_capacity: 32,
-        parity: Some(ParityConfig { group_size: 4, parity_count: 1, slot_size: 64 }),
+        parity: Some(ParityConfig {
+            group_size: 4,
+            parity_count: 1,
+            slot_size: 64,
+        }),
         ..ClusterConfig::default()
     });
     let writer = cluster.client();
@@ -19,7 +23,9 @@ fn main() {
     println!("{:>8} {:>8} {:>10}", "records", "buckets", "msgs");
     let mut next_report = 100;
     for key in 0..5_000u64 {
-        writer.insert(key, format!("record number {key}").into_bytes()).unwrap();
+        writer
+            .insert(key, format!("record number {key}").into_bytes())
+            .unwrap();
         if key + 1 == next_report {
             println!(
                 "{:>8} {:>8} {:>10}",
@@ -56,7 +62,10 @@ fn main() {
     cluster.recover_bucket(2).expect("recovery");
     let mut verified = 0;
     for key in 0..5_000u64 {
-        let v = reader.lookup(key).unwrap().expect("record survived the crash");
+        let v = reader
+            .lookup(key)
+            .unwrap()
+            .expect("record survived the crash");
         assert_eq!(v, format!("record number {key}").into_bytes());
         verified += 1;
     }

@@ -44,10 +44,20 @@ fn main() {
         t0.elapsed()
     );
 
-    println!("\n{:<12} {:>6} {:>9} {:>7} {:>9}", "query", "true", "reported", "FPs", "missed");
+    println!(
+        "\n{:<12} {:>6} {:>9} {:>7} {:>9}",
+        "query", "true", "reported", "FPs", "missed"
+    );
     // the recommended scheme needs patterns of at least s + t - 1 = 8
     // symbols (chunk size 6, offset step 3)
-    for pattern in ["MARTINEZ", "ANDERSON", "WILLIAMS", "GONZALEZ", "RODRIGUEZ", "THOMPSON"] {
+    for pattern in [
+        "MARTINEZ",
+        "ANDERSON",
+        "WILLIAMS",
+        "GONZALEZ",
+        "RODRIGUEZ",
+        "THOMPSON",
+    ] {
         let truth: Vec<u64> = records
             .iter()
             .filter(|r| r.rc.contains(pattern))

@@ -122,8 +122,7 @@ fn main() {
                 .collect()
         };
         let alphabet = 1usize << element_bits;
-        let report =
-            Chi2Report::from_records(streams.iter().map(|v| v.as_slice()), alphabet);
+        let report = Chi2Report::from_records(streams.iter().map(|v| v.as_slice()), alphabet);
         let mut hist = vec![0u64; alphabet];
         for s in &streams {
             for &e in s {

@@ -49,7 +49,11 @@ fn main() {
     let cluster = LhCluster::restore(
         ClusterConfig {
             bucket_capacity: 64,
-            parity: Some(ParityConfig { group_size: 2, parity_count: 1, slot_size: 256 }),
+            parity: Some(ParityConfig {
+                group_size: 2,
+                parity_count: 1,
+                slot_size: 256,
+            }),
             filter: Arc::new(EncryptedIndexFilter),
             ..ClusterConfig::default()
         },

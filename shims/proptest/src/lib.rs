@@ -1,0 +1,577 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Provides the `proptest!` macro, `prop_assert*` / `prop_assume!`, the
+//! [`Strategy`] trait with uniform integer/float range strategies,
+//! `any::<T>()` for primitives and byte arrays, `collection::vec`, and a
+//! small regex-subset string strategy (`"[class]{m,n}"` patterns). Cases
+//! are generated deterministically per test name and case index; there is
+//! no shrinking — a failing case reports its inputs instead.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Deterministic per-case RNG (xoshiro256**, seeded from the test name and
+/// case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test `name`.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // SplitMix64 expansion into the xoshiro state.
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)` without modulo bias.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test-case inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = self.end as u64 - self.start as u64;
+                self.start + rng.below(width) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = end as u64 - start as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(width + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns act as strategies for a small regex subset: a sequence
+/// of atoms (`[class]` or a literal char), each optionally quantified with
+/// `{m}` or `{m,n}`. This covers the workspace's `"[A-Z &.']{0,60}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for (chars, min, max) in &atoms {
+            let count = if min == max {
+                *min
+            } else {
+                *min + rng.below((*max - *min + 1) as u64) as usize
+            };
+            for _ in 0..count {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Atom>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .ok_or("unterminated character class")?
+                + i;
+            let class = &chars[i + 1..close];
+            i = close + 1;
+            expand_class(class)?
+        } else if chars[i] == '\\' {
+            let c = *chars.get(i + 1).ok_or("trailing backslash")?;
+            i += 2;
+            vec![c]
+        } else {
+            let c = chars[i];
+            if "{}()|*+?.^$".contains(c) {
+                return Err(format!("unsupported metacharacter {c:?}"));
+            }
+            i += 1;
+            vec![c]
+        };
+        // optional {m} or {m,n}
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated quantifier")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().map_err(|_| "bad quantifier")?,
+                    n.trim().parse().map_err(|_| "bad quantifier")?,
+                ),
+                None => {
+                    let m = body.trim().parse().map_err(|_| "bad quantifier")?;
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if alphabet.is_empty() {
+            return Err("empty character class".into());
+        }
+        atoms.push((alphabet, min, max));
+    }
+    Ok(atoms)
+}
+
+fn expand_class(class: &[char]) -> Result<Vec<char>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                return Err(format!("bad range {lo}-{hi}"));
+            }
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(class[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (only `vec` is provided).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy drawing lengths from `size` (half-open, like
+    /// proptest's range-based size bounds).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let width = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(width) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __total: u32 = __cfg.cases;
+            let __max_iters: u32 = __total.saturating_mul(16).max(16);
+            let mut __successes: u32 = 0;
+            let mut __iters: u32 = 0;
+            while __successes < __total && __iters < __max_iters {
+                let __case = __iters;
+                __iters += 1;
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __inputs = ::std::string::String::new();
+                $crate::__proptest_bind!(__rng, __inputs; $($params)*);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = {
+                    let __run = ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    );
+                    match ::std::panic::catch_unwind(__run) {
+                        ::std::result::Result::Ok(r) => r,
+                        ::std::result::Result::Err(__payload) => {
+                            eprintln!(
+                                "proptest {} case #{} panicked with inputs: {}",
+                                stringify!($name), __case, __inputs
+                            );
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                    }
+                };
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __successes += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} case #{} failed: {}\n  inputs: {}",
+                            stringify!($name), __case, __msg, __inputs
+                        );
+                    }
+                }
+            }
+            assert!(
+                __successes >= __total,
+                "proptest {}: too many rejected cases ({} of {} succeeded)",
+                stringify!($name), __successes, __total
+            );
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $dbg:ident; ) => {};
+    ($rng:ident, $dbg:ident; mut $arg:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+        $dbg.push_str(&::std::format!("{} = {:?}; ", stringify!($arg), $arg));
+    };
+    ($rng:ident, $dbg:ident; mut $arg:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+        $dbg.push_str(&::std::format!("{} = {:?}; ", stringify!($arg), $arg));
+        $crate::__proptest_bind!($rng, $dbg; $($rest)*);
+    };
+    ($rng:ident, $dbg:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+        $dbg.push_str(&::std::format!("{} = {:?}; ", stringify!($arg), $arg));
+    };
+    ($rng:ident, $dbg:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+        $dbg.push_str(&::std::format!("{} = {:?}; ", stringify!($arg), $arg));
+        $crate::__proptest_bind!($rng, $dbg; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l, __r, ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __l, __r, ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranges_are_uniformish_and_deterministic() {
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 0);
+        let strat = 0u32..10;
+        let xs: Vec<u32> = (0..32).map(|_| strat.generate(&mut a)).collect();
+        let ys: Vec<u32> = (0..32).map(|_| strat.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn string_strategy_respects_class_and_bounds() {
+        let mut rng = TestRng::for_case("s", 1);
+        for _ in 0..100 {
+            let s = "[A-Z &.']{0,60}".generate(&mut rng);
+            assert!(s.len() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || " &.'".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_binds_and_asserts(x in 0u64..100, mut v in collection::vec(any::<u8>(), 0..8)) {
+            v.push(0);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v[v.len() - 1], 0);
+            prop_assume!(x != 99);
+            prop_assert_ne!(x, 99);
+        }
+    }
+}

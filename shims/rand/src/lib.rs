@@ -1,0 +1,408 @@
+//! Minimal offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! Implements only what this workspace uses: the [`RngCore`] /
+//! [`SeedableRng`] traits, the [`Rng`] extension trait with `gen` and
+//! `gen_range` over unsigned-integer ranges, and
+//! [`distributions::WeightedIndex`]. Sampling is uniform (rejection
+//! sampling, no modulo bias) and deterministic per seed, but the byte
+//! streams are not bit-compatible with the upstream crate — the workspace
+//! only asserts distribution-level properties, never golden streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness: the object-safe core trait.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with a SplitMix64 sequence, like
+    /// upstream `rand`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be produced directly from an RNG via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, usize);
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Draws a uniform value in `[0, bound)` by rejection sampling.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Reject draws in the short final cycle so every residue is equally
+    // likely (Lemire's threshold: (2^64 - bound) mod bound).
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        if x >= threshold {
+            return x % bound;
+        }
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = self.end as u64 - self.start as u64;
+                self.start + uniform_below(rng, width) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = end as u64 - start as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, width + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Bundled deterministic RNGs.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast xoshiro256**-based RNG (stand-in for upstream's
+    /// `StdRng`; not cryptographic).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions (only [`WeightedIndex`] is provided).
+
+    use super::{uniform_below, RngCore};
+    use std::fmt;
+
+    /// A distribution over values of type `T` sampled with an RNG.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WeightedError {
+        NoItem,
+        InvalidWeight,
+        AllWeightsZero,
+    }
+
+    impl fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                WeightedError::NoItem => write!(f, "no weights provided"),
+                WeightedError::InvalidWeight => write!(f, "a weight is invalid"),
+                WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Weight types usable with [`WeightedIndex`].
+    pub trait Weight: Copy + PartialOrd + std::ops::Add<Output = Self> {
+        const ZERO: Self;
+        /// Draws uniformly in `[ZERO, bound)`.
+        fn draw_below<R: RngCore + ?Sized>(rng: &mut R, bound: Self) -> Self;
+    }
+
+    macro_rules! impl_weight_uint {
+        ($($t:ty),*) => {$(
+            impl Weight for $t {
+                const ZERO: Self = 0;
+                fn draw_below<R: RngCore + ?Sized>(rng: &mut R, bound: Self) -> Self {
+                    uniform_below(rng, bound as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_weight_uint!(u8, u16, u32, u64, usize);
+
+    impl Weight for f64 {
+        const ZERO: Self = 0.0;
+        fn draw_below<R: RngCore + ?Sized>(rng: &mut R, bound: Self) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            unit * bound
+        }
+    }
+
+    /// Borrow-like trait restricted to weight types so that `W` can be
+    /// inferred from both by-value and by-reference weight iterators
+    /// (mirrors upstream's `SampleBorrow`).
+    pub trait SampleBorrow<W> {
+        fn borrow_weight(&self) -> W;
+    }
+
+    impl<W: Weight> SampleBorrow<W> for W {
+        fn borrow_weight(&self) -> W {
+            *self
+        }
+    }
+
+    impl<W: Weight> SampleBorrow<W> for &W {
+        fn borrow_weight(&self) -> W {
+            **self
+        }
+    }
+
+    /// Samples indices `0..n` proportionally to a weight table.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex<W> {
+        cumulative: Vec<W>,
+        total: W,
+    }
+
+    impl<W: Weight> WeightedIndex<W> {
+        // The negated comparisons are deliberate: `!(w >= 0)` is true for
+        // NaN where `w < 0` is not, and both cases must be rejected.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: SampleBorrow<W>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = W::ZERO;
+            for w in weights {
+                let w = w.borrow_weight();
+                // Rejects negative weights and NaN alike.
+                if !(w >= W::ZERO) {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total = total + w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if !(total > W::ZERO) {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl<W: Weight> Distribution<usize> for WeightedIndex<W> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            // Draw uniformly in [0, total) and find the first cumulative
+            // weight strictly above it: index i is hit with probability
+            // weight_i / total, and zero-weight items are never selected.
+            let draw = W::draw_below(rng, self.total);
+            self.cumulative
+                .partition_point(|&c| c <= draw)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn weighted_index_respects_weights() {
+            let dist = WeightedIndex::new([1u32, 0, 3]).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut counts = [0u32; 3];
+            for _ in 0..4000 {
+                counts[dist.sample(&mut rng)] += 1;
+            }
+            assert_eq!(counts[1], 0);
+            assert!(counts[2] > counts[0] * 2, "counts={counts:?}");
+            assert!(counts[0] > 500, "counts={counts:?}");
+        }
+
+        #[test]
+        fn weighted_index_rejects_bad_input() {
+            assert_eq!(
+                WeightedIndex::<u32>::new(std::iter::empty::<u32>()).unwrap_err(),
+                WeightedError::NoItem
+            );
+            assert_eq!(
+                WeightedIndex::new([0u32, 0]).unwrap_err(),
+                WeightedError::AllWeightsZero
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let a: u8 = rng.gen_range(0..26u8);
+            assert!(a < 26);
+            let b = rng.gen_range(5..=9u32);
+            assert!((5..=9).contains(&b));
+            let c = rng.gen_range(0..17usize);
+            assert!(c < 17);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..2400).contains(&c), "counts={counts:?}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal offline stand-in for the `rand_chacha` crate.
+//!
+//! [`ChaCha8Rng`] runs a genuine 8-round ChaCha block function keyed by the
+//! 32-byte seed, buffering one 64-byte block at a time. Streams are
+//! deterministic per seed but not bit-compatible with the upstream crate
+//! (the workspace only relies on determinism and uniformity).
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of ChaCha double-rounds (ChaCha8 = 8 rounds = 4 double-rounds).
+const DOUBLE_ROUNDS: usize = 4;
+
+/// A deterministic RNG backed by the ChaCha8 stream cipher.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input state: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buffer: [u8; 64],
+    /// Next unread offset in `buffer`; 64 means exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, word) in working.iter_mut().enumerate() {
+            *word = word.wrapping_add(self.state[i]);
+        }
+        for (chunk, word) in self.buffer.chunks_mut(4).zip(working.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        // 64-bit block counter in words 12-13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    fn take_bytes(&mut self, n: usize) -> u64 {
+        debug_assert!(n <= 8);
+        let mut out = [0u8; 8];
+        let mut filled = 0;
+        while filled < n {
+            if self.index == 64 {
+                self.refill();
+            }
+            let avail = (64 - self.index).min(n - filled);
+            out[filled..filled + avail]
+                .copy_from_slice(&self.buffer[self.index..self.index + avail]);
+            self.index += avail;
+            filled += avail;
+        }
+        u64::from_le_bytes(out)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.take_bytes(4) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.take_bytes(8)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.index == 64 {
+                self.refill();
+            }
+            let avail = (64 - self.index).min(dest.len() - filled);
+            dest[filled..filled + avail]
+                .copy_from_slice(&self.buffer[self.index..self.index + avail]);
+            self.index += avail;
+            filled += avail;
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            let mut word = [0u8; 4];
+            word.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            state[4 + i] = u32::from_le_bytes(word);
+        }
+        // counter (12-13) and nonce (14-15) start at zero.
+        ChaCha8Rng {
+            state,
+            buffer: [0u8; 64],
+            index: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let lo = b.next_u64().to_le_bytes();
+        let hi = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &lo);
+        assert_eq!(&buf[8..], &hi);
+    }
+
+    #[test]
+    fn output_bits_look_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let mut ones = 0u32;
+        for _ in 0..1024 {
+            ones += rng.next_u64().count_ones();
+        }
+        let total = 1024 * 64;
+        let ratio = ones as f64 / total as f64;
+        assert!((0.48..0.52).contains(&ratio), "bit ratio {ratio}");
+    }
+}

@@ -37,9 +37,23 @@ fn usage() {
     eprintln!(
         "usage:\n  sdds generate  --entries N [--seed S] [--out FILE]\n  \
          sdds search    --pattern P [--file FILE | --entries N] \
-         [--config basic|paper|swp] [--exact] [--prefix]\n  \
-         sdds bench-load --entries N [--config basic|paper|swp]"
+         [--config basic|paper|swp] [--exact] [--prefix] [--metrics-json FILE]\n  \
+         sdds bench-load --entries N [--config basic|paper|swp] [--metrics-json FILE]\n\
+         \n--metrics-json FILE dumps the run's observability snapshot \
+         (counters, gauges, latency histograms) as JSON"
     );
+}
+
+/// Dumps the global metrics snapshot when `--metrics-json` was given.
+fn maybe_write_metrics(flags: &HashMap<String, String>) {
+    if let Some(path) = flags.get("metrics-json") {
+        let body = sdds_obs::MetricsSnapshot::capture().to_json();
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote metrics to {path}");
+    }
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -99,7 +113,12 @@ fn config_for(flags: &HashMap<String, String>) -> SchemeConfig {
 fn build_store(records: &[Record], flags: &HashMap<String, String>) -> EncryptedSearchStore {
     let config = config_for(flags);
     let mut builder = EncryptedSearchStore::builder(config)
-        .passphrase(flags.get("passphrase").map(String::as_str).unwrap_or("sdds-cli"))
+        .passphrase(
+            flags
+                .get("passphrase")
+                .map(String::as_str)
+                .unwrap_or("sdds-cli"),
+        )
         .bucket_capacity(128);
     if config.encoding.is_some() {
         builder = builder.train(records.iter().take(1000).map(|r| r.rc.clone()));
@@ -149,7 +168,9 @@ fn search(flags: &HashMap<String, String>) {
     let t0 = Instant::now();
     let result = if flags.contains_key("exact") {
         store.fetch_matching(pattern).map(|hits| {
-            hits.into_iter().map(|(rid, rc)| (rid, Some(rc))).collect::<Vec<_>>()
+            hits.into_iter()
+                .map(|(rid, rc)| (rid, Some(rc)))
+                .collect::<Vec<_>>()
         })
     } else if flags.contains_key("prefix") {
         store
@@ -169,12 +190,7 @@ fn search(flags: &HashMap<String, String>) {
                     Some(rc) => println!("{rid}  {rc}"),
                     None => {
                         let digits = format!("{rid:010}");
-                        println!(
-                            "{}-{}-{}",
-                            &digits[0..3],
-                            &digits[3..6],
-                            &digits[6..10]
-                        );
+                        println!("{}-{}-{}", &digits[0..3], &digits[3..6], &digits[6..10]);
                     }
                 }
             }
@@ -191,6 +207,7 @@ fn search(flags: &HashMap<String, String>) {
         }
     }
     store.shutdown();
+    maybe_write_metrics(flags);
 }
 
 fn bench_load(flags: &HashMap<String, String>) {
@@ -214,4 +231,5 @@ fn bench_load(flags: &HashMap<String, String>) {
         stats.bytes()
     );
     store.shutdown();
+    maybe_write_metrics(flags);
 }

@@ -103,7 +103,10 @@ fn substring_queries_beat_word_granularity() {
     if !truth.is_empty() {
         let scheme_hits = scheme.search("ARTINE").unwrap();
         for rid in &truth {
-            assert!(scheme_hits.contains(rid), "scheme must find in-word fragments");
+            assert!(
+                scheme_hits.contains(rid),
+                "scheme must find in-word fragments"
+            );
         }
         assert!(
             swp.search_word("ARTINE").unwrap().is_empty(),
@@ -123,7 +126,11 @@ fn encrypted_store_survives_bucket_loss_with_parity() {
     let store = EncryptedSearchStore::builder(cfg)
         .passphrase("ha")
         .bucket_capacity(16)
-        .parity(ParityConfig { group_size: 2, parity_count: 1, slot_size: 128 })
+        .parity(ParityConfig {
+            group_size: 2,
+            parity_count: 1,
+            slot_size: 128,
+        })
         .train(records.iter().map(|r| r.rc.clone()))
         .start();
     for r in &records {
@@ -134,7 +141,12 @@ fn encrypted_store_survives_bucket_loss_with_parity() {
     store.cluster().recover_bucket(1).unwrap();
     // all record copies and index records intact: search + get still work
     for r in records.iter().take(30) {
-        assert_eq!(store.get(r.rid).unwrap(), Some(r.rc.clone()), "rid {}", r.rid);
+        assert_eq!(
+            store.get(r.rid).unwrap(),
+            Some(r.rc.clone()),
+            "rid {}",
+            r.rid
+        );
     }
     let hits = store.search("MARTINEZ").unwrap();
     for r in records.iter().filter(|r| r.rc.contains("MARTINEZ")) {
@@ -271,10 +283,8 @@ fn index_bodies_flatten_statistics_versus_plaintext() {
         .start();
     let pipeline = store.pipeline();
 
-    let plain_streams: Vec<Vec<u16>> =
-        records.iter().map(|r| r.symbols()).collect();
-    let plain =
-        Chi2Report::from_records(plain_streams.iter().map(|v| v.as_slice()), 256);
+    let plain_streams: Vec<Vec<u16>> = records.iter().map(|r| r.symbols()).collect();
+    let plain = Chi2Report::from_records(plain_streams.iter().map(|v| v.as_slice()), 256);
 
     // what dispersion site 0 of chunking 0 stores (2-bit shares in bytes)
     let site_streams: Vec<Vec<u16>> = records
