@@ -10,15 +10,44 @@
 /// Returns every start index at which `series` occurs as a contiguous run
 /// in `chunks`. An empty series matches nowhere (sites receive only
 /// non-empty series).
+///
+/// Runs Morris–Pratt in `O(chunks + series)` comparisons: on a mismatch
+/// after `j` matched chunks the scan resumes at the longest proper border
+/// of `series[..j]` instead of rescanning the window, so a site's cost per
+/// record stays linear even for self-similar series (e.g. runs of a
+/// repeated chunk). Overlapping occurrences are all reported.
 pub fn find_series<T: PartialEq>(chunks: &[T], series: &[T]) -> Vec<usize> {
     if series.is_empty() || series.len() > chunks.len() {
         return Vec::new();
     }
-    chunks
-        .windows(series.len())
-        .enumerate()
-        .filter_map(|(i, w)| (w == series).then_some(i))
-        .collect()
+    // border[j] = length of the longest proper border (prefix == suffix)
+    // of series[..j+1]
+    let mut border = vec![0usize; series.len()];
+    let mut b = 0usize;
+    for j in 1..series.len() {
+        while b > 0 && series[j] != series[b] {
+            b = border[b - 1];
+        }
+        if series[j] == series[b] {
+            b += 1;
+        }
+        border[j] = b;
+    }
+    let mut hits = Vec::new();
+    let mut j = 0usize; // chunks of `series` currently matched
+    for (i, chunk) in chunks.iter().enumerate() {
+        while j > 0 && *chunk != series[j] {
+            j = border[j - 1];
+        }
+        if *chunk == series[j] {
+            j += 1;
+        }
+        if j == series.len() {
+            hits.push(i + 1 - series.len());
+            j = border[j - 1];
+        }
+    }
+    hits
 }
 
 #[cfg(test)]
@@ -54,6 +83,47 @@ mod tests {
     fn empty_series_matches_nowhere() {
         let chunks = vec![1, 2, 3];
         assert!(find_series::<i32>(&chunks, &[]).is_empty());
+    }
+
+    /// The pre-rewrite reference implementation.
+    fn find_series_naive<T: PartialEq>(chunks: &[T], series: &[T]) -> Vec<usize> {
+        if series.is_empty() || series.len() > chunks.len() {
+            return Vec::new();
+        }
+        chunks
+            .windows(series.len())
+            .enumerate()
+            .filter_map(|(i, w)| (w == series).then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_scan_on_adversarial_inputs() {
+        // self-similar series exercise the border table; a simple PRNG
+        // over a tiny alphabet makes repeats and overlaps common
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..200 {
+            let hay: Vec<u8> = (0..next(40)).map(|_| next(3) as u8).collect();
+            let needle: Vec<u8> = (0..1 + next(6)).map(|_| next(3) as u8).collect();
+            assert_eq!(
+                find_series(&hay, &needle),
+                find_series_naive(&hay, &needle),
+                "hay={hay:?} needle={needle:?}"
+            );
+        }
+        for (hay, needle) in [
+            (&[1u8, 1, 1, 1, 1][..], &[1u8, 1][..]),
+            (&[1, 2, 1, 2, 1, 2, 1], &[1, 2, 1]),
+            (&[1, 1, 2, 1, 1, 2, 1, 1], &[1, 1, 2, 1, 1]),
+        ] {
+            assert_eq!(find_series(hay, needle), find_series_naive(hay, needle));
+        }
     }
 
     #[test]

@@ -145,32 +145,57 @@ impl ChunkingScheme {
         symbols: &[u16],
         policy: PartialChunkPolicy,
     ) -> Vec<Vec<u16>> {
+        let mut flat = Vec::new();
+        let nchunks = self.chunk_record_flat(chunking_id, symbols, policy, &mut flat);
+        (0..nchunks)
+            .map(|m| flat[m * self.chunk_size..(m + 1) * self.chunk_size].to_vec())
+            .collect()
+    }
+
+    /// Like [`chunk_record`](Self::chunk_record), but writes the surviving
+    /// chunks as `s`-symbol runs into one flat buffer: chunk `m` occupies
+    /// `out[m*s..(m+1)*s]`. Returns the number of chunks written. `out` is
+    /// cleared but never shrunk, so a caller looping over records reuses a
+    /// single allocation.
+    pub fn chunk_record_flat(
+        &self,
+        chunking_id: usize,
+        symbols: &[u16],
+        policy: PartialChunkPolicy,
+        out: &mut Vec<u16>,
+    ) -> usize {
         let s = self.chunk_size;
+        out.clear();
         if symbols.is_empty() {
-            return Vec::new();
+            return 0;
         }
         let pad = self.padding_of(chunking_id);
         let total = pad + symbols.len();
         let nchunks = total.div_ceil(s);
-        let mut out = Vec::with_capacity(nchunks);
+        out.reserve(nchunks * s);
+        let mut written = 0usize;
         for m in 0..nchunks {
             // chunk m covers padded positions [m*s, (m+1)*s)
-            let mut chunk = Vec::with_capacity(s);
-            let mut is_partial = false;
-            for pos in m * s..(m + 1) * s {
-                if pos < pad || pos >= pad + symbols.len() {
-                    chunk.push(PAD_SYMBOL);
-                    is_partial = true;
-                } else {
-                    chunk.push(symbols[pos - pad]);
-                }
-            }
+            let start = m * s;
+            let end = start + s;
+            let is_partial = start < pad || end > pad + symbols.len();
             if policy == PartialChunkPolicy::Drop && is_partial {
                 continue;
             }
-            out.push(chunk);
+            if !is_partial {
+                out.extend_from_slice(&symbols[start - pad..end - pad]);
+            } else {
+                for pos in start..end {
+                    if pos < pad || pos >= pad + symbols.len() {
+                        out.push(PAD_SYMBOL);
+                    } else {
+                        out.push(symbols[pos - pad]);
+                    }
+                }
+            }
+            written += 1;
         }
-        out
+        written
     }
 
     /// Record position (symbol index) where chunk `m` of chunking
@@ -290,6 +315,28 @@ mod tests {
         assert_eq!(c, vec![vec![65, 66, 0, 0]]);
         let c = scheme.chunk_record(0, &syms("AB"), PartialChunkPolicy::Drop);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn flat_chunking_matches_nested_and_reuses_buffer() {
+        let mut flat = Vec::new();
+        for (s, c) in [(4usize, 4usize), (8, 4), (8, 2), (6, 3)] {
+            let scheme = ChunkingScheme::new(s, c).unwrap();
+            for len in [0usize, 1, 3, 7, 8, 20, 33] {
+                let rc: Vec<u16> = (1..=len as u16).collect();
+                for policy in [PartialChunkPolicy::Store, PartialChunkPolicy::Drop] {
+                    for j in 0..c {
+                        let nested = scheme.chunk_record(j, &rc, policy);
+                        let n = scheme.chunk_record_flat(j, &rc, policy, &mut flat);
+                        assert_eq!(n, nested.len(), "s={s} c={c} j={j} len={len}");
+                        assert_eq!(flat.len(), n * s);
+                        for (m, chunk) in nested.iter().enumerate() {
+                            assert_eq!(&flat[m * s..(m + 1) * s], &chunk[..]);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

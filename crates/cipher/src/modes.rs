@@ -52,18 +52,20 @@ pub fn cbc_decrypt(aes: &Aes128, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec
     if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
         return Err(CipherError::RaggedCiphertext(ciphertext.len()));
     }
+    // Decrypt every block in one batched pass, then undo the chaining by
+    // XORing block i against ciphertext block i-1 (the IV for block 0) —
+    // the original `ciphertext` slice still holds the chain values.
     let mut data = ciphertext.to_vec();
-    let mut prev = *iv;
-    for chunk in data.chunks_mut(16) {
-        let mut block = [0u8; 16];
-        block.copy_from_slice(chunk);
-        let saved = block;
-        aes.decrypt_block(&mut block);
-        for (b, p) in block.iter_mut().zip(prev.iter()) {
+    aes.decrypt_blocks(&mut data);
+    for (i, chunk) in data.chunks_exact_mut(16).enumerate() {
+        let prev = if i == 0 {
+            &iv[..]
+        } else {
+            &ciphertext[16 * (i - 1)..16 * i]
+        };
+        for (b, p) in chunk.iter_mut().zip(prev.iter()) {
             *b ^= p;
         }
-        chunk.copy_from_slice(&block);
-        prev = saved;
     }
     unpad(&mut data)?;
     Ok(data)
@@ -72,19 +74,26 @@ pub fn cbc_decrypt(aes: &Aes128, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec
 /// CTR-mode keystream XOR (encryption == decryption). The 16-byte nonce is
 /// used as the initial counter block and incremented big-endian.
 pub fn ctr_xor(aes: &Aes128, nonce: &[u8; 16], data: &mut [u8]) {
+    /// Keystream blocks generated per batched encrypt call; 512 bytes of
+    /// stack keeps the hot loop in [`Aes128::encrypt_blocks`].
+    const BATCH: usize = 32;
     let mut counter = *nonce;
-    for chunk in data.chunks_mut(16) {
-        let mut ks = counter;
-        aes.encrypt_block(&mut ks);
-        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-            *d ^= k;
-        }
-        // increment counter (big-endian, rightmost byte first)
-        for b in counter.iter_mut().rev() {
-            *b = b.wrapping_add(1);
-            if *b != 0 {
-                break;
+    let mut ks = [0u8; BATCH * 16];
+    for span in data.chunks_mut(BATCH * 16) {
+        let nblocks = span.len().div_ceil(16);
+        for block in ks[..nblocks * 16].chunks_exact_mut(16) {
+            block.copy_from_slice(&counter);
+            // increment counter (big-endian, rightmost byte first)
+            for b in counter.iter_mut().rev() {
+                *b = b.wrapping_add(1);
+                if *b != 0 {
+                    break;
+                }
             }
+        }
+        aes.encrypt_blocks(&mut ks[..nblocks * 16]);
+        for (d, k) in span.iter_mut().zip(ks.iter()) {
+            *d ^= k;
         }
     }
 }
@@ -164,6 +173,34 @@ mod tests {
         assert_ne!(data, orig);
         ctr_xor(&aes, &nonce, &mut data);
         assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn ctr_batched_keystream_matches_block_at_a_time() {
+        // lengths straddling the 32-block batch boundary, including ragged
+        // tails, must produce the same stream as a naive single-block CTR
+        let aes = aes();
+        let nonce = [0x5Au8; 16];
+        for len in [0usize, 1, 16, 511, 512, 513, 1024, 1500] {
+            let mut batched = vec![0u8; len];
+            ctr_xor(&aes, &nonce, &mut batched);
+            let mut naive = vec![0u8; len];
+            let mut counter = nonce;
+            for chunk in naive.chunks_mut(16) {
+                let mut ks = counter;
+                aes.encrypt_block(&mut ks);
+                for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *d ^= k;
+                }
+                for b in counter.iter_mut().rev() {
+                    *b = b.wrapping_add(1);
+                    if *b != 0 {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(batched, naive, "len={len}");
+        }
     }
 
     #[test]

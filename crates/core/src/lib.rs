@@ -51,6 +51,9 @@ mod swp_chunks;
 pub use config::{
     ConfigError, EncodingConfig, EncodingGranularity, IndexKind, PrecompressionConfig, SchemeConfig,
 };
-pub use pipeline::{IndexPipeline, IndexRecord, StorageReport};
+pub use pipeline::{IndexPipeline, IndexRecord, IngestScratch, StorageReport};
 pub use query::{EncryptedIndexFilter, EncryptedQuery};
-pub use store::{EncryptedSearchStore, SearchOutcome, StoreBuilder, StoreError, StoreHandle};
+pub use store::{
+    EncryptedSearchStore, IngestOptions, IngestStats, SearchOutcome, StoreBuilder, StoreError,
+    StoreHandle,
+};

@@ -23,6 +23,21 @@ pub struct IndexRecord {
     pub body: Vec<u8>,
 }
 
+/// Reusable intermediate buffers for the ingest hot path. One instance per
+/// worker (or per long-lived caller) makes steady-state ingest free of
+/// per-chunk allocation — see
+/// [`index_records_into`](IndexPipeline::index_records_into).
+#[derive(Debug, Default)]
+pub struct IngestScratch {
+    /// Flat chunk buffer: chunk `m` of the current chunking occupies
+    /// `chunks[m*s..(m+1)*s]`.
+    chunks: Vec<u16>,
+    /// Encrypted (and possibly encoded) chunk values.
+    values: Vec<u128>,
+    /// Site-major dispersal planes (`planes[site * nchunks + m]`).
+    planes: Vec<u16>,
+}
+
 /// Pipeline errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
@@ -231,36 +246,67 @@ impl IndexPipeline {
     /// layout; for SWP chunks it seeds the position stream, so the same RC
     /// under two RIDs yields unlinkable index records.
     pub fn index_records_for(&self, rid: u64, rc: &str) -> Vec<IndexRecord> {
+        let mut scratch = IngestScratch::default();
+        let mut out = Vec::new();
+        self.index_records_into(rid, rc, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`index_records_for`](Self::index_records_for) with caller-owned
+    /// buffers: `out` receives the records (cleared first) and `scratch`
+    /// holds the intermediate chunk/value/plane buffers, so a caller
+    /// looping over a corpus does no per-chunk allocation. The produced
+    /// records are byte-identical to the allocating path.
+    pub fn index_records_into(
+        &self,
+        rid: u64,
+        rc: &str,
+        scratch: &mut IngestScratch,
+        out: &mut Vec<IndexRecord>,
+    ) {
+        out.clear();
         let symbols = self.stage1_symbols(rc);
         if self.config.index_kind == IndexKind::SwpChunks {
-            return self.swp_index_records(rid, &symbols);
+            out.extend(self.swp_index_records(rid, &symbols));
+            self.count_ingest(out);
+            return;
         }
         let c = self.config.chunking.num_chunkings();
         let k = self.config.k();
+        let s = self.config.chunking.chunk_size();
         let element_bytes = self.config.element_bytes();
-        let mut out = Vec::with_capacity(c * k);
+        out.reserve(c * k);
         for j in 0..c {
             let chunk_timer = sdds_obs::histogram("core.chunk_seconds").start_timer();
-            let chunks = self
-                .config
-                .chunking
-                .chunk_record(j, &symbols, self.config.partial_chunks);
+            let nchunks = self.config.chunking.chunk_record_flat(
+                j,
+                &symbols,
+                self.config.partial_chunks,
+                &mut scratch.chunks,
+            );
             drop(chunk_timer);
             let encode_timer = sdds_obs::histogram("core.encode_seconds").start_timer();
-            let values: Vec<u128> = chunks.iter().map(|ch| self.chunk_value(j, ch)).collect();
+            scratch.values.clear();
+            scratch.values.extend(
+                scratch
+                    .chunks
+                    .chunks_exact(s)
+                    .map(|ch| self.chunk_value(j, ch)),
+            );
             drop(encode_timer);
             match &self.disperser {
                 Some(d) => {
                     let _disperse_timer =
                         sdds_obs::histogram("core.disperse_seconds").start_timer();
-                    let mut bodies = vec![Vec::with_capacity(values.len() * element_bytes); k];
-                    for &v in &values {
-                        for (site, &share) in d.disperse(v).iter().enumerate() {
-                            bodies[site]
-                                .extend_from_slice(&value_to_bytes(share.into(), element_bytes));
+                    d.disperse_record_into(&scratch.values, &mut scratch.planes);
+                    for site in 0..k {
+                        let plane = &scratch.planes[site * nchunks..(site + 1) * nchunks];
+                        let mut body = Vec::with_capacity(nchunks * element_bytes);
+                        for &share in plane {
+                            body.extend_from_slice(
+                                &u128::from(share).to_le_bytes()[..element_bytes],
+                            );
                         }
-                    }
-                    for (site, body) in bodies.into_iter().enumerate() {
                         out.push(IndexRecord {
                             chunking: j,
                             site,
@@ -269,9 +315,9 @@ impl IndexPipeline {
                     }
                 }
                 None => {
-                    let mut body = Vec::with_capacity(values.len() * element_bytes);
-                    for &v in &values {
-                        body.extend_from_slice(&value_to_bytes(v, element_bytes));
+                    let mut body = Vec::with_capacity(nchunks * element_bytes);
+                    for &v in &scratch.values {
+                        body.extend_from_slice(&v.to_le_bytes()[..element_bytes]);
                     }
                     out.push(IndexRecord {
                         chunking: j,
@@ -281,7 +327,55 @@ impl IndexPipeline {
                 }
             }
         }
-        out
+        self.count_ingest(out);
+    }
+
+    /// Ingest-side counters shared by every transform path (they are
+    /// process-global atomics, so the parallel path needs no coordination).
+    fn count_ingest(&self, records: &[IndexRecord]) {
+        let element_bytes = match self.config.index_kind {
+            IndexKind::SwpChunks => 16,
+            IndexKind::EcbChunks => self.config.element_bytes(),
+        };
+        let bytes: usize = records.iter().map(|r| r.body.len()).sum();
+        sdds_obs::counter("core.ingest_records").inc();
+        sdds_obs::counter("core.ingest_index_records").add(records.len() as u64);
+        sdds_obs::counter("core.ingest_chunks").add((bytes / element_bytes.max(1)) as u64);
+        sdds_obs::counter("core.ingest_index_bytes").add(bytes as u64);
+    }
+
+    /// Transforms a batch of records on a worker pool, preserving input
+    /// order: element `i` of the result holds the index records of
+    /// `records[i]`. Each worker keeps one [`IngestScratch`] for its whole
+    /// share of the batch, and every transform is deterministic in
+    /// `(rid, rc)`, so the output is byte-identical to calling
+    /// [`index_records_for`](Self::index_records_for) sequentially —
+    /// regardless of the pool's thread count.
+    pub fn index_records_batch<S>(
+        &self,
+        records: &[(u64, S)],
+        pool: &sdds_par::Pool,
+    ) -> Vec<Vec<IndexRecord>>
+    where
+        S: AsRef<str> + Sync,
+    {
+        // a few chunks per worker lets the cursor balance uneven records
+        let chunk = records.len().div_ceil(pool.threads().max(1) * 4).max(1);
+        let parts = pool.par_map_chunks_with(
+            records,
+            chunk,
+            IngestScratch::default,
+            |scratch, _chunk_index, _start, span| {
+                let mut produced = Vec::with_capacity(span.len());
+                for (rid, rc) in span {
+                    let mut out = Vec::new();
+                    self.index_records_into(*rid, rc.as_ref(), scratch, &mut out);
+                    produced.push(out);
+                }
+                produced
+            },
+        );
+        parts.into_iter().flatten().collect()
     }
 
     /// [`index_records_for`](Self::index_records_for) with RID 0 — for

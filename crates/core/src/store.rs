@@ -1,7 +1,7 @@
 //! The client-facing store: the complete scheme over a live LH\* cluster.
 
 use crate::config::{ConfigError, SchemeConfig};
-use crate::pipeline::{IndexPipeline, PipelineError};
+use crate::pipeline::{IndexPipeline, IngestScratch, PipelineError};
 use crate::query::EncryptedIndexFilter;
 use sdds_chunk::CombinationRule;
 use sdds_cipher::{KeyMaterial, MasterKey};
@@ -9,6 +9,7 @@ use sdds_lh::{ClusterConfig, LhClient, LhCluster, LhError, ParityConfig};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Store-level errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +70,85 @@ pub struct SearchOutcome {
     ///
     /// [`PartialChunkPolicy::Store`]: sdds_chunk::PartialChunkPolicy::Store
     pub positions: HashMap<u64, Vec<usize>>,
+}
+
+/// The per-stage ingest histograms the throughput gauges derive from.
+const STAGE_HISTOGRAMS: [&str; 3] = [
+    "core.chunk_seconds",
+    "core.encode_seconds",
+    "core.disperse_seconds",
+];
+
+/// Tuning knobs for bulk ingest — see [`StoreHandle::insert_many_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Worker threads for the record → index-record transform (1 runs the
+    /// transform inline on the calling thread).
+    pub threads: usize,
+    /// Target number of keyed entries per LH\* flush; the load proceeds in
+    /// windows of `flush_index_records / (1 + c·k)` records so bucket
+    /// mailboxes and split pressure stay bounded no matter how large the
+    /// input iterator is.
+    pub flush_index_records: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> IngestOptions {
+        IngestOptions {
+            threads: 1,
+            flush_index_records: 1024,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Options with `threads` workers and the default flush size.
+    pub fn with_threads(threads: usize) -> IngestOptions {
+        IngestOptions {
+            threads,
+            ..IngestOptions::default()
+        }
+    }
+}
+
+/// What a bulk load did — see [`StoreHandle::insert_many_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestStats {
+    /// Records loaded.
+    pub records: u64,
+    /// Index records produced (excluding the record-store copies).
+    pub index_records: u64,
+    /// Chunks transformed across all chunkings.
+    pub chunks: u64,
+    /// Index body bytes shipped to the sites.
+    pub index_bytes: u64,
+    /// Wall-clock duration of the load in seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl IngestStats {
+    /// Records ingested per second.
+    pub fn records_per_sec(&self) -> f64 {
+        rate(self.records, self.elapsed_seconds)
+    }
+
+    /// Chunks transformed per second.
+    pub fn chunks_per_sec(&self) -> f64 {
+        rate(self.chunks, self.elapsed_seconds)
+    }
+
+    /// Index bytes produced per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        rate(self.index_bytes, self.elapsed_seconds)
+    }
+}
+
+fn rate(n: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        n as f64 / secs
+    } else {
+        0.0
+    }
 }
 
 /// Builder for [`EncryptedSearchStore`].
@@ -238,6 +318,18 @@ impl EncryptedSearchStore {
         self.handle.insert_many(records)
     }
 
+    /// Tuned bulk load — see [`StoreHandle::insert_many_with`].
+    pub fn insert_many_with<'a, I>(
+        &self,
+        records: I,
+        opts: IngestOptions,
+    ) -> Result<IngestStats, StoreError>
+    where
+        I: IntoIterator<Item = (u64, &'a str)>,
+    {
+        self.handle.insert_many_with(records, opts)
+    }
+
     /// Fetches and decrypts a record — see [`StoreHandle::get`].
     pub fn get(&self, rid: u64) -> Result<Option<String>, StoreError> {
         self.handle.get(rid)
@@ -308,33 +400,110 @@ impl StoreHandle {
     }
 
     /// Bulk load: pipelines many records' inserts into large batches —
-    /// the fastest way to populate a file.
+    /// the fastest way to populate a file. Flushes in fixed-size windows
+    /// (the [`IngestOptions`] default of ~1k index records per flush), so
+    /// memory stays bounded for arbitrarily large inputs.
     pub fn insert_many<'a, I>(&self, records: I) -> Result<(), StoreError>
     where
         I: IntoIterator<Item = (u64, &'a str)>,
     {
-        let per = 1 + self.pipeline.config().index_records_per_record();
-        let mut batch = Vec::new();
-        for (rid, rc) in records {
-            self.check_rid(rid)?;
-            batch.push((
-                self.pipeline.lh_key(rid, 0),
-                self.pipeline.encrypt_record(rid, rc),
-            ));
-            for rec in self.pipeline.index_records_for(rid, rc) {
-                let tag = self.pipeline.tag(rec.chunking, rec.site);
-                batch.push((self.pipeline.lh_key(rid, tag), rec.body));
+        self.insert_many_with(records, IngestOptions::default())
+            .map(|_| ())
+    }
+
+    /// Bulk load with explicit threading and flush tuning.
+    ///
+    /// The record → index-record transform (Stages 1–3 plus the strong
+    /// record encryption) fans out over `opts.threads` workers, each with
+    /// its own reusable [`IngestScratch`]; the resulting keyed entries are
+    /// flushed to the LH\* file **from the calling thread, in record
+    /// order**. Every transform is deterministic in `(rid, rc)`, so the
+    /// stored key → value content is byte-identical whatever the thread
+    /// count (only the cluster's internal split timing varies run to run).
+    ///
+    /// On return the throughput gauges `core.ingest_records_per_sec`,
+    /// `core.ingest_chunks_per_sec` and `core.ingest_bytes_per_sec`
+    /// describe this load, and the per-stage gauges
+    /// `core.{chunk,encode,disperse}_chunks_per_sec` give each stage's
+    /// isolated rate (chunks over in-stage seconds).
+    pub fn insert_many_with<'a, I>(
+        &self,
+        records: I,
+        opts: IngestOptions,
+    ) -> Result<IngestStats, StoreError>
+    where
+        I: IntoIterator<Item = (u64, &'a str)>,
+    {
+        let start = Instant::now();
+        let pipeline: &IndexPipeline = &self.pipeline;
+        let per = 1 + pipeline.config().index_records_per_record();
+        let window_records = opts.flush_index_records.max(1).div_ceil(per).max(1);
+        let pool = sdds_par::Pool::new(opts.threads);
+        let index_records0 = sdds_obs::counter("core.ingest_index_records").get();
+        let chunks0 = sdds_obs::counter("core.ingest_chunks").get();
+        let bytes0 = sdds_obs::counter("core.ingest_index_bytes").get();
+        let stage0: Vec<f64> = STAGE_HISTOGRAMS
+            .iter()
+            .map(|name| sdds_obs::histogram(name).sum())
+            .collect();
+        let mut stats = IngestStats::default();
+        let mut iter = records.into_iter();
+        loop {
+            let window: Vec<(u64, &'a str)> = iter.by_ref().take(window_records).collect();
+            if window.is_empty() {
+                break;
             }
-            // keep batches bounded so bucket mailboxes and split pressure
-            // stay reasonable
-            if batch.len() >= 64 * per {
-                self.client.insert_batch(std::mem::take(&mut batch))?;
+            for &(rid, _) in &window {
+                self.check_rid(rid)?;
             }
-        }
-        if !batch.is_empty() {
+            // a few spans per worker lets the cursor balance uneven records
+            let span = window.len().div_ceil(pool.threads() * 4).max(1);
+            let parts = pool.par_map_chunks_with(
+                &window,
+                span,
+                IngestScratch::default,
+                |scratch, _chunk_index, _start, records| {
+                    let mut entries = Vec::with_capacity(records.len() * per);
+                    let mut recs = Vec::new();
+                    for &(rid, rc) in records {
+                        entries.push((pipeline.lh_key(rid, 0), pipeline.encrypt_record(rid, rc)));
+                        pipeline.index_records_into(rid, rc, scratch, &mut recs);
+                        for rec in recs.drain(..) {
+                            let tag = pipeline.tag(rec.chunking, rec.site);
+                            entries.push((pipeline.lh_key(rid, tag), rec.body));
+                        }
+                    }
+                    entries
+                },
+            );
+            stats.records += window.len() as u64;
+            // one ordered flush per window from the calling thread: the
+            // file receives the same batches in the same order whatever
+            // the thread count (bucket *split timing* still varies run to
+            // run — the cluster splits concurrently — but the stored
+            // key → value content is identical)
+            let mut batch = Vec::with_capacity(window.len() * per);
+            for part in parts {
+                batch.extend(part);
+            }
             self.client.insert_batch(batch)?;
         }
-        Ok(())
+        stats.index_records = sdds_obs::counter("core.ingest_index_records").get() - index_records0;
+        stats.chunks = sdds_obs::counter("core.ingest_chunks").get() - chunks0;
+        stats.index_bytes = sdds_obs::counter("core.ingest_index_bytes").get() - bytes0;
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        sdds_obs::gauge("core.ingest_records_per_sec").set(stats.records_per_sec() as i64);
+        sdds_obs::gauge("core.ingest_chunks_per_sec").set(stats.chunks_per_sec() as i64);
+        sdds_obs::gauge("core.ingest_bytes_per_sec").set(stats.bytes_per_sec() as i64);
+        for (name, &before) in STAGE_HISTOGRAMS.iter().zip(&stage0) {
+            let in_stage = sdds_obs::histogram(name).sum() - before;
+            let stage = name
+                .trim_start_matches("core.")
+                .trim_end_matches("_seconds");
+            sdds_obs::gauge(&format!("core.{stage}_chunks_per_sec"))
+                .set(rate(stats.chunks, in_stage) as i64);
+        }
+        Ok(stats)
     }
 
     /// Fetches and decrypts a record by RID.

@@ -27,8 +27,12 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sdds_gf::{Field, Matrix};
+use sdds_gf::{Field, Matrix, RowTables};
 use std::fmt;
+
+/// Maximum dispersion degree: `k · g = chunk_bits ≤ 128` with `g ≥ 1`
+/// bounds `k` at 128, so per-chunk component vectors fit on the stack.
+const MAX_K: usize = 128;
 
 /// Errors from dispersal configuration and reassembly.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,7 +123,11 @@ pub struct Disperser {
     config: DispersalConfig,
     field: Field,
     matrix: Matrix,
-    inverse: Matrix,
+    /// Per-row scalar tables of **E** — the forward hot path does one
+    /// 2^g-entry lookup per matrix row instead of log/antilog arithmetic.
+    tables: RowTables,
+    /// Same for **E**⁻¹ (reassembly).
+    inv_tables: RowTables,
 }
 
 impl fmt::Debug for Disperser {
@@ -149,11 +157,14 @@ impl Disperser {
             .clone()
             .inverse(&field)
             .expect("non-singular by construction");
+        let tables = matrix.row_tables(&field);
+        let inv_tables = inverse.row_tables(&field);
         Disperser {
             config,
             field,
             matrix,
-            inverse,
+            tables,
+            inv_tables,
         }
     }
 
@@ -177,11 +188,14 @@ impl Disperser {
                 expected: config.k(),
                 got: config.k(),
             })?;
+        let tables = matrix.row_tables(&field);
+        let inv_tables = inverse.row_tables(&field);
         Ok(Disperser {
             config,
             field,
             matrix,
-            inverse,
+            tables,
+            inv_tables,
         })
     }
 
@@ -190,9 +204,23 @@ impl Disperser {
         self.config
     }
 
-    /// Splits a chunk value into its `k` g-bit components `(c_1, …, c_k)`,
-    /// most significant component first.
-    pub fn split(&self, chunk: u128) -> Vec<u16> {
+    /// The field GF(2^g) the shares live in.
+    pub fn field(&self) -> &Field {
+        &self.field
+    }
+
+    /// The dispersion matrix **E**.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Splits a chunk value into its `k` g-bit components, writing them
+    /// into `out[..k]`, most significant component first. No allocation.
+    ///
+    /// # Panics
+    ///
+    /// If `out` is shorter than `k`.
+    pub fn split_into(&self, chunk: u128, out: &mut [u16]) {
         let g = self.config.share_bits();
         let k = self.config.k();
         let mask = if g == 128 {
@@ -200,9 +228,17 @@ impl Disperser {
         } else {
             (1u128 << g) - 1
         };
-        (0..k)
-            .map(|i| ((chunk >> ((k - 1 - i) * g)) & mask) as u16)
-            .collect()
+        for (i, slot) in out[..k].iter_mut().enumerate() {
+            *slot = ((chunk >> ((k - 1 - i) * g)) & mask) as u16;
+        }
+    }
+
+    /// Splits a chunk value into its `k` g-bit components `(c_1, …, c_k)`,
+    /// most significant component first.
+    pub fn split(&self, chunk: u128) -> Vec<u16> {
+        let mut out = vec![0u16; self.config.k()];
+        self.split_into(chunk, &mut out);
+        out
     }
 
     /// Packs components back into a chunk value.
@@ -213,32 +249,69 @@ impl Disperser {
             .fold(0u128, |acc, &c| (acc << g) | u128::from(c))
     }
 
-    /// Computes the `k` shares `d = c · E` of a chunk.
-    pub fn disperse(&self, chunk: u128) -> Vec<u16> {
+    /// Computes the `k` shares `d = c · E` of a chunk into `out[..k]`.
+    ///
+    /// This is the allocation-free hot path: the component vector lives on
+    /// the stack and each matrix row contributes one precomputed-table
+    /// lookup plus a contiguous XOR (see [`RowTables`]).
+    ///
+    /// # Panics
+    ///
+    /// If `out` is shorter than `k`.
+    pub fn disperse_into(&self, chunk: u128, out: &mut [u16]) {
         debug_assert!(
             self.config.chunk_bits() == 128 || chunk < (1u128 << self.config.chunk_bits()),
             "chunk wider than configured"
         );
-        let c = self.split(chunk);
-        self.matrix
-            .vec_mul(&self.field, &c)
-            .expect("dimension checked")
+        let k = self.config.k();
+        let mut components = [0u16; MAX_K];
+        self.split_into(chunk, &mut components);
+        self.tables
+            .vec_mul_into(&components[..k], &mut out[..k])
+            .expect("dimension checked");
+    }
+
+    /// Computes the `k` shares `d = c · E` of a chunk.
+    pub fn disperse(&self, chunk: u128) -> Vec<u16> {
+        let mut out = vec![0u16; self.config.k()];
+        self.disperse_into(chunk, &mut out);
+        out
     }
 
     /// Inverts [`disperse`](Self::disperse): recovers the chunk from all
     /// `k` shares.
     pub fn reassemble(&self, shares: &[u16]) -> Result<u128, DisperseError> {
-        if shares.len() != self.config.k() {
+        let k = self.config.k();
+        if shares.len() != k {
             return Err(DisperseError::ShareCount {
-                expected: self.config.k(),
+                expected: k,
                 got: shares.len(),
             });
         }
-        let c = self
-            .inverse
-            .vec_mul(&self.field, shares)
+        let mut components = [0u16; MAX_K];
+        self.inv_tables
+            .vec_mul_into(shares, &mut components[..k])
             .expect("dimension checked");
-        Ok(self.pack(&c))
+        Ok(self.pack(&components[..k]))
+    }
+
+    /// Disperses every chunk of an index record into a flat site-major
+    /// plane buffer: after the call `planes[site * chunks.len() + m]` is
+    /// site `site`'s share of chunk `m`. The buffer is resized (never
+    /// shrunk below capacity), so a caller looping over records reuses one
+    /// allocation for the whole batch.
+    pub fn disperse_record_into(&self, chunks: &[u128], planes: &mut Vec<u16>) {
+        let k = self.config.k();
+        let n = chunks.len();
+        planes.clear();
+        planes.resize(k * n, 0);
+        let mut shares = [0u16; MAX_K];
+        for (m, &chunk) in chunks.iter().enumerate() {
+            self.disperse_into(chunk, &mut shares);
+            for (site, &share) in shares[..k].iter().enumerate() {
+                planes[site * n + m] = share;
+            }
+        }
     }
 
     /// Disperses every chunk of an index record, returning one share
@@ -246,14 +319,12 @@ impl Disperser {
     /// chunk `m`. Sites match their share streams positionally; a hit is
     /// claimed only where **all** sites match (§4).
     pub fn disperse_record(&self, chunks: &[u128]) -> Vec<Vec<u16>> {
-        let mut per_site = vec![Vec::with_capacity(chunks.len()); self.config.k()];
-        for &chunk in chunks {
-            let shares = self.disperse(chunk);
-            for (site, &share) in shares.iter().enumerate() {
-                per_site[site].push(share);
-            }
-        }
-        per_site
+        let mut planes = Vec::new();
+        self.disperse_record_into(chunks, &mut planes);
+        let n = chunks.len();
+        (0..self.config.k())
+            .map(|site| planes[site * n..(site + 1) * n].to_vec())
+            .collect()
     }
 }
 
@@ -391,6 +462,59 @@ mod tests {
         let d = Disperser::from_matrix(cfg, id).unwrap();
         // identity matrix: shares are the raw components
         assert_eq!(d.disperse(0xAB), vec![0xA, 0xB]);
+    }
+
+    #[test]
+    fn disperse_record_into_is_site_major_flat() {
+        let d = table2_disperser();
+        let chunks = vec![10u128, 20, 30, 200];
+        let mut planes = Vec::new();
+        d.disperse_record_into(&chunks, &mut planes);
+        assert_eq!(planes.len(), 4 * chunks.len());
+        let per_site = d.disperse_record(&chunks);
+        for site in 0..4 {
+            for (m, &chunk) in chunks.iter().enumerate() {
+                assert_eq!(planes[site * chunks.len() + m], d.disperse(chunk)[site]);
+                assert_eq!(planes[site * chunks.len() + m], per_site[site][m]);
+            }
+        }
+    }
+
+    #[test]
+    fn disperse_record_into_reuses_buffer() {
+        let d = table2_disperser();
+        let mut planes = Vec::new();
+        d.disperse_record_into(&[1, 2, 3, 4, 5], &mut planes);
+        let cap = planes.capacity();
+        d.disperse_record_into(&[9, 8], &mut planes);
+        assert_eq!(planes.len(), 4 * 2);
+        assert!(planes.capacity() >= cap, "buffer must not shrink");
+    }
+
+    #[test]
+    fn disperse_record_empty_keeps_k_streams() {
+        let d = table2_disperser();
+        let per_site = d.disperse_record(&[]);
+        assert_eq!(per_site.len(), 4);
+        assert!(per_site.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn table_path_matches_direct_matrix_multiplication() {
+        // the RowTables fast path must agree with E · c computed the
+        // slow way, across share widths
+        for (bits, k, seed) in [(8usize, 4usize, 7u64), (16, 2, 3), (48, 3, 11), (12, 4, 1)] {
+            let cfg = DispersalConfig::new(bits, k).unwrap();
+            let d = Disperser::from_seed(cfg, seed);
+            for v in (0..200u128).map(|i| i * 31 % (1 << bits.min(100))) {
+                let expected = d
+                    .matrix
+                    .vec_mul(&d.field, &d.split(v))
+                    .expect("dimension checked");
+                assert_eq!(d.disperse(v), expected, "bits={bits} k={k} v={v}");
+                assert_eq!(d.reassemble(&expected).unwrap(), v);
+            }
+        }
     }
 
     #[test]

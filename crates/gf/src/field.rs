@@ -282,6 +282,24 @@ impl Field {
         }
     }
 
+    /// The full multiplication table of `scalar`: entry `x` holds
+    /// `scalar * x` for every field element `x`. Turns a multiply into a
+    /// single indexed load (no log/antilog pair) — the building block of
+    /// the dispersion row tables, where each matrix coefficient is fixed
+    /// for the life of the disperser.
+    pub fn mul_table(&self, scalar: u16) -> Vec<u16> {
+        self.check(scalar);
+        let mut table = vec![0u16; self.order as usize];
+        if scalar == 0 {
+            return table;
+        }
+        let is = self.log[scalar as usize] as usize;
+        for (x, slot) in table.iter_mut().enumerate().skip(1) {
+            *slot = self.exp[self.log[x] as usize + is];
+        }
+        table
+    }
+
     /// `acc[i] ^= scalar * src[i]` — fused multiply-accumulate over slices.
     pub fn mul_acc_slice(&self, acc: &mut [u16], src: &[u16], scalar: u16) {
         assert_eq!(acc.len(), src.len(), "slice length mismatch");
@@ -425,6 +443,20 @@ mod tests {
             f.scale_slice(&mut scaled, scalar);
             for (s, &orig) in scaled.iter().zip(src.iter()) {
                 assert_eq!(*s, f.mul(orig, scalar));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_mul_for_every_pair() {
+        for g in [1u32, 2, 4, 8, 11] {
+            let f = Field::new(g).unwrap();
+            for scalar in 0..f.order() as u16 {
+                let t = f.mul_table(scalar);
+                assert_eq!(t.len(), f.order() as usize);
+                for x in 0..f.order() as u16 {
+                    assert_eq!(t[x as usize], f.mul(scalar, x), "g={g} s={scalar} x={x}");
+                }
             }
         }
     }

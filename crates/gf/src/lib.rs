@@ -36,4 +36,4 @@ mod matrix;
 pub mod rs;
 
 pub use field::{Field, FieldError};
-pub use matrix::{Matrix, MatrixError};
+pub use matrix::{Matrix, MatrixError, RowTables};

@@ -257,19 +257,38 @@ impl Matrix {
     /// Row-vector × matrix product, the dispersion hot path:
     /// `d = c · E` for a chunk `c`.
     pub fn vec_mul(&self, field: &Field, v: &[u16]) -> Result<Vec<u16>, MatrixError> {
-        if v.len() != self.rows {
+        let mut out = vec![0u16; self.cols];
+        self.vec_mul_into(field, v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`vec_mul`](Self::vec_mul) into a caller-provided buffer of length
+    /// `cols` — the allocation-free form for per-chunk hot loops.
+    pub fn vec_mul_into(
+        &self,
+        field: &Field,
+        v: &[u16],
+        out: &mut [u16],
+    ) -> Result<(), MatrixError> {
+        if v.len() != self.rows || out.len() != self.cols {
             return Err(MatrixError::ShapeMismatch {
                 left: (1, v.len()),
                 right: (self.rows, self.cols),
             });
         }
-        let mut out = vec![0u16; self.cols];
+        out.fill(0);
         for (i, &vi) in v.iter().enumerate() {
             if vi != 0 {
-                field.mul_acc_slice(&mut out, self.row(i), vi);
+                field.mul_acc_slice(out, self.row(i), vi);
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Precomputes the scalar-multiplication tables of every row — see
+    /// [`RowTables`].
+    pub fn row_tables(&self, field: &Field) -> RowTables {
+        RowTables::new(field, self)
     }
 
     /// In-place Gauss–Jordan inversion. Returns the inverse, consuming the
@@ -329,6 +348,94 @@ impl Matrix {
 
     fn row_mut(&mut self, r: usize) -> &mut [u16] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+/// Per-row GF scalar-multiplication tables of a fixed matrix: for every
+/// row `i` and field element `x`, the products `x · M[i][j]` for all
+/// columns `j` are stored contiguously, so a row-vector multiply is `rows`
+/// table-row XORs with **zero** log/antilog arithmetic — one 2^g-entry
+/// lookup family per matrix row, the "small tables" trick of §4 taken one
+/// step further for the dispersal hot loop where **E** never changes.
+///
+/// Memory: `rows · cols · 2^g` `u16`s (k = 4, g = 8 → 4 KiB; the worst
+/// supported case k = 16, g = 16 is 32 MiB, still built once per
+/// disperser).
+#[derive(Clone)]
+pub struct RowTables {
+    rows: usize,
+    cols: usize,
+    order: usize,
+    /// `data[(i · order + x) · cols + j] = x · M[i][j]`.
+    data: Vec<u16>,
+}
+
+impl fmt::Debug for RowTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RowTables")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("order", &self.order)
+            .finish()
+    }
+}
+
+impl RowTables {
+    /// Builds the tables for `matrix` over `field`.
+    pub fn new(field: &Field, matrix: &Matrix) -> RowTables {
+        let (rows, cols) = (matrix.rows(), matrix.cols());
+        let order = field.order() as usize;
+        let mut data = vec![0u16; rows * order * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let table = field.mul_table(matrix.get(i, j));
+                for (x, &prod) in table.iter().enumerate() {
+                    data[(i * order + x) * cols + j] = prod;
+                }
+            }
+        }
+        RowTables {
+            rows,
+            cols,
+            order,
+            data,
+        }
+    }
+
+    /// Number of matrix rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of matrix columns covered.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-vector × matrix product through the tables:
+    /// `out[j] = Σ_i v[i] · M[i][j]`, written into a caller buffer of
+    /// length `cols`. Equivalent to [`Matrix::vec_mul_into`] but each
+    /// row's contribution is a single contiguous table row XOR.
+    pub fn vec_mul_into(&self, v: &[u16], out: &mut [u16]) -> Result<(), MatrixError> {
+        if v.len() != self.rows || out.len() != self.cols {
+            return Err(MatrixError::ShapeMismatch {
+                left: (1, v.len()),
+                right: (self.rows, self.cols),
+            });
+        }
+        out.fill(0);
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0 {
+                continue;
+            }
+            debug_assert!((vi as usize) < self.order, "element out of field range");
+            let base = (i * self.order + vi as usize) * self.cols;
+            let row = &self.data[base..base + self.cols];
+            for (o, &p) in out.iter_mut().zip(row.iter()) {
+                *o ^= p;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -438,6 +545,50 @@ mod tests {
         let expect = as_row.mul(&f, &m).unwrap();
         let got = m.vec_mul(&f, &v).unwrap();
         assert_eq!(got, expect.row(0));
+    }
+
+    #[test]
+    fn row_tables_match_vec_mul_across_fields() {
+        for g in [1u32, 2, 4, 8, 10] {
+            let f = Field::new(g).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(31 + g as u64);
+            for n in [1usize, 2, 4] {
+                let m = Matrix::random_nonsingular(&f, n, false, &mut rng);
+                let tables = m.row_tables(&f);
+                let mask = f.mask();
+                for trial in 0..40u16 {
+                    let v: Vec<u16> = (0..n)
+                        .map(|i| (trial.wrapping_mul(113).wrapping_add(i as u16 * 7)) & mask)
+                        .collect();
+                    let expect = m.vec_mul(&f, &v).unwrap();
+                    let mut got = vec![0u16; n];
+                    tables.vec_mul_into(&v, &mut got).unwrap();
+                    assert_eq!(got, expect, "g={g} n={n} v={v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_tables_reject_bad_shapes() {
+        let f = f8();
+        let m = Matrix::identity(&f, 3);
+        let t = m.row_tables(&f);
+        let mut out = vec![0u16; 3];
+        assert!(t.vec_mul_into(&[1, 2], &mut out).is_err());
+        let mut short = vec![0u16; 2];
+        assert!(t.vec_mul_into(&[1, 2, 3], &mut short).is_err());
+    }
+
+    #[test]
+    fn vec_mul_into_matches_vec_mul() {
+        let f = f8();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let m = Matrix::random_nonsingular(&f, 5, false, &mut rng);
+        let v: Vec<u16> = (0..5).map(|i| (i * 51 + 2) as u16).collect();
+        let mut out = vec![0xFFFFu16; 5]; // must be overwritten, not accumulated
+        m.vec_mul_into(&f, &v, &mut out).unwrap();
+        assert_eq!(out, m.vec_mul(&f, &v).unwrap());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! sdds bench-load --entries 5000
 //! ```
 
-use sdds_repro::core::{EncryptedSearchStore, SchemeConfig};
+use sdds_repro::core::{EncryptedSearchStore, IngestOptions, IngestStats, SchemeConfig};
 use sdds_repro::corpus::{format_directory, parse_directory, DirectoryGenerator, Record};
 use std::collections::HashMap;
 use std::process::exit;
@@ -38,7 +38,8 @@ fn usage() {
         "usage:\n  sdds generate  --entries N [--seed S] [--out FILE]\n  \
          sdds search    --pattern P [--file FILE | --entries N] \
          [--config basic|paper|swp] [--exact] [--prefix] [--metrics-json FILE]\n  \
-         sdds bench-load --entries N [--config basic|paper|swp] [--metrics-json FILE]\n\
+         sdds bench-load --entries N [--config basic|paper|swp] [--threads N | --sweep 1,2,4] \
+         [--json-out FILE] [--metrics-json FILE]\n\
          \n--metrics-json FILE dumps the run's observability snapshot \
          (counters, gauges, latency histograms) as JSON"
     );
@@ -210,26 +211,119 @@ fn search(flags: &HashMap<String, String>) {
     maybe_write_metrics(flags);
 }
 
-fn bench_load(flags: &HashMap<String, String>) {
-    let records = load_records(flags);
-    let store = build_store(&records, flags);
-    let t0 = Instant::now();
-    store
-        .insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+/// FNV-1a over a byte slice, continuing from `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Digest of everything the transform would store for `records` when run
+/// on `threads` workers: the strongly encrypted copies plus every index
+/// record in order. Identical digests across thread counts prove the
+/// parallel path is byte-identical to the sequential one.
+fn transform_digest(store: &EncryptedSearchStore, records: &[Record], threads: usize) -> u64 {
+    let pool = sdds_repro::par::Pool::new(threads);
+    let pairs: Vec<(u64, &str)> = records.iter().map(|r| (r.rid, r.rc.as_str())).collect();
+    let produced = store.pipeline().index_records_batch(&pairs, &pool);
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for (rec, per_record) in records.iter().zip(&produced) {
+        fnv1a(&mut h, &store.pipeline().encrypt_record(rec.rid, &rec.rc));
+        for ir in per_record {
+            fnv1a(&mut h, &[ir.chunking as u8, ir.site as u8]);
+            fnv1a(&mut h, &ir.body);
+        }
+    }
+    h
+}
+
+/// One timed load at a given thread count, on a fresh store.
+fn bench_one(
+    records: &[Record],
+    flags: &HashMap<String, String>,
+    threads: usize,
+) -> (IngestStats, u64) {
+    let store = build_store(records, flags);
+    let stats = store
+        .insert_many_with(
+            records.iter().map(|r| (r.rid, r.rc.as_str())),
+            IngestOptions::with_threads(threads),
+        )
         .unwrap_or_else(|e| {
             eprintln!("load failed: {e}");
             exit(1);
         });
-    let elapsed = t0.elapsed();
-    let stats = store.cluster().network().stats();
+    let net = store.cluster().network().stats();
     println!(
-        "{} records in {elapsed:?} ({:.0} rec/s) — {} buckets, {} messages, {} bytes",
-        records.len(),
-        records.len() as f64 / elapsed.as_secs_f64(),
+        "threads={threads}: {} records in {:.3}s ({:.0} rec/s, {:.0} chunks/s, {:.0} B/s) — {} buckets, {} messages",
+        stats.records,
+        stats.elapsed_seconds,
+        stats.records_per_sec(),
+        stats.chunks_per_sec(),
+        stats.bytes_per_sec(),
         store.cluster().num_buckets(),
-        stats.messages(),
-        stats.bytes()
+        net.messages(),
     );
+    let digest = transform_digest(&store, records, threads);
     store.shutdown();
+    (stats, digest)
+}
+
+fn bench_load(flags: &HashMap<String, String>) {
+    let records = load_records(flags);
+    let sweep: Vec<usize> = match flags.get("sweep") {
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--sweep needs a comma-separated thread list, got {list:?}");
+                    exit(2);
+                })
+            })
+            .collect(),
+        None => vec![flag_usize(flags, "threads", 1)],
+    };
+    let mut runs = Vec::with_capacity(sweep.len());
+    for &threads in &sweep {
+        runs.push((threads, bench_one(&records, flags, threads)));
+    }
+    let identical = runs.windows(2).all(|w| w[0].1 .1 == w[1].1 .1);
+    if runs.len() > 1 {
+        println!("identical output across thread counts: {identical}");
+    }
+    if flags.contains_key("sweep") || flags.contains_key("json-out") {
+        let path = flags
+            .get("json-out")
+            .map(String::as_str)
+            .filter(|p| !p.is_empty())
+            .unwrap_or("BENCH_ingest.json");
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut body = String::from("{\n");
+        body.push_str(&format!(
+            "  \"entries\": {},\n  \"config\": \"{}\",\n  \"cpus\": {cpus},\n  \"identical_across_threads\": {identical},\n  \"runs\": [\n",
+            records.len(),
+            flags.get("config").map(String::as_str).unwrap_or("basic"),
+        ));
+        for (i, (threads, (stats, digest))) in runs.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"threads\": {threads}, \"elapsed_seconds\": {:.6}, \"records\": {}, \"index_records\": {}, \"index_bytes\": {}, \"records_per_sec\": {:.1}, \"chunks_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, \"digest\": \"{digest:016x}\"}}{}\n",
+                stats.elapsed_seconds,
+                stats.records,
+                stats.index_records,
+                stats.index_bytes,
+                stats.records_per_sec(),
+                stats.chunks_per_sec(),
+                stats.bytes_per_sec(),
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote sweep results to {path}");
+    }
     maybe_write_metrics(flags);
 }
