@@ -123,6 +123,14 @@ impl std::fmt::Debug for Aes128 {
     }
 }
 
+impl Drop for Aes128 {
+    /// Wipes the round-key schedule so key material does not linger in
+    /// freed memory (best effort; see [`crate::zeroize`]).
+    fn drop(&mut self) {
+        self.zeroize_schedule();
+    }
+}
+
 impl Aes128 {
     /// Block size in bytes.
     pub const BLOCK: usize = 16;
@@ -155,11 +163,24 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
+        // the expansion scratch holds the full schedule; clear it before
+        // the stack frame is reused
+        for word in w.iter_mut() {
+            crate::zeroize::wipe(word);
+        }
         Aes128 {
             round_keys,
             sbox,
             inv_sbox,
             mul,
+        }
+    }
+
+    /// Volatile-clears the round-key schedule (the drop path; split out so
+    /// tests can assert the buffer really is zeroed).
+    fn zeroize_schedule(&mut self) {
+        for rk in self.round_keys.iter_mut() {
+            crate::zeroize::wipe(rk);
         }
     }
 
@@ -281,6 +302,7 @@ impl Aes128 {
             data.len()
         );
         for block in data.chunks_exact_mut(Self::BLOCK) {
+            // lint: allow(panic-freedom) -- chunks_exact_mut(16) yields 16-byte slices
             let block: &mut [u8; 16] = block.try_into().expect("chunks_exact yields 16");
             self.encrypt_block(block);
         }
@@ -299,6 +321,7 @@ impl Aes128 {
             data.len()
         );
         for block in data.chunks_exact_mut(Self::BLOCK) {
+            // lint: allow(panic-freedom) -- chunks_exact_mut(16) yields 16-byte slices
             let block: &mut [u8; 16] = block.try_into().expect("chunks_exact yields 16");
             self.decrypt_block(block);
         }
@@ -462,6 +485,19 @@ mod tests {
         // length-extension-style boundary cases differ
         assert_ne!(aes.prf(&[0u8; 16]), aes.prf(&[0u8; 15]));
         assert_ne!(aes.prf(&[0u8; 16]), aes.prf(&[0u8; 17]));
+    }
+
+    #[test]
+    fn drop_path_wipes_round_key_schedule() {
+        // the schedule of a real key is never all-zero bytes
+        let mut aes = Aes128::new(&[0x2b; 16]);
+        assert!(aes.round_keys.iter().any(|rk| rk.iter().any(|&b| b != 0)));
+        aes.zeroize_schedule();
+        assert!(
+            aes.round_keys.iter().all(|rk| rk.iter().all(|&b| b == 0)),
+            "round-key schedule must be cleared by the drop path"
+        );
+        // dropping after a manual wipe just re-wipes zeros (idempotent)
     }
 
     #[test]

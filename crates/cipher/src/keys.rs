@@ -26,6 +26,22 @@ impl std::fmt::Debug for MasterKey {
 }
 
 impl MasterKey {
+    /// Volatile-clears the key bytes (the drop path; split out so tests
+    /// can assert the buffer really is zeroed).
+    fn zeroize_key(&mut self) {
+        crate::zeroize::wipe(&mut self.key);
+    }
+}
+
+impl Drop for MasterKey {
+    /// Wipes the key bytes so they do not linger in freed memory (best
+    /// effort; see [`crate::zeroize`]). Clones wipe independently.
+    fn drop(&mut self) {
+        self.zeroize_key();
+    }
+}
+
+impl MasterKey {
     /// Wraps raw key bytes.
     pub fn new(key: [u8; 16]) -> MasterKey {
         MasterKey { key }
@@ -56,9 +72,15 @@ impl MasterKey {
 }
 
 /// The full derived key material for one encrypted searchable file.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct KeyMaterial {
     master: MasterKey,
+}
+
+impl std::fmt::Debug for KeyMaterial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("KeyMaterial { .. }") // never print key material
+    }
 }
 
 impl KeyMaterial {
@@ -85,15 +107,13 @@ impl KeyMaterial {
 
     /// Seed for the dispersion matrix PRNG (Stage 3).
     pub fn dispersion_seed(&self) -> u64 {
-        let k = self.master.derive("dispersion", 0);
-        u64::from_le_bytes(k[..8].try_into().expect("8 bytes"))
+        seed_from(&self.master.derive("dispersion", 0))
     }
 
     /// Seed for any keyed choices inside the Stage-2 encoder (e.g. tie
     /// breaking between equal-frequency chunks).
     pub fn encoding_seed(&self) -> u64 {
-        let k = self.master.derive("encoding", 0);
-        u64::from_le_bytes(k[..8].try_into().expect("8 bytes"))
+        seed_from(&self.master.derive("encoding", 0))
     }
 
     /// Sub-keys for the SWP-chunk index mode (one role key per chunking).
@@ -101,6 +121,12 @@ impl KeyMaterial {
         self.master
             .derive(&format!("swp-chunk-{role}"), chunking as u64)
     }
+}
+
+/// The first eight bytes of a derived key as a little-endian seed
+/// (infallible by construction — no panic path).
+fn seed_from(k: &[u8; 16]) -> u64 {
+    u64::from_le_bytes([k[0], k[1], k[2], k[3], k[4], k[5], k[6], k[7]])
 }
 
 #[cfg(test)]
@@ -151,5 +177,15 @@ mod tests {
         let s = format!("{mk:?}");
         assert!(!s.contains("171")); // 0xAB
         assert!(!s.to_lowercase().contains("ab, ab"));
+        let km = KeyMaterial::new(MasterKey::new([0xAB; 16]));
+        let s = format!("{km:?}");
+        assert!(!s.contains("171") && !s.to_lowercase().contains("ab, ab"));
+    }
+
+    #[test]
+    fn drop_path_wipes_master_key_bytes() {
+        let mut mk = MasterKey::new([0xCD; 16]);
+        mk.zeroize_key();
+        assert_eq!(mk.key, [0u8; 16], "master key bytes must be cleared");
     }
 }

@@ -185,6 +185,7 @@ impl SchemeConfig {
     /// reasonable secure code", §8).
     pub fn paper_recommended() -> SchemeConfig {
         SchemeConfig {
+            // lint: allow(panic-freedom) -- compile-time constants (6 symbols, 2 chunkings) are always a valid scheme
             chunking: ChunkingScheme::new(6, 2).expect("6/2 valid"),
             symbol_bits: 8,
             // "modest preprocessing": 6 bits per symbol, per the paper's
@@ -198,6 +199,7 @@ impl SchemeConfig {
             precompression: None,
         }
         .validated()
+        // lint: allow(panic-freedom) -- the §8 constants above are a fixed, known-valid configuration
         .expect("paper configuration is valid")
     }
 

@@ -117,9 +117,11 @@ impl IndexPipeline {
         );
         let width = config.chunk_bits() as u32;
         let prps = (0..config.chunking.num_chunkings())
+            // lint: allow(panic-freedom) -- `config.validated()?` above already bounds chunk_bits to the PRP's accepted widths
             .map(|j| ChunkPrp::new(&keys.chunk_key(j as u32), width).expect("validated width"))
             .collect();
         let disperser = config.dispersion.map(|k| {
+            // lint: allow(panic-freedom) -- `config.validated()?` above already checked chunk_bits/k compatibility
             let dc = DispersalConfig::new(config.chunk_bits(), k).expect("validated");
             Disperser::from_seed(dc, keys.dispersion_seed())
         });
@@ -148,6 +150,7 @@ impl IndexPipeline {
     {
         let pre = config
             .precompression
+            // lint: allow(panic-freedom) -- documented precondition of this training entry point; misuse is a caller bug, not a data-dependent path
             .expect("training requires a precompression config");
         let streams: Vec<Vec<u16>> = sample.into_iter().map(rc_symbols).collect();
         PairCompressor::train(
@@ -189,6 +192,7 @@ impl IndexPipeline {
     pub fn train_codebook_streams(config: &SchemeConfig, streams: &[Vec<u16>]) -> Codebook {
         let enc = config
             .encoding
+            // lint: allow(panic-freedom) -- documented precondition of this training entry point; misuse is a caller bug, not a data-dependent path
             .expect("training requires an encoding config");
         match enc.granularity {
             EncodingGranularity::WholeChunk => {
@@ -226,6 +230,7 @@ impl IndexPipeline {
             (Some(book), Some(EncodingGranularity::PerSymbol)) => {
                 // each symbol's code, concatenated MSB-first (the paper's
                 // Table-4 preprocessing applied under the ECB layer)
+                // lint: allow(panic-freedom) -- the match arm above only selects when `encoding.map(..)` was Some
                 let bits = self.config.encoding.expect("checked").code_bits();
                 chunk.iter().fold(0u128, |acc, &sym| {
                     (acc << bits) | u128::from(book.encode_gram(&[sym]))
@@ -411,6 +416,7 @@ impl IndexPipeline {
     pub fn encrypt_record(&self, rid: u64, rc: &str) -> Vec<u8> {
         let aes = self.keys.record_cipher();
         let iv = self.keys.record_iv(rid);
+        // lint: allow(determinism) -- record-store copy (§5), not the Stage-1 index path; CBC is the point here
         modes::cbc_encrypt(&aes, &iv, rc.as_bytes())
     }
 
@@ -418,6 +424,7 @@ impl IndexPipeline {
     pub fn decrypt_record(&self, rid: u64, ciphertext: &[u8]) -> Result<String, PipelineError> {
         let aes = self.keys.record_cipher();
         let iv = self.keys.record_iv(rid);
+        // lint: allow(determinism) -- record-store copy (§5), not the Stage-1 index path; CBC is the point here
         let bytes = modes::cbc_decrypt(&aes, &iv, ciphertext).map_err(PipelineError::Decrypt)?;
         String::from_utf8(bytes).map_err(|_| PipelineError::NotUtf8)
     }

@@ -44,6 +44,7 @@ pub struct EncryptedQuery {
 impl EncryptedQuery {
     /// Serializes for the scan wire.
     pub fn encode(&self) -> Vec<u8> {
+        // lint: allow(panic-freedom) -- plain-data struct with no map keys or non-string tags; serialization is infallible
         serde_json::to_vec(self).expect("query serializes")
     }
 

@@ -232,6 +232,7 @@ impl StoreBuilder {
         });
         let pipeline =
             IndexPipeline::with_precompressor(self.config, keys, codebook, precompressor)
+                // lint: allow(panic-freedom) -- the builder validated this config before handing it to us
                 .expect("config validated");
         let cluster = LhCluster::start(ClusterConfig {
             bucket_capacity: self.bucket_capacity,

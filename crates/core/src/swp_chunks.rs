@@ -96,6 +96,7 @@ pub(crate) fn cipherword_matches(cipherword: &[u8], trapdoor: &[u8]) -> bool {
         return false;
     }
     let x = &trapdoor[..16];
+    // lint: allow(panic-freedom) -- the length guard above pins trapdoor to TRAPDOOR_BYTES (32), so [16..] is exactly 16 bytes
     let kw: [u8; 16] = trapdoor[16..].try_into().expect("length checked");
     let mut s = [0u8; 8];
     let mut t = [0u8; 8];

@@ -149,6 +149,7 @@ impl Disperser {
     /// dropped — the paper's "good E" heuristic simply has no solution in
     /// that degenerate field.
     pub fn from_seed(config: DispersalConfig, seed: u64) -> Disperser {
+        // lint: allow(panic-freedom) -- DispersalConfig::new already constrains share_bits to Field's 1..=16 range
         let field = Field::new(config.share_bits() as u32).expect("validated width");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let require_all_nonzero = field.order() > 2 || config.k() == 1;
@@ -156,6 +157,7 @@ impl Disperser {
         let inverse = matrix
             .clone()
             .inverse(&field)
+            // lint: allow(panic-freedom) -- random_nonsingular only returns invertible matrices
             .expect("non-singular by construction");
         let tables = matrix.row_tables(&field);
         let inv_tables = inverse.row_tables(&field);
@@ -174,6 +176,7 @@ impl Disperser {
         config: DispersalConfig,
         matrix: Matrix,
     ) -> Result<Disperser, DisperseError> {
+        // lint: allow(panic-freedom) -- DispersalConfig::new already constrains share_bits to Field's 1..=16 range
         let field = Field::new(config.share_bits() as u32).expect("validated width");
         if matrix.rows() != config.k() || matrix.cols() != config.k() {
             return Err(DisperseError::ShareCount {
@@ -268,6 +271,7 @@ impl Disperser {
         self.split_into(chunk, &mut components);
         self.tables
             .vec_mul_into(&components[..k], &mut out[..k])
+            // lint: allow(panic-freedom) -- both slices are length k, matching the k×k row tables by construction
             .expect("dimension checked");
     }
 
@@ -291,6 +295,7 @@ impl Disperser {
         let mut components = [0u16; MAX_K];
         self.inv_tables
             .vec_mul_into(shares, &mut components[..k])
+            // lint: allow(panic-freedom) -- shares.len() == k was checked above, matching the k×k inverse tables
             .expect("dimension checked");
         Ok(self.pack(&components[..k]))
     }

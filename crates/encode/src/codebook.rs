@@ -95,6 +95,7 @@ impl Codebook {
     /// [`try_build_equalized`](Self::try_build_equalized) for a fallible
     /// version).
     pub fn build_equalized(counter: &GramCounter, num_codes: usize) -> Codebook {
+        // lint: allow(panic-freedom) -- documented panicking convenience wrapper; the fallible path is try_build_equalized
         Self::try_build_equalized(counter, num_codes).expect("valid code count")
     }
 

@@ -89,6 +89,7 @@ impl ReedSolomon {
         if k == 0 || k + m > 256 {
             return Err(RsError::BadParameters { k, m });
         }
+        // lint: allow(panic-freedom) -- width 8 is a compile-time constant in Field's valid 1..=16 range
         let field = Field::new(8).expect("GF(256) always constructs");
         let mut generator = Matrix::zero(k + m, k);
         for i in 0..k {
@@ -181,10 +182,12 @@ impl ReedSolomon {
                 shares.len()
             )));
         }
-        let avail: Vec<usize> = shares
+        // Carry each surviving body with its share id so no later lookup
+        // has to re-unwrap an Option (panic-free by construction).
+        let avail: Vec<(usize, &Vec<u8>)> = shares
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .filter_map(|(i, s)| s.as_ref().map(|body| (i, body)))
             .collect();
         if avail.len() < self.k {
             return Err(RsError::NotEnoughShares {
@@ -192,34 +195,26 @@ impl ReedSolomon {
                 have: avail.len(),
             });
         }
-        let use_rows = &avail[..self.k];
-        let len = shares[use_rows[0]].as_ref().unwrap().len();
-        for &r in use_rows {
-            if shares[r].as_ref().unwrap().len() != len {
-                return Err(RsError::ShapeMismatch("shares differ in length".into()));
-            }
+        let picked = &avail[..self.k];
+        let len = picked[0].1.len();
+        if picked.iter().any(|(_, body)| body.len() != len) {
+            return Err(RsError::ShapeMismatch("shares differ in length".into()));
         }
         // Fast path: all data shares survived.
-        if use_rows
-            .iter()
-            .take(self.k)
-            .eq((0..self.k).collect::<Vec<_>>().iter())
-        {
-            return Ok((0..self.k)
-                .map(|i| shares[i].as_ref().unwrap().clone())
-                .collect());
+        if picked.iter().map(|&(i, _)| i).eq(0..self.k) {
+            return Ok(picked.iter().map(|&(_, body)| body.clone()).collect());
         }
-        let sub = self.generator.select_rows(use_rows);
+        let use_rows: Vec<usize> = picked.iter().map(|&(i, _)| i).collect();
+        let sub = self.generator.select_rows(&use_rows);
         let inv = sub.inverse(&self.field)?;
         // data_j = sum_i inv[j][i] * shares[use_rows[i]]
         let mut out = vec![vec![0u8; len]; self.k];
         for (j, o) in out.iter_mut().enumerate() {
-            for (i, &row) in use_rows.iter().enumerate() {
+            for (i, &(_, body)) in picked.iter().enumerate() {
                 let coef = inv.get(j, i);
                 if coef == 0 {
                     continue;
                 }
-                let body = shares[row].as_ref().unwrap();
                 for (ob, &sb) in o.iter_mut().zip(body.iter()) {
                     *ob ^= self.field.mul(coef, sb as u16) as u8;
                 }

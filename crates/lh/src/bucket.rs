@@ -413,7 +413,12 @@ impl BucketState {
         let mut out = Vec::new();
         let mut batch = Vec::with_capacity(keys.len());
         for key in keys {
-            let value = self.records.get(&key).cloned().expect("key just listed");
+            // listed from the map just above; a miss would mean a bug, but
+            // skipping is strictly better than aborting the whole site
+            let Some(value) = self.records.get(&key).cloned() else {
+                debug_assert!(false, "key listed but missing during merge");
+                continue;
+            };
             // remove() emits the parity deltas for the departing records
             out.extend(self.remove(key, ctx));
             batch.push((key, value));
@@ -445,8 +450,13 @@ impl BucketState {
         let mut out = Vec::new();
         let mut batch = Vec::with_capacity(moving.len());
         for key in moving {
+            // listed from the map just above; skip defensively rather than
+            // abort the site (see merge_into)
+            let Some(value) = self.records.get(&key).cloned() else {
+                debug_assert!(false, "key listed but missing during split");
+                continue;
+            };
             // remove() also emits the parity deltas for the departing records
-            let value = self.records.get(&key).cloned().expect("key just listed");
             out.extend(self.remove(key, ctx));
             batch.push((key, value));
         }
@@ -481,10 +491,9 @@ impl BucketState {
         self.ranks
             .iter()
             .map(|maybe_key| {
-                maybe_key.map(|k| {
-                    let v = self.records.get(&k).expect("rank table consistent");
-                    (k, slot_of(v, cfg.slot_size))
-                })
+                // a rank entry with no backing record (table inconsistency)
+                // reads as an empty slot instead of aborting the site
+                maybe_key.and_then(|k| self.records.get(&k).map(|v| (k, slot_of(v, cfg.slot_size))))
             })
             .collect()
     }

@@ -123,7 +123,9 @@ impl LhClient {
         match self.call(Op::Insert { key, value })? {
             OpResult::Inserted { replaced } => Ok(replaced),
             OpResult::Error { message } => Err(LhError::Rejected(message)),
-            other => unreachable!("insert answered with {other:?}"),
+            // a mismatched reply is a peer protocol violation, not a
+            // client bug: surface it instead of aborting
+            other => Err(LhError::Rejected(format!("insert answered with {other:?}"))),
         }
     }
 
@@ -132,7 +134,8 @@ impl LhClient {
         match self.call(Op::Lookup { key })? {
             OpResult::Found { value } => Ok(value),
             OpResult::Error { message } => Err(LhError::Rejected(message)),
-            other => unreachable!("lookup answered with {other:?}"),
+            // see insert(): protocol violation, not a client bug
+            other => Err(LhError::Rejected(format!("lookup answered with {other:?}"))),
         }
     }
 
@@ -141,7 +144,8 @@ impl LhClient {
         match self.call(Op::Delete { key })? {
             OpResult::Deleted { existed } => Ok(existed),
             OpResult::Error { message } => Err(LhError::Rejected(message)),
-            other => unreachable!("delete answered with {other:?}"),
+            // see insert(): protocol violation, not a client bug
+            other => Err(LhError::Rejected(format!("delete answered with {other:?}"))),
         }
     }
 
@@ -251,8 +255,10 @@ impl LhClient {
             }
             let image = self.image.get();
             for msg in pending.values() {
+                // pending only ever holds Wire::Request (built above);
+                // skip defensively rather than panic
                 let Wire::Request { op, .. } = msg else {
-                    unreachable!()
+                    continue;
                 };
                 let addr = image.address(op.key());
                 let site = self

@@ -464,6 +464,7 @@ impl LhCluster {
             }
         }
         for b in &snapshot.buckets {
+            // lint: allow(panic-freedom) -- the spawner loop directly above registered every snapshot bucket
             let site = cluster.directory.bucket_site(b.addr).expect("just spawned");
             control.send(
                 site,

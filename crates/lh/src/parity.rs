@@ -79,6 +79,7 @@ impl ParityState {
             parity_index,
             k,
             slot_size,
+            // lint: allow(panic-freedom) -- ClusterConfig validation caps k and m well inside RS's k>=1, k+m<=256 domain
             rs: ReedSolomon::new(k, m).expect("validated parity parameters"),
             rows: Vec::new(),
         }

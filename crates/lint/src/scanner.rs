@@ -1,0 +1,426 @@
+//! A line-aware lexical scanner for Rust sources.
+//!
+//! `sdds-lint` deliberately avoids `syn` (the build environment is offline
+//! and every external dependency is a `shims/` path crate), so rules work
+//! on a *shadow text* representation instead of a full AST. One pass over
+//! the file produces, for every source line:
+//!
+//! * `code` — the line with comments and the *contents* of string/char
+//!   literals blanked out. Token searches on this text cannot be fooled by
+//!   a pattern appearing inside a string or a comment.
+//! * `comments` — the mirror image: only comment text survives. Checks for
+//!   `// SAFETY:`, `// ordering:` and `// lint: allow(...)` annotations
+//!   read this text, so a string literal containing "SAFETY:" does not
+//!   satisfy the unsafe-audit rule.
+//! * `is_test` — whether the line sits inside a `#[cfg(test)]` item
+//!   (a `mod tests { .. }` block or a single `#[cfg(test)]` function).
+//!   Rules about production code skip these lines.
+//!
+//! The scanner understands line comments, nested block comments, string
+//! literals with escapes, byte strings, raw strings (`r"…"`, `r#"…"#`,
+//! `br"…"`), char literals, and tells lifetimes (`'a`) apart from char
+//! literals (`'a'`).
+
+/// Shadow-text view of one source file. All four vectors have one entry
+/// per source line and identical line counts.
+pub struct Scanned {
+    /// Original line text.
+    pub raw: Vec<String>,
+    /// Comments and literal contents blanked with spaces.
+    pub code: Vec<String>,
+    /// Only comment text kept; code blanked with spaces.
+    pub comments: Vec<String>,
+    /// True when the line belongs to a `#[cfg(test)]` item.
+    pub is_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// Inside `"…"` (or `b"…"`).
+    Str,
+    /// Inside a raw string with this many `#` marks.
+    RawStr(u32),
+}
+
+/// Scans `content` into its shadow-text representation.
+pub fn scan(content: &str) -> Scanned {
+    let chars: Vec<char> = content.chars().collect();
+    let n = chars.len();
+    let mut code = String::with_capacity(n);
+    let mut comments = String::with_capacity(n);
+    let mut state = State::Code;
+    // True when the previous code char continues an identifier — used to
+    // tell a raw-string prefix `r"` from an identifier ending in `r`.
+    let mut prev_ident = false;
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push('\n');
+            comments.push('\n');
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    comments.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    comments.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    comments.push(' ');
+                    i += 1;
+                } else if !prev_ident && (c == 'r' || c == 'b') {
+                    // Possible raw/byte string prefix: r" r#" b" br" br#"
+                    if let Some((hashes, skip)) = raw_string_start(&chars, i) {
+                        state = State::RawStr(hashes);
+                        for _ in 0..skip {
+                            code.push(' ');
+                            comments.push(' ');
+                        }
+                        code.push('"');
+                        comments.push(' ');
+                        i += skip + 1;
+                    } else if c == 'b' && next == Some('"') {
+                        state = State::Str;
+                        code.push(' ');
+                        code.push('"');
+                        comments.push_str("  ");
+                        i += 2;
+                    } else {
+                        prev_ident = true;
+                        code.push(c);
+                        comments.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime?
+                    if next == Some('\\') {
+                        // escaped char literal: skip to the closing quote,
+                        // never consuming a newline (keeps lines aligned)
+                        let mut j = i + 2;
+                        while j < n && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        let end = if j < n && chars[j] == '\'' { j + 1 } else { j };
+                        for _ in i..end {
+                            code.push(' ');
+                            comments.push(' ');
+                        }
+                        i = end;
+                    } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                        // plain char literal 'x'
+                        code.push_str("   ");
+                        comments.push_str("   ");
+                        i += 3;
+                    } else {
+                        // lifetime: keep as code
+                        code.push('\'');
+                        comments.push(' ');
+                        i += 1;
+                    }
+                    prev_ident = false;
+                } else {
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    code.push(c);
+                    comments.push(' ');
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                code.push(' ');
+                comments.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    comments.push_str("*/");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    comments.push_str("/*");
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    comments.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // escape: blank the backslash; blank the escaped char
+                    // too unless it is a newline (string line continuation)
+                    code.push(' ');
+                    comments.push(' ');
+                    i += 1;
+                    if i < n && chars[i] != '\n' {
+                        code.push(' ');
+                        comments.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    comments.push(' ');
+                    prev_ident = false;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    comments.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    state = State::Code;
+                    code.push('"');
+                    comments.push(' ');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                        comments.push(' ');
+                    }
+                    prev_ident = false;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    comments.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let raw: Vec<String> = content.lines().map(str::to_string).collect();
+    let mut code_lines: Vec<String> = code.lines().map(str::to_string).collect();
+    let mut comment_lines: Vec<String> = comments.lines().map(str::to_string).collect();
+    code_lines.resize(raw.len(), String::new());
+    comment_lines.resize(raw.len(), String::new());
+    let is_test = mark_test_regions(&code_lines);
+    Scanned {
+        raw,
+        code: code_lines,
+        comments: comment_lines,
+        is_test,
+    }
+}
+
+impl Scanned {
+    /// The line with comments blanked but string-literal contents kept —
+    /// what the secret-hygiene rule scans so inline format captures like
+    /// `{key:?}` are visible while comment text is not. Relies on the
+    /// scanner's column alignment across the three buffers.
+    pub fn raw_sans_comments(&self, line: usize) -> String {
+        self.raw[line]
+            .chars()
+            .zip(self.comments[line].chars().chain(std::iter::repeat(' ')))
+            .map(|(r, c)| if c == ' ' { r } else { ' ' })
+            .collect()
+    }
+}
+
+/// Returns `(hash_count, prefix_len)` when position `i` starts a raw
+/// string literal (`r`, `br`, any number of `#`, then `"`). `prefix_len`
+/// counts the chars before the opening quote.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i))
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at position `i` is followed by `hashes` `#` marks.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks every line inside a `#[cfg(test)]` item. After the attribute is
+/// seen, the next brace-opened item (a `mod tests { … }` block or a test
+/// helper `fn`) is skipped until its closing brace; a `;` before any `{`
+/// cancels the pending state (braceless items like `#[cfg(test)] use …;`).
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut until_depth: Option<i64> = None;
+    for (li, line) in code_lines.iter().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        let mut line_is_test = pending || until_depth.is_some();
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        until_depth = Some(depth);
+                        pending = false;
+                        line_is_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = until_depth {
+                        if depth <= d {
+                            until_depth = None;
+                            line_is_test = true;
+                        }
+                    }
+                }
+                ';' if pending && until_depth.is_none() => {
+                    pending = false;
+                    line_is_test = true;
+                }
+                _ => {}
+            }
+        }
+        is_test[li] = line_is_test || until_depth.is_some();
+    }
+    is_test
+}
+
+/// Splits a code line into identifier tokens (`[A-Za-z0-9_]+` runs that do
+/// not start with a digit).
+pub fn idents(code_line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = code_line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && {
+                let c = bytes[i] as char;
+                c.is_ascii_alphanumeric() || c == '_'
+            } {
+                i += 1;
+            }
+            out.push(&code_line[start..i]);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked_in_code() {
+        let s = scan("let x = \"unsafe // not code\"; // trailing unsafe\n");
+        assert!(!s.code[0].contains("unsafe"));
+        assert!(s.code[0].contains("let x ="));
+        assert!(s.comments[0].contains("trailing unsafe"));
+        assert!(!s.comments[0].contains("let x"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan("let p = r#\"panic!(\"inner\")\"#; call();\n");
+        assert!(!s.code[0].contains("panic"));
+        assert!(s.code[0].contains("call()"));
+    }
+
+    #[test]
+    fn byte_and_prefixed_strings_are_blanked() {
+        let s = scan("let k = b\"unwrap()\"; let r = br\"expect(\";\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(!s.code[0].contains("expect"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = 'x'; c }\n");
+        assert!(s.code[0].contains("fn f<'a>"));
+        assert!(!s.code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("a(); /* one /* two */ still comment */ b();\n");
+        assert!(s.code[0].contains("a()"));
+        assert!(s.code[0].contains("b()"));
+        assert!(!s.code[0].contains("still"));
+        assert!(s.comments[0].contains("still comment"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let s = scan("let x = \"line one\nunwrap() inside\"; tail();\n");
+        assert!(!s.code[1].contains("unwrap"));
+        assert!(s.code[1].contains("tail()"));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test[0]);
+        assert!(s.is_test[1] && s.is_test[2] && s.is_test[3] && s.is_test[4]);
+        assert!(!s.is_test[5]);
+    }
+
+    #[test]
+    fn cfg_test_fn_region_is_marked() {
+        let src = "#[cfg(test)]\npub(crate) fn helper() {\n    body();\n}\nfn prod() {}\n";
+        let s = scan(src);
+        assert!(s.is_test[0] && s.is_test[1] && s.is_test[2] && s.is_test[3]);
+        assert!(!s.is_test[4]);
+    }
+
+    #[test]
+    fn cfg_test_braceless_item_only_marks_itself() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() { x(); }\n";
+        let s = scan(src);
+        assert!(s.is_test[0] && s.is_test[1]);
+        assert!(!s.is_test[2]);
+    }
+
+    #[test]
+    fn ident_tokenizer() {
+        assert_eq!(
+            idents("self.round_keys[0] = Ordering::Relaxed;"),
+            vec!["self", "round_keys", "Ordering", "Relaxed"]
+        );
+    }
+}

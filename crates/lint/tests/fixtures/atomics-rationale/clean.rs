@@ -1,0 +1,10 @@
+//! The clean counterpart: the same atomic, with its ordering choice
+//! justified in an adjacent `// ordering:` comment.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    // ordering: Relaxed — standalone statistic; no other memory is
+    // published through this counter
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,10 @@
+//! Seeded determinism violation. The rule test replays this file as
+//! `crates/chunk/src/fixture.rs` (the Stage-1 index path); never compiled.
+
+pub fn seal_index_chunk(aes: &Aes128, iv: &[u8; 16], chunk: &[u8]) -> Vec<u8> {
+    modes::cbc_encrypt(aes, iv, chunk)
+}
+
+pub fn open_index_chunk(aes: &Aes128, iv: &[u8; 16], body: &[u8]) -> Vec<u8> {
+    modes::cbc_decrypt(aes, iv, body).unwrap_or_default()
+}

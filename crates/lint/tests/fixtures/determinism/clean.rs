@@ -1,0 +1,10 @@
+//! The clean counterpart: the index path sticks to the deterministic
+//! chunk PRP / ECB primitives, so equal chunks stay equal ciphertexts.
+
+pub fn seal_index_chunk(prp: &ChunkPrp, chunk: u128) -> u128 {
+    prp.forward(chunk)
+}
+
+pub fn open_index_chunk(prp: &ChunkPrp, sealed: u128) -> u128 {
+    prp.backward(sealed)
+}

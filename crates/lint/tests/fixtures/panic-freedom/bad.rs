@@ -1,0 +1,13 @@
+//! Seeded panic-freedom violations. The rule test replays this file as
+//! `crates/gf/src/fixture.rs`; never compiled.
+
+pub fn parse_width(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+pub fn widen(w: u32) -> u32 {
+    if w > 16 {
+        panic!("field width {w} out of range");
+    }
+    w
+}

@@ -1,0 +1,14 @@
+//! The clean counterpart: fallible APIs in library code, while `unwrap`
+//! inside `#[cfg(test)]` stays exempt (tests are supposed to panic).
+
+pub fn parse_width(s: &str) -> Option<u32> {
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::parse_width("8").unwrap(), 8);
+    }
+}

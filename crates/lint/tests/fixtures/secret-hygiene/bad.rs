@@ -1,0 +1,19 @@
+//! Seeded secret-hygiene violations. The rule test replays this file as
+//! `crates/cipher/src/fixture.rs`; it is never compiled.
+
+#[derive(Debug, Clone)]
+pub struct SessionKey {
+    key: [u8; 16],
+}
+
+pub fn trace(sk: &SessionKey) {
+    println!("session state: {:?}", sk);
+}
+
+pub fn label_of(key: &[u8; 16]) -> String {
+    format!("round key bytes: {:?}", key)
+}
+
+pub fn leak_metric(key: &[u8; 16]) {
+    sdds_obs::gauge("cipher.key_first_byte").set(key[0] as f64);
+}

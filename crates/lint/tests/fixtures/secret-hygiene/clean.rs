@@ -1,0 +1,18 @@
+//! The clean counterpart: redacting Debug impl, no stdio, and metrics
+//! that carry no key-material identifiers.
+
+pub struct SessionKey {
+    key: [u8; 16],
+}
+
+impl std::fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SessionKey { .. }")
+    }
+}
+
+impl SessionKey {
+    pub fn observe_use(&self) {
+        sdds_obs::counter("cipher.block_ops").incr(1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded unsafe-audit violation: an `unsafe` block with no `// SAFETY:`
+//! rationale anywhere near it. Never compiled.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

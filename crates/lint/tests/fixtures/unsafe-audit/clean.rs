@@ -1,0 +1,9 @@
+//! The clean counterpart: the same block, with its obligation discharged
+//! in an adjacent `// SAFETY:` comment. Still lands in the inventory.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    debug_assert!(!bytes.is_empty());
+    // SAFETY: the caller guarantees `bytes` is non-empty (checked above in
+    // debug builds), so the pointer dereference stays in bounds.
+    unsafe { *bytes.as_ptr() }
+}

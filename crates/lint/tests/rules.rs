@@ -1,0 +1,202 @@
+//! End-to-end rule tests: every rule fires on its seeded `bad.rs`
+//! fixture, stays silent on its `clean.rs` counterpart, respects scope
+//! and the `lint: allow` escape hatch — and the workspace itself lints
+//! clean (the self-check CI relies on).
+
+use sdds_lint::{find_workspace_root, lint_workspace, Report};
+use std::path::Path;
+
+/// Reads `tests/fixtures/<rule>/<which>` from this crate.
+fn fixture(rule: &str, which: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(which);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Lints one fixture as though it lived at `rel_path` in the workspace.
+fn lint_as(rel_path: &str, content: &str) -> Report {
+    let mut r = Report::default();
+    r.lint_source(rel_path, content);
+    r
+}
+
+fn count_rule(r: &Report, rule: &str) -> usize {
+    r.violations.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn secret_hygiene_fires_on_bad_fixture() {
+    let r = lint_as(
+        "crates/cipher/src/fixture.rs",
+        &fixture("secret-hygiene", "bad.rs"),
+    );
+    // derive(Debug) on a key-bearing struct, println!, format!(key),
+    // and a key identifier in an sdds-obs call
+    assert!(
+        count_rule(&r, "secret-hygiene") >= 4,
+        "expected >=4 secret-hygiene findings, got: {:?}",
+        r.violations
+    );
+    assert!(r
+        .violations
+        .iter()
+        .all(|d| d.rule == "secret-hygiene" && d.line > 0));
+}
+
+#[test]
+fn secret_hygiene_clean_fixture_passes() {
+    let r = lint_as(
+        "crates/cipher/src/fixture.rs",
+        &fixture("secret-hygiene", "clean.rs"),
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+#[test]
+fn determinism_fires_on_bad_fixture() {
+    let r = lint_as(
+        "crates/chunk/src/fixture.rs",
+        &fixture("determinism", "bad.rs"),
+    );
+    assert_eq!(
+        count_rule(&r, "determinism"),
+        2,
+        "cbc_encrypt and cbc_decrypt should each fire: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn determinism_clean_fixture_passes() {
+    let r = lint_as(
+        "crates/chunk/src/fixture.rs",
+        &fixture("determinism", "clean.rs"),
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+#[test]
+fn determinism_is_scoped_to_the_index_path() {
+    // the same CBC call outside the Stage-1 index path is fine
+    let r = lint_as(
+        "crates/net/src/fixture.rs",
+        &fixture("determinism", "bad.rs"),
+    );
+    assert_eq!(count_rule(&r, "determinism"), 0, "{:?}", r.violations);
+}
+
+#[test]
+fn unsafe_audit_fires_on_bad_fixture_and_inventories_both() {
+    let bad = lint_as("src/fixture.rs", &fixture("unsafe-audit", "bad.rs"));
+    assert_eq!(count_rule(&bad, "unsafe-audit"), 1, "{:?}", bad.violations);
+    assert_eq!(bad.unsafe_inventory.len(), 1);
+    assert!(!bad.unsafe_inventory[0].has_safety);
+
+    let clean = lint_as("src/fixture.rs", &fixture("unsafe-audit", "clean.rs"));
+    assert!(clean.is_clean(), "unexpected: {:?}", clean.violations);
+    // discharged unsafe still shows up in the audit surface
+    assert_eq!(clean.unsafe_inventory.len(), 1);
+    assert!(clean.unsafe_inventory[0].has_safety);
+}
+
+#[test]
+fn panic_freedom_fires_on_bad_fixture() {
+    let r = lint_as(
+        "crates/gf/src/fixture.rs",
+        &fixture("panic-freedom", "bad.rs"),
+    );
+    // one unwrap() and one panic!
+    assert_eq!(count_rule(&r, "panic-freedom"), 2, "{:?}", r.violations);
+}
+
+#[test]
+fn panic_freedom_clean_fixture_passes_with_test_unwrap() {
+    // clean.rs deliberately unwraps inside #[cfg(test)] — exempt
+    let r = lint_as(
+        "crates/gf/src/fixture.rs",
+        &fixture("panic-freedom", "clean.rs"),
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+#[test]
+fn panic_freedom_is_scoped_to_library_crates() {
+    let r = lint_as(
+        "crates/bench/src/main.rs",
+        &fixture("panic-freedom", "bad.rs"),
+    );
+    assert_eq!(count_rule(&r, "panic-freedom"), 0, "{:?}", r.violations);
+}
+
+#[test]
+fn atomics_rationale_fires_on_bad_fixture() {
+    let r = lint_as(
+        "crates/par/src/fixture.rs",
+        &fixture("atomics-rationale", "bad.rs"),
+    );
+    assert_eq!(count_rule(&r, "atomics-rationale"), 1, "{:?}", r.violations);
+}
+
+#[test]
+fn atomics_rationale_clean_fixture_passes() {
+    let r = lint_as(
+        "crates/par/src/fixture.rs",
+        &fixture("atomics-rationale", "clean.rs"),
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+#[test]
+fn allow_annotation_suppresses_but_stays_audited() {
+    let src = "pub fn f(s: &str) -> u32 {\n    // lint: allow(panic-freedom) -- demo\n    s.parse().unwrap()\n}\n";
+    let r = lint_as("crates/gf/src/fixture.rs", src);
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+    assert_eq!(r.allowed.len(), 1);
+    assert_eq!(r.allowed[0].rule, "panic-freedom");
+
+    // the annotation only covers the named rule
+    let wrong = src.replace("panic-freedom", "determinism");
+    let r = lint_as("crates/gf/src/fixture.rs", &wrong);
+    assert_eq!(count_rule(&r, "panic-freedom"), 1);
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let r = lint_as(
+        "crates/chunk/src/fixture.rs",
+        &fixture("determinism", "bad.rs"),
+    );
+    let json = r.to_json();
+    for key in [
+        "\"version\"",
+        "\"files_scanned\"",
+        "\"violations\"",
+        "\"allowed\"",
+        "\"unsafe_inventory\"",
+        "\"rule\": \"determinism\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean; found:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // every unsafe site in the tree carries a SAFETY rationale
+    assert!(report.unsafe_inventory.iter().all(|u| u.has_safety));
+}

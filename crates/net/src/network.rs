@@ -174,7 +174,11 @@ impl Network {
         let prev = self
             .inner
             .fault_rng
+            // ordering: Relaxed — the RNG state is the only shared datum;
+            // CAS atomicity alone guarantees each sender a distinct stream
+            // position, and no other memory is published through it
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| Some(step(x)))
+            // lint: allow(panic-freedom) -- the closure always returns Some, so fetch_update cannot fail
             .expect("xorshift update never fails");
         // fetch_update returns the state *before* our update; re-apply the
         // step to obtain the value this draw owns.

@@ -30,8 +30,11 @@ impl NetStats {
     }
 
     pub(crate) fn record(&self, from: SiteId, to: SiteId, len: usize) {
+        // ordering: Relaxed — monotonic totals with no inter-counter
+        // invariant; a receiver that must observe the count after a
+        // delivery synchronizes on the channel enqueue, not on these adds
         self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(len as u64, Ordering::Relaxed); // ordering: see above
         let mut map = self.per_site.lock();
         let s = map.entry(from).or_default();
         s.sent_msgs += 1;
@@ -45,8 +48,10 @@ impl NetStats {
     /// being provisionally counted (the counters must not include messages
     /// that were never enqueued).
     pub(crate) fn unrecord(&self, from: SiteId, to: SiteId, len: usize) {
+        // ordering: Relaxed — rollback of the provisional adds in record();
+        // same no-inter-counter-invariant argument
         self.messages.fetch_sub(1, Ordering::Relaxed);
-        self.bytes.fetch_sub(len as u64, Ordering::Relaxed);
+        self.bytes.fetch_sub(len as u64, Ordering::Relaxed); // ordering: see above
         let mut map = self.per_site.lock();
         if let Some(s) = map.get_mut(&from) {
             s.sent_msgs = s.sent_msgs.saturating_sub(1);
@@ -59,22 +64,24 @@ impl NetStats {
     }
 
     pub(crate) fn record_dropped(&self) {
+        // ordering: Relaxed — independent monotonic counter, read only by
+        // snapshots
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total messages delivered.
     pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        self.messages.load(Ordering::Relaxed) // ordering: snapshot read, staleness fine
     }
 
     /// Messages lost to fault injection.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.load(Ordering::Relaxed) // ordering: snapshot read, staleness fine
     }
 
     /// Total payload bytes delivered.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.load(Ordering::Relaxed) // ordering: snapshot read, staleness fine
     }
 
     /// Messages sent by a site.
@@ -99,9 +106,11 @@ impl NetStats {
 
     /// Resets all counters — lets benches measure per-phase traffic.
     pub fn reset(&self) {
+        // ordering: Relaxed — benches call this between phases with no
+        // concurrent traffic; racing writers would only skew statistics
         self.messages.store(0, Ordering::Relaxed);
-        self.bytes.store(0, Ordering::Relaxed);
-        self.dropped.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed); // ordering: see above
+        self.dropped.store(0, Ordering::Relaxed); // ordering: see above
         self.per_site.lock().clear();
     }
 }

@@ -136,9 +136,15 @@ impl Pool {
                     scope.spawn(move || {
                         let mut scratch = init();
                         loop {
+                            // ordering: Relaxed — advisory early-exit flag;
+                            // results are published via the Mutex slots and
+                            // the thread join, not through this load
                             if poisoned.load(Ordering::Relaxed) {
                                 return Ok(());
                             }
+                            // ordering: Relaxed — the atomic RMW alone hands
+                            // each worker a unique index; no other memory is
+                            // published through the cursor
                             let idx = cursor.fetch_add(1, Ordering::Relaxed);
                             if idx >= nchunks {
                                 return Ok(());
@@ -154,6 +160,9 @@ impl Pool {
                                     **slot = Some(r);
                                 }
                                 Err(payload) => {
+                                    // ordering: Relaxed — flag only requests
+                                    // early exit; the panic payload itself
+                                    // synchronizes via the join handle
                                     poisoned.store(true, Ordering::Relaxed);
                                     return Err(payload);
                                 }
@@ -184,6 +193,7 @@ impl Pool {
             resume_unwind(payload);
         }
         out.into_iter()
+            // lint: allow(panic-freedom) -- a None slot means a worker died without unwinding, which resume_unwind above already rules out
             .map(|r| r.expect("all chunks completed"))
             .collect()
     }
