@@ -7,7 +7,7 @@
 //! the dispersion matrix.
 
 use crate::pack::body_elements;
-use sdds_lh::ScanFilter;
+use sdds_lh::{PreparedQuery, ScanFilter};
 use serde::{Deserialize, Serialize};
 
 /// How sites match query series against index-record bodies.
@@ -112,27 +112,146 @@ impl EncryptedQuery {
     }
 }
 
+/// True when `tag_bits` is a usable tag width for the LH\* key layout.
+fn valid_tag_bits(tag_bits: u32) -> bool {
+    (1..=32).contains(&tag_bits)
+}
+
 /// The [`ScanFilter`] installed at every bucket of an encrypted store.
 ///
 /// Record-store copies (tag 0) never match; index records match when any
 /// encrypted series occurs in their body.
+///
+/// Built with [`new`](EncryptedIndexFilter::new) the filter asks buckets
+/// to maintain a posting index over `element_bytes`-wide elements and
+/// prepared queries expose probe elements, so scans confirm full series
+/// matches only on candidate records. Built with
+/// [`linear`](EncryptedIndexFilter::linear) (also the `Default`) buckets
+/// keep no index and every scan sweeps linearly — the oracle path.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct EncryptedIndexFilter;
+pub struct EncryptedIndexFilter {
+    /// Element width buckets should index, or `None` for linear scans.
+    index_element_bytes: Option<usize>,
+    /// Tag width of the store's key layout, used to keep record-store
+    /// copies (tag 0) out of the index. 0 = unknown (index everything).
+    tag_bits: u32,
+}
 
-impl ScanFilter for EncryptedIndexFilter {
-    fn matches(&self, key: u64, value: &[u8], query: &[u8]) -> bool {
-        let Some(q) = EncryptedQuery::decode(query) else {
-            return false;
+impl EncryptedIndexFilter {
+    /// An index-enabled filter for a store whose bodies hold
+    /// `element_bytes`-wide elements under a `tag_bits` key layout.
+    pub fn new(element_bytes: usize, tag_bits: u32) -> EncryptedIndexFilter {
+        EncryptedIndexFilter {
+            index_element_bytes: (element_bytes > 0).then_some(element_bytes),
+            tag_bits,
+        }
+    }
+
+    /// A filter that never builds a posting index; every scan is a full
+    /// linear sweep (the baseline and consistency oracle).
+    pub fn linear() -> EncryptedIndexFilter {
+        EncryptedIndexFilter::default()
+    }
+}
+
+/// An [`EncryptedQuery`] decoded and validated once per `ScanReq`.
+///
+/// `query` is `None` when the wire bytes failed to decode or validate —
+/// such a query matches nothing, and `probes` is `Some(vec![])` so
+/// indexed buckets answer instantly with zero candidates.
+struct PreparedEncryptedQuery {
+    query: Option<EncryptedQuery>,
+    /// First element of every well-formed series, deduplicated — every
+    /// matching record must contain at least one of these. `None` when
+    /// the query kind cannot be probed by element equality (SWP).
+    probes: Option<Vec<Vec<u8>>>,
+}
+
+impl PreparedEncryptedQuery {
+    fn from_wire(bytes: &[u8]) -> PreparedEncryptedQuery {
+        let invalid = PreparedEncryptedQuery {
+            query: None,
+            probes: Some(Vec::new()),
+        };
+        let Some(q) = EncryptedQuery::decode(bytes) else {
+            return invalid;
         };
         // tag_bits comes off the wire: validate before shifting with it
-        if q.tag_bits == 0 || q.tag_bits > 32 || q.element_bytes == 0 {
-            return false;
+        if !valid_tag_bits(q.tag_bits) || q.element_bytes == 0 {
+            return invalid;
         }
+        let probes = probe_elements(&q);
+        PreparedEncryptedQuery {
+            query: Some(q),
+            probes,
+        }
+    }
+}
+
+/// The posting-index probe set of `q`: the first element of every series
+/// body, across all tags, deduplicated. Sound because a series matches a
+/// body only if the body contains the series' first element somewhere;
+/// empty or ragged series match nothing (`find_series`), so skipping them
+/// loses no candidates. SWP trapdoors are matched by keyed test, not
+/// ciphertext equality, so SWP queries cannot be probed at all.
+fn probe_elements(q: &EncryptedQuery) -> Option<Vec<Vec<u8>>> {
+    if q.kind != QueryKind::Equality {
+        return None;
+    }
+    let w = q.element_bytes;
+    let mut probes: Vec<Vec<u8>> = Vec::new();
+    for (_, series) in &q.per_tag {
+        for s in series {
+            if s.is_empty() || !s.len().is_multiple_of(w) {
+                continue; // matches nothing, contributes no candidates
+            }
+            let first = s[..w].to_vec();
+            if !probes.contains(&first) {
+                probes.push(first);
+            }
+        }
+    }
+    Some(probes)
+}
+
+impl PreparedQuery for PreparedEncryptedQuery {
+    fn matches(&self, key: u64, value: &[u8]) -> bool {
+        let Some(q) = &self.query else {
+            return false;
+        };
         let tag = (key & ((1 << q.tag_bits) - 1)) as u32;
         if tag == 0 {
             return false; // strongly encrypted record store copy
         }
         q.matches_body(tag, value)
+    }
+
+    fn probes(&self) -> Option<&[Vec<u8>]> {
+        self.probes.as_deref()
+    }
+}
+
+impl ScanFilter for EncryptedIndexFilter {
+    fn matches(&self, key: u64, value: &[u8], query: &[u8]) -> bool {
+        // decode-per-record fallback; `prepare` is the hot path
+        PreparedEncryptedQuery::from_wire(query).matches(key, value)
+    }
+
+    fn prepare<'q>(&'q self, query: &'q [u8]) -> Box<dyn PreparedQuery + 'q> {
+        Box::new(PreparedEncryptedQuery::from_wire(query))
+    }
+
+    fn index_element_bytes(&self) -> Option<usize> {
+        self.index_element_bytes
+    }
+
+    fn should_index(&self, key: u64) -> bool {
+        // record-store copies (tag 0) never match any query: keep them
+        // out of the posting index entirely
+        if !valid_tag_bits(self.tag_bits) {
+            return true;
+        }
+        (key & ((1 << self.tag_bits) - 1)) != 0
     }
 }
 
@@ -188,11 +307,80 @@ mod tests {
     #[test]
     fn filter_ignores_record_store_and_garbage() {
         let q = query();
-        let f = EncryptedIndexFilter;
+        let f = EncryptedIndexFilter::linear();
         let body = vec![0xAA, 0xBB, 0xCC, 0xDD];
         // key with tag 1 matches, tag 0 (record store) never does
         assert!(f.matches(0b100 | 1, &body, &q.encode()));
         assert!(!f.matches(0b100, &body, &q.encode()));
         assert!(!f.matches(1, &body, b"not a query"));
+    }
+
+    #[test]
+    fn prepared_query_agrees_with_unprepared_matches() {
+        let q = query();
+        let f = EncryptedIndexFilter::new(2, 2);
+        let wire = q.encode();
+        let prepared = f.prepare(&wire);
+        let body = vec![0xAA, 0xBB, 0xCC, 0xDD];
+        for k in [0b100 | 1, 0b100 | 2, 0b100, 1, 2] {
+            assert_eq!(
+                prepared.matches(k, &body),
+                f.matches(k, &body, &wire),
+                "prepared and unprepared disagree on k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn probes_are_first_elements_deduplicated() {
+        let q = query();
+        let f = EncryptedIndexFilter::new(2, 2);
+        let wire = q.encode();
+        let prepared = f.prepare(&wire);
+        let probes = prepared.probes().expect("equality queries have probes");
+        // tag 1 series starts [AA BB], tag 2 series starts [11 22]
+        assert_eq!(probes, [vec![0xAA, 0xBB], vec![0x11, 0x22]]);
+    }
+
+    #[test]
+    fn invalid_queries_probe_to_nothing() {
+        let f = EncryptedIndexFilter::new(2, 2);
+        let prepared = f.prepare(b"not a query");
+        assert_eq!(prepared.probes(), Some(&[][..]), "zero candidates");
+        assert!(!prepared.matches(0b100 | 1, &[0xAA, 0xBB]));
+    }
+
+    #[test]
+    fn swp_queries_fall_back_to_linear() {
+        let mut q = query();
+        q.kind = QueryKind::Swp;
+        let f = EncryptedIndexFilter::new(2, 2);
+        let wire = q.encode();
+        let prepared = f.prepare(&wire);
+        assert!(prepared.probes().is_none(), "SWP cannot be probed");
+    }
+
+    #[test]
+    fn empty_and_ragged_series_contribute_no_probes() {
+        let mut q = query();
+        q.per_tag = vec![(1, vec![vec![], vec![0xAA]])]; // empty + ragged
+        let f = EncryptedIndexFilter::new(2, 2);
+        let wire = q.encode();
+        let prepared = f.prepare(&wire);
+        assert_eq!(prepared.probes(), Some(&[][..]));
+    }
+
+    #[test]
+    fn index_config_round_trips() {
+        let f = EncryptedIndexFilter::new(16, 3);
+        assert_eq!(f.index_element_bytes(), Some(16));
+        assert!(!f.should_index(0b1000), "tag 0 stays out of the index");
+        assert!(f.should_index(0b1001));
+        let lin = EncryptedIndexFilter::linear();
+        assert!(lin.index_element_bytes().is_none());
+        assert!(
+            lin.should_index(0b1000),
+            "linear filter indexes nothing anyway"
+        );
     }
 }

@@ -151,6 +151,30 @@ fn rate(n: u64, secs: f64) -> f64 {
     }
 }
 
+/// Intersection of two ascending position lists by a linear two-pointer
+/// merge. [`EncryptedQuery::match_positions`] reports positions in
+/// strictly ascending order (both the Morris–Pratt and the SWP scan walk
+/// the body left to right), so the merge is O(n + m) — replacing the old
+/// O(n·m) `contains` filter — and its output stays ascending.
+///
+/// [`EncryptedQuery::match_positions`]: crate::query::EncryptedQuery::match_positions
+fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Builder for [`EncryptedSearchStore`].
 pub struct StoreBuilder {
     config: SchemeConfig,
@@ -158,6 +182,7 @@ pub struct StoreBuilder {
     training: Vec<String>,
     bucket_capacity: usize,
     parity: Option<ParityConfig>,
+    scan_index: bool,
 }
 
 impl StoreBuilder {
@@ -193,6 +218,14 @@ impl StoreBuilder {
     /// Enables LH\*<sub>RS</sub> parity on the underlying file.
     pub fn parity(mut self, parity: ParityConfig) -> StoreBuilder {
         self.parity = Some(parity);
+        self
+    }
+
+    /// Toggles the per-bucket posting index (on by default). Off, every
+    /// scan is a full linear sweep — the consistency oracle and the
+    /// benchmark baseline.
+    pub fn scan_index(mut self, enabled: bool) -> StoreBuilder {
+        self.scan_index = enabled;
         self
     }
 
@@ -234,10 +267,18 @@ impl StoreBuilder {
             IndexPipeline::with_precompressor(self.config, keys, codebook, precompressor)
                 // lint: allow(panic-freedom) -- the builder validated this config before handing it to us
                 .expect("config validated");
+        let filter = if self.scan_index {
+            EncryptedIndexFilter::new(
+                pipeline.config().element_bytes(),
+                pipeline.config().tag_bits(),
+            )
+        } else {
+            EncryptedIndexFilter::linear()
+        };
         let cluster = LhCluster::start(ClusterConfig {
             bucket_capacity: self.bucket_capacity,
             parity: self.parity,
-            filter: Arc::new(EncryptedIndexFilter),
+            filter: Arc::new(filter),
             ..ClusterConfig::default()
         });
         let client = cluster.client();
@@ -282,6 +323,7 @@ impl EncryptedSearchStore {
             training: Vec::new(),
             bucket_capacity: 64,
             parity: None,
+            scan_index: true,
         }
     }
 
@@ -339,6 +381,14 @@ impl EncryptedSearchStore {
     /// Deletes a record — see [`StoreHandle::delete`].
     pub fn delete(&self, rid: u64) -> Result<bool, StoreError> {
         self.handle.delete(rid)
+    }
+
+    /// Bulk delete — see [`StoreHandle::delete_many`].
+    pub fn delete_many<I>(&self, rids: I) -> Result<u64, StoreError>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        self.handle.delete_many(rids)
     }
 
     /// Substring search — see [`StoreHandle::search`].
@@ -516,15 +566,42 @@ impl StoreHandle {
         }
     }
 
-    /// Deletes a record and all its index records.
+    /// Deletes a record and all its index records. All `1 + c·k` deletes
+    /// are pipelined into a single round trip (mirroring [`insert`]).
+    ///
+    /// [`insert`]: Self::insert
     pub fn delete(&self, rid: u64) -> Result<bool, StoreError> {
         self.check_rid(rid)?;
-        let existed = self.client.delete(self.pipeline.lh_key(rid, 0))?;
         let per = self.pipeline.config().index_records_per_record() as u32;
-        for tag in 1..=per {
-            self.client.delete(self.pipeline.lh_key(rid, tag))?;
+        let keys: Vec<u64> = (0..=per)
+            .map(|tag| self.pipeline.lh_key(rid, tag))
+            .collect();
+        let existed = self.client.delete_batch(keys)?;
+        // slot 0 is the tag-0 record-store copy: its existence is the
+        // record's existence
+        Ok(existed.first().copied().unwrap_or(false))
+    }
+
+    /// Bulk delete: pipelines every record's `1 + c·k` deletes into one
+    /// batched round trip. Returns how many of the given records existed.
+    pub fn delete_many<I>(&self, rids: I) -> Result<u64, StoreError>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let per = self.pipeline.config().index_records_per_record() as u32;
+        let mut keys = Vec::new();
+        // input slots of the tag-0 record-store copies
+        let mut record_slots = Vec::new();
+        for rid in rids {
+            self.check_rid(rid)?;
+            record_slots.push(keys.len());
+            keys.extend((0..=per).map(|tag| self.pipeline.lh_key(rid, tag)));
         }
-        Ok(existed)
+        let existed = self.client.delete_batch(keys)?;
+        Ok(record_slots
+            .into_iter()
+            .filter(|&slot| existed.get(slot).copied().unwrap_or(false))
+            .count() as u64)
     }
 
     /// Searches for a substring pattern; returns matching RIDs (with the
@@ -534,7 +611,24 @@ impl StoreHandle {
     }
 
     /// Searches and reports combination details.
+    ///
+    /// On return the gauge `core.search_queries_per_sec` holds the
+    /// process-lifetime average search rate (queries over in-search
+    /// seconds), derived from the `core.search_seconds` histogram.
     pub fn search_detailed(&self, pattern: &str) -> Result<SearchOutcome, StoreError> {
+        let timer = sdds_obs::histogram("core.search_seconds").start_timer();
+        let outcome = self.search_uninstrumented(pattern);
+        drop(timer);
+        let hist = sdds_obs::histogram("core.search_seconds");
+        let in_search = hist.sum();
+        if in_search > 0.0 {
+            sdds_obs::gauge("core.search_queries_per_sec")
+                .set(rate(hist.count(), in_search) as i64);
+        }
+        outcome
+    }
+
+    fn search_uninstrumented(&self, pattern: &str) -> Result<SearchOutcome, StoreError> {
         let query = self.pipeline.build_query(pattern)?;
         let payload = query.encode();
         let matches = self.client.scan(&payload, false)?;
@@ -624,7 +718,7 @@ impl StoreHandle {
                 let positions = query.match_positions(body, &series[d]);
                 common = Some(match common {
                     None => positions,
-                    Some(prev) => prev.into_iter().filter(|p| positions.contains(p)).collect(),
+                    Some(prev) => intersect_sorted(&prev, &positions),
                 });
                 if common.as_ref().is_some_and(|c| c.is_empty()) {
                     break;

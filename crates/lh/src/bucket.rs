@@ -9,6 +9,7 @@
 use crate::cluster::{Directory, ParityConfig};
 use crate::filter::ScanFilter;
 use crate::hash::h;
+use crate::index::PostingIndex;
 use crate::messages::{Op, OpResult, ScanMatch, Wire};
 use crate::parity::{slot_delta, slot_of};
 use sdds_net::{Endpoint, SiteId};
@@ -25,6 +26,11 @@ pub(crate) struct BucketState {
     level: u8,
     capacity: usize,
     records: BTreeMap<u64, Vec<u8>>,
+    /// Inverted element → postings index (present iff the installed
+    /// filter requested one via `ScanFilter::index_element_bytes`). Kept
+    /// consistent through every record mutation path: insert, overwrite,
+    /// delete, split/merge transfers, and recovery adoption.
+    index: Option<PostingIndex>,
     // LH*RS rank bookkeeping (empty when parity is off)
     ranks: Vec<Option<u64>>,
     key_rank: HashMap<u64, u32>,
@@ -42,12 +48,20 @@ pub(crate) struct BucketCtx {
 }
 
 impl BucketState {
-    pub(crate) fn new(addr: u64, level: u8, capacity: usize) -> BucketState {
+    pub(crate) fn new(
+        addr: u64,
+        level: u8,
+        capacity: usize,
+        index_element_bytes: Option<usize>,
+    ) -> BucketState {
         BucketState {
             addr,
             level,
             capacity,
             records: BTreeMap::new(),
+            index: index_element_bytes
+                .filter(|&w| w > 0)
+                .map(PostingIndex::new),
             ranks: Vec::new(),
             key_rank: HashMap::new(),
             free_ranks: Vec::new(),
@@ -144,7 +158,7 @@ impl BucketState {
             }
             Wire::Adopt { addr, level, slots } => {
                 debug_assert_eq!(addr, self.addr);
-                self.adopt(level, slots);
+                self.adopt(level, slots, ctx);
                 Vec::new()
             }
             Wire::Dump { req_id, client } => {
@@ -278,6 +292,14 @@ impl BucketState {
     /// Inserts/overwrites a record and emits parity deltas.
     fn store(&mut self, key: u64, value: Vec<u8>, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
         let old = self.records.insert(key, value.clone());
+        if let Some(idx) = &mut self.index {
+            if ctx.filter.should_index(key) {
+                if let Some(prev) = &old {
+                    idx.remove(key, prev);
+                }
+                idx.add(key, &value);
+            }
+        }
         let Some(cfg) = &ctx.parity else {
             return Vec::new();
         };
@@ -300,6 +322,9 @@ impl BucketState {
     /// Deletes a record and emits parity deltas.
     fn remove(&mut self, key: u64, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
         let old = self.records.remove(&key);
+        if let (Some(idx), Some(prev)) = (&mut self.index, &old) {
+            idx.remove(key, prev);
+        }
         let Some(cfg) = &ctx.parity else {
             return Vec::new();
         };
@@ -344,16 +369,25 @@ impl BucketState {
     }
 
     /// Restores reconstructed state verbatim (recovery): same ranks, no
-    /// parity emissions.
-    fn adopt(&mut self, level: u8, slots: Vec<Option<(u64, Vec<u8>)>>) {
+    /// parity emissions. The posting index is rebuilt from the adopted
+    /// records.
+    fn adopt(&mut self, level: u8, slots: Vec<Option<(u64, Vec<u8>)>>, ctx: &BucketCtx) {
         self.level = level;
         self.records.clear();
         self.ranks.clear();
         self.key_rank.clear();
         self.free_ranks.clear();
+        if let Some(idx) = &mut self.index {
+            idx.clear();
+        }
         for (rank, entry) in slots.into_iter().enumerate() {
             match entry {
                 Some((key, value)) => {
+                    if let Some(idx) = &mut self.index {
+                        if ctx.filter.should_index(key) {
+                            idx.add(key, &value);
+                        }
+                    }
                     self.records.insert(key, value);
                     self.ranks.push(Some(key));
                     self.key_rank.insert(key, rank as u32);
@@ -472,15 +506,50 @@ impl BucketState {
         out
     }
 
+    /// Evaluates one `ScanReq`: the wire query is decoded **once** (the
+    /// prepared-query protocol), then either the posting index supplies a
+    /// candidate key set to confirm, or the bucket falls back to a linear
+    /// sweep (filters without probes, or probe widths the index does not
+    /// cover). Values are cloned only for full-value replies; `keys_only`
+    /// scans never copy record bodies.
     fn scan(&self, query: &[u8], keys_only: bool, ctx: &BucketCtx) -> Vec<ScanMatch> {
-        self.records
-            .iter()
-            .filter(|(&k, v)| ctx.filter.matches(k, v, query))
-            .map(|(&key, v)| ScanMatch {
-                key,
-                value: if keys_only { None } else { Some(v.clone()) },
-            })
-            .collect()
+        let _timer = sdds_obs::histogram("lh.scan_bucket_seconds").start_timer();
+        let prepared = ctx.filter.prepare(query);
+        if let (Some(idx), Some(probes)) = (&self.index, prepared.probes()) {
+            if probes.iter().all(|p| p.len() == idx.element_bytes()) {
+                sdds_obs::counter("lh.scan_index_probes").add(probes.len() as u64);
+                let candidates = idx.candidates(probes);
+                sdds_obs::counter("lh.scan_index_candidates").add(candidates.len() as u64);
+                let mut matches = Vec::with_capacity(candidates.len());
+                for key in candidates {
+                    // every candidate came from a live posting, so the
+                    // record exists; a miss would be an index consistency
+                    // bug and skipping is strictly safer than aborting
+                    let Some(v) = self.records.get(&key) else {
+                        debug_assert!(false, "posting for a record the bucket does not hold");
+                        continue;
+                    };
+                    if prepared.matches(key, v) {
+                        matches.push(ScanMatch {
+                            key,
+                            value: (!keys_only).then(|| v.clone()),
+                        });
+                    }
+                }
+                return matches;
+            }
+        }
+        sdds_obs::counter("lh.scan_fallback_linear").inc();
+        let mut matches = Vec::with_capacity(self.records.len().min(64));
+        for (&key, v) in &self.records {
+            if prepared.matches(key, v) {
+                matches.push(ScanMatch {
+                    key,
+                    value: (!keys_only).then(|| v.clone()),
+                });
+            }
+        }
+        matches
     }
 
     /// The rank-indexed slot table for recovery reads.
@@ -542,7 +611,7 @@ mod tests {
     fn serves_insert_lookup_delete_locally() {
         let net = Network::new(NetConfig::default());
         let (ctx, _) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 100);
+        let mut b = BucketState::new(0, 0, 100, None);
         let out = b.handle(
             SiteId(9),
             Wire::Request {
@@ -607,7 +676,7 @@ mod tests {
         ctx.directory.set_bucket(0, SiteId(10));
         ctx.directory.set_bucket(1, SiteId(11));
         // bucket 0 at level 1: key 3 hashes to 1 → forward
-        let mut b = BucketState::new(0, 1, 100);
+        let mut b = BucketState::new(0, 1, 100, None);
         let out = b.handle(
             SiteId(9),
             Wire::Request {
@@ -636,7 +705,7 @@ mod tests {
         ctx.directory.set_bucket(1, SiteId(11));
         // bucket 3 (the merge victim) is retired: no directory entry
         // bucket 0 at level 2: key 3 targets bucket 3
-        let mut b = BucketState::new(0, 2, 100);
+        let mut b = BucketState::new(0, 2, 100, None);
         let out = b.handle(
             SiteId(9),
             Wire::Request {
@@ -660,7 +729,7 @@ mod tests {
     fn overflow_reported_once() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 2);
+        let mut b = BucketState::new(0, 0, 2, None);
         let mut overflow_msgs = 0;
         for key in 0..5u64 {
             let out = b.handle(
@@ -685,7 +754,7 @@ mod tests {
     fn split_moves_rehashing_records() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 100);
+        let mut b = BucketState::new(0, 0, 100, None);
         for key in 0..10u64 {
             b.handle(
                 SiteId(9),
@@ -736,7 +805,7 @@ mod tests {
     fn merge_ships_everything_and_reports() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(2, 2, 100);
+        let mut b = BucketState::new(2, 2, 100, None);
         for key in [2u64, 6, 10] {
             b.handle(
                 SiteId(9),
@@ -800,7 +869,7 @@ mod tests {
                 slot_size: 32,
             }),
         };
-        let mut b = BucketState::new(0, 1, 100);
+        let mut b = BucketState::new(0, 1, 100, None);
         // adopt a reconstructed slot table with a hole at rank 1
         let out = b.handle(
             coord.id(),
@@ -847,7 +916,7 @@ mod tests {
     fn dump_reports_full_contents() {
         let net = Network::new(NetConfig::default());
         let (ctx, _) = ctx(&net);
-        let mut b = BucketState::new(3, 2, 10);
+        let mut b = BucketState::new(3, 2, 10, None);
         b.handle(
             SiteId(9),
             Wire::Request {
@@ -882,7 +951,7 @@ mod tests {
     fn underflow_reports_once_until_refilled() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 64); // threshold 8
+        let mut b = BucketState::new(0, 0, 64, None); // threshold 8
         for key in 0..10u64 {
             b.handle(
                 SiteId(9),
@@ -919,7 +988,7 @@ mod tests {
     fn scan_applies_filter() {
         let net = Network::new(NetConfig::default());
         let (ctx, _) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 100);
+        let mut b = BucketState::new(0, 0, 100, None);
         for (key, val) in [(1u64, b"SCHWARZ".to_vec()), (2, b"LITWIN".to_vec())] {
             b.handle(
                 SiteId(9),

@@ -315,6 +315,111 @@ impl LhClient {
         }
     }
 
+    /// Pipelined bulk delete: all requests are sent before any response
+    /// is awaited, so a batch costs one round-trip of latency instead of
+    /// one per key. Returns, per input key in order, whether the record
+    /// existed. Deletes are idempotent so lost messages are retransmitted
+    /// per item (with the usual caveat that a retry of a served-but-lost
+    /// response reports `existed = false`, exactly like [`delete`]).
+    ///
+    /// [`delete`]: Self::delete
+    pub fn delete_batch(&self, keys: Vec<u64>) -> Result<Vec<bool>, LhError> {
+        let _timer = sdds_obs::histogram("lh.delete_batch_seconds").start_timer();
+        let batch_items = keys.len();
+        sdds_obs::counter("lh.delete_batch_items").add(batch_items as u64);
+        let mut existed = vec![false; batch_items];
+        // req_id → (input slot, request wire)
+        let mut pending: HashMap<u64, (usize, Wire)> = HashMap::with_capacity(keys.len());
+        for (slot, key) in keys.into_iter().enumerate() {
+            let req_id = self.fresh_req_id();
+            pending.insert(
+                req_id,
+                (
+                    slot,
+                    Wire::Request {
+                        req_id,
+                        client: self.endpoint.id().0,
+                        hops: 0,
+                        op: Op::Delete { key },
+                    },
+                ),
+            );
+        }
+        let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
+        for _attempt in 0..Self::ATTEMPTS {
+            if pending.is_empty() {
+                return Ok(existed);
+            }
+            let image = self.image.get();
+            for (_, msg) in pending.values() {
+                // pending only ever holds Wire::Request (built above);
+                // skip defensively rather than panic
+                let Wire::Request { op, .. } = msg else {
+                    continue;
+                };
+                let addr = image.address(op.key());
+                let site = self
+                    .directory
+                    .bucket_site(addr)
+                    .or_else(|| self.directory.bucket_site(0))
+                    .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
+                if self.endpoint.send(site, msg.encode()).is_err() {
+                    if let Some(fallback) = self.directory.bucket_site(0) {
+                        let _ = self.endpoint.send(fallback, msg.encode());
+                    }
+                }
+            }
+            let deadline = Instant::now() + attempt_timeout;
+            while !pending.is_empty() {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let env = match self.endpoint.recv_timeout(remaining) {
+                    Ok(env) => env,
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(e.into()),
+                };
+                let Some(Wire::Response {
+                    req_id,
+                    result,
+                    served_by,
+                    bucket_level,
+                    hops,
+                }) = Wire::decode(&env.payload)
+                else {
+                    continue;
+                };
+                if let Some((slot, _)) = pending.remove(&req_id) {
+                    match result {
+                        OpResult::Deleted { existed: e } => {
+                            if let Some(out) = existed.get_mut(slot) {
+                                *out = e;
+                            }
+                        }
+                        OpResult::Error { message } => return Err(LhError::Rejected(message)),
+                        // a mismatched reply is a peer protocol violation;
+                        // the slot keeps its default (not existed)
+                        _ => {}
+                    }
+                    record_hops(hops);
+                    if hops > 0 {
+                        sdds_obs::counter("lh.iams").inc();
+                        self.iams.set(self.iams.get() + 1);
+                        self.hops.set(self.hops.get() + hops as u64);
+                        let mut img = self.image.get();
+                        img.adjust(served_by, bucket_level);
+                        self.image.set(img);
+                    }
+                }
+            }
+        }
+        if pending.is_empty() {
+            Ok(existed)
+        } else {
+            Err(LhError::Timeout)
+        }
+    }
+
     /// Refreshes the image from the coordinator and returns the exact file
     /// extent (used by scans; one round trip, retried on loss).
     pub fn refresh_image(&self) -> Result<u64, LhError> {

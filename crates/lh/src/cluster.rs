@@ -555,7 +555,7 @@ fn make_spawner(
             filter: filter.clone(),
             parity,
         };
-        let state = BucketState::new(addr, level, capacity);
+        let state = BucketState::new(addr, level, capacity, filter.index_element_bytes());
         handles
             .lock()
             .push(std::thread::spawn(move || run_bucket(ep, state, ctx)));

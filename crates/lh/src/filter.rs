@@ -1,15 +1,89 @@
-//! Server-side scan filters.
+//! Server-side scan filters and the prepared-query protocol.
 //!
 //! LH\* scans visit every bucket in parallel; what each bucket evaluates
 //! per record is pluggable. The plain SDDS of \[LNS96\] does substring
 //! scans on cleartext ([`SubstringFilter`]); the encrypted scheme installs
 //! a chunk-series matcher that operates purely on ciphertext equality.
+//!
+//! # Prepared queries
+//!
+//! A `ScanReq` carries one opaque query evaluated against *every* record
+//! of the bucket. Decoding and validating that wire query once per record
+//! is pure waste, so buckets call [`ScanFilter::prepare`] **once per
+//! `ScanReq`** and evaluate the returned [`PreparedQuery`] per record.
+//! A prepared query may additionally expose [`probes`]: fixed-width
+//! element values that every matching record must contain. Buckets that
+//! maintain a posting index (see [`ScanFilter::index_element_bytes`]) use
+//! the probes to compute a candidate key set and confirm full matches only
+//! on those candidates, instead of sweeping the whole bucket.
+//!
+//! [`probes`]: PreparedQuery::probes
+
+/// A query decoded and validated once per `ScanReq`, then evaluated per
+/// record (or per candidate record when the bucket can probe its posting
+/// index).
+pub trait PreparedQuery {
+    /// True if the record `(key, value)` matches the prepared query.
+    fn matches(&self, key: u64, value: &[u8]) -> bool;
+
+    /// Posting-index probe elements, if the query supports candidate
+    /// pruning: every record matching this query is guaranteed to contain
+    /// at least one of the returned fixed-width element values in its
+    /// body. `None` (the default) disables the index for this query and
+    /// the bucket falls back to a linear sweep; `Some(&[])` means *no*
+    /// record can match (the bucket answers instantly with no matches).
+    fn probes(&self) -> Option<&[Vec<u8>]> {
+        None
+    }
+}
+
+/// The default [`PreparedQuery`]: wraps an unprepared filter and its wire
+/// query, delegating every record to [`ScanFilter::matches`].
+struct UnpreparedScan<'q, F: ?Sized> {
+    filter: &'q F,
+    query: &'q [u8],
+}
+
+impl<F: ScanFilter + ?Sized> PreparedQuery for UnpreparedScan<'_, F> {
+    fn matches(&self, key: u64, value: &[u8]) -> bool {
+        self.filter.matches(key, value, self.query)
+    }
+}
 
 /// A predicate evaluated by bucket sites during scans. The query arrives as
 /// opaque bytes so the filter can define its own encoding.
 pub trait ScanFilter: Send + Sync + 'static {
     /// True if the record `(key, value)` matches `query`.
     fn matches(&self, key: u64, value: &[u8], query: &[u8]) -> bool;
+
+    /// Decodes and validates `query` once per `ScanReq`. The default wraps
+    /// [`matches`](Self::matches) (no per-`ScanReq` work saved, no
+    /// probes); filters with an expensive wire format override this.
+    fn prepare<'q>(&'q self, query: &'q [u8]) -> Box<dyn PreparedQuery + 'q> {
+        Box::new(UnpreparedScan {
+            filter: self,
+            query,
+        })
+    }
+
+    /// Fixed element width (bytes) the buckets should maintain a posting
+    /// index over, or `None` (the default) for no index. When `Some(w)`,
+    /// every record body that is a whole number of `w`-byte elements is
+    /// indexed element-by-element, and prepared queries whose
+    /// [`probes`](PreparedQuery::probes) are `w` bytes wide are answered
+    /// from the index.
+    fn index_element_bytes(&self) -> Option<usize> {
+        None
+    }
+
+    /// True if the record under `key` should enter the posting index.
+    /// Filters whose key layout marks some records as never matching any
+    /// query (e.g. the encrypted scheme's record-store copies) override
+    /// this to keep those records out of the index.
+    fn should_index(&self, key: u64) -> bool {
+        let _ = key;
+        true
+    }
 }
 
 /// Plaintext substring search — the "parallel (sub-)string searches" the
@@ -60,5 +134,21 @@ mod tests {
         let by_key = |key: u64, _v: &[u8], _q: &[u8]| key.is_multiple_of(2);
         assert!(by_key.matches(4, b"", b""));
         assert!(!by_key.matches(5, b"", b""));
+    }
+
+    #[test]
+    fn default_prepare_delegates_to_matches() {
+        let f = SubstringFilter;
+        let q = b"WARZ".to_vec();
+        let prepared = f.prepare(&q);
+        assert!(prepared.matches(0, b"SCHWARZ"));
+        assert!(!prepared.matches(0, b"LITWIN"));
+        assert!(prepared.probes().is_none(), "default has no probes");
+    }
+
+    #[test]
+    fn default_filter_has_no_index() {
+        assert!(SubstringFilter.index_element_bytes().is_none());
+        assert!(SubstringFilter.should_index(7));
     }
 }

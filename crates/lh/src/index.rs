@@ -1,0 +1,182 @@
+//! The per-bucket inverted chunk-posting index.
+//!
+//! Bucket bodies produced by the encrypted scheme are sequences of
+//! fixed-width elements (the ECB-encrypted, dispersed chunk values of §2);
+//! a scan series matches a record only if the record body *contains the
+//! series' first element*. The posting index inverts that containment:
+//! element value → postings `(key, element_offset)`, so a scan probes a
+//! handful of hash buckets instead of sweeping every record body.
+//!
+//! Elements are keyed by a 64-bit FNV-1a hash of their bytes rather than
+//! by the bytes themselves — a hash collision can only *add* candidates,
+//! never lose one, and every candidate is confirmed against the full
+//! prepared query before it is reported, so collisions cost a confirmation
+//! and nothing else. The index stores only values the bucket already
+//! stores (ECB-deterministic ciphertext), so it adds no leakage beyond the
+//! bodies themselves.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// FNV-1a over an element's bytes.
+fn element_hash(element: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in element {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Inverted index from element value (hashed) to the records containing
+/// it. Maintained by the bucket through insert, overwrite, delete,
+/// split/merge transfers, and recovery adoption.
+pub(crate) struct PostingIndex {
+    element_bytes: usize,
+    /// element hash → `(record key, element offset)` postings.
+    postings: HashMap<u64, Vec<(u64, u32)>>,
+    /// Total postings held (diagnostics; not load-bearing).
+    entries: usize,
+}
+
+impl PostingIndex {
+    pub(crate) fn new(element_bytes: usize) -> PostingIndex {
+        PostingIndex {
+            element_bytes,
+            postings: HashMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// The element width this index was built for.
+    pub(crate) fn element_bytes(&self) -> usize {
+        self.element_bytes
+    }
+
+    /// Number of postings currently held.
+    #[allow(dead_code)] // diagnostics + unit tests
+    pub(crate) fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when `value` splits into whole elements of this index's width.
+    /// Ragged bodies can never match an equality series (the query layer
+    /// rejects them), so they are simply not indexed.
+    fn indexable(&self, value: &[u8]) -> bool {
+        self.element_bytes > 0 && !value.is_empty() && value.len().is_multiple_of(self.element_bytes)
+    }
+
+    /// Adds the postings of record `(key, value)`.
+    pub(crate) fn add(&mut self, key: u64, value: &[u8]) {
+        if !self.indexable(value) {
+            return;
+        }
+        for (m, element) in value.chunks_exact(self.element_bytes).enumerate() {
+            self.postings
+                .entry(element_hash(element))
+                .or_default()
+                .push((key, m as u32));
+            self.entries += 1;
+        }
+    }
+
+    /// Removes every posting of record `key`, walking the elements of the
+    /// value it was indexed under.
+    pub(crate) fn remove(&mut self, key: u64, value: &[u8]) {
+        if !self.indexable(value) {
+            return;
+        }
+        for element in value.chunks_exact(self.element_bytes) {
+            let h = element_hash(element);
+            let Some(list) = self.postings.get_mut(&h) else {
+                continue;
+            };
+            let before = list.len();
+            // one retain drops *all* of the key's postings under this
+            // hash, so repeated elements make later iterations no-ops
+            list.retain(|&(k, _)| k != key);
+            self.entries -= before - list.len();
+            if list.is_empty() {
+                self.postings.remove(&h);
+            }
+        }
+    }
+
+    /// Drops everything (recovery adoption rebuilds from scratch).
+    pub(crate) fn clear(&mut self) {
+        self.postings.clear();
+        self.entries = 0;
+    }
+
+    /// The candidate keys for a probe set: every record holding at least
+    /// one probe element (or sharing its hash). Sorted and deduplicated so
+    /// the confirmation pass visits records in deterministic order.
+    pub(crate) fn candidates(&self, probes: &[Vec<u8>]) -> BTreeSet<u64> {
+        let mut keys = BTreeSet::new();
+        for probe in probes {
+            if let Some(list) = self.postings.get(&element_hash(probe)) {
+                keys.extend(list.iter().map(|&(k, _)| k));
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_probe_remove_roundtrip() {
+        let mut idx = PostingIndex::new(2);
+        idx.add(1, &[0xAA, 0xBB, 0xCC, 0xDD]);
+        idx.add(2, &[0xCC, 0xDD, 0xEE, 0xFF]);
+        assert_eq!(idx.len(), 4);
+        let c = idx.candidates(&[vec![0xCC, 0xDD]]);
+        assert_eq!(c.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        let c = idx.candidates(&[vec![0xAA, 0xBB]]);
+        assert_eq!(c.into_iter().collect::<Vec<_>>(), vec![1]);
+        idx.remove(1, &[0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.candidates(&[vec![0xAA, 0xBB]]).is_empty());
+        let c = idx.candidates(&[vec![0xCC, 0xDD]]);
+        assert_eq!(c.into_iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn repeated_elements_remove_cleanly() {
+        let mut idx = PostingIndex::new(1);
+        idx.add(7, &[5, 5, 5]);
+        assert_eq!(idx.len(), 3);
+        idx.remove(7, &[5, 5, 5]);
+        assert_eq!(idx.len(), 0);
+        assert!(idx.candidates(&[vec![5]]).is_empty());
+    }
+
+    #[test]
+    fn ragged_and_empty_bodies_are_skipped() {
+        let mut idx = PostingIndex::new(4);
+        idx.add(1, &[1, 2, 3]); // ragged
+        idx.add(2, &[]); // empty
+        assert_eq!(idx.len(), 0);
+        // removal of a never-indexed body is a no-op
+        idx.remove(1, &[1, 2, 3]);
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn union_over_probes_deduplicates() {
+        let mut idx = PostingIndex::new(1);
+        idx.add(3, &[1, 2]);
+        let c = idx.candidates(&[vec![1], vec![2]]);
+        assert_eq!(c.into_iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut idx = PostingIndex::new(1);
+        idx.add(1, &[9]);
+        idx.clear();
+        assert_eq!(idx.len(), 0);
+        assert!(idx.candidates(&[vec![9]]).is_empty());
+    }
+}

@@ -39,11 +39,12 @@ mod cluster;
 mod coordinator;
 mod filter;
 mod hash;
+mod index;
 mod messages;
 mod parity;
 
 pub use client::{LhClient, LhError};
 pub use cluster::{BucketSnapshot, ClusterConfig, FileSnapshot, LhCluster, ParityConfig};
-pub use filter::{ScanFilter, SubstringFilter};
+pub use filter::{PreparedQuery, ScanFilter, SubstringFilter};
 pub use hash::{address, ClientImage};
 pub use messages::ScanMatch;

@@ -54,7 +54,7 @@ fn main() {
                 parity_count: 1,
                 slot_size: 256,
             }),
-            filter: Arc::new(EncryptedIndexFilter),
+            filter: Arc::new(EncryptedIndexFilter::default()),
             ..ClusterConfig::default()
         },
         &loaded,

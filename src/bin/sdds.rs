@@ -24,6 +24,7 @@ fn main() {
         "generate" => generate(&flags),
         "search" => search(&flags),
         "bench-load" => bench_load(&flags),
+        "bench-search" => bench_search(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -39,7 +40,9 @@ fn usage() {
          sdds search    --pattern P [--file FILE | --entries N] \
          [--config basic|paper|swp] [--exact] [--prefix] [--metrics-json FILE]\n  \
          sdds bench-load --entries N [--config basic|paper|swp] [--threads N | --sweep 1,2,4] \
-         [--json-out FILE] [--metrics-json FILE]\n\
+         [--json-out FILE] [--metrics-json FILE]\n  \
+         sdds bench-search --entries N [--config basic|paper|swp] [--capacity C] [--repeat R] \
+         [--queries P1,P2,...] [--json-out FILE] [--metrics-json FILE]\n\
          \n--metrics-json FILE dumps the run's observability snapshot \
          (counters, gauges, latency histograms) as JSON"
     );
@@ -268,6 +271,174 @@ fn bench_one(
     let digest = transform_digest(&store, records, threads);
     store.shutdown();
     (stats, digest)
+}
+
+/// What one bench-search phase (linear or indexed) measured.
+struct SearchPhase {
+    /// Sum of `lh.scan_bucket_seconds` over the phase.
+    bucket_seconds: f64,
+    /// Bucket scans executed (histogram count delta).
+    bucket_scans: u64,
+    /// End-to-end wall time of the phase.
+    wall_seconds: f64,
+    /// The rids every query reported (last repetition).
+    results: Vec<Vec<u64>>,
+}
+
+impl SearchPhase {
+    /// Mean bucket-scan time — the honest unit of comparison: both
+    /// phases share the decode-once prepared-query path, so this delta
+    /// isolates posting-index probing vs the linear record sweep.
+    fn mean_bucket_seconds(&self) -> f64 {
+        if self.bucket_scans == 0 {
+            return 0.0;
+        }
+        self.bucket_seconds / self.bucket_scans as f64
+    }
+}
+
+/// Runs `repeat` rounds of every query against `store`, measuring the
+/// server-side bucket-scan histogram delta.
+fn run_search_phase(
+    store: &EncryptedSearchStore,
+    queries: &[String],
+    repeat: usize,
+) -> SearchPhase {
+    let hist = sdds_obs::histogram("lh.scan_bucket_seconds");
+    let (sum0, count0) = (hist.sum(), hist.count());
+    let t0 = Instant::now();
+    let mut results = Vec::new();
+    for rep in 0..repeat.max(1) {
+        results.clear();
+        let _ = rep;
+        for q in queries {
+            match store.search(q) {
+                Ok(rids) => results.push(rids),
+                Err(e) => {
+                    eprintln!("search {q:?} failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+    }
+    SearchPhase {
+        bucket_seconds: hist.sum() - sum0,
+        bucket_scans: hist.count() - count0,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        results,
+    }
+}
+
+/// Loads the same corpus into a linear-scan store and a posting-indexed
+/// store, runs the same queries against both, and reports the bucket-scan
+/// speedup plus the index counters. Results must be identical — the bench
+/// doubles as an oracle check on a large file.
+fn bench_search(flags: &HashMap<String, String>) {
+    let records = load_records(flags);
+    let capacity = flag_usize(flags, "capacity", 512);
+    let repeat = flag_usize(flags, "repeat", 5);
+    let queries: Vec<String> = flags
+        .get("queries")
+        .map(String::as_str)
+        .unwrap_or("SCHWARZ,MARTINEZ,SMITH,GARCIA")
+        .split(',')
+        .map(|q| q.trim().to_string())
+        .filter(|q| !q.is_empty())
+        .collect();
+    let config = config_for(flags);
+    let build = |indexed: bool| {
+        let mut builder = EncryptedSearchStore::builder(config)
+            .passphrase("sdds-cli")
+            .bucket_capacity(capacity)
+            .scan_index(indexed);
+        if config.encoding.is_some() {
+            builder = builder.train(records.iter().take(1000).map(|r| r.rc.clone()));
+        }
+        let store = builder.start();
+        store
+            .insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+            .unwrap_or_else(|e| {
+                eprintln!("load failed: {e}");
+                exit(1);
+            });
+        store
+    };
+    eprintln!(
+        "loading {} records twice (linear + indexed, capacity {capacity}) …",
+        records.len()
+    );
+    let linear_store = build(false);
+    let indexed_store = build(true);
+    let buckets = indexed_store.cluster().num_buckets();
+    let probes0 = sdds_obs::counter("lh.scan_index_probes").get();
+    let candidates0 = sdds_obs::counter("lh.scan_index_candidates").get();
+    let fallback0 = sdds_obs::counter("lh.scan_fallback_linear").get();
+    let linear = run_search_phase(&linear_store, &queries, repeat);
+    let fallback_delta = sdds_obs::counter("lh.scan_fallback_linear").get() - fallback0;
+    let indexed = run_search_phase(&indexed_store, &queries, repeat);
+    let probes_delta = sdds_obs::counter("lh.scan_index_probes").get() - probes0;
+    let candidates_delta = sdds_obs::counter("lh.scan_index_candidates").get() - candidates0;
+    let identical = linear.results == indexed.results;
+    let speedup = if indexed.mean_bucket_seconds() > 0.0 {
+        linear.mean_bucket_seconds() / indexed.mean_bucket_seconds()
+    } else {
+        0.0
+    };
+    linear_store.shutdown();
+    indexed_store.shutdown();
+    println!(
+        "linear:  {:.1} µs/bucket-scan over {} scans ({:.3}s wall)",
+        linear.mean_bucket_seconds() * 1e6,
+        linear.bucket_scans,
+        linear.wall_seconds,
+    );
+    println!(
+        "indexed: {:.1} µs/bucket-scan over {} scans ({:.3}s wall)",
+        indexed.mean_bucket_seconds() * 1e6,
+        indexed.bucket_scans,
+        indexed.wall_seconds,
+    );
+    println!(
+        "bucket-scan speedup: {speedup:.1}x on {buckets} buckets — identical results: {identical}"
+    );
+    println!(
+        "index counters: {probes_delta} probes, {candidates_delta} candidates, {fallback_delta} linear fallbacks (baseline phase)"
+    );
+    if !identical {
+        eprintln!("indexed and linear results diverged — consistency bug");
+        exit(1);
+    }
+    let path = flags
+        .get("json-out")
+        .map(String::as_str)
+        .filter(|p| !p.is_empty())
+        .unwrap_or("BENCH_search.json");
+    let queries_json: Vec<String> = queries.iter().map(|q| format!("\"{q}\"")).collect();
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "  \"entries\": {},\n  \"config\": \"{}\",\n  \"bucket_capacity\": {capacity},\n  \"buckets\": {buckets},\n  \"repeat\": {repeat},\n  \"queries\": [{}],\n",
+        records.len(),
+        flags.get("config").map(String::as_str).unwrap_or("basic"),
+        queries_json.join(", "),
+    ));
+    for (name, phase) in [("linear", &linear), ("indexed", &indexed)] {
+        body.push_str(&format!(
+            "  \"{name}\": {{\"bucket_scan_seconds_mean\": {:.9}, \"bucket_scans\": {}, \"bucket_seconds_total\": {:.6}, \"wall_seconds\": {:.6}}},\n",
+            phase.mean_bucket_seconds(),
+            phase.bucket_scans,
+            phase.bucket_seconds,
+            phase.wall_seconds,
+        ));
+    }
+    body.push_str(&format!(
+        "  \"speedup_bucket_scan\": {speedup:.2},\n  \"identical_results\": {identical},\n  \"scan_index_probes\": {probes_delta},\n  \"scan_index_candidates\": {candidates_delta},\n  \"scan_fallback_linear\": {fallback_delta}\n}}\n"
+    ));
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote search bench results to {path}");
+    maybe_write_metrics(flags);
 }
 
 fn bench_load(flags: &HashMap<String, String>) {

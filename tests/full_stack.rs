@@ -200,7 +200,7 @@ fn snapshot_of_an_encrypted_store_restores_searchably() {
     // restore the file into a fresh cluster wired with the same filter
     let restored_cluster = LhCluster::restore(
         sdds_repro::lh::ClusterConfig {
-            filter: std::sync::Arc::new(sdds_repro::core::EncryptedIndexFilter),
+            filter: std::sync::Arc::new(sdds_repro::core::EncryptedIndexFilter::default()),
             ..Default::default()
         },
         &snap,
