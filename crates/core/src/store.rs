@@ -6,6 +6,7 @@ use crate::query::EncryptedIndexFilter;
 use sdds_chunk::CombinationRule;
 use sdds_cipher::{KeyMaterial, MasterKey};
 use sdds_lh::{ClusterConfig, LhClient, LhCluster, LhError, ParityConfig};
+use sdds_obs::trace;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -436,6 +437,10 @@ impl StoreHandle {
     /// records, each under its own LH\* key (§5). All `1 + c·k` inserts
     /// are pipelined into a single round-trip.
     pub fn insert(&self, rid: u64, rc: &str) -> Result<(), StoreError> {
+        // Root of this operation's trace (unless an outer span is open):
+        // the batched LH* inserts below inherit this context.
+        let mut span = trace::child_span("client.insert");
+        span.set_detail(rid);
         self.check_rid(rid)?;
         let mut batch = Vec::with_capacity(1 + self.pipeline.config().index_records_per_record());
         batch.push((
@@ -485,6 +490,7 @@ impl StoreHandle {
     where
         I: IntoIterator<Item = (u64, &'a str)>,
     {
+        let _span = trace::child_span("client.insert_many");
         let start = Instant::now();
         let pipeline: &IndexPipeline = &self.pipeline;
         let per = 1 + pipeline.config().index_records_per_record();
@@ -559,6 +565,8 @@ impl StoreHandle {
 
     /// Fetches and decrypts a record by RID.
     pub fn get(&self, rid: u64) -> Result<Option<String>, StoreError> {
+        let mut span = trace::child_span("client.get");
+        span.set_detail(rid);
         self.check_rid(rid)?;
         match self.client.lookup(self.pipeline.lh_key(rid, 0))? {
             Some(ct) => Ok(Some(self.pipeline.decrypt_record(rid, &ct)?)),
@@ -571,6 +579,8 @@ impl StoreHandle {
     ///
     /// [`insert`]: Self::insert
     pub fn delete(&self, rid: u64) -> Result<bool, StoreError> {
+        let mut span = trace::child_span("client.delete");
+        span.set_detail(rid);
         self.check_rid(rid)?;
         let per = self.pipeline.config().index_records_per_record() as u32;
         let keys: Vec<u64> = (0..=per)
@@ -588,6 +598,7 @@ impl StoreHandle {
     where
         I: IntoIterator<Item = u64>,
     {
+        let _span = trace::child_span("client.delete_many");
         let per = self.pipeline.config().index_records_per_record() as u32;
         let mut keys = Vec::new();
         // input slots of the tag-0 record-store copies
@@ -616,6 +627,9 @@ impl StoreHandle {
     /// process-lifetime average search rate (queries over in-search
     /// seconds), derived from the `core.search_seconds` histogram.
     pub fn search_detailed(&self, pattern: &str) -> Result<SearchOutcome, StoreError> {
+        // Root of the search trace: the scan fan-out, every bucket's scan
+        // span, and the client-side combination phase chain under it.
+        let _span = trace::child_span("client.search");
         let timer = sdds_obs::histogram("core.search_seconds").start_timer();
         let outcome = self.search_uninstrumented(pattern);
         drop(timer);
@@ -651,6 +665,10 @@ impl StoreHandle {
                     .insert((chunking, site), body);
             }
         }
+        // The dispersion-site gather: the per-(chunking, site) bodies
+        // collected above are combined into record verdicts (§4/§5).
+        let mut combine_span = trace::child_span("search.combine");
+        combine_span.set_detail(by_rid.len() as u64);
         let mut rids = Vec::new();
         let mut candidate_rids: Vec<u64> = by_rid.keys().copied().collect();
         candidate_rids.sort_unstable();

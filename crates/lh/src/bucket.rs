@@ -13,6 +13,8 @@ use crate::index::PostingIndex;
 use crate::messages::{Op, OpResult, ScanMatch, Wire};
 use crate::parity::{slot_delta, slot_of};
 use sdds_net::{Endpoint, SiteId};
+use sdds_obs::trace;
+use sdds_obs::Registry;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -45,6 +47,11 @@ pub(crate) struct BucketCtx {
     pub coordinator: SiteId,
     pub filter: Arc<dyn ScanFilter>,
     pub parity: Option<ParityConfig>,
+    /// This site's metrics registry (labeled `bucket-<addr>`). Updates
+    /// propagate to the parent/global registry, so the default registry
+    /// stays the cross-site aggregate while each site keeps its own
+    /// breakdown.
+    pub obs: Registry,
 }
 
 impl BucketState {
@@ -221,7 +228,7 @@ impl BucketState {
             }
             if resolved != self.addr {
                 if let Some(site) = ctx.directory.bucket_site(resolved) {
-                    sdds_obs::counter("lh.forwards").inc();
+                    ctx.obs.counter("lh.forwards").inc();
                     return vec![(
                         site,
                         Wire::Request {
@@ -442,7 +449,7 @@ impl BucketState {
         into_site: SiteId,
         ctx: &BucketCtx,
     ) -> Vec<(SiteId, Wire)> {
-        sdds_obs::counter("lh.merges").inc();
+        ctx.obs.counter("lh.merges").inc();
         let keys: Vec<u64> = self.records.keys().copied().collect();
         let mut out = Vec::new();
         let mut batch = Vec::with_capacity(keys.len());
@@ -472,7 +479,7 @@ impl BucketState {
     /// Executes a split: raise the level, move rehashing records to the new
     /// bucket, tell the coordinator.
     fn split(&mut self, new_addr: u64, new_site: SiteId, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
-        sdds_obs::counter("lh.splits").inc();
+        ctx.obs.counter("lh.splits").inc();
         self.level += 1;
         self.overflow_reported = false;
         let moving: Vec<u64> = self
@@ -513,13 +520,23 @@ impl BucketState {
     /// cover). Values are cloned only for full-value replies; `keys_only`
     /// scans never copy record bodies.
     fn scan(&self, query: &[u8], keys_only: bool, ctx: &BucketCtx) -> Vec<ScanMatch> {
-        let _timer = sdds_obs::histogram("lh.scan_bucket_seconds").start_timer();
+        let _timer = ctx.obs.histogram("lh.scan_bucket_seconds").start_timer();
         let prepared = ctx.filter.prepare(query);
         if let (Some(idx), Some(probes)) = (&self.index, prepared.probes()) {
             if probes.iter().all(|p| p.len() == idx.element_bytes()) {
-                sdds_obs::counter("lh.scan_index_probes").add(probes.len() as u64);
+                // Child of this bucket's scan span (inert when the scan
+                // request was untraced), so the trace distinguishes an
+                // index probe from a linear fallback per bucket.
+                let mut span = trace::remote_span("bucket.scan_index", trace::current_context());
+                span.set_site(self.addr as i64);
+                ctx.obs
+                    .counter("lh.scan_index_probes")
+                    .add(probes.len() as u64);
                 let candidates = idx.candidates(probes);
-                sdds_obs::counter("lh.scan_index_candidates").add(candidates.len() as u64);
+                span.set_detail(candidates.len() as u64);
+                ctx.obs
+                    .counter("lh.scan_index_candidates")
+                    .add(candidates.len() as u64);
                 let mut matches = Vec::with_capacity(candidates.len());
                 for key in candidates {
                     // every candidate came from a live posting, so the
@@ -539,7 +556,10 @@ impl BucketState {
                 return matches;
             }
         }
-        sdds_obs::counter("lh.scan_fallback_linear").inc();
+        let mut span = trace::remote_span("bucket.scan_linear", trace::current_context());
+        span.set_site(self.addr as i64);
+        span.set_detail(self.records.len() as u64);
+        ctx.obs.counter("lh.scan_fallback_linear").inc();
         let mut matches = Vec::with_capacity(self.records.len().min(64));
         for (&key, v) in &self.records {
             if prepared.matches(key, v) {
@@ -568,6 +588,21 @@ impl BucketState {
     }
 }
 
+/// Static span name for a message a bucket site handles.
+fn wire_span_name(msg: &Wire) -> &'static str {
+    match msg {
+        Wire::Request { .. } => "bucket.request",
+        Wire::ScanReq { .. } => "bucket.scan",
+        Wire::SplitCmd { .. } => "bucket.split",
+        Wire::MergeCmd { .. } => "bucket.merge",
+        Wire::TransferBatch { .. } => "bucket.transfer",
+        Wire::SlotsRead { .. } => "bucket.slots_read",
+        Wire::Adopt { .. } => "bucket.adopt",
+        Wire::Dump { .. } => "bucket.dump",
+        _ => "bucket.msg",
+    }
+}
+
 /// The bucket thread loop: decode, dispatch, send, until [`Wire::Shutdown`].
 pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: BucketCtx) {
     while let Ok(env) = endpoint.recv() {
@@ -577,10 +612,22 @@ pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: Bucket
         if matches!(msg, Wire::Shutdown) {
             break;
         }
+        // Child span under the sender's context (inert for untraced
+        // traffic). It is on this thread's span stack while `handle`
+        // runs, so inner spans (index probe vs linear scan) and the
+        // outgoing messages below — replies, forwards, transfer batches —
+        // all chain under it, giving forwarded requests one
+        // correctly-parented path per hop.
+        let mut span = trace::remote_span(wire_span_name(&msg), env.ctx);
+        span.set_site(state.addr as i64);
+        if let Wire::Request { hops, .. } = &msg {
+            span.set_detail(*hops as u64);
+        }
+        let out_ctx = span.context();
         for (to, out) in state.handle(env.from, msg, &ctx) {
             // A send can fail if the peer already shut down; that is fine
             // during teardown.
-            let _ = endpoint.send(to, out.encode());
+            let _ = endpoint.send_traced(to, out.encode(), out_ctx);
         }
     }
 }
@@ -602,6 +649,7 @@ mod tests {
                 coordinator: coord_id,
                 filter: Arc::new(SubstringFilter),
                 parity: None,
+                obs: Registry::new("bucket-test"),
             },
             coord_id,
         )
@@ -868,6 +916,7 @@ mod tests {
                 parity_count: 1,
                 slot_size: 32,
             }),
+            obs: Registry::new("bucket-test"),
         };
         let mut b = BucketState::new(0, 1, 100, None);
         // adopt a reconstructed slot table with a hole at rank 1

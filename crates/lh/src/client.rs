@@ -4,6 +4,7 @@ use crate::cluster::Directory;
 use crate::hash::ClientImage;
 use crate::messages::{Op, OpResult, ScanMatch, Wire};
 use sdds_net::{Endpoint, NetError, SiteId};
+use sdds_obs::trace;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
@@ -162,7 +163,10 @@ impl LhClient {
             Op::Lookup { .. } => "lookup",
             Op::Delete { .. } => "delete",
         };
-        let _span = sdds_obs::span("lh.call");
+        // One span per key operation; it stays open across retransmission
+        // attempts, so every (re)sent request carries the same context and
+        // dropped messages remain attributable to this operation.
+        let mut span = trace::child_span("lh.request");
         let _timer = sdds_obs::histogram(&format!("lh.{op_name}_seconds")).start_timer();
         let req_id = self.fresh_req_id();
         let key = op.key();
@@ -215,6 +219,7 @@ impl LhClient {
                     continue; // late response to an abandoned request
                 }
                 record_hops(hops);
+                span.set_detail(hops as u64);
                 if hops > 0 {
                     sdds_obs::counter("lh.iams").inc();
                     self.iams.set(self.iams.get() + 1);
@@ -233,6 +238,7 @@ impl LhClient {
     /// per record (the record store copy and its index records travel
     /// together). Lost messages are retransmitted per item.
     pub fn insert_batch(&self, items: Vec<(u64, Vec<u8>)>) -> Result<(), LhError> {
+        let _span = trace::child_span("lh.insert_batch");
         let _timer = sdds_obs::histogram("lh.insert_batch_seconds").start_timer();
         sdds_obs::counter("lh.insert_batch_items").add(items.len() as u64);
         let mut pending: HashMap<u64, Wire> = HashMap::with_capacity(items.len());
@@ -324,6 +330,7 @@ impl LhClient {
     ///
     /// [`delete`]: Self::delete
     pub fn delete_batch(&self, keys: Vec<u64>) -> Result<Vec<bool>, LhError> {
+        let _span = trace::child_span("lh.delete_batch");
         let _timer = sdds_obs::histogram("lh.delete_batch_seconds").start_timer();
         let batch_items = keys.len();
         sdds_obs::counter("lh.delete_batch_items").add(batch_items as u64);
@@ -485,10 +492,14 @@ impl LhClient {
     /// all answers. This is the paper's "search records … by content in
     /// parallel at all storage sites".
     pub fn scan(&self, query: &[u8], keys_only: bool) -> Result<Vec<ScanMatch>, LhError> {
-        let _span = sdds_obs::span("lh.scan");
+        // The scan fan-out span: every ScanReq sent below (including
+        // retries) carries this context, so each bucket's scan span —
+        // index probe or linear fallback — parents under it.
+        let mut span = trace::child_span("lh.scan");
         let _timer = sdds_obs::histogram("lh.scan_seconds").start_timer();
         sdds_obs::counter("lh.scans").inc();
         let extent = self.refresh_image_quiescent()?;
+        span.set_detail(extent);
         sdds_obs::counter("lh.scan_fanout_buckets").add(extent);
         let req_id = self.fresh_req_id();
         let msg = Wire::ScanReq {

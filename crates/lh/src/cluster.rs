@@ -259,6 +259,11 @@ impl LhCluster {
             .config
             .parity
             .ok_or_else(|| LhError::Rejected("parity not enabled".into()))?;
+        // Root of the recovery trace (unless the caller already opened
+        // one): the slot-table reads, parity reads and the final Adopt all
+        // carry this context.
+        let mut op_span = sdds_obs::trace::child_span("client.recover");
+        op_span.set_detail(addr);
         sdds_obs::counter("lh.recoveries").inc();
         let _timer = sdds_obs::histogram("lh.recovery_seconds").start_timer();
         let k = cfg.group_size;
@@ -554,6 +559,13 @@ fn make_spawner(
             coordinator,
             filter: filter.clone(),
             parity,
+            // Each site gets its own labeled registry; updates flow into
+            // the global aggregate so existing metric readers are
+            // unaffected while per-site breakdowns become available.
+            obs: sdds_obs::Registry::with_parent(
+                format!("bucket-{addr}"),
+                sdds_obs::Registry::global(),
+            ),
         };
         let state = BucketState::new(addr, level, capacity, filter.index_element_bytes());
         handles

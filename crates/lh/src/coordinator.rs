@@ -190,9 +190,27 @@ pub(crate) fn run_coordinator(
         if matches!(msg, Wire::Shutdown) {
             break;
         }
+        // Child span under the reporting site's context (inert for
+        // untraced traffic), so coordinator-ordered splits/merges chain
+        // into the trace of the operation that triggered them.
+        let span = sdds_obs::trace::remote_span(coord_span_name(&msg), env.ctx);
+        let out_ctx = span.context();
         for (to, out) in state.handle(msg, &mut spawner, &mut retirer, bucket_site.as_ref()) {
-            let _ = endpoint.send(to, out.encode());
+            let _ = endpoint.send_traced(to, out.encode(), out_ctx);
         }
+    }
+}
+
+/// Static span name for a message the coordinator handles.
+fn coord_span_name(msg: &Wire) -> &'static str {
+    match msg {
+        Wire::Overflow { .. } => "coord.overflow",
+        Wire::Underflow { .. } => "coord.underflow",
+        Wire::SplitDone { .. } => "coord.split_done",
+        Wire::MergeDone { .. } => "coord.merge_done",
+        Wire::ExtentReq { .. } => "coord.extent",
+        Wire::AdoptFileState { .. } => "coord.adopt_file_state",
+        _ => "coord.msg",
     }
 }
 

@@ -62,7 +62,9 @@ impl PostingIndex {
     /// Ragged bodies can never match an equality series (the query layer
     /// rejects them), so they are simply not indexed.
     fn indexable(&self, value: &[u8]) -> bool {
-        self.element_bytes > 0 && !value.is_empty() && value.len().is_multiple_of(self.element_bytes)
+        self.element_bytes > 0
+            && !value.is_empty()
+            && value.len().is_multiple_of(self.element_bytes)
     }
 
     /// Adds the postings of record `(key, value)`.

@@ -162,8 +162,19 @@ pub(crate) fn run_parity(endpoint: Endpoint, mut state: ParityState) {
         if matches!(msg, Wire::Shutdown) {
             break;
         }
+        // Child span under the sender's context (inert for untraced
+        // traffic): parity updates triggered by a traced insert/delete and
+        // parity reads during recovery stay inside the operation's trace.
+        let name = match &msg {
+            Wire::ParityUpdate { .. } => "parity.update",
+            Wire::ParityRead { .. } => "parity.read",
+            _ => "parity.msg",
+        };
+        let mut span = sdds_obs::trace::remote_span(name, env.ctx);
+        span.set_site(endpoint.id().0 as i64);
+        let out_ctx = span.context();
         for (to, out) in state.handle(msg) {
-            let _ = endpoint.send(to, out.encode());
+            let _ = endpoint.send_traced(to, out.encode(), out_ctx);
         }
     }
 }

@@ -5,6 +5,7 @@ use crate::stats::NetStats;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::RwLock;
+use sdds_obs::trace::{self, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -29,6 +30,11 @@ pub struct Envelope {
     pub to: SiteId,
     /// Opaque payload.
     pub payload: Bytes,
+    /// Causal tracing context of the client operation this message
+    /// belongs to; `None` for untraced traffic. Carried verbatim across
+    /// forwards so every site can parent its span under the sender's
+    /// (wire format in `docs/PROTOCOL.md`).
+    pub ctx: Option<TraceContext>,
 }
 
 /// Errors from the messaging layer.
@@ -137,6 +143,12 @@ impl Network {
             // silent loss, like a UDP datagram: the sender sees success
             self.inner.stats.record_dropped();
             sdds_obs::counter("net.dropped").inc();
+            if let Some(ctx) = env.ctx {
+                // The drop stays attributable: an instantaneous span under
+                // the sender's context marks where the operation's message
+                // vanished (detail = payload length).
+                trace::event("net.drop", ctx, env.to.0 as i64, env.payload.len() as u64);
+            }
             return Ok(());
         }
         // Traffic counters reflect messages actually enqueued: a failed
@@ -213,12 +225,28 @@ impl Endpoint {
         &self.network
     }
 
-    /// Sends a payload to another site (or to self).
+    /// Sends a payload to another site (or to self). The innermost open
+    /// span on the calling thread (if any) is attached as the message's
+    /// tracing context, so instrumented callers propagate causality
+    /// without changing call sites.
     pub fn send(&self, to: SiteId, payload: Bytes) -> Result<(), NetError> {
+        self.send_traced(to, payload, trace::current_context())
+    }
+
+    /// Sends a payload with an explicit tracing context (use when the
+    /// causal parent is not the calling thread's innermost span — e.g.
+    /// replies and forwards on a site's event loop).
+    pub fn send_traced(
+        &self,
+        to: SiteId,
+        payload: Bytes,
+        ctx: Option<TraceContext>,
+    ) -> Result<(), NetError> {
         self.network.deliver(Envelope {
             from: self.id,
             to,
             payload,
+            ctx,
         })
     }
 
@@ -483,6 +511,68 @@ mod tests {
             a.send(a.id(), Bytes::new()).unwrap();
         }
         assert_eq!(net.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn trace_context_rides_envelopes_and_survives_drops() {
+        // One test (not several) because the flight recorder and the
+        // tracing flag are process-global: parallel test threads draining
+        // spans would race each other. Everything is filtered by our own
+        // trace id so concurrent instrumented code cannot confuse us.
+        trace::set_tracing(true);
+        let root = trace::root_span("test.net.op");
+        let ctx = root.context().expect("tracing enabled");
+
+        // Explicit context is delivered verbatim.
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        a.send_traced(b.id(), Bytes::from_static(b"x"), Some(ctx))
+            .unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.ctx, Some(ctx));
+
+        // Ambient context: a plain send inside an open span carries it.
+        a.send(b.id(), Bytes::from_static(b"y")).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.ctx, Some(ctx));
+
+        // A dropped traced message records a net.drop event under the
+        // same trace, so retries remain attributable end to end.
+        let lossy = Network::new(NetConfig {
+            drop_probability: 1.0,
+            fault_seed: 7,
+            ..NetConfig::default()
+        });
+        let la = lossy.register();
+        let lb = lossy.register();
+        la.send_traced(lb.id(), Bytes::from_static(b"gone"), Some(ctx))
+            .unwrap();
+        assert_eq!(lossy.stats().dropped(), 1);
+        assert!(lb.try_recv().is_err());
+        drop(root);
+        let spans = trace::drain_spans();
+        let mine: Vec<_> = spans
+            .iter()
+            .filter(|s| s.trace_id == ctx.trace_id)
+            .collect();
+        let drop_ev = mine
+            .iter()
+            .find(|s| s.name == "net.drop")
+            .expect("drop event recorded");
+        assert_eq!(drop_ev.parent_span_id, ctx.parent_span_id);
+        assert_eq!(drop_ev.detail, 4); // payload length
+        assert!(mine.iter().any(|s| s.name == "test.net.op"));
+        trace::set_tracing(false);
+    }
+
+    #[test]
+    fn untraced_sends_carry_no_context() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        let b = net.register();
+        a.send(b.id(), Bytes::from_static(b"plain")).unwrap();
+        assert_eq!(b.recv().unwrap().ctx, None);
     }
 
     #[test]

@@ -1,10 +1,24 @@
-//! Workspace-wide observability: metrics and (optional) tracing.
+//! Workspace-wide observability: metrics, causal tracing, and a flight
+//! recorder.
 //!
 //! Deliberately dependency-free so every crate in the workspace can link
-//! it without cycles: a process-global registry of named atomic
-//! [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s, plus
-//! a [`MetricsSnapshot`] that serializes the whole registry to JSON for
-//! `results/` sidecar artefacts.
+//! it without cycles. Three pieces:
+//!
+//! * **Metrics** — named atomic [`Counter`]s, [`Gauge`]s,
+//!   [`FloatGauge`]s, and fixed-bucket latency [`Histogram`]s, organized
+//!   in [`Registry`] instances. The process-global default registry backs
+//!   the [`counter`]/[`gauge`]/[`histogram`] free functions; per-site
+//!   registries ([`Registry::with_parent`]) give each simulated site its
+//!   own labeled counter set whose increments also propagate to the
+//!   parent, so the default registry always holds the cross-site
+//!   aggregate.
+//! * **Tracing** — the [`trace`] module: a propagated
+//!   [`trace::TraceContext`] per client operation, per-thread
+//!   ring-buffer flight recorder, JSONL drain via [`trace::TraceSink`].
+//! * **Snapshots** — [`MetricsSnapshot`] freezes a registry to JSON for
+//!   `results/` sidecar artefacts; [`snapshot_reset`] captures and zeroes
+//!   in one step so tests stop observing counters leaked by earlier
+//!   tests.
 //!
 //! ```
 //! sdds_obs::counter("demo.requests").inc();
@@ -15,54 +29,115 @@
 //! assert!(json.contains("demo.requests"));
 //! ```
 //!
-//! Tracing spans ([`span`]) are compiled to no-ops unless the `trace`
-//! cargo feature is enabled, in which case enter/exit lines with
-//! wall-clock durations go to stderr.
+//! The legacy [`span`] free function is a no-op unless the `trace` cargo
+//! feature is enabled, in which case it records into the flight recorder
+//! (never stderr).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// A monotonically increasing event count.
+pub mod trace;
+
+/// A monotonically increasing event count. Increments propagate to the
+/// same-named counter of the registry's parent (if any), so the default
+/// registry aggregates across sites.
 #[derive(Debug, Clone)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter {
+    value: Arc<AtomicU64>,
+    parent: Option<Arc<Counter>>,
+}
 
 impl Counter {
+    fn new(parent: Option<Counter>) -> Counter {
+        Counter {
+            value: Arc::new(AtomicU64::new(0)),
+            parent: parent.map(Arc::new),
+        }
+    }
+
     /// Adds one.
     pub fn inc(&self) {
         self.add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n` (here and, transitively, in the parent registry).
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.add(n);
+        }
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed)
     }
 }
 
-/// A value that can go up and down.
+/// A value that can go up and down. `set` propagates its *delta* to the
+/// parent, so a parent gauge holds the sum of its children's values.
 #[derive(Debug, Clone)]
-pub struct Gauge(Arc<AtomicI64>);
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+    parent: Option<Arc<Gauge>>,
+}
 
 impl Gauge {
-    /// Sets the value.
+    fn new(parent: Option<Gauge>) -> Gauge {
+        Gauge {
+            value: Arc::new(AtomicI64::new(0)),
+            parent: parent.map(Arc::new),
+        }
+    }
+
+    /// Sets the value; the change (new − old) propagates to the parent.
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        let old = self.value.swap(v, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.add(v - old);
+        }
     }
 
     /// Adds (possibly negative) `delta`.
     pub fn add(&self, delta: i64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.add(delta);
+        }
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point gauge (f64 bits in an atomic), for statistics that
+/// are not integer-valued — e.g. the leakage auditor's `leak.chi_square`
+/// and `leak.top_ratio`. Plain last-write-wins; no parent propagation
+/// (a chi-square of two sites does not sum).
+#[derive(Debug, Clone)]
+pub struct FloatGauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl FloatGauge {
+    fn new() -> FloatGauge {
+        FloatGauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
 
@@ -83,11 +158,22 @@ pub struct HistogramInner {
     sum_nanos: AtomicU64,
 }
 
-/// Handle to a registered histogram.
+/// Handle to a registered histogram. Observations propagate to the
+/// same-named histogram of the registry's parent (if any).
 #[derive(Debug, Clone)]
-pub struct Histogram(Arc<HistogramInner>);
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+    parent: Option<Arc<Histogram>>,
+}
 
 impl Histogram {
+    fn new(parent: Option<Histogram>) -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner::default()),
+            parent: parent.map(Arc::new),
+        }
+    }
+
     /// Records one observation of `seconds`.
     pub fn observe(&self, seconds: f64) {
         let seconds = if seconds.is_finite() && seconds > 0.0 {
@@ -96,11 +182,14 @@ impl Histogram {
             0.0
         };
         let idx = BUCKET_BOUNDS.partition_point(|&b| b < seconds);
-        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.0.count.fetch_add(1, Ordering::Relaxed);
-        self.0
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner
             .sum_nanos
             .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.observe(seconds);
+        }
     }
 
     /// Records a [`std::time::Duration`].
@@ -118,12 +207,12 @@ impl Histogram {
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
-        self.0.count.load(Ordering::Relaxed)
+        self.inner.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations, in seconds.
     pub fn sum(&self) -> f64 {
-        self.0.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        self.inner.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 }
 
@@ -139,89 +228,287 @@ impl Drop for HistogramTimer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
 #[derive(Default)]
-struct Registry {
+struct RegistryInner {
+    label: String,
+    parent: Option<Registry>,
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
+    float_gauges: Mutex<BTreeMap<String, FloatGauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(Registry::default)
+/// A named collection of metrics. The process-global *default* registry
+/// ([`Registry::global`]) backs the [`counter`]/[`gauge`]/[`histogram`]
+/// free functions; [`Registry::with_parent`] creates a labeled per-site
+/// registry whose metric updates also flow into the parent, so the
+/// default registry remains the cross-site aggregate while each site
+/// keeps its own breakdown. [`Registry::new`] creates a standalone
+/// scoped registry (no parent) for isolation in tests.
+#[derive(Clone, Default)]
+pub struct Registry(Arc<RegistryInner>);
+
+fn site_registries() -> &'static Mutex<Vec<Registry>> {
+    static SITES: OnceLock<Mutex<Vec<Registry>>> = OnceLock::new();
+    SITES.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-/// The counter registered under `name` (created on first use).
-pub fn counter(name: &str) -> Counter {
-    let mut map = registry()
-        .counters
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
-    map.entry(name.to_string())
-        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
-        .clone()
-}
-
-/// The gauge registered under `name` (created on first use).
-pub fn gauge(name: &str) -> Gauge {
-    let mut map = registry().gauges.lock().unwrap_or_else(|e| e.into_inner());
-    map.entry(name.to_string())
-        .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
-        .clone()
-}
-
-/// The histogram registered under `name` (created on first use).
-pub fn histogram(name: &str) -> Histogram {
-    let mut map = registry()
-        .histograms
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
-    map.entry(name.to_string())
-        .or_insert_with(|| Histogram(Arc::new(HistogramInner::default())))
-        .clone()
-}
-
-/// Zeroes every registered metric (benches measure per-phase deltas by
-/// resetting between phases). Handles stay valid.
-pub fn reset() {
-    let reg = registry();
-    for c in reg
-        .counters
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .values()
-    {
-        c.0.store(0, Ordering::Relaxed);
+impl Registry {
+    /// The process-global default registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            Registry(Arc::new(RegistryInner {
+                label: "global".to_string(),
+                ..RegistryInner::default()
+            }))
+        })
     }
-    for g in reg
-        .gauges
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .values()
-    {
-        g.0.store(0, Ordering::Relaxed);
+
+    /// A standalone scoped registry: metrics registered here are
+    /// invisible to (and unaffected by) every other registry.
+    pub fn new(label: impl Into<String>) -> Registry {
+        Registry(Arc::new(RegistryInner {
+            label: label.into(),
+            ..RegistryInner::default()
+        }))
     }
-    for h in reg
-        .histograms
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .values()
-    {
-        for b in &h.0.buckets {
-            b.store(0, Ordering::Relaxed);
+
+    /// A labeled child registry (one per simulated site). Updates to its
+    /// metrics propagate to the same-named metric of `parent`. The child
+    /// is also remembered process-wide so [`capture_sites`] can list
+    /// per-site snapshots.
+    pub fn with_parent(label: impl Into<String>, parent: &Registry) -> Registry {
+        let reg = Registry(Arc::new(RegistryInner {
+            label: label.into(),
+            parent: Some(parent.clone()),
+            ..RegistryInner::default()
+        }));
+        site_registries()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(reg.clone());
+        reg
+    }
+
+    /// The registry's label (`"global"` for the default registry).
+    pub fn label(&self) -> &str {
+        &self.0.label
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        let parent = self.0.parent.as_ref().map(|p| p.counter(name));
+        let mut map = self.0.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Counter::new(parent))
+            .clone()
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let parent = self.0.parent.as_ref().map(|p| p.gauge(name));
+        let mut map = self.0.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Gauge::new(parent))
+            .clone()
+    }
+
+    /// The float gauge registered under `name` (created on first use).
+    pub fn float_gauge(&self, name: &str) -> FloatGauge {
+        let mut map = self
+            .0
+            .float_gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(FloatGauge::new)
+            .clone()
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let parent = self.0.parent.as_ref().map(|p| p.histogram(name));
+        let mut map = self.0.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::new(parent))
+            .clone()
+    }
+
+    /// Zeroes every metric in *this* registry (handles stay valid).
+    /// Children and parents are untouched.
+    pub fn reset_values(&self) {
+        for c in self
+            .0
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.value.store(0, Ordering::Relaxed);
         }
-        h.0.count.store(0, Ordering::Relaxed);
-        h.0.sum_nanos.store(0, Ordering::Relaxed);
+        for g in self
+            .0
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            g.value.store(0, Ordering::Relaxed);
+        }
+        for f in self
+            .0
+            .float_gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            f.set(0.0);
+        }
+        for h in self
+            .0
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            for b in &h.inner.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.inner.count.store(0, Ordering::Relaxed);
+            h.inner.sum_nanos.store(0, Ordering::Relaxed);
+        }
     }
+
+    /// Freezes this registry's current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .0
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .0
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let float_gauges = self
+            .0
+            .float_gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .0
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum_seconds: h.sum(),
+                        buckets: h
+                            .inner
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            label: self.0.label.clone(),
+            counters,
+            gauges,
+            float_gauges,
+            histograms,
+        }
+    }
+}
+
+/// The counter registered under `name` in the default registry.
+pub fn counter(name: &str) -> Counter {
+    Registry::global().counter(name)
+}
+
+/// The gauge registered under `name` in the default registry.
+pub fn gauge(name: &str) -> Gauge {
+    Registry::global().gauge(name)
+}
+
+/// The float gauge registered under `name` in the default registry.
+pub fn float_gauge(name: &str) -> FloatGauge {
+    Registry::global().float_gauge(name)
+}
+
+/// The histogram registered under `name` in the default registry.
+pub fn histogram(name: &str) -> Histogram {
+    Registry::global().histogram(name)
+}
+
+/// Zeroes every registered metric in the default registry *and* every
+/// per-site child registry (benches measure per-phase deltas by resetting
+/// between phases; resetting both keeps the aggregate equal to the sum of
+/// the sites). Handles stay valid.
+pub fn reset() {
+    Registry::global().reset_values();
+    for site in site_registries()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+    {
+        site.reset_values();
+    }
+}
+
+/// Captures the default registry, then zeroes it (and the per-site
+/// children) — one step, so integration tests can assert on exactly the
+/// metrics their own operations produced without observing counters
+/// leaked by earlier tests in the same process.
+pub fn snapshot_reset() -> MetricsSnapshot {
+    let snap = MetricsSnapshot::capture();
+    reset();
+    snap
+}
+
+/// Point-in-time snapshots of every registered per-site registry, in
+/// creation order, each labeled with its site.
+pub fn capture_sites() -> Vec<MetricsSnapshot> {
+    site_registries()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|r| r.snapshot())
+        .collect()
 }
 
 /// A point-in-time copy of every registered metric.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
+    /// Label of the registry this snapshot was taken from.
+    pub label: String,
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, i64>,
+    /// Float gauge values by name.
+    pub float_gauges: BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -263,56 +550,17 @@ impl HistogramSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Captures the current state of the global registry.
+    /// Captures the current state of the default registry.
     pub fn capture() -> MetricsSnapshot {
-        let reg = registry();
-        let counters = reg
-            .counters
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
-        let gauges = reg
-            .gauges
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
-        let histograms = reg
-            .histograms
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .map(|(k, h)| {
-                (
-                    k.clone(),
-                    HistogramSnapshot {
-                        count: h.count(),
-                        sum_seconds: h.sum(),
-                        buckets: h
-                            .0
-                            .buckets
-                            .iter()
-                            .map(|b| b.load(Ordering::Relaxed))
-                            .collect(),
-                    },
-                )
-            })
-            .collect();
-        MetricsSnapshot {
-            counters,
-            gauges,
-            histograms,
-        }
+        Registry::global().snapshot()
     }
 
     /// Serializes to a self-contained JSON document (see
     /// `docs/PROTOCOL.md` for the schema).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"counters\": {");
+        out.push_str(&format!("{{\n  \"label\": {},", quote(&self.label)));
+        out.push_str("\n  \"counters\": {");
         join(&mut out, self.counters.iter(), |out, (k, v)| {
             out.push_str(&format!("\n    {}: {v}", quote(k)));
         });
@@ -320,15 +568,20 @@ impl MetricsSnapshot {
         join(&mut out, self.gauges.iter(), |out, (k, v)| {
             out.push_str(&format!("\n    {}: {v}", quote(k)));
         });
+        out.push_str("\n  },\n  \"float_gauges\": {");
+        join(&mut out, self.float_gauges.iter(), |out, (k, v)| {
+            out.push_str(&format!("\n    {}: {}", quote(k), fmt_f64(*v)));
+        });
         out.push_str("\n  },\n  \"histograms\": {");
         join(&mut out, self.histograms.iter(), |out, (k, h)| {
             out.push_str(&format!(
-                "\n    {}: {{ \"count\": {}, \"sum_seconds\": {}, \"mean_seconds\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [{}] }}",
+                "\n    {}: {{ \"count\": {}, \"sum_seconds\": {}, \"mean_seconds\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}] }}",
                 quote(k),
                 h.count,
                 fmt_f64(h.sum_seconds),
                 h.mean().map_or("null".into(), fmt_f64),
                 h.quantile(0.50).map_or("null".into(), fmt_f64),
+                h.quantile(0.95).map_or("null".into(), fmt_f64),
                 h.quantile(0.99).map_or("null".into(), fmt_f64),
                 h.buckets
                     .iter()
@@ -353,7 +606,7 @@ fn join<I: Iterator, F: FnMut(&mut String, I::Item)>(out: &mut String, items: I,
     }
 }
 
-fn quote(s: &str) -> String {
+pub(crate) fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -381,40 +634,31 @@ fn fmt_f64(v: f64) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Tracing spans
+// Legacy tracing spans
 // ---------------------------------------------------------------------------
 
 /// A tracing span guard; see [`span`].
 pub struct Span {
     #[cfg(feature = "trace")]
-    name: &'static str,
-    #[cfg(feature = "trace")]
-    start: Instant,
+    _guard: trace::SpanGuard,
 }
 
-/// Opens a span. With the `trace` feature enabled, prints
-/// `trace: enter <name>` now and `trace: exit <name> (<elapsed>)` when the
-/// guard drops; otherwise compiles to a no-op.
+/// Opens a span. With the `trace` cargo feature enabled this records a
+/// child span into the flight recorder (see [`trace`]); otherwise it
+/// compiles to a no-op. The structured API in [`trace`] is preferred for
+/// new instrumentation — this entry point exists so pre-existing
+/// `span("...")` call sites keep working.
 pub fn span(name: &'static str) -> Span {
     #[cfg(feature = "trace")]
     {
-        eprintln!("trace: enter {name}");
         Span {
-            name,
-            start: Instant::now(),
+            _guard: trace::child_span(name),
         }
     }
     #[cfg(not(feature = "trace"))]
     {
         let _ = name;
         Span {}
-    }
-}
-
-impl Drop for Span {
-    fn drop(&mut self) {
-        #[cfg(feature = "trace")]
-        eprintln!("trace: exit {} ({:?})", self.name, self.start.elapsed());
     }
 }
 
@@ -462,11 +706,14 @@ mod tests {
     fn snapshot_serializes_to_json() {
         counter("test.obs.json").add(2);
         histogram("test.obs.json_hist").observe(0.001);
+        float_gauge("test.obs.fgauge").set(1.25);
         let json = MetricsSnapshot::capture().to_json();
         assert!(json.contains("\"test.obs.json\": 2"));
         assert!(json.contains("\"test.obs.json_hist\""));
+        assert!(json.contains("\"test.obs.fgauge\": 1.25"));
         assert!(json.contains("\"counters\""));
         assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"float_gauges\""));
         // crude structural sanity: balanced braces
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -476,5 +723,41 @@ mod tests {
     #[test]
     fn span_guard_is_usable() {
         let _s = span("test.obs.span");
+    }
+
+    #[test]
+    fn per_site_registry_propagates_to_parent() {
+        let parent = Registry::new("parent");
+        let site_a = Registry::with_parent("site-a", &parent);
+        let site_b = Registry::with_parent("site-b", &parent);
+        site_a.counter("reg.test.ops").add(3);
+        site_b.counter("reg.test.ops").add(4);
+        assert_eq!(site_a.counter("reg.test.ops").get(), 3);
+        assert_eq!(site_b.counter("reg.test.ops").get(), 4);
+        assert_eq!(parent.counter("reg.test.ops").get(), 7);
+
+        // Gauges: parent is the sum of child values, tracked by delta.
+        site_a.gauge("reg.test.load").set(10);
+        site_b.gauge("reg.test.load").set(5);
+        site_a.gauge("reg.test.load").set(2);
+        assert_eq!(parent.gauge("reg.test.load").get(), 7);
+
+        // Histograms: observations land in both.
+        site_a.histogram("reg.test.lat").observe(0.001);
+        site_b.histogram("reg.test.lat").observe(0.002);
+        assert_eq!(parent.histogram("reg.test.lat").count(), 2);
+    }
+
+    #[test]
+    fn scoped_registry_is_isolated() {
+        let scoped = Registry::new("scoped");
+        scoped.counter("reg.test.isolated").add(9);
+        assert_eq!(scoped.counter("reg.test.isolated").get(), 9);
+        // The default registry never saw it.
+        assert!(!MetricsSnapshot::capture()
+            .counters
+            .contains_key("reg.test.isolated"));
+        // And scoped snapshots carry their label.
+        assert_eq!(scoped.snapshot().label, "scoped");
     }
 }

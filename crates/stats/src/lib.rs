@@ -22,11 +22,13 @@
 pub mod chi2;
 pub mod entropy;
 pub mod fft;
+pub mod leakage;
 pub mod ngram;
 pub mod randomness;
 mod special;
 
 pub use chi2::{chi2_uniform, Chi2Report};
 pub use entropy::shannon_entropy;
+pub use leakage::{BucketLeakage, LeakageAuditor, LeakageReport, LeakageSummary};
 pub use ngram::NgramCounter;
 pub use randomness::{RandomnessReport, TestResult};

@@ -9,6 +9,7 @@
 
 use sdds_repro::core::{EncryptedSearchStore, IngestOptions, IngestStats, SchemeConfig};
 use sdds_repro::corpus::{format_directory, parse_directory, DirectoryGenerator, Record};
+use sdds_repro::stats::LeakageAuditor;
 use std::collections::HashMap;
 use std::process::exit;
 use std::time::Instant;
@@ -23,6 +24,8 @@ fn main() {
     match command.as_str() {
         "generate" => generate(&flags),
         "search" => search(&flags),
+        "metrics" => metrics(&flags),
+        "audit-leakage" => audit_leakage(&flags),
         "bench-load" => bench_load(&flags),
         "bench-search" => bench_search(&flags),
         "--help" | "-h" | "help" => usage(),
@@ -38,13 +41,19 @@ fn usage() {
     eprintln!(
         "usage:\n  sdds generate  --entries N [--seed S] [--out FILE]\n  \
          sdds search    --pattern P [--file FILE | --entries N] \
-         [--config basic|paper|swp] [--exact] [--prefix] [--metrics-json FILE]\n  \
+         [--config basic|paper|swp] [--exact] [--prefix] [--metrics-json FILE] [--trace-json FILE]\n  \
+         sdds metrics   [--entries N] [--config basic|paper|swp] [--queries P1,P2,...] [--sites] \
+         [--metrics-json FILE]\n  \
+         sdds audit-leakage [--entries N] [--config basic|paper|swp] [--top M] \
+         [--json-out FILE] [--metrics-json FILE]\n  \
          sdds bench-load --entries N [--config basic|paper|swp] [--threads N | --sweep 1,2,4] \
          [--json-out FILE] [--metrics-json FILE]\n  \
          sdds bench-search --entries N [--config basic|paper|swp] [--capacity C] [--repeat R] \
          [--queries P1,P2,...] [--json-out FILE] [--metrics-json FILE]\n\
          \n--metrics-json FILE dumps the run's observability snapshot \
-         (counters, gauges, latency histograms) as JSON"
+         (counters, gauges, latency histograms) as JSON\n\
+         --trace-json FILE enables causal tracing for the query and dumps \
+         the span tree as JSONL (one span per line; see docs/OBSERVABILITY.md)"
     );
 }
 
@@ -168,6 +177,13 @@ fn search(flags: &HashMap<String, String>) {
         store.cluster().num_buckets(),
         t0.elapsed()
     );
+    if flags.contains_key("trace-json") {
+        // Trace only the query: discarding the load-phase spans and
+        // enabling tracing here keeps the dump to the one span tree
+        // rooted at the client operation.
+        let _ = sdds_obs::trace::drain_spans();
+        sdds_obs::trace::set_tracing(true);
+    }
     store.cluster().network().stats().reset();
     let t0 = Instant::now();
     let result = if flags.contains_key("exact") {
@@ -210,7 +226,207 @@ fn search(flags: &HashMap<String, String>) {
             exit(1);
         }
     }
+    // Shutdown joins the site threads, so every span — including ones the
+    // sites were still closing when the reply raced back — is recorded
+    // before the flight recorder drains.
     store.shutdown();
+    if let Some(path) = flags.get("trace-json") {
+        write_trace(path);
+    }
+    maybe_write_metrics(flags);
+}
+
+/// Drains the flight recorder to `path` as JSONL, one span per line.
+fn write_trace(path: &str) {
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        exit(1);
+    });
+    let mut sink = sdds_obs::trace::TraceSink::new(std::io::BufWriter::new(file));
+    match sink.drain() {
+        Ok(n) => eprintln!("wrote {n} trace spans to {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+/// Formats a duration in seconds with a human-scale unit.
+fn fmt_secs(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.3}s")
+    } else if v >= 1e-3 {
+        format!("{:.1}ms", v * 1e3)
+    } else {
+        format!("{:.1}µs", v * 1e6)
+    }
+}
+
+/// Pretty-prints one registry snapshot.
+fn print_snapshot(snap: &sdds_obs::MetricsSnapshot, indent: &str) {
+    if !snap.counters.is_empty() {
+        println!("{indent}counters:");
+        for (name, value) in &snap.counters {
+            println!("{indent}  {name:<32} {value}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("{indent}gauges:");
+        for (name, value) in &snap.gauges {
+            println!("{indent}  {name:<32} {value}");
+        }
+    }
+    if !snap.float_gauges.is_empty() {
+        println!("{indent}float gauges:");
+        for (name, value) in &snap.float_gauges {
+            println!("{indent}  {name:<32} {value:.6}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!("{indent}histograms:");
+        for (name, h) in &snap.histograms {
+            let q = |p: f64| h.quantile(p).map_or("-".into(), fmt_secs);
+            println!(
+                "{indent}  {name:<32} count={:<8} mean={:<10} p50={:<10} p95={:<10} p99={}",
+                h.count,
+                h.mean().map_or("-".into(), fmt_secs),
+                q(0.50),
+                q(0.95),
+                q(0.99),
+            );
+        }
+    }
+}
+
+/// Runs a small load + query workload and pretty-prints the live metrics
+/// snapshot, optionally with per-site breakdowns (`--sites`).
+fn metrics(flags: &HashMap<String, String>) {
+    config_for(flags); // validate --config before doing any work
+    let records = load_records(flags);
+    eprintln!("loading {} records …", records.len());
+    let store = build_store(&records, flags);
+    store
+        .insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+        .unwrap_or_else(|e| {
+            eprintln!("load failed: {e}");
+            exit(1);
+        });
+    let queries: Vec<String> = flags
+        .get("queries")
+        .map(String::as_str)
+        .unwrap_or("SMITH,MARTINEZ")
+        .split(',')
+        .map(|q| q.trim().to_string())
+        .filter(|q| !q.is_empty())
+        .collect();
+    for q in &queries {
+        if let Err(e) = store.search(q) {
+            eprintln!("search {q:?} failed: {e}");
+            exit(1);
+        }
+    }
+    let sites = sdds_obs::capture_sites();
+    store.shutdown();
+    let snap = sdds_obs::MetricsSnapshot::capture();
+    println!("== registry {:?} (aggregate) ==", snap.label);
+    print_snapshot(&snap, "");
+    if flags.contains_key("sites") {
+        for site in &sites {
+            if site.counters.values().all(|&v| v == 0)
+                && site.histograms.values().all(|h| h.count == 0)
+            {
+                continue;
+            }
+            println!("\n== registry {:?} ==", site.label);
+            print_snapshot(site, "");
+        }
+    }
+    maybe_write_metrics(flags);
+}
+
+/// Loads a corpus, snapshots what every bucket actually stores, and audits
+/// the stored index elements for deviations from uniformity — the paper's
+/// empirical security claim, measured at the adversary's vantage point.
+fn audit_leakage(flags: &HashMap<String, String>) {
+    config_for(flags); // validate --config before doing any work
+    let records = load_records(flags);
+    let top_m = flag_usize(flags, "top", 8);
+    eprintln!("loading {} records …", records.len());
+    let store = build_store(&records, flags);
+    store
+        .insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+        .unwrap_or_else(|e| {
+            eprintln!("load failed: {e}");
+            exit(1);
+        });
+    let snapshot = store.cluster().snapshot().unwrap_or_else(|e| {
+        eprintln!("bucket snapshot failed: {e}");
+        exit(1);
+    });
+    let mut auditor = LeakageAuditor::new(store.pipeline().config().element_bytes());
+    let mut skipped_store_copies = 0u64;
+    for bucket in &snapshot.buckets {
+        for (lh, body) in &bucket.records {
+            // Tag 0 is the strongly encrypted record-store copy; the
+            // uniformity claim is about the searchable index records.
+            let (_, tag) = store.pipeline().parse_key(*lh);
+            if tag == 0 {
+                skipped_store_copies += 1;
+                continue;
+            }
+            auditor.observe(bucket.addr, body);
+        }
+    }
+    store.shutdown();
+    let report = auditor.report(top_m);
+    sdds_obs::float_gauge("leak.chi_square").set(report.overall.chi_square);
+    sdds_obs::float_gauge("leak.chi_square_per_df").set(report.overall.chi_square_per_df);
+    sdds_obs::float_gauge("leak.top_ratio").set(report.overall.top_ratio);
+    println!(
+        "audited {} stored index elements ({}-byte alphabet of {} values, {} record-store copies excluded)",
+        report.overall.elements, report.element_bytes, report.alphabet, skipped_store_copies,
+    );
+    println!(
+        "{:>7}  {:>10}  {:>9}  {:>10}  {:>8}  {:>11}",
+        "bucket", "elements", "distinct", "chi2/df", "p-value", "top-m ratio"
+    );
+    for b in &report.buckets {
+        println!(
+            "{:>7}  {:>10}  {:>9}  {:>10.4}  {:>8.4}  {:>11.6}",
+            b.bucket,
+            b.summary.elements,
+            b.summary.distinct,
+            b.summary.chi_square_per_df,
+            b.summary.p_value,
+            b.summary.top_ratio,
+        );
+    }
+    println!(
+        "{:>7}  {:>10}  {:>9}  {:>10.4}  {:>8.4}  {:>11.6}",
+        "overall",
+        report.overall.elements,
+        report.overall.distinct,
+        report.overall.chi_square_per_df,
+        report.overall.p_value,
+        report.overall.top_ratio,
+    );
+    println!(
+        "overall χ² = {:.2} — χ²/df ≈ 1 and an unremarkable p-value mean the stored \
+         elements look uniform; see docs/OBSERVABILITY.md for interpretation",
+        report.overall.chi_square,
+    );
+    if let Some(path) = flags.get("json-out") {
+        let body = serde_json::to_string(&report).unwrap_or_else(|e| {
+            eprintln!("cannot serialize report: {e}");
+            exit(1);
+        });
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote leakage report to {path}");
+    }
     maybe_write_metrics(flags);
 }
 
