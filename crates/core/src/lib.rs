@@ -57,3 +57,5 @@ pub use store::{
     EncryptedSearchStore, IngestOptions, IngestStats, SearchOutcome, StoreBuilder, StoreError,
     StoreHandle,
 };
+// The storage backend selectors `StoreBuilder::storage` takes.
+pub use sdds_lh::{DiskOptions, FsyncPolicy, StorageConfig};

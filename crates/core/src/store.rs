@@ -5,7 +5,7 @@ use crate::pipeline::{IndexPipeline, IngestScratch, PipelineError};
 use crate::query::EncryptedIndexFilter;
 use sdds_chunk::CombinationRule;
 use sdds_cipher::{KeyMaterial, MasterKey};
-use sdds_lh::{ClusterConfig, LhClient, LhCluster, LhError, ParityConfig};
+use sdds_lh::{ClusterConfig, LhClient, LhCluster, LhError, ParityConfig, StorageConfig};
 use sdds_obs::trace;
 use std::collections::HashMap;
 use std::fmt;
@@ -184,6 +184,7 @@ pub struct StoreBuilder {
     bucket_capacity: usize,
     parity: Option<ParityConfig>,
     scan_index: bool,
+    storage: StorageConfig,
 }
 
 impl StoreBuilder {
@@ -230,12 +231,53 @@ impl StoreBuilder {
         self
     }
 
+    /// Selects the bucket storage backend (volatile memory by default).
+    /// With [`StorageConfig::disk`], records survive process restarts:
+    /// rebuild the same builder (same passphrase, config and training
+    /// sample — every pipeline stage is deterministic in those) and call
+    /// [`open`](Self::open) instead of [`start`](Self::start).
+    pub fn storage(mut self, storage: StorageConfig) -> StoreBuilder {
+        self.storage = storage;
+        self
+    }
+
     /// Starts the cluster and returns the store.
     ///
     /// Panics if encoding is enabled but no training sample was supplied —
     /// the scheme cannot build its frequency-equalising codebook from
     /// nothing (§3).
     pub fn start(self) -> EncryptedSearchStore {
+        let (pipeline, cluster_config) = self.build_parts();
+        let cluster = LhCluster::start(cluster_config);
+        let client = cluster.client();
+        let handle = StoreHandle {
+            pipeline: Arc::new(pipeline),
+            client,
+        };
+        EncryptedSearchStore { handle, cluster }
+    }
+
+    /// Reopens a durable store from its data directory (see
+    /// [`storage`](Self::storage)). The builder must be configured exactly
+    /// as the one that created the store — the key material, codebooks and
+    /// LH\* key layout are all re-derived, not persisted. An empty data
+    /// dir degenerates to [`start`](Self::start).
+    ///
+    /// Panics under the same conditions as `start`.
+    pub fn open(self) -> Result<EncryptedSearchStore, StoreError> {
+        let (pipeline, cluster_config) = self.build_parts();
+        let cluster = LhCluster::open(cluster_config)?;
+        let client = cluster.client();
+        let handle = StoreHandle {
+            pipeline: Arc::new(pipeline),
+            client,
+        };
+        Ok(EncryptedSearchStore { handle, cluster })
+    }
+
+    /// The shared tail of [`start`](Self::start) and [`open`](Self::open):
+    /// trains the deterministic pipeline and assembles the cluster config.
+    fn build_parts(self) -> (IndexPipeline, ClusterConfig) {
         let keys = KeyMaterial::new(self.master);
         let need_training = self.config.encoding.is_some() || self.config.precompression.is_some();
         assert!(
@@ -276,18 +318,14 @@ impl StoreBuilder {
         } else {
             EncryptedIndexFilter::linear()
         };
-        let cluster = LhCluster::start(ClusterConfig {
+        let cluster_config = ClusterConfig {
             bucket_capacity: self.bucket_capacity,
             parity: self.parity,
             filter: Arc::new(filter),
+            storage: self.storage,
             ..ClusterConfig::default()
-        });
-        let client = cluster.client();
-        let handle = StoreHandle {
-            pipeline: Arc::new(pipeline),
-            client,
         };
-        EncryptedSearchStore { handle, cluster }
+        (pipeline, cluster_config)
     }
 }
 
@@ -325,6 +363,7 @@ impl EncryptedSearchStore {
             bucket_capacity: 64,
             parity: None,
             scan_index: true,
+            storage: StorageConfig::Mem,
         }
     }
 

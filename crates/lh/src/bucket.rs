@@ -15,23 +15,56 @@ use crate::parity::{slot_delta, slot_of};
 use sdds_net::{Endpoint, SiteId};
 use sdds_obs::trace;
 use sdds_obs::Registry;
-use std::collections::{BTreeMap, HashMap};
+use sdds_storage::{StorageEngine, StorageError, WriteBatch};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Forwarding-hop hard stop; LH\* proves 2 suffice, we allow slack for the
 /// transient window during a split.
 const MAX_HOPS: u8 = 4;
 
+/// Crash-injection hook for the crash-recovery integration tests: when
+/// the `SDDS_CRASH_POINT` environment variable names this point, the
+/// whole process dies on the spot — no destructors, no flushes — exactly
+/// like a SIGKILL, but at a deterministic place in the protocol.
+fn crash_point(point: &str) {
+    if std::env::var("SDDS_CRASH_POINT").as_deref() == Ok(point) {
+        std::process::abort();
+    }
+}
+
+/// A split/merge transfer shipped to its target but not yet acknowledged.
+/// The shipped records stay in this bucket — and the coordinator is not
+/// told the operation finished — until the target's durable
+/// [`Wire::TransferAck`] arrives.
+struct PendingTransfer {
+    /// Keys shipped (deleted locally only once the ack lands).
+    keys: Vec<u64>,
+    /// Target bucket address, for ack correlation.
+    target_addr: u64,
+    /// What completing the transfer means.
+    done: TransferDone,
+}
+
+enum TransferDone {
+    Split,
+    Merge,
+}
+
 /// Mutable bucket state (pure logic; the thread loop drives it).
 pub(crate) struct BucketState {
     addr: u64,
     level: u8,
     capacity: usize,
-    records: BTreeMap<u64, Vec<u8>>,
+    /// Record storage: in-memory or durable WAL+snapshot, behind one
+    /// trait. Split/merge transfers and recovery adoption apply through
+    /// atomic write batches so a crash cannot half-apply them.
+    engine: Box<dyn StorageEngine>,
     /// Inverted element → postings index (present iff the installed
     /// filter requested one via `ScanFilter::index_element_bytes`). Kept
     /// consistent through every record mutation path: insert, overwrite,
-    /// delete, split/merge transfers, and recovery adoption.
+    /// delete, split/merge transfers, and recovery adoption — and rebuilt
+    /// from the engine's replayed records when a bucket reopens.
     index: Option<PostingIndex>,
     // LH*RS rank bookkeeping (empty when parity is off)
     ranks: Vec<Option<u64>>,
@@ -39,6 +72,7 @@ pub(crate) struct BucketState {
     free_ranks: Vec<u32>,
     overflow_reported: bool,
     underflow_reported: bool,
+    pending_transfer: Option<PendingTransfer>,
 }
 
 /// Immutable wiring a bucket needs to route messages.
@@ -60,12 +94,13 @@ impl BucketState {
         level: u8,
         capacity: usize,
         index_element_bytes: Option<usize>,
+        engine: Box<dyn StorageEngine>,
     ) -> BucketState {
         BucketState {
             addr,
             level,
             capacity,
-            records: BTreeMap::new(),
+            engine,
             index: index_element_bytes
                 .filter(|&w| w > 0)
                 .map(PostingIndex::new),
@@ -74,7 +109,42 @@ impl BucketState {
             free_ranks: Vec::new(),
             overflow_reported: false,
             underflow_reported: false,
+            pending_transfer: None,
         }
+    }
+
+    /// One-time wiring before the message loop: rebuild the volatile
+    /// bookkeeping — posting index and LH\*RS rank tables — from whatever
+    /// records the engine recovered from disk, and report an overflow if
+    /// the recovered bucket is already past capacity (the crash may have
+    /// eaten the original report). A fresh, empty engine is a no-op.
+    pub(crate) fn startup(&mut self, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        if self.engine.is_empty() {
+            return Vec::new();
+        }
+        let engine = &self.engine;
+        if let Some(idx) = &mut self.index {
+            idx.clear();
+            engine.for_each(&mut |key, value| {
+                if ctx.filter.should_index(key) {
+                    idx.add(key, value);
+                }
+            });
+        }
+        if ctx.parity.is_some() {
+            // Deterministic rank assignment (ascending keys). Parity sites
+            // hold no persistent state, so recovered ranks need only be
+            // self-consistent, not identical to the pre-crash assignment.
+            self.ranks.clear();
+            self.key_rank.clear();
+            self.free_ranks.clear();
+            for key in self.engine.keys() {
+                let rank = self.ranks.len() as u32;
+                self.ranks.push(Some(key));
+                self.key_rank.insert(key, rank);
+            }
+        }
+        self.maybe_report_overflow(ctx)
     }
 
     /// Shrink threshold: an eighth of the capacity (hysteresis well below
@@ -85,7 +155,7 @@ impl BucketState {
 
     #[allow(dead_code)] // diagnostics + unit tests
     pub(crate) fn len(&self) -> usize {
-        self.records.len()
+        self.engine.len()
     }
 
     /// Processes one message, returning the messages to send out.
@@ -143,14 +213,9 @@ impl BucketState {
                 self.level = level;
                 self.overflow_reported = false;
                 self.underflow_reported = false;
-                let mut out = Vec::new();
-                for (key, value) in records {
-                    out.extend(self.store(key, value, ctx));
-                }
-                // adoption of transferred records can itself overflow
-                out.extend(self.maybe_report_overflow(ctx));
-                out
+                self.receive_transfer(from, records, ctx)
             }
+            Wire::TransferAck { addr } => self.transfer_acked(addr, ctx),
             Wire::SlotsRead { req_id, client } => {
                 let slots = self.slot_table(ctx);
                 vec![(
@@ -169,7 +234,9 @@ impl BucketState {
                 Vec::new()
             }
             Wire::Dump { req_id, client } => {
-                let records = self.records.iter().map(|(&k, v)| (k, v.clone())).collect();
+                let mut records = Vec::with_capacity(self.engine.len());
+                self.engine
+                    .for_each(&mut |k, v| records.push((k, v.to_vec())));
                 vec![(
                     SiteId(client),
                     Wire::DumpState {
@@ -181,10 +248,7 @@ impl BucketState {
                 )]
             }
             // Shutdown handled by the loop; everything else is not ours.
-            _ => {
-                let _ = from;
-                Vec::new()
-            }
+            _ => Vec::new(),
         }
     }
 
@@ -266,22 +330,28 @@ impl BucketState {
                         return out;
                     }
                 }
-                let existed = self.records.contains_key(&key);
-                out.extend(self.store(key, value, ctx));
-                out.extend(self.maybe_report_overflow(ctx));
-                OpResult::Inserted { replaced: existed }
+                match self.store(key, value, ctx) {
+                    Ok((replaced, msgs)) => {
+                        out.extend(msgs);
+                        out.extend(self.maybe_report_overflow(ctx));
+                        OpResult::Inserted { replaced }
+                    }
+                    Err(e) => self.storage_error("insert", e, ctx),
+                }
             }
             Op::Lookup { key } => OpResult::Found {
-                value: self.records.get(&key).cloned(),
+                value: self.engine.get(key),
             },
-            Op::Delete { key } => {
-                let existed = self.records.contains_key(&key);
-                if existed {
-                    out.extend(self.remove(key, ctx));
-                    out.extend(self.maybe_report_underflow(ctx));
+            Op::Delete { key } => match self.remove(key, ctx) {
+                Ok((existed, msgs)) => {
+                    out.extend(msgs);
+                    if existed {
+                        out.extend(self.maybe_report_underflow(ctx));
+                    }
+                    OpResult::Deleted { existed }
                 }
-                OpResult::Deleted { existed }
-            }
+                Err(e) => self.storage_error("delete", e, ctx),
+            },
         };
         out.push((
             SiteId(client),
@@ -296,15 +366,56 @@ impl BucketState {
         out
     }
 
-    /// Inserts/overwrites a record and emits parity deltas.
-    fn store(&mut self, key: u64, value: Vec<u8>, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
-        let old = self.records.insert(key, value.clone());
+    /// Records a storage failure and surfaces it to the requesting client.
+    fn storage_error(&self, during: &str, e: StorageError, ctx: &BucketCtx) -> OpResult {
+        ctx.obs.counter("storage.errors").inc();
+        OpResult::Error {
+            message: format!("storage failure during {during}: {e}"),
+        }
+    }
+
+    /// Inserts/overwrites a record durably, then runs the bookkeeping.
+    /// Returns whether the key already existed plus the parity messages.
+    fn store(
+        &mut self,
+        key: u64,
+        value: Vec<u8>,
+        ctx: &BucketCtx,
+    ) -> Result<(bool, Vec<(SiteId, Wire)>), StorageError> {
+        let old = self.engine.put(key, &value)?;
+        let existed = old.is_some();
+        let msgs = self.note_put(key, &value, old, ctx);
+        Ok((existed, msgs))
+    }
+
+    /// Deletes a record durably, then runs the bookkeeping. Returns
+    /// whether the key existed plus the parity messages.
+    fn remove(
+        &mut self,
+        key: u64,
+        ctx: &BucketCtx,
+    ) -> Result<(bool, Vec<(SiteId, Wire)>), StorageError> {
+        let old = self.engine.delete(key)?;
+        let existed = old.is_some();
+        let msgs = self.note_delete(key, old, ctx);
+        Ok((existed, msgs))
+    }
+
+    /// Post-write bookkeeping for one stored record: posting index, rank
+    /// table, parity deltas. `old` is the value the write replaced.
+    fn note_put(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        old: Option<Vec<u8>>,
+        ctx: &BucketCtx,
+    ) -> Vec<(SiteId, Wire)> {
         if let Some(idx) = &mut self.index {
             if ctx.filter.should_index(key) {
                 if let Some(prev) = &old {
                     idx.remove(key, prev);
                 }
-                idx.add(key, &value);
+                idx.add(key, value);
             }
         }
         let Some(cfg) = &ctx.parity else {
@@ -322,15 +433,25 @@ impl BucketState {
                 r
             }
         };
-        let delta = slot_delta(old.as_deref(), Some(&value), cfg.slot_size);
+        let delta = slot_delta(old.as_deref(), Some(value), cfg.slot_size);
         self.parity_update(rank, Some(key), delta, cfg, ctx)
     }
 
-    /// Deletes a record and emits parity deltas.
-    fn remove(&mut self, key: u64, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
-        let old = self.records.remove(&key);
-        if let (Some(idx), Some(prev)) = (&mut self.index, &old) {
-            idx.remove(key, prev);
+    /// Post-delete bookkeeping for one removed record. `old` is the value
+    /// the delete removed; a `None` means the key was absent, and every
+    /// table — including `key_rank` — must stay untouched so rank slots
+    /// are never freed twice.
+    fn note_delete(
+        &mut self,
+        key: u64,
+        old: Option<Vec<u8>>,
+        ctx: &BucketCtx,
+    ) -> Vec<(SiteId, Wire)> {
+        let Some(prev) = old else {
+            return Vec::new();
+        };
+        if let Some(idx) = &mut self.index {
+            idx.remove(key, &prev);
         }
         let Some(cfg) = &ctx.parity else {
             return Vec::new();
@@ -340,8 +461,110 @@ impl BucketState {
         };
         self.ranks[rank as usize] = None;
         self.free_ranks.push(rank);
-        let delta = slot_delta(old.as_deref(), None, cfg.slot_size);
+        let delta = slot_delta(Some(&prev), None, cfg.slot_size);
         self.parity_update(rank, None, delta, cfg, ctx)
+    }
+
+    /// Deletes `keys` as **one atomic batch** (a single WAL frame), then
+    /// runs per-key bookkeeping. Parity deltas come from the pre-delete
+    /// values, captured before the batch applies.
+    fn remove_many(
+        &mut self,
+        keys: &[u64],
+        ctx: &BucketCtx,
+    ) -> Result<Vec<(SiteId, Wire)>, StorageError> {
+        let mut batch = WriteBatch::new();
+        let olds: Vec<(u64, Option<Vec<u8>>)> = keys
+            .iter()
+            .map(|&k| {
+                batch.delete(k);
+                (k, self.engine.get(k))
+            })
+            .collect();
+        self.engine.apply_batch(batch)?;
+        let mut out = Vec::new();
+        for (key, old) in olds {
+            out.extend(self.note_delete(key, old, ctx));
+        }
+        Ok(out)
+    }
+
+    /// Applies an incoming split/merge/restore `TransferBatch`: stage the
+    /// whole batch as **one atomic write**, force it durable, and only
+    /// then acknowledge — the [`Wire::TransferAck`] is a promise that the
+    /// records cannot be lost, which is what licenses the source to
+    /// delete its copies. On a storage failure no ack is sent, so the
+    /// source keeps the records and nothing is lost.
+    fn receive_transfer(
+        &mut self,
+        from: SiteId,
+        records: Vec<(u64, Vec<u8>)>,
+        ctx: &BucketCtx,
+    ) -> Vec<(SiteId, Wire)> {
+        let olds: Vec<Option<Vec<u8>>> = records.iter().map(|(k, _)| self.engine.get(*k)).collect();
+        let mut batch = WriteBatch::new();
+        for (key, value) in &records {
+            batch.put(*key, value.clone());
+        }
+        let applied = self
+            .engine
+            .apply_batch(batch)
+            .and_then(|()| self.engine.flush());
+        if applied.is_err() {
+            ctx.obs.counter("storage.errors").inc();
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ((key, value), old) in records.into_iter().zip(olds) {
+            out.extend(self.note_put(key, &value, old, ctx));
+        }
+        crash_point("transfer-applied");
+        out.push((from, Wire::TransferAck { addr: self.addr }));
+        // adoption of transferred records can itself overflow
+        out.extend(self.maybe_report_overflow(ctx));
+        out
+    }
+
+    /// Completes a pending split/merge once the target has durably
+    /// applied the transfer: delete the shipped records locally (one
+    /// atomic batch) and only now tell the coordinator the operation
+    /// finished. Stray acks — e.g. replies to a restore replay — are
+    /// ignored.
+    fn transfer_acked(&mut self, target_addr: u64, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
+        let Some(pending) = self.pending_transfer.take() else {
+            return Vec::new();
+        };
+        if pending.target_addr != target_addr {
+            self.pending_transfer = Some(pending);
+            return Vec::new();
+        }
+        let mut out = match self.remove_many(&pending.keys, ctx) {
+            Ok(msgs) => msgs,
+            Err(_) => {
+                // The target holds the records durably; doomed local
+                // copies surviving an I/O error are cleaned up by the
+                // reopen-time re-addressing pass.
+                ctx.obs.counter("storage.errors").inc();
+                Vec::new()
+            }
+        };
+        match pending.done {
+            TransferDone::Split => {
+                self.overflow_reported = false;
+                out.push((ctx.coordinator, Wire::SplitDone { addr: self.addr }));
+            }
+            TransferDone::Merge => {
+                // Dissolved: tear down the durable footprint so a reopen
+                // cannot resurrect a retired bucket. (A crash before this
+                // line leaves an empty — or doomed-copy — directory that
+                // re-addressing also resolves.)
+                if self.engine.destroy().is_err() {
+                    ctx.obs.counter("storage.errors").inc();
+                }
+                out.push((ctx.coordinator, Wire::MergeDone { addr: self.addr }));
+            }
+        }
+        out
     }
 
     fn parity_update(
@@ -377,10 +600,26 @@ impl BucketState {
 
     /// Restores reconstructed state verbatim (recovery): same ranks, no
     /// parity emissions. The posting index is rebuilt from the adopted
-    /// records.
+    /// records. The replacement is staged as one atomic `Clear` + puts
+    /// batch, so a crash mid-adoption cannot leave a half-restored image
+    /// on disk.
     fn adopt(&mut self, level: u8, slots: Vec<Option<(u64, Vec<u8>)>>, ctx: &BucketCtx) {
+        let mut batch = WriteBatch::new();
+        batch.clear_all();
+        for entry in slots.iter().flatten() {
+            batch.put(entry.0, entry.1.clone());
+        }
+        let applied = self
+            .engine
+            .apply_batch(batch)
+            .and_then(|()| self.engine.flush());
+        if applied.is_err() {
+            // keep the pre-adopt state (engine and tables) intact rather
+            // than desynchronise bookkeeping from storage
+            ctx.obs.counter("storage.errors").inc();
+            return;
+        }
         self.level = level;
-        self.records.clear();
         self.ranks.clear();
         self.key_rank.clear();
         self.free_ranks.clear();
@@ -395,7 +634,6 @@ impl BucketState {
                             idx.add(key, &value);
                         }
                     }
-                    self.records.insert(key, value);
                     self.ranks.push(Some(key));
                     self.key_rank.insert(key, rank as u32);
                 }
@@ -408,7 +646,7 @@ impl BucketState {
     }
 
     fn maybe_report_overflow(&mut self, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
-        if self.records.len() > self.capacity && !self.overflow_reported {
+        if self.engine.len() > self.capacity && !self.overflow_reported {
             self.overflow_reported = true;
             self.underflow_reported = false;
             vec![(
@@ -416,7 +654,7 @@ impl BucketState {
                 Wire::Overflow {
                     addr: self.addr,
                     level: self.level,
-                    size: self.records.len(),
+                    size: self.engine.len(),
                 },
             )]
         } else {
@@ -425,14 +663,14 @@ impl BucketState {
     }
 
     fn maybe_report_underflow(&mut self, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
-        if self.records.len() < self.underflow_threshold() && !self.underflow_reported {
+        if self.engine.len() < self.underflow_threshold() && !self.underflow_reported {
             self.underflow_reported = true;
             self.overflow_reported = false;
             vec![(
                 ctx.coordinator,
                 Wire::Underflow {
                     addr: self.addr,
-                    size: self.records.len(),
+                    size: self.engine.len(),
                 },
             )]
         } else {
@@ -441,8 +679,10 @@ impl BucketState {
     }
 
     /// Dissolves this bucket into its split parent (the reverse of a
-    /// split): ship every record over, then report completion. The
-    /// coordinator retires this site afterwards.
+    /// split): ship every record over. The local copies — and the
+    /// `MergeDone` report — wait for the parent's durable ack (see
+    /// [`Self::transfer_acked`]), so a crash on either side of the
+    /// handoff can never lose records.
     fn merge_into(
         &mut self,
         into_addr: u64,
@@ -450,67 +690,70 @@ impl BucketState {
         ctx: &BucketCtx,
     ) -> Vec<(SiteId, Wire)> {
         ctx.obs.counter("lh.merges").inc();
-        let keys: Vec<u64> = self.records.keys().copied().collect();
-        let mut out = Vec::new();
+        let keys = self.engine.keys();
         let mut batch = Vec::with_capacity(keys.len());
-        for key in keys {
-            // listed from the map just above; a miss would mean a bug, but
-            // skipping is strictly better than aborting the whole site
-            let Some(value) = self.records.get(&key).cloned() else {
+        for &key in &keys {
+            // listed from the engine just above; a miss would mean a bug,
+            // but skipping is strictly better than aborting the whole site
+            let Some(value) = self.engine.get(key) else {
                 debug_assert!(false, "key listed but missing during merge");
                 continue;
             };
-            // remove() emits the parity deltas for the departing records
-            out.extend(self.remove(key, ctx));
             batch.push((key, value));
         }
-        out.push((
+        self.pending_transfer = Some(PendingTransfer {
+            keys,
+            target_addr: into_addr,
+            done: TransferDone::Merge,
+        });
+        vec![(
             into_site,
             Wire::TransferBatch {
                 level: self.level - 1,
                 addr: into_addr,
                 records: batch,
             },
-        ));
-        out.push((ctx.coordinator, Wire::MergeDone { addr: self.addr }));
-        out
+        )]
     }
 
-    /// Executes a split: raise the level, move rehashing records to the new
-    /// bucket, tell the coordinator.
+    /// Executes a split: raise the level and ship the rehashing records
+    /// to the new bucket. The records stay here — and `SplitDone` stays
+    /// unsent — until the target durably acknowledges the transfer (see
+    /// [`Self::transfer_acked`]); until then the coordinator keeps the
+    /// file marked busy, so scans cannot observe the duplicates.
     fn split(&mut self, new_addr: u64, new_site: SiteId, ctx: &BucketCtx) -> Vec<(SiteId, Wire)> {
         ctx.obs.counter("lh.splits").inc();
         self.level += 1;
-        self.overflow_reported = false;
         let moving: Vec<u64> = self
-            .records
+            .engine
             .keys()
-            .copied()
+            .into_iter()
             .filter(|&k| h(k, self.level) == new_addr)
             .collect();
-        let mut out = Vec::new();
         let mut batch = Vec::with_capacity(moving.len());
-        for key in moving {
-            // listed from the map just above; skip defensively rather than
-            // abort the site (see merge_into)
-            let Some(value) = self.records.get(&key).cloned() else {
+        for &key in &moving {
+            // listed from the engine just above; skip defensively rather
+            // than abort the site (see merge_into)
+            let Some(value) = self.engine.get(key) else {
                 debug_assert!(false, "key listed but missing during split");
                 continue;
             };
-            // remove() also emits the parity deltas for the departing records
-            out.extend(self.remove(key, ctx));
             batch.push((key, value));
         }
-        out.push((
+        crash_point("split-before-transfer");
+        self.pending_transfer = Some(PendingTransfer {
+            keys: moving,
+            target_addr: new_addr,
+            done: TransferDone::Split,
+        });
+        vec![(
             new_site,
             Wire::TransferBatch {
                 level: self.level,
                 addr: new_addr,
                 records: batch,
             },
-        ));
-        out.push((ctx.coordinator, Wire::SplitDone { addr: self.addr }));
-        out
+        )]
     }
 
     /// Evaluates one `ScanReq`: the wire query is decoded **once** (the
@@ -542,14 +785,14 @@ impl BucketState {
                     // every candidate came from a live posting, so the
                     // record exists; a miss would be an index consistency
                     // bug and skipping is strictly safer than aborting
-                    let Some(v) = self.records.get(&key) else {
+                    let Some(v) = self.engine.get_ref(key) else {
                         debug_assert!(false, "posting for a record the bucket does not hold");
                         continue;
                     };
                     if prepared.matches(key, v) {
                         matches.push(ScanMatch {
                             key,
-                            value: (!keys_only).then(|| v.clone()),
+                            value: (!keys_only).then(|| v.to_vec()),
                         });
                     }
                 }
@@ -558,17 +801,17 @@ impl BucketState {
         }
         let mut span = trace::remote_span("bucket.scan_linear", trace::current_context());
         span.set_site(self.addr as i64);
-        span.set_detail(self.records.len() as u64);
+        span.set_detail(self.engine.len() as u64);
         ctx.obs.counter("lh.scan_fallback_linear").inc();
-        let mut matches = Vec::with_capacity(self.records.len().min(64));
-        for (&key, v) in &self.records {
+        let mut matches = Vec::with_capacity(self.engine.len().min(64));
+        self.engine.for_each(&mut |key, v| {
             if prepared.matches(key, v) {
                 matches.push(ScanMatch {
                     key,
-                    value: (!keys_only).then(|| v.clone()),
+                    value: (!keys_only).then(|| v.to_vec()),
                 });
             }
-        }
+        });
         matches
     }
 
@@ -582,7 +825,11 @@ impl BucketState {
             .map(|maybe_key| {
                 // a rank entry with no backing record (table inconsistency)
                 // reads as an empty slot instead of aborting the site
-                maybe_key.and_then(|k| self.records.get(&k).map(|v| (k, slot_of(v, cfg.slot_size))))
+                maybe_key.and_then(|k| {
+                    self.engine
+                        .get_ref(k)
+                        .map(|v| (k, slot_of(v, cfg.slot_size)))
+                })
             })
             .collect()
     }
@@ -596,6 +843,7 @@ fn wire_span_name(msg: &Wire) -> &'static str {
         Wire::SplitCmd { .. } => "bucket.split",
         Wire::MergeCmd { .. } => "bucket.merge",
         Wire::TransferBatch { .. } => "bucket.transfer",
+        Wire::TransferAck { .. } => "bucket.transfer_ack",
         Wire::SlotsRead { .. } => "bucket.slots_read",
         Wire::Adopt { .. } => "bucket.adopt",
         Wire::Dump { .. } => "bucket.dump",
@@ -605,6 +853,11 @@ fn wire_span_name(msg: &Wire) -> &'static str {
 
 /// The bucket thread loop: decode, dispatch, send, until [`Wire::Shutdown`].
 pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: BucketCtx) {
+    // a reopened bucket first rebuilds its volatile bookkeeping from the
+    // recovered records (and may immediately re-report an overflow)
+    for (to, out) in state.startup(&ctx) {
+        let _ = endpoint.send(to, out.encode());
+    }
     while let Ok(env) = endpoint.recv() {
         let Some(msg) = Wire::decode(&env.payload) else {
             continue;
@@ -637,6 +890,11 @@ mod tests {
     use super::*;
     use crate::filter::SubstringFilter;
     use sdds_net::{NetConfig, Network};
+    use sdds_storage::MemEngine;
+
+    fn mem_bucket(addr: u64, level: u8, capacity: usize) -> BucketState {
+        BucketState::new(addr, level, capacity, None, Box::new(MemEngine::new()))
+    }
 
     fn ctx(net: &Network) -> (BucketCtx, SiteId) {
         let directory = Arc::new(Directory::new());
@@ -659,7 +917,7 @@ mod tests {
     fn serves_insert_lookup_delete_locally() {
         let net = Network::new(NetConfig::default());
         let (ctx, _) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 100, None);
+        let mut b = mem_bucket(0, 0, 100);
         let out = b.handle(
             SiteId(9),
             Wire::Request {
@@ -724,7 +982,7 @@ mod tests {
         ctx.directory.set_bucket(0, SiteId(10));
         ctx.directory.set_bucket(1, SiteId(11));
         // bucket 0 at level 1: key 3 hashes to 1 → forward
-        let mut b = BucketState::new(0, 1, 100, None);
+        let mut b = mem_bucket(0, 1, 100);
         let out = b.handle(
             SiteId(9),
             Wire::Request {
@@ -753,7 +1011,7 @@ mod tests {
         ctx.directory.set_bucket(1, SiteId(11));
         // bucket 3 (the merge victim) is retired: no directory entry
         // bucket 0 at level 2: key 3 targets bucket 3
-        let mut b = BucketState::new(0, 2, 100, None);
+        let mut b = mem_bucket(0, 2, 100);
         let out = b.handle(
             SiteId(9),
             Wire::Request {
@@ -777,7 +1035,7 @@ mod tests {
     fn overflow_reported_once() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 2, None);
+        let mut b = mem_bucket(0, 0, 2);
         let mut overflow_msgs = 0;
         for key in 0..5u64 {
             let out = b.handle(
@@ -802,7 +1060,7 @@ mod tests {
     fn split_moves_rehashing_records() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 100, None);
+        let mut b = mem_bucket(0, 0, 100);
         for key in 0..10u64 {
             b.handle(
                 SiteId(9),
@@ -843,6 +1101,14 @@ mod tests {
         assert_eq!(transfer.2, 1);
         let moved: Vec<u64> = transfer.0.iter().map(|(k, _)| *k).collect();
         assert_eq!(moved, vec![1, 3, 5, 7, 9]);
+        // two-phase handoff: until the target's durable ack, the shipped
+        // records stay local and the coordinator hears nothing
+        assert_eq!(b.len(), 10, "records must not leave before the ack");
+        assert!(
+            !out.iter().any(|(_, m)| matches!(m, Wire::SplitDone { .. })),
+            "SplitDone must wait for the ack"
+        );
+        let out = b.handle(SiteId(77), Wire::TransferAck { addr: 1 }, &ctx);
         assert_eq!(b.len(), 5);
         assert!(out
             .iter()
@@ -850,10 +1116,34 @@ mod tests {
     }
 
     #[test]
+    fn stray_transfer_ack_is_ignored() {
+        let net = Network::new(NetConfig::default());
+        let (ctx, _) = ctx(&net);
+        let mut b = mem_bucket(0, 0, 100);
+        b.handle(
+            SiteId(9),
+            Wire::Request {
+                req_id: 1,
+                client: 9,
+                hops: 0,
+                op: Op::Insert {
+                    key: 4,
+                    value: vec![1],
+                },
+            },
+            &ctx,
+        );
+        // no transfer pending: an ack (e.g. a restore replay echo) is a no-op
+        let out = b.handle(SiteId(7), Wire::TransferAck { addr: 0 }, &ctx);
+        assert!(out.is_empty());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
     fn merge_ships_everything_and_reports() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(2, 2, 100, None);
+        let mut b = mem_bucket(2, 2, 100);
         for key in [2u64, 6, 10] {
             b.handle(
                 SiteId(9),
@@ -894,6 +1184,11 @@ mod tests {
         assert_eq!(transfer.2, 0);
         let keys: Vec<u64> = transfer.0.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![2, 6, 10], "every record ships");
+        // two-phase handoff: nothing is deleted, and MergeDone is not
+        // reported, until the parent's durable ack
+        assert_eq!(b.len(), 3, "records must not leave before the ack");
+        assert!(!out.iter().any(|(_, m)| matches!(m, Wire::MergeDone { .. })));
+        let out = b.handle(SiteId(50), Wire::TransferAck { addr: 0 }, &ctx);
         assert_eq!(b.len(), 0, "dissolved bucket is empty");
         assert!(out
             .iter()
@@ -918,7 +1213,7 @@ mod tests {
             }),
             obs: Registry::new("bucket-test"),
         };
-        let mut b = BucketState::new(0, 1, 100, None);
+        let mut b = mem_bucket(0, 1, 100);
         // adopt a reconstructed slot table with a hole at rank 1
         let out = b.handle(
             coord.id(),
@@ -965,7 +1260,7 @@ mod tests {
     fn dump_reports_full_contents() {
         let net = Network::new(NetConfig::default());
         let (ctx, _) = ctx(&net);
-        let mut b = BucketState::new(3, 2, 10, None);
+        let mut b = mem_bucket(3, 2, 10);
         b.handle(
             SiteId(9),
             Wire::Request {
@@ -1000,7 +1295,7 @@ mod tests {
     fn underflow_reports_once_until_refilled() {
         let net = Network::new(NetConfig::default());
         let (ctx, coord) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 64, None); // threshold 8
+        let mut b = mem_bucket(0, 0, 64); // threshold 8
         for key in 0..10u64 {
             b.handle(
                 SiteId(9),
@@ -1037,7 +1332,7 @@ mod tests {
     fn scan_applies_filter() {
         let net = Network::new(NetConfig::default());
         let (ctx, _) = ctx(&net);
-        let mut b = BucketState::new(0, 0, 100, None);
+        let mut b = mem_bucket(0, 0, 100);
         for (key, val) in [(1u64, b"SCHWARZ".to_vec()), (2, b"LITWIN".to_vec())] {
             b.handle(
                 SiteId(9),
@@ -1066,5 +1361,135 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].key, 1);
         assert_eq!(matches[0].value.as_deref(), Some(b"SCHWARZ".as_slice()));
+    }
+
+    /// Regression (ISSUE 6 satellite): `key_rank` must never retain
+    /// entries for removed keys — rank drift would corrupt the recovery
+    /// slot table and the WAL snapshot ordering. Interleaves inserts,
+    /// overwrites, deletes (including of absent keys), and a full merge.
+    #[test]
+    fn key_rank_never_drifts_from_records() {
+        let net = Network::new(NetConfig::default());
+        let directory = Arc::new(Directory::new());
+        let coord = net.register();
+        let parity_site = net.register();
+        directory.set_parity(1, vec![parity_site.id()]);
+        let ctx = BucketCtx {
+            directory,
+            coordinator: coord.id(),
+            filter: Arc::new(SubstringFilter),
+            parity: Some(ParityConfig {
+                group_size: 2,
+                parity_count: 1,
+                slot_size: 32,
+            }),
+            obs: Registry::new("bucket-test"),
+        };
+        let mut b = mem_bucket(2, 2, 100);
+        let check = |b: &BucketState, step: &str| {
+            assert_eq!(
+                b.key_rank.len(),
+                b.engine.len(),
+                "key_rank drifted from records after {step}"
+            );
+            for (&key, &rank) in &b.key_rank {
+                assert_eq!(
+                    b.ranks.get(rank as usize).copied().flatten(),
+                    Some(key),
+                    "rank table inconsistent after {step}"
+                );
+            }
+        };
+        let insert = |b: &mut BucketState, key: u64, v: u8| {
+            b.handle(
+                SiteId(9),
+                Wire::Request {
+                    req_id: key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Insert {
+                        key,
+                        value: vec![v],
+                    },
+                },
+                &ctx,
+            );
+        };
+        let delete = |b: &mut BucketState, key: u64| {
+            b.handle(
+                SiteId(9),
+                Wire::Request {
+                    req_id: 1000 + key,
+                    client: 9,
+                    hops: 0,
+                    op: Op::Delete { key },
+                },
+                &ctx,
+            );
+        };
+        for key in [2u64, 6, 10, 14] {
+            insert(&mut b, key, key as u8);
+            check(&b, "insert");
+        }
+        insert(&mut b, 6, 99); // overwrite keeps the same rank
+        check(&b, "overwrite");
+        delete(&mut b, 10);
+        check(&b, "delete");
+        delete(&mut b, 10); // double delete of a gone key
+        check(&b, "double delete");
+        delete(&mut b, 777); // delete of a never-present key
+        check(&b, "absent delete");
+        insert(&mut b, 18, 7); // reuses the freed rank
+        check(&b, "insert after delete");
+        // merge ships everything; after the ack the tables must be empty
+        b.handle(
+            coord.id(),
+            Wire::MergeCmd {
+                addr: 2,
+                into_addr: 0,
+                into_site: 50,
+            },
+            &ctx,
+        );
+        check(&b, "merge (pre-ack: records still local)");
+        b.handle(SiteId(50), Wire::TransferAck { addr: 0 }, &ctx);
+        check(&b, "merge ack");
+        assert_eq!(b.key_rank.len(), 0);
+        assert!(b.ranks.iter().all(Option::is_none));
+    }
+
+    /// A bucket reopened over a non-empty engine rebuilds its posting
+    /// index and rank tables, and re-reports overflow if it recovers past
+    /// capacity.
+    #[test]
+    fn startup_rebuilds_bookkeeping_from_recovered_records() {
+        let net = Network::new(NetConfig::default());
+        let (mut ctx, coord) = ctx(&net);
+        ctx.parity = Some(ParityConfig {
+            group_size: 2,
+            parity_count: 1,
+            slot_size: 32,
+        });
+        let mut engine = MemEngine::new();
+        for key in [4u64, 8, 12] {
+            engine.put(key, &[key as u8]).unwrap();
+        }
+        // index width 1: SubstringFilter probes are byte-grams
+        let mut b = BucketState::new(0, 2, 2, Some(1), Box::new(engine));
+        let out = b.startup(&ctx);
+        assert_eq!(b.key_rank.len(), 3);
+        assert_eq!(b.ranks.iter().flatten().count(), 3);
+        assert!(
+            b.index.as_ref().is_some_and(|idx| idx.len() > 0),
+            "posting index rebuilt from recovered records"
+        );
+        assert!(
+            out.iter()
+                .any(|(to, m)| *to == coord && matches!(m, Wire::Overflow { size: 3, .. })),
+            "recovered past capacity 2 must re-report overflow"
+        );
+        // an empty engine's startup is silent
+        let mut fresh = mem_bucket(1, 2, 2);
+        assert!(fresh.startup(&ctx).is_empty());
     }
 }

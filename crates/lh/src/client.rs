@@ -20,6 +20,9 @@ pub enum LhError {
     Timeout,
     /// The serving bucket rejected the operation.
     Rejected(String),
+    /// The durable storage backend failed (rendered, since the underlying
+    /// `io::Error` is neither `Clone` nor `Eq`).
+    Storage(String),
     /// A scan could not obtain an answer from every bucket (typically
     /// because one is dead and awaiting recovery); returning `Ok` would
     /// silently hide the coverage gap.
@@ -35,6 +38,7 @@ impl fmt::Display for LhError {
             LhError::Net(e) => write!(f, "network error: {e}"),
             LhError::Timeout => write!(f, "request timed out"),
             LhError::Rejected(m) => write!(f, "operation rejected: {m}"),
+            LhError::Storage(m) => write!(f, "storage error: {m}"),
             LhError::ScanIncomplete { missing } => {
                 write!(f, "scan incomplete: no answer from buckets {missing:?}")
             }

@@ -5,11 +5,12 @@ use crate::bucket::{run_bucket, BucketCtx, BucketState};
 use crate::client::{LhClient, LhError};
 use crate::coordinator::{run_coordinator, BucketSpawner};
 use crate::filter::{ScanFilter, SubstringFilter};
-use crate::hash::ClientImage;
+use crate::hash::{address, ClientImage};
 use crate::messages::{ParityRow, Wire};
 use crate::parity::{reconstruct_member, run_parity, ParityState};
 use parking_lot::{Mutex, RwLock};
-use sdds_net::{NetConfig, NetError, Network, SiteId};
+use sdds_net::{Endpoint, NetConfig, NetError, Network, SiteId};
+use sdds_storage::{MemEngine, StorageConfig, StorageEngine, WriteBatch};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -131,6 +132,9 @@ pub struct ClusterConfig {
     pub filter: Arc<dyn ScanFilter>,
     /// Latency model for the simulated network.
     pub net: NetConfig,
+    /// Storage backend for bucket records: volatile in-memory (the
+    /// default) or durable WAL+snapshot directories.
+    pub storage: StorageConfig,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -138,6 +142,7 @@ impl fmt::Debug for ClusterConfig {
         f.debug_struct("ClusterConfig")
             .field("bucket_capacity", &self.bucket_capacity)
             .field("parity", &self.parity)
+            .field("storage", &self.storage)
             .finish()
     }
 }
@@ -149,6 +154,7 @@ impl Default for ClusterConfig {
             parity: None,
             filter: Arc::new(SubstringFilter),
             net: NetConfig::default(),
+            storage: StorageConfig::Mem,
         }
     }
 }
@@ -216,6 +222,155 @@ impl LhCluster {
             shutdown_sites,
             spawner: Mutex::new(spawner),
         }
+    }
+
+    /// Reopens a durable file from the bucket directories under the
+    /// config's data dir. Falls back to [`start`](Self::start) when no
+    /// buckets exist yet (including the in-memory backend).
+    ///
+    /// LH\* file state is never persisted separately: it is *derived* from
+    /// the number of bucket directories via the split invariant
+    /// `n = 2^level + split`. A crash mid-transfer can leave records in a
+    /// bucket the derived state no longer maps them to (or in two buckets
+    /// at once), so before any site thread starts, a re-address pass moves
+    /// every record to its home bucket — preferring the home copy when the
+    /// crash left duplicates, since the home copy was the one durably
+    /// acknowledged.
+    pub fn open(config: ClusterConfig) -> Result<LhCluster, LhError> {
+        let addrs = config
+            .storage
+            .existing_bucket_addrs()
+            .map_err(|e| LhError::Storage(e.to_string()))?;
+        let n = match addrs.iter().max() {
+            // fresh data dir (or Mem backend): nothing to recover
+            None => return Ok(LhCluster::start(config)),
+            Some(&hi) => hi + 1,
+        };
+        if n == 1 {
+            // a single-bucket file is exactly what `start` builds; bucket
+            // 0's spawner reopens the directory and `startup` rebuilds the
+            // in-memory bookkeeping
+            return Ok(LhCluster::start(config));
+        }
+        let level = (63 - n.leading_zeros()) as u8;
+        let split = n - (1u64 << level);
+        let image = ClientImage { level, split };
+
+        // Re-address pass, strictly before any site thread exists (the
+        // engines are opened exclusively here and dropped again).
+        let mut engines: Vec<Box<dyn StorageEngine>> = Vec::with_capacity(n as usize);
+        for addr in 0..n {
+            let engine = config
+                .storage
+                .open_bucket(addr)
+                .map_err(|e| LhError::Storage(format!("bucket {addr}: {e}")))?;
+            engines.push(engine);
+        }
+        // (source bucket, key, value, home bucket)
+        let mut strays: Vec<(usize, u64, Vec<u8>, usize)> = Vec::new();
+        for (addr, engine) in engines.iter().enumerate() {
+            engine.for_each(&mut |key, value| {
+                let home = address(key, level, split) as usize;
+                if home != addr {
+                    strays.push((addr, key, value.to_vec(), home));
+                }
+            });
+        }
+        if !strays.is_empty() {
+            sdds_obs::counter("storage.readdressed_records").add(strays.len() as u64);
+            let mut batches: Vec<WriteBatch> = (0..n).map(|_| WriteBatch::new()).collect();
+            for (from, key, value, home) in strays {
+                // A transfer that crashed after the target's durable apply
+                // but before the source's delete leaves two copies; the
+                // home one was acknowledged, so it wins.
+                if !engines[home].contains(key) {
+                    batches[home].put(key, value);
+                }
+                batches[from].delete(key);
+            }
+            for (addr, batch) in batches.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let engine = &mut engines[addr];
+                engine
+                    .apply_batch(batch)
+                    .and_then(|()| engine.flush())
+                    .map_err(|e| LhError::Storage(format!("bucket {addr}: {e}")))?;
+            }
+        }
+        // release the WAL handles before the bucket sites reopen them
+        drop(engines);
+
+        let network = Network::new(config.net.clone());
+        let directory = Arc::new(Directory::new());
+        let handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let shutdown_sites: Arc<Mutex<Vec<SiteId>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let coordinator_ep = network.register();
+        let coordinator = coordinator_ep.id();
+        shutdown_sites.lock().push(coordinator);
+
+        let builder = SiteBuilder::new(
+            &network,
+            &directory,
+            &config,
+            coordinator,
+            &handles,
+            &shutdown_sites,
+        );
+        let coord_spawner = make_spawner(
+            &network,
+            &directory,
+            &config,
+            coordinator,
+            &handles,
+            &shutdown_sites,
+        );
+        let dir = directory.clone();
+        let lookup = Box::new(move |addr: u64| dir.bucket_site(addr));
+        let dir = directory.clone();
+        let retirer = Box::new(move |addr: u64| dir.clear_bucket(addr));
+        let h = std::thread::spawn(move || {
+            run_coordinator(coordinator_ep, coord_spawner, retirer, lookup)
+        });
+        handles.lock().push(h);
+
+        // The coordinator must adopt the derived file state before any
+        // recovered bucket can report an overflow; mailbox delivery is
+        // FIFO, so sending this before the bucket threads exist
+        // guarantees it.
+        let control = network.register();
+        control.send(coordinator, Wire::AdoptFileState { level, split }.encode())?;
+
+        // Two-phase spawn: every directory entry must be published before
+        // any site thread runs. An early bucket's startup overflow report
+        // can trigger a split whose victim the coordinator looks up in the
+        // directory — launching as we register would race that lookup
+        // against the rest of this loop.
+        let endpoints: Vec<(u64, Endpoint)> =
+            (0..n).map(|addr| (addr, builder.register(addr))).collect();
+        for (addr, ep) in endpoints {
+            builder.launch(addr, bucket_level(addr, image), ep);
+        }
+        let spawner = make_spawner(
+            &network,
+            &directory,
+            &config,
+            coordinator,
+            &handles,
+            &shutdown_sites,
+        );
+
+        Ok(LhCluster {
+            network,
+            directory,
+            coordinator,
+            config,
+            handles,
+            shutdown_sites,
+            spawner: Mutex::new(spawner),
+        })
     }
 
     /// Registers a new client of the file.
@@ -509,6 +664,122 @@ fn bucket_level(addr: u64, image: ClientImage) -> u8 {
     }
 }
 
+/// Materialises bucket sites in two phases — `register` (endpoint +
+/// directory entry + lazy parity sites) and `launch` (engine + thread) —
+/// so `open` can publish every recovered bucket's directory entry before
+/// any site thread runs. A bucket's startup overflow report can reach the
+/// coordinator while later buckets are still being set up; the split it
+/// triggers looks its victim up in the directory, which must therefore be
+/// complete first.
+struct SiteBuilder {
+    network: Network,
+    directory: Arc<Directory>,
+    capacity: usize,
+    parity: Option<ParityConfig>,
+    filter: Arc<dyn ScanFilter>,
+    storage: StorageConfig,
+    coordinator: SiteId,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown_sites: Arc<Mutex<Vec<SiteId>>>,
+}
+
+impl SiteBuilder {
+    fn new(
+        network: &Network,
+        directory: &Arc<Directory>,
+        config: &ClusterConfig,
+        coordinator: SiteId,
+        handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+        shutdown_sites: &Arc<Mutex<Vec<SiteId>>>,
+    ) -> SiteBuilder {
+        SiteBuilder {
+            network: network.clone(),
+            directory: directory.clone(),
+            capacity: config.bucket_capacity,
+            parity: config.parity,
+            filter: config.filter.clone(),
+            storage: config.storage.clone(),
+            coordinator,
+            handles: handles.clone(),
+            shutdown_sites: shutdown_sites.clone(),
+        }
+    }
+
+    /// Registers the bucket's endpoint and directory entry (and, lazily,
+    /// its group's parity sites) without starting the site thread.
+    fn register(&self, addr: u64) -> Endpoint {
+        if let Some(cfg) = self.parity {
+            let group = addr / cfg.group_size as u64;
+            if self.directory.parity_sites(group).is_empty() {
+                let mut sites = Vec::with_capacity(cfg.parity_count);
+                for p in 0..cfg.parity_count {
+                    let ep = self.network.register();
+                    sites.push(ep.id());
+                    self.shutdown_sites.lock().push(ep.id());
+                    let state = ParityState::new(
+                        group,
+                        p as u32,
+                        cfg.group_size,
+                        cfg.parity_count,
+                        cfg.slot_size,
+                    );
+                    self.handles
+                        .lock()
+                        .push(std::thread::spawn(move || run_parity(ep, state)));
+                }
+                self.directory.set_parity(group, sites);
+            }
+        }
+        let ep = self.network.register();
+        self.directory.set_bucket(addr, ep.id());
+        self.shutdown_sites.lock().push(ep.id());
+        ep
+    }
+
+    /// Opens the bucket's storage engine and starts its site thread on a
+    /// previously registered endpoint.
+    fn launch(&self, addr: u64, level: u8, ep: Endpoint) {
+        let ctx = BucketCtx {
+            directory: self.directory.clone(),
+            coordinator: self.coordinator,
+            filter: self.filter.clone(),
+            parity: self.parity,
+            // Each site gets its own labeled registry; updates flow into
+            // the global aggregate so existing metric readers are
+            // unaffected while per-site breakdowns become available.
+            obs: sdds_obs::Registry::with_parent(
+                format!("bucket-{addr}"),
+                sdds_obs::Registry::global(),
+            ),
+        };
+        // A spawner cannot report failure (it runs inside the
+        // coordinator's split path); if durable storage cannot open,
+        // degrade this bucket to volatile memory and count it rather than
+        // stall the file.
+        let engine = self.storage.open_bucket(addr).unwrap_or_else(|_| {
+            sdds_obs::counter("storage.open_failures").inc();
+            Box::new(MemEngine::new())
+        });
+        let state = BucketState::new(
+            addr,
+            level,
+            self.capacity,
+            self.filter.index_element_bytes(),
+            engine,
+        );
+        self.handles
+            .lock()
+            .push(std::thread::spawn(move || run_bucket(ep, state, ctx)));
+    }
+
+    fn spawn(&self, addr: u64, level: u8) -> SiteId {
+        let ep = self.register(addr);
+        let site = ep.id();
+        self.launch(addr, level, ep);
+        site
+    }
+}
+
 /// Builds the closure that materialises bucket sites (and, lazily, their
 /// group's parity sites).
 fn make_spawner(
@@ -519,58 +790,13 @@ fn make_spawner(
     handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
     shutdown_sites: &Arc<Mutex<Vec<SiteId>>>,
 ) -> BucketSpawner {
-    let network = network.clone();
-    let directory = directory.clone();
-    let capacity = config.bucket_capacity;
-    let parity = config.parity;
-    let filter = config.filter.clone();
-    let handles = handles.clone();
-    let shutdown_sites = shutdown_sites.clone();
-    Box::new(move |addr: u64, level: u8| {
-        // lazily create the group's parity sites
-        if let Some(cfg) = parity {
-            let group = addr / cfg.group_size as u64;
-            if directory.parity_sites(group).is_empty() {
-                let mut sites = Vec::with_capacity(cfg.parity_count);
-                for p in 0..cfg.parity_count {
-                    let ep = network.register();
-                    sites.push(ep.id());
-                    shutdown_sites.lock().push(ep.id());
-                    let state = ParityState::new(
-                        group,
-                        p as u32,
-                        cfg.group_size,
-                        cfg.parity_count,
-                        cfg.slot_size,
-                    );
-                    handles
-                        .lock()
-                        .push(std::thread::spawn(move || run_parity(ep, state)));
-                }
-                directory.set_parity(group, sites);
-            }
-        }
-        let ep = network.register();
-        let site = ep.id();
-        directory.set_bucket(addr, site);
-        shutdown_sites.lock().push(site);
-        let ctx = BucketCtx {
-            directory: directory.clone(),
-            coordinator,
-            filter: filter.clone(),
-            parity,
-            // Each site gets its own labeled registry; updates flow into
-            // the global aggregate so existing metric readers are
-            // unaffected while per-site breakdowns become available.
-            obs: sdds_obs::Registry::with_parent(
-                format!("bucket-{addr}"),
-                sdds_obs::Registry::global(),
-            ),
-        };
-        let state = BucketState::new(addr, level, capacity, filter.index_element_bytes());
-        handles
-            .lock()
-            .push(std::thread::spawn(move || run_bucket(ep, state, ctx)));
-        site
-    })
+    let builder = SiteBuilder::new(
+        network,
+        directory,
+        config,
+        coordinator,
+        handles,
+        shutdown_sites,
+    );
+    Box::new(move |addr: u64, level: u8| builder.spawn(addr, level))
 }

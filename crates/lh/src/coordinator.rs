@@ -130,7 +130,7 @@ impl CoordinatorState {
             let victim = self.split;
             let new_addr = extent(self.level, self.split); // n + 2^i
             let new_site = spawner(new_addr, self.level + 1);
-            // lint: allow(panic-freedom) -- the split pointer always addresses a live bucket (0 <= split < extent)
+            // lint: allow(panic-freedom) -- 0 <= split < extent always addresses a live bucket, and `LhCluster::open` publishes every recovered bucket's directory entry before any site thread can report an overflow
             let victim_site = bucket_site(victim).expect("split victim exists");
             return vec![(
                 victim_site,

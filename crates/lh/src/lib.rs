@@ -48,3 +48,4 @@ pub use cluster::{BucketSnapshot, ClusterConfig, FileSnapshot, LhCluster, Parity
 pub use filter::{PreparedQuery, ScanFilter, SubstringFilter};
 pub use hash::{address, ClientImage};
 pub use messages::ScanMatch;
+pub use sdds_storage::{DiskOptions, FsyncPolicy, StorageConfig};

@@ -174,6 +174,15 @@ pub enum Wire {
         /// The records moving.
         records: Vec<(u64, Vec<u8>)>,
     },
+    /// Transfer target → transfer source: the batch is applied *and
+    /// durable*. Only now may the source delete the shipped records and
+    /// report `SplitDone`/`MergeDone`, so a crash on either side of the
+    /// handoff can never lose the records (at worst they transiently
+    /// exist on both sides, which reopen-time re-addressing resolves).
+    TransferAck {
+        /// Address of the acknowledging (target) bucket.
+        addr: u64,
+    },
     /// Splitting bucket → coordinator: split finished.
     SplitDone {
         /// Address of the bucket that split.
@@ -373,6 +382,7 @@ mod tests {
                 addr: 2,
                 records: vec![(1, vec![])],
             },
+            Wire::TransferAck { addr: 2 },
             Wire::SplitDone { addr: 0 },
             Wire::ExtentReq {
                 req_id: 4,

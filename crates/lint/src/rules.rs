@@ -58,8 +58,8 @@ pub const RULES: [&str; 5] = [
 
 /// Library crates whose non-test code must be panic-free (ISSUE 3). The
 /// binaries (`src/`, `crates/bench`) and test-support crates are exempt.
-const PANIC_FREE_CRATES: [&str; 9] = [
-    "gf", "cipher", "chunk", "encode", "disperse", "core", "lh", "net", "par",
+const PANIC_FREE_CRATES: [&str; 10] = [
+    "gf", "cipher", "chunk", "encode", "disperse", "core", "lh", "net", "par", "storage",
 ];
 
 /// Stage-1 index path: the only encryption allowed here is deterministic

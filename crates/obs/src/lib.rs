@@ -340,7 +340,9 @@ impl Registry {
     }
 
     /// Zeroes every metric in *this* registry (handles stay valid).
-    /// Children and parents are untouched.
+    /// Children are untouched; a parent *gauge* receives the negated old
+    /// value, preserving its sum-of-children invariant (counters are
+    /// cumulative, so their parents deliberately keep the history).
     pub fn reset_values(&self) {
         for c in self
             .0
@@ -358,7 +360,15 @@ impl Registry {
             .unwrap_or_else(|e| e.into_inner())
             .values()
         {
-            g.value.store(0, Ordering::Relaxed);
+            // One atomic exchange per gauge, not a raw store: a raw store
+            // would discard any concurrent add() between read and write,
+            // and — worse — leave the old value counted in the parent
+            // forever. swap captures exactly the amount this gauge held,
+            // and propagating its negation keeps parent == Σ children.
+            let old = g.value.swap(0, Ordering::Relaxed);
+            if let Some(p) = &g.parent {
+                p.add(-old);
+            }
         }
         for f in self
             .0
@@ -467,7 +477,11 @@ pub fn histogram(name: &str) -> Histogram {
 /// between phases; resetting both keeps the aggregate equal to the sum of
 /// the sites). Handles stay valid.
 pub fn reset() {
-    Registry::global().reset_values();
+    // Sites first: each child gauge reset propagates its negated value
+    // into the global aggregate, so by the time the global registry is
+    // zeroed it holds only direct (non-site) contributions. The reverse
+    // order re-corrupts the aggregate — the children's values flow back
+    // into freshly-zeroed parents as negative residue.
     for site in site_registries()
         .lock()
         .unwrap_or_else(|e| e.into_inner())
@@ -475,6 +489,7 @@ pub fn reset() {
     {
         site.reset_values();
     }
+    Registry::global().reset_values();
 }
 
 /// Captures the default registry, then zeroes it (and the per-site
@@ -746,6 +761,49 @@ mod tests {
         site_a.histogram("reg.test.lat").observe(0.001);
         site_b.histogram("reg.test.lat").observe(0.002);
         assert_eq!(parent.histogram("reg.test.lat").count(), 2);
+    }
+
+    #[test]
+    fn child_gauge_reset_propagates_to_parent() {
+        let parent = Registry::new("reset-parent");
+        let site_a = Registry::with_parent("reset-a", &parent);
+        let site_b = Registry::with_parent("reset-b", &parent);
+        site_a.gauge("reg.reset.load").set(10);
+        site_b.gauge("reg.reset.load").set(5);
+        assert_eq!(parent.gauge("reg.reset.load").get(), 15);
+        site_a.reset_values();
+        // the old raw-store reset left a's 10 in the parent forever
+        assert_eq!(parent.gauge("reg.reset.load").get(), 5);
+        assert_eq!(site_a.gauge("reg.reset.load").get(), 0);
+        site_a.gauge("reg.reset.load").set(3);
+        assert_eq!(parent.gauge("reg.reset.load").get(), 8);
+    }
+
+    #[test]
+    fn gauge_reset_is_atomic_under_concurrent_adds() {
+        let parent = Registry::new("race-parent");
+        let site = Registry::with_parent("race-site", &parent);
+        // touch the gauge so both registries hold the instrument
+        site.gauge("reg.race.g").set(0);
+        let adder = {
+            let site = site.clone();
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    site.gauge("reg.race.g").add(1);
+                }
+            })
+        };
+        for _ in 0..1_000 {
+            site.reset_values();
+        }
+        adder.join().unwrap();
+        site.reset_values();
+        // Quiescent invariant: every add was either wiped by a reset (and
+        // then subtracted from the parent) or survives in the child; after
+        // a final reset both must read zero. The old raw-store reset
+        // leaked child values into the parent permanently.
+        assert_eq!(site.gauge("reg.race.g").get(), 0);
+        assert_eq!(parent.gauge("reg.race.g").get(), 0);
     }
 
     #[test]

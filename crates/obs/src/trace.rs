@@ -473,33 +473,76 @@ impl ParsedSpan {
     }
 }
 
-/// Drains the flight recorder to a [`Write`] as JSON Lines.
+/// Drains the flight recorder to a [`Write`] as JSON Lines. Every
+/// [`drain`](TraceSink::drain) flushes its batch, so a crash between
+/// drains loses only spans recorded since the previous one; dropping the
+/// sink performs a final best-effort drain-and-flush, so long-lived sinks
+/// no longer silently discard the tail of a run.
 pub struct TraceSink<W: Write> {
-    writer: W,
+    /// `None` only once [`into_inner`](TraceSink::into_inner) has disarmed
+    /// the `Drop` drain.
+    writer: Option<W>,
 }
 
 impl<W: Write> TraceSink<W> {
     /// Wraps `writer`; nothing is written until [`TraceSink::drain`].
     pub fn new(writer: W) -> TraceSink<W> {
-        TraceSink { writer }
+        TraceSink {
+            writer: Some(writer),
+        }
     }
 
     /// Drains every ring and writes one JSONL line per span (sorted by
-    /// start time). Returns the number of spans written.
+    /// start time), then flushes the batch. Returns the number of spans
+    /// written.
     pub fn drain(&mut self) -> io::Result<usize> {
+        let Some(writer) = self.writer.as_mut() else {
+            return Ok(0);
+        };
         let spans = drain_spans();
         for s in &spans {
-            self.writer.write_all(s.to_json_line().as_bytes())?;
-            self.writer.write_all(b"\n")?;
+            writer.write_all(s.to_json_line().as_bytes())?;
+            writer.write_all(b"\n")?;
         }
-        self.writer.flush()?;
+        writer.flush()?;
         Ok(spans.len())
     }
 
-    /// Unwraps the inner writer.
-    pub fn into_inner(self) -> W {
-        self.writer
+    /// Unwraps the inner writer after a final drain-and-flush.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.drain()?;
+        // lint: allow(panic-freedom) -- the writer is only None after this method or Drop, both of which consume the sink
+        Ok(self.writer.take().expect("sink already consumed"))
     }
+}
+
+impl<W: Write> Drop for TraceSink<W> {
+    fn drop(&mut self) {
+        // Best-effort: spans recorded after the last explicit drain still
+        // reach the writer when the sink goes out of scope. Errors are
+        // unreportable here and deliberately ignored.
+        let _ = self.drain();
+    }
+}
+
+/// Parses a JSONL trace dump (as produced by [`TraceSink`]) tolerantly:
+/// malformed lines — typically the single truncated trailing line a
+/// `kill -9` mid-write leaves behind — are skipped and counted rather
+/// than poisoning the whole file. Returns the spans in file order and the
+/// number of lines skipped.
+pub fn parse_jsonl(text: &str) -> (Vec<ParsedSpan>, usize) {
+    let mut spans = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match ParsedSpan::parse(line) {
+            Some(s) => spans.push(s),
+            None => skipped += 1,
+        }
+    }
+    (spans, skipped)
 }
 
 #[cfg(test)]
@@ -602,6 +645,71 @@ mod tests {
             .collect();
         assert_eq!(survivors, minted[12..], "newest 8 of 20 survive, in order");
 
+        // Sink lifecycle (here rather than its own #[test]: dropping a
+        // sink drains the global recorder, which would steal a parallel
+        // test's spans). A sink dropped without an explicit drain still
+        // writes and flushes the spans recorded since the last drain.
+        let state: Arc<Mutex<(Vec<u8>, usize)>> = Arc::new(Mutex::new((Vec::new(), 0)));
+        struct CountingWriter(Arc<Mutex<(Vec<u8>, usize)>>);
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().expect("writer lock").0.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.0.lock().expect("writer lock").1 += 1;
+                Ok(())
+            }
+        }
+        drop(root_span("test.sink_drop"));
+        drop(TraceSink::new(CountingWriter(state.clone())));
+        {
+            let guard = state.lock().expect("writer lock");
+            let text = String::from_utf8(guard.0.clone()).expect("utf8 jsonl");
+            assert!(
+                text.contains("test.sink_drop"),
+                "Drop drained the recorder: {text}"
+            );
+            assert!(guard.1 >= 1, "Drop flushed the writer");
+        }
+        // into_inner disarms the Drop drain and hands the writer back.
+        drop(root_span("test.sink_inner"));
+        let sink = TraceSink::new(CountingWriter(state.clone()));
+        let _writer = sink.into_inner().expect("into_inner drains");
+        let text =
+            String::from_utf8(state.lock().expect("writer lock").0.clone()).expect("utf8 jsonl");
+        assert!(text.contains("test.sink_inner"));
+
         set_tracing(false);
+    }
+
+    #[test]
+    fn jsonl_reader_skips_and_counts_partial_tail() {
+        let rec = SpanRecord {
+            trace_id: 1,
+            span_id: 2,
+            parent_span_id: 0,
+            name: "test.reader",
+            site: 3,
+            detail: 4,
+            start_nanos: 5,
+            duration_nanos: 6,
+        };
+        let line = rec.to_json_line();
+        let mut dump = String::new();
+        dump.push_str(&line);
+        dump.push('\n');
+        dump.push('\n'); // blank lines are ignored, not counted
+        dump.push_str(&line);
+        dump.push('\n');
+        // a kill -9 mid-write leaves a truncated final line, no newline
+        dump.push_str(&line[..line.len() / 2]);
+        let (spans, skipped) = parse_jsonl(&dump);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(skipped, 1, "torn tail is counted, not fatal");
+        assert!(spans.iter().all(|s| s.name == "test.reader"));
+        // a fully well-formed dump skips nothing
+        let (spans, skipped) = parse_jsonl(&format!("{line}\n"));
+        assert_eq!((spans.len(), skipped), (1, 0));
     }
 }

@@ -10,6 +10,7 @@
 use sdds_repro::core::{EncryptedSearchStore, IngestOptions, IngestStats, SchemeConfig};
 use sdds_repro::corpus::{format_directory, parse_directory, DirectoryGenerator, Record};
 use sdds_repro::stats::LeakageAuditor;
+use sdds_repro::storage::{DiskEngine, DiskOptions, FsyncPolicy, StorageConfig, StorageEngine};
 use std::collections::HashMap;
 use std::process::exit;
 use std::time::Instant;
@@ -28,6 +29,7 @@ fn main() {
         "audit-leakage" => audit_leakage(&flags),
         "bench-load" => bench_load(&flags),
         "bench-search" => bench_search(&flags),
+        "bench-durability" => bench_durability(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -49,11 +51,15 @@ fn usage() {
          sdds bench-load --entries N [--config basic|paper|swp] [--threads N | --sweep 1,2,4] \
          [--json-out FILE] [--metrics-json FILE]\n  \
          sdds bench-search --entries N [--config basic|paper|swp] [--capacity C] [--repeat R] \
-         [--queries P1,P2,...] [--json-out FILE] [--metrics-json FILE]\n\
+         [--queries P1,P2,...] [--json-out FILE] [--metrics-json FILE]\n  \
+         sdds bench-durability [--entries N] [--batch B] [--value-bytes V] [--json-out FILE]\n\
          \n--metrics-json FILE dumps the run's observability snapshot \
          (counters, gauges, latency histograms) as JSON\n\
          --trace-json FILE enables causal tracing for the query and dumps \
-         the span tree as JSONL (one span per line; see docs/OBSERVABILITY.md)"
+         the span tree as JSONL (one span per line; see docs/OBSERVABILITY.md)\n\
+         --storage mem|disk selects the bucket backend (search/metrics/audit-leakage); \
+         disk needs --data-dir DIR and accepts --fsync always|never|N (group commit), \
+         and reopening the same --data-dir recovers the stored records"
     );
 }
 
@@ -123,8 +129,36 @@ fn config_for(flags: &HashMap<String, String>) -> SchemeConfig {
     }
 }
 
+/// The storage backend the flags select: volatile memory (the default) or
+/// the durable WAL+snapshot engine rooted at `--data-dir`.
+fn storage_config(flags: &HashMap<String, String>) -> StorageConfig {
+    match flags.get("storage").map(String::as_str).unwrap_or("mem") {
+        "mem" => StorageConfig::Mem,
+        "disk" => {
+            let Some(dir) = flags.get("data-dir").filter(|d| !d.is_empty()) else {
+                eprintln!("--storage disk needs --data-dir DIR");
+                exit(2);
+            };
+            let mut options = DiskOptions::default();
+            if let Some(f) = flags.get("fsync") {
+                options.fsync = FsyncPolicy::parse(f).unwrap_or_else(|| {
+                    eprintln!("--fsync needs always|never|N, got {f:?}");
+                    exit(2);
+                });
+            }
+            StorageConfig::disk_with(dir, options)
+        }
+        other => {
+            eprintln!("unknown --storage {other:?}; use mem|disk");
+            exit(2);
+        }
+    }
+}
+
 fn build_store(records: &[Record], flags: &HashMap<String, String>) -> EncryptedSearchStore {
     let config = config_for(flags);
+    let storage = storage_config(flags);
+    let reopen = storage.is_disk();
     let mut builder = EncryptedSearchStore::builder(config)
         .passphrase(
             flags
@@ -132,11 +166,21 @@ fn build_store(records: &[Record], flags: &HashMap<String, String>) -> Encrypted
                 .map(String::as_str)
                 .unwrap_or("sdds-cli"),
         )
-        .bucket_capacity(128);
+        .bucket_capacity(128)
+        .storage(storage);
     if config.encoding.is_some() {
         builder = builder.train(records.iter().take(1000).map(|r| r.rc.clone()));
     }
-    builder.start()
+    if reopen {
+        // disk mode always goes through open(): a fresh data dir starts
+        // empty, an existing one recovers the previous run's records
+        builder.open().unwrap_or_else(|e| {
+            eprintln!("cannot open store: {e}");
+            exit(1);
+        })
+    } else {
+        builder.start()
+    }
 }
 
 fn generate(flags: &HashMap<String, String>) {
@@ -655,6 +699,151 @@ fn bench_search(flags: &HashMap<String, String>) {
     });
     eprintln!("wrote search bench results to {path}");
     maybe_write_metrics(flags);
+}
+
+/// Measures the durable storage engine on this machine: batched-put
+/// throughput across group-commit fsync policies, then crash-recovery
+/// (WAL replay) time as a function of WAL size. Runs directly against
+/// [`DiskEngine`] — no cluster, no network — so the numbers isolate the
+/// storage layer. Writes `BENCH_durability.json`.
+fn bench_durability(flags: &HashMap<String, String>) {
+    use sdds_repro::storage::WriteBatch;
+    let entries = flag_usize(flags, "entries", 20_000);
+    let batch_size = flag_usize(flags, "batch", 16).max(1);
+    let value_bytes = flag_usize(flags, "value-bytes", 64).max(1);
+    let root = std::env::temp_dir().join(format!("sdds-bench-durability-{}", std::process::id()));
+    let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("{what}: {e}");
+        let _ = std::fs::remove_dir_all(&root);
+        exit(1);
+    };
+    // compaction off (threshold at the top of the range): the sweep should
+    // measure the WAL append/fsync path, not snapshot rewrites
+    let options_with = |fsync: FsyncPolicy| DiskOptions {
+        fsync,
+        compact_wal_bytes: u64::MAX,
+    };
+    let value = |key: u64| -> Vec<u8> {
+        (0..value_bytes)
+            .map(|i| (key as u8).wrapping_mul(31).wrapping_add(i as u8))
+            .collect()
+    };
+    let policies: [(&str, FsyncPolicy); 5] = [
+        ("always", FsyncPolicy::Always),
+        ("every8", FsyncPolicy::EveryN(8)),
+        ("every64", FsyncPolicy::EveryN(64)),
+        ("every256", FsyncPolicy::EveryN(256)),
+        ("never", FsyncPolicy::Never),
+    ];
+    eprintln!(
+        "fsync sweep: {entries} records in batches of {batch_size} ({value_bytes}-byte values) …"
+    );
+    let mut sweep_rows = Vec::new();
+    for (name, policy) in policies {
+        let dir = root.join(format!("fsync-{name}"));
+        let mut engine = match DiskEngine::open(&dir, options_with(policy)) {
+            Ok(e) => e,
+            Err(e) => fail("cannot open bench engine", &e),
+        };
+        let t0 = Instant::now();
+        let mut key = 0u64;
+        while key < entries as u64 {
+            let mut batch = WriteBatch::new();
+            for _ in 0..batch_size {
+                if key >= entries as u64 {
+                    break;
+                }
+                batch.put(key, value(key));
+                key += 1;
+            }
+            if let Err(e) = engine.apply_batch(batch) {
+                fail("bench write failed", &e);
+            }
+        }
+        if let Err(e) = engine.flush() {
+            fail("bench flush failed", &e);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let (fsyncs, wal_bytes) = (engine.wal_fsyncs(), engine.wal_bytes());
+        println!(
+            "fsync={name:<9} {entries} records in {elapsed:.3}s ({:.0} rec/s) — {fsyncs} fsyncs, {wal_bytes} WAL bytes",
+            entries as f64 / elapsed,
+        );
+        sweep_rows.push(format!(
+            "    {{\"fsync\": \"{name}\", \"elapsed_seconds\": {elapsed:.6}, \"records_per_sec\": {:.1}, \"fsyncs\": {fsyncs}, \"wal_bytes\": {wal_bytes}}}",
+            entries as f64 / elapsed,
+        ));
+    }
+    // Replay: build WALs of growing size (no fsync — we only need the
+    // bytes on disk, not durability, and the build phase is not timed),
+    // then time a cold open, which replays every frame.
+    eprintln!("replay sweep …");
+    let mut replay_rows = Vec::new();
+    for factor in [1usize, 2, 4] {
+        let n = entries * factor;
+        let dir = root.join(format!("replay-{factor}x"));
+        let wal_bytes;
+        {
+            let mut engine = match DiskEngine::open(&dir, options_with(FsyncPolicy::Never)) {
+                Ok(e) => e,
+                Err(e) => fail("cannot open replay engine", &e),
+            };
+            let mut key = 0u64;
+            while key < n as u64 {
+                let mut batch = WriteBatch::new();
+                for _ in 0..batch_size {
+                    if key >= n as u64 {
+                        break;
+                    }
+                    batch.put(key, value(key));
+                    key += 1;
+                }
+                if let Err(e) = engine.apply_batch(batch) {
+                    fail("replay-prep write failed", &e);
+                }
+            }
+            if let Err(e) = engine.flush() {
+                fail("replay-prep flush failed", &e);
+            }
+            wal_bytes = engine.wal_bytes();
+        }
+        let t0 = Instant::now();
+        let engine = match DiskEngine::open(&dir, options_with(FsyncPolicy::Never)) {
+            Ok(e) => e,
+            Err(e) => fail("replay open failed", &e),
+        };
+        let elapsed = t0.elapsed().as_secs_f64();
+        if engine.len() != n {
+            eprintln!("replay recovered {} of {n} records", engine.len());
+            let _ = std::fs::remove_dir_all(&root);
+            exit(1);
+        }
+        println!(
+            "replay {n} records / {wal_bytes} WAL bytes in {elapsed:.3}s ({:.0} rec/s)",
+            n as f64 / elapsed,
+        );
+        replay_rows.push(format!(
+            "    {{\"records\": {n}, \"wal_bytes\": {wal_bytes}, \"replay_seconds\": {elapsed:.6}, \"records_per_sec\": {:.1}}}",
+            n as f64 / elapsed,
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    let path = flags
+        .get("json-out")
+        .map(String::as_str)
+        .filter(|p| !p.is_empty())
+        .unwrap_or("BENCH_durability.json");
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let body = format!(
+        "{{\n  \"entries\": {entries},\n  \"batch\": {batch_size},\n  \"value_bytes\": {value_bytes},\n  \"cpus\": {cpus},\n  \"fsync_sweep\": [\n{}\n  ],\n  \"replay\": [\n{}\n  ]\n}}\n",
+        sweep_rows.join(",\n"),
+        replay_rows.join(",\n"),
+    );
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote durability bench results to {path}");
 }
 
 fn bench_load(flags: &HashMap<String, String>) {

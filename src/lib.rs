@@ -13,6 +13,7 @@
 //! * [`disperse`] — Stage 3: GF-matrix dispersion of index records.
 //! * [`stats`] — χ², n-grams, entropy and randomness tests.
 //! * [`corpus`] — the synthetic SF-phone-directory workload.
+//! * [`storage`] — pluggable bucket storage: in-memory or durable WAL+snapshots.
 //! * [`core`] — the complete encrypted content-searchable store.
 //! * [`baseline`] — SWP-style word scheme and naive decrypt-scan baselines.
 
@@ -28,3 +29,4 @@ pub use sdds_lh as lh;
 pub use sdds_net as net;
 pub use sdds_par as par;
 pub use sdds_stats as stats;
+pub use sdds_storage as storage;
