@@ -6,11 +6,12 @@ use crate::query::EncryptedIndexFilter;
 use sdds_chunk::CombinationRule;
 use sdds_cipher::{KeyMaterial, MasterKey};
 use sdds_lh::{ClusterConfig, LhClient, LhCluster, LhError, ParityConfig, StorageConfig};
+use sdds_net::NetConfig;
 use sdds_obs::trace;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Store-level errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +186,9 @@ pub struct StoreBuilder {
     parity: Option<ParityConfig>,
     scan_index: bool,
     storage: StorageConfig,
+    net: NetConfig,
+    drain_budget: usize,
+    op_timeout: Duration,
 }
 
 impl StoreBuilder {
@@ -228,6 +232,33 @@ impl StoreBuilder {
     /// benchmark baseline.
     pub fn scan_index(mut self, enabled: bool) -> StoreBuilder {
         self.scan_index = enabled;
+        self
+    }
+
+    /// Configures the simulated network under the cluster: latency model,
+    /// fault injection, and `inbox_capacity` — the bounded-mailbox
+    /// admission control bound (unbounded by default). A full inbox
+    /// rejects sends at the sender with `Overloaded`; client handles ride
+    /// it out via their [`RetryPolicy`](sdds_lh::RetryPolicy).
+    pub fn net(mut self, net: NetConfig) -> StoreBuilder {
+        self.net = net;
+        self
+    }
+
+    /// Messages each site event loop drains per wakeup (batching
+    /// amortises decode/dispatch/trace overhead; 1 reproduces
+    /// message-at-a-time dispatch).
+    pub fn drain_budget(mut self, budget: usize) -> StoreBuilder {
+        self.drain_budget = budget.max(1);
+        self
+    }
+
+    /// Total per-operation timeout for every client handle (spread over
+    /// the client's retransmit attempts). Shorten it when running with
+    /// bounded inboxes: shed replies are then re-requested quickly
+    /// instead of idling out long deadline tails.
+    pub fn op_timeout(mut self, timeout: Duration) -> StoreBuilder {
+        self.op_timeout = timeout;
         self
     }
 
@@ -323,7 +354,9 @@ impl StoreBuilder {
             parity: self.parity,
             filter: Arc::new(filter),
             storage: self.storage,
-            ..ClusterConfig::default()
+            net: self.net,
+            drain_budget: self.drain_budget,
+            client_timeout: self.op_timeout,
         };
         (pipeline, cluster_config)
     }
@@ -364,6 +397,9 @@ impl EncryptedSearchStore {
             parity: None,
             scan_index: true,
             storage: StorageConfig::Mem,
+            net: NetConfig::default(),
+            drain_budget: sdds_lh::DEFAULT_DRAIN_BUDGET,
+            op_timeout: Duration::from_secs(10),
         }
     }
 

@@ -7,15 +7,16 @@
 //! parity is on — stream slot deltas to their group's parity sites.
 
 use crate::cluster::{Directory, ParityConfig};
+use crate::drain::{fill_batch, SendQueue, Wakeup, IDLE_TICK};
 use crate::filter::ScanFilter;
 use crate::hash::h;
 use crate::index::PostingIndex;
 use crate::messages::{Op, OpResult, ScanMatch, Wire};
 use crate::parity::{slot_delta, slot_of};
-use sdds_net::{Endpoint, SiteId};
+use sdds_net::{Endpoint, Envelope, SiteId};
 use sdds_obs::trace;
 use sdds_obs::Registry;
-use sdds_storage::{StorageEngine, StorageError, WriteBatch};
+use sdds_storage::{BatchOp, StorageEngine, StorageError, WriteBatch};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -86,6 +87,9 @@ pub(crate) struct BucketCtx {
     /// stays the cross-site aggregate while each site keeps its own
     /// breakdown.
     pub obs: Registry,
+    /// Messages the event loop dispatches per wakeup (see
+    /// [`crate::drain`]); 1 = historical single-message dispatch.
+    pub drain_budget: usize,
 }
 
 impl BucketState {
@@ -481,7 +485,7 @@ impl BucketState {
                 (k, self.engine.get(k))
             })
             .collect();
-        self.engine.apply_batch(batch)?;
+        self.engine.apply_batch(&batch)?;
         let mut out = Vec::new();
         for (key, old) in olds {
             out.extend(self.note_delete(key, old, ctx));
@@ -502,21 +506,26 @@ impl BucketState {
         ctx: &BucketCtx,
     ) -> Vec<(SiteId, Wire)> {
         let olds: Vec<Option<Vec<u8>>> = records.iter().map(|(k, _)| self.engine.get(*k)).collect();
+        // move the records into the batch — the batch is the only owned
+        // copy the write path needs; bookkeeping below borrows it back
         let mut batch = WriteBatch::new();
-        for (key, value) in &records {
-            batch.put(*key, value.clone());
+        for (key, value) in records {
+            batch.put(key, value);
         }
         let applied = self
             .engine
-            .apply_batch(batch)
+            .apply_batch(&batch)
             .and_then(|()| self.engine.flush());
         if applied.is_err() {
             ctx.obs.counter("storage.errors").inc();
             return Vec::new();
         }
         let mut out = Vec::new();
-        for ((key, value), old) in records.into_iter().zip(olds) {
-            out.extend(self.note_put(key, &value, old, ctx));
+        for (op, old) in batch.ops().iter().zip(olds) {
+            let BatchOp::Put { key, value } = op else {
+                continue;
+            };
+            out.extend(self.note_put(*key, value, old, ctx));
         }
         crash_point("transfer-applied");
         out.push((from, Wire::TransferAck { addr: self.addr }));
@@ -606,12 +615,22 @@ impl BucketState {
     fn adopt(&mut self, level: u8, slots: Vec<Option<(u64, Vec<u8>)>>, ctx: &BucketCtx) {
         let mut batch = WriteBatch::new();
         batch.clear_all();
-        for entry in slots.iter().flatten() {
-            batch.put(entry.0, entry.1.clone());
+        // move each record into the batch once (no per-value clone); the
+        // slot layout — rank = position, holes included — is remembered
+        // separately for the rank-table rebuild below
+        let mut slot_keys: Vec<Option<u64>> = Vec::with_capacity(slots.len());
+        for entry in slots {
+            match entry {
+                Some((key, value)) => {
+                    slot_keys.push(Some(key));
+                    batch.put(key, value);
+                }
+                None => slot_keys.push(None),
+            }
         }
         let applied = self
             .engine
-            .apply_batch(batch)
+            .apply_batch(&batch)
             .and_then(|()| self.engine.flush());
         if applied.is_err() {
             // keep the pre-adopt state (engine and tables) intact rather
@@ -625,15 +644,19 @@ impl BucketState {
         self.free_ranks.clear();
         if let Some(idx) = &mut self.index {
             idx.clear();
+            // the batch's puts are exactly the occupied slots, in order
+            for op in batch.ops() {
+                let BatchOp::Put { key, value } = op else {
+                    continue;
+                };
+                if ctx.filter.should_index(*key) {
+                    idx.add(*key, value);
+                }
+            }
         }
-        for (rank, entry) in slots.into_iter().enumerate() {
+        for (rank, entry) in slot_keys.into_iter().enumerate() {
             match entry {
-                Some((key, value)) => {
-                    if let Some(idx) = &mut self.index {
-                        if ctx.filter.should_index(key) {
-                            idx.add(key, &value);
-                        }
-                    }
+                Some(key) => {
                     self.ranks.push(Some(key));
                     self.key_rank.insert(key, rank as u32);
                 }
@@ -851,36 +874,75 @@ fn wire_span_name(msg: &Wire) -> &'static str {
     }
 }
 
-/// The bucket thread loop: decode, dispatch, send, until [`Wire::Shutdown`].
+/// The bucket thread loop: batch-drain, decode, dispatch, send, until
+/// [`Wire::Shutdown`].
+///
+/// Each wakeup blockingly receives one message, then greedily drains the
+/// inbox up to `ctx.drain_budget` before dispatching — amortizing the
+/// condvar roundtrip and per-wakeup metric sampling over the whole batch
+/// at high fan-in. A budget of 1 reproduces the historical
+/// one-message-per-wakeup loop exactly.
 pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: BucketCtx) {
     // a reopened bucket first rebuilds its volatile bookkeeping from the
     // recovered records (and may immediately re-report an overflow)
+    let mut outbox = SendQueue::new();
     for (to, out) in state.startup(&ctx) {
-        let _ = endpoint.send(to, out.encode());
+        let payload = out.encode();
+        outbox.send(&endpoint, to, &out, payload, None);
     }
-    while let Ok(env) = endpoint.recv() {
-        let Some(msg) = Wire::decode(&env.payload) else {
-            continue;
-        };
-        if matches!(msg, Wire::Shutdown) {
+    let budget = ctx.drain_budget.max(1);
+    let depth_gauge = ctx.obs.gauge("lh.inbox_depth");
+    let batch_hist = ctx.obs.histogram("lh.drain_batch_size");
+    let mut batch: Vec<Envelope> = Vec::with_capacity(budget);
+    loop {
+        // While a rejected control-plane send (overflow report, transfer
+        // batch/ack, split completion) is parked, wake on an idle tick so
+        // batch draining can never delay it indefinitely: the retry fires
+        // within IDLE_TICK even if no new traffic arrives.
+        let idle = outbox.has_parked().then_some(IDLE_TICK);
+        match fill_batch(&endpoint, budget, idle, &mut batch) {
+            Wakeup::Batch => {}
+            Wakeup::Idle => {
+                outbox.flush(&endpoint);
+                continue;
+            }
+            Wakeup::Disconnected => break,
+        }
+        depth_gauge.set(endpoint.inbox_depth() as i64);
+        batch_hist.observe(batch.len() as f64);
+        let mut shutdown = false;
+        for env in batch.drain(..) {
+            let Some(msg) = Wire::decode(&env.payload) else {
+                continue;
+            };
+            if matches!(msg, Wire::Shutdown) {
+                shutdown = true;
+                break;
+            }
+            // Child span under the sender's context (inert for untraced
+            // traffic). It is on this thread's span stack while `handle`
+            // runs, so inner spans (index probe vs linear scan) and the
+            // outgoing messages below — replies, forwards, transfer
+            // batches — all chain under it, giving forwarded requests one
+            // correctly-parented path per hop. Spans stay per-message
+            // under batching: causality is per operation, not per wakeup.
+            let mut span = trace::remote_span(wire_span_name(&msg), env.ctx);
+            span.set_site(state.addr as i64);
+            if let Wire::Request { hops, .. } = &msg {
+                span.set_detail(*hops as u64);
+            }
+            let out_ctx = span.context();
+            for (to, out) in state.handle(env.from, msg, &ctx) {
+                // A send can fail if the peer already shut down (fine
+                // during teardown) or be rejected by a full inbox — the
+                // outbox parks control-plane messages for retry.
+                let payload = out.encode();
+                outbox.send(&endpoint, to, &out, payload, out_ctx);
+            }
+        }
+        outbox.flush(&endpoint);
+        if shutdown {
             break;
-        }
-        // Child span under the sender's context (inert for untraced
-        // traffic). It is on this thread's span stack while `handle`
-        // runs, so inner spans (index probe vs linear scan) and the
-        // outgoing messages below — replies, forwards, transfer batches —
-        // all chain under it, giving forwarded requests one
-        // correctly-parented path per hop.
-        let mut span = trace::remote_span(wire_span_name(&msg), env.ctx);
-        span.set_site(state.addr as i64);
-        if let Wire::Request { hops, .. } = &msg {
-            span.set_detail(*hops as u64);
-        }
-        let out_ctx = span.context();
-        for (to, out) in state.handle(env.from, msg, &ctx) {
-            // A send can fail if the peer already shut down; that is fine
-            // during teardown.
-            let _ = endpoint.send_traced(to, out.encode(), out_ctx);
         }
     }
 }
@@ -908,6 +970,7 @@ mod tests {
                 filter: Arc::new(SubstringFilter),
                 parity: None,
                 obs: Registry::new("bucket-test"),
+                drain_budget: crate::drain::DEFAULT_DRAIN_BUDGET,
             },
             coord_id,
         )
@@ -1212,6 +1275,7 @@ mod tests {
                 slot_size: 32,
             }),
             obs: Registry::new("bucket-test"),
+            drain_budget: crate::drain::DEFAULT_DRAIN_BUDGET,
         };
         let mut b = mem_bucket(0, 1, 100);
         // adopt a reconstructed slot table with a hole at rank 1
@@ -1384,6 +1448,7 @@ mod tests {
                 slot_size: 32,
             }),
             obs: Registry::new("bucket-test"),
+            drain_budget: crate::drain::DEFAULT_DRAIN_BUDGET,
         };
         let mut b = mem_bucket(2, 2, 100);
         let check = |b: &BucketState, step: &str| {

@@ -3,6 +3,7 @@
 use crate::cluster::Directory;
 use crate::hash::ClientImage;
 use crate::messages::{Op, OpResult, ScanMatch, Wire};
+use bytes::Bytes;
 use sdds_net::{Endpoint, NetError, SiteId};
 use sdds_obs::trace;
 use std::cell::Cell;
@@ -54,6 +55,42 @@ impl From<NetError> for LhError {
     }
 }
 
+/// How a client reacts when a bounded site inbox rejects a send with
+/// [`NetError::Overloaded`] (admission control). The client backs off and
+/// retries the same site with exponential delay; every rejection is
+/// counted in `lh.rejected_total`. Once `max_retries` is exhausted the
+/// `Overloaded` error propagates like any other network failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first rejected send (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on the per-retry backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: the first `Overloaded` propagates.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// A client of an LH\* file. Each client owns a network endpoint and its
 /// private [`ClientImage`], updated by Image Adjustment Messages.
 pub struct LhClient {
@@ -63,6 +100,7 @@ pub struct LhClient {
     image: Cell<ClientImage>,
     next_req: Cell<u64>,
     timeout: Cell<Duration>,
+    retry: Cell<RetryPolicy>,
     /// Total IAMs received — observable measure of image staleness.
     iams: Cell<u64>,
     /// Total forwarding hops reported — the paper's ≤2 invariant.
@@ -91,6 +129,7 @@ impl LhClient {
             image: Cell::new(ClientImage::default()),
             next_req: Cell::new(1),
             timeout: Cell::new(Duration::from_secs(10)),
+            retry: Cell::new(RetryPolicy::default()),
             iams: Cell::new(0),
             hops: Cell::new(0),
         }
@@ -100,6 +139,65 @@ impl LhClient {
     /// attempts). Useful under fault injection to fail fast.
     pub fn set_timeout(&self, timeout: Duration) {
         self.timeout.set(timeout);
+    }
+
+    /// Sets the backoff policy applied when a bounded site inbox rejects
+    /// a send ([`NetError::Overloaded`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.retry.set(policy);
+    }
+
+    /// The client's current admission-control retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.get()
+    }
+
+    /// Sends with admission-control awareness. `Overloaded` means the
+    /// target's bounded inbox was full and the network refused the send at
+    /// the sender — no message was queued — so the client backs off and
+    /// retries the *same* site (the record still hashes there; rerouting
+    /// would just forward back into the hot inbox). Every rejection is
+    /// visible in `lh.rejected_total`.
+    fn send_admitted(&self, site: SiteId, payload: Bytes) -> Result<(), NetError> {
+        let policy = self.retry.get();
+        let mut backoff = policy.initial_backoff;
+        let mut rejections = 0;
+        loop {
+            match self.endpoint.send(site, payload.clone()) {
+                Err(NetError::Overloaded(s)) => {
+                    sdds_obs::counter("lh.rejected_total").inc();
+                    if rejections >= policy.max_retries {
+                        return Err(NetError::Overloaded(s));
+                    }
+                    rejections += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The pipelined-batch variant of [`send_admitted`](Self::send_admitted):
+    /// one quick backoff, then shed. Batch operations already retransmit
+    /// unanswered items each attempt, so spinning the full backoff ladder
+    /// per item would burn the attempt window sleeping instead of draining
+    /// the responses that unblock the receiving site.
+    fn send_pipelined(&self, site: SiteId, payload: Bytes) -> Result<(), NetError> {
+        match self.endpoint.send(site, payload.clone()) {
+            Err(NetError::Overloaded(_)) => {
+                sdds_obs::counter("lh.rejected_total").inc();
+                std::thread::sleep(self.retry.get().initial_backoff);
+                match self.endpoint.send(site, payload) {
+                    Err(NetError::Overloaded(s)) => {
+                        sdds_obs::counter("lh.rejected_total").inc();
+                        Err(NetError::Overloaded(s))
+                    }
+                    other => other,
+                }
+            }
+            other => other,
+        }
     }
 
     /// The client's current image of the file.
@@ -192,15 +290,16 @@ impl LhClient {
                 .bucket_site(addr)
                 .or_else(|| self.directory.bucket_site(0))
                 .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
-            if self.endpoint.send(site, msg.encode()).is_err() {
+            if self.send_admitted(site, msg.encode()).is_err() {
                 // The addressed bucket was merged away between the
-                // directory read and the send (the file shrank). Bucket 0
+                // directory read and the send (the file shrank), or its
+                // inbox stayed full past the retry budget. Bucket 0
                 // always exists and forwards correctly.
                 let fallback = self
                     .directory
                     .bucket_site(0)
                     .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
-                self.endpoint.send(fallback, msg.encode())?;
+                self.send_admitted(fallback, msg.encode())?;
             }
             let deadline = Instant::now() + attempt_timeout;
             while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
@@ -276,9 +375,9 @@ impl LhClient {
                     .bucket_site(addr)
                     .or_else(|| self.directory.bucket_site(0))
                     .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
-                if self.endpoint.send(site, msg.encode()).is_err() {
+                if self.send_pipelined(site, msg.encode()).is_err() {
                     if let Some(fallback) = self.directory.bucket_site(0) {
-                        let _ = self.endpoint.send(fallback, msg.encode());
+                        let _ = self.send_pipelined(fallback, msg.encode());
                     }
                 }
             }
@@ -374,9 +473,9 @@ impl LhClient {
                     .bucket_site(addr)
                     .or_else(|| self.directory.bucket_site(0))
                     .ok_or(LhError::Net(NetError::UnknownSite(SiteId(0))))?;
-                if self.endpoint.send(site, msg.encode()).is_err() {
+                if self.send_pipelined(site, msg.encode()).is_err() {
                     if let Some(fallback) = self.directory.bucket_site(0) {
-                        let _ = self.endpoint.send(fallback, msg.encode());
+                        let _ = self.send_pipelined(fallback, msg.encode());
                     }
                 }
             }
@@ -447,7 +546,7 @@ impl LhClient {
         };
         let attempt_timeout = self.timeout.get() / Self::ATTEMPTS;
         for _attempt in 0..Self::ATTEMPTS {
-            self.endpoint.send(self.coordinator, msg.encode())?;
+            self.send_admitted(self.coordinator, msg.encode())?;
             let deadline = Instant::now() + attempt_timeout;
             while let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
                 let env = match self.endpoint.recv_timeout(remaining) {
@@ -529,7 +628,7 @@ impl LhClient {
             let mut dead: Vec<u64> = Vec::new();
             for &addr in &outstanding {
                 match self.directory.bucket_site(addr) {
-                    Some(site) if self.endpoint.send(site, payload.clone()).is_ok() => {
+                    Some(site) if self.send_admitted(site, payload.clone()).is_ok() => {
                         awaited.insert(addr);
                     }
                     _ => dead.push(addr),
@@ -604,4 +703,105 @@ fn finish(matches: HashMap<u64, ScanMatch>) -> Vec<ScanMatch> {
     let mut out: Vec<ScanMatch> = matches.into_values().collect();
     out.sort_by_key(|m| m.key);
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Directory;
+    use sdds_net::{NetConfig, Network};
+
+    /// A client wired to a never-drained "bucket" site behind a bounded
+    /// inbox, plus a raw endpoint for stuffing that inbox full.
+    fn tiny_inbox_rig(capacity: usize) -> (Network, LhClient, Endpoint, Endpoint) {
+        let net = Network::new(NetConfig {
+            inbox_capacity: Some(capacity),
+            ..NetConfig::default()
+        });
+        let bucket_ep = net.register();
+        let coord_ep = net.register();
+        let directory = Arc::new(Directory::new());
+        directory.set_bucket(0, bucket_ep.id());
+        let client = LhClient::new(net.register(), directory, coord_ep.id());
+        let filler = net.register();
+        (net, client, bucket_ep, filler)
+    }
+
+    #[test]
+    fn overloaded_insert_surfaces_error_and_counts_rejections() {
+        let (_net, client, bucket_ep, filler) = tiny_inbox_rig(1);
+        // one junk message fills the capacity-1 inbox
+        filler
+            .send(bucket_ep.id(), Bytes::from_static(b"junk"))
+            .unwrap();
+        client.set_retry_policy(RetryPolicy::none());
+        let before = sdds_obs::counter("lh.rejected_total").get();
+        let err = client.insert(1, b"v".to_vec()).unwrap_err();
+        assert!(
+            matches!(err, LhError::Net(NetError::Overloaded(_))),
+            "expected Overloaded, got {err:?}"
+        );
+        // both the image-addressed send and the bucket-0 fallback (the
+        // same full site here) were refused
+        let after = sdds_obs::counter("lh.rejected_total").get();
+        assert!(
+            after >= before + 2,
+            "rejections must be counted: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_overload() {
+        let (_net, client, bucket_ep, filler) = tiny_inbox_rig(1);
+        filler
+            .send(bucket_ep.id(), Bytes::from_static(b"junk"))
+            .unwrap();
+        client.set_retry_policy(RetryPolicy {
+            max_retries: 200,
+            initial_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(1),
+        });
+        let before = sdds_obs::counter("lh.rejected_total").get();
+        // a stand-in bucket 0: drain the blocker after a delay, then
+        // serve the (retried) request
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            let _ = bucket_ep.recv_timeout(Duration::from_secs(1));
+            loop {
+                let Ok(env) = bucket_ep.recv_timeout(Duration::from_secs(2)) else {
+                    return;
+                };
+                if let Some(Wire::Request {
+                    req_id, client, op, ..
+                }) = Wire::decode(&env.payload)
+                {
+                    let reply = Wire::Response {
+                        req_id,
+                        result: match op {
+                            Op::Insert { .. } => OpResult::Inserted { replaced: false },
+                            _ => OpResult::Error {
+                                message: "unexpected op".into(),
+                            },
+                        },
+                        served_by: 0,
+                        bucket_level: 0,
+                        hops: 0,
+                    };
+                    let _ = bucket_ep.send(SiteId(client), reply.encode());
+                    return;
+                }
+            }
+        });
+        assert_eq!(
+            client.insert(7, b"seven".to_vec()),
+            Ok(false),
+            "backoff must ride out the transient overload"
+        );
+        let after = sdds_obs::counter("lh.rejected_total").get();
+        assert!(
+            after > before,
+            "the rejected attempts must be visible in lh.rejected_total"
+        );
+        server.join().unwrap();
+    }
 }

@@ -8,6 +8,7 @@ use crate::filter::{ScanFilter, SubstringFilter};
 use crate::hash::{address, ClientImage};
 use crate::messages::{ParityRow, Wire};
 use crate::parity::{reconstruct_member, run_parity, ParityState};
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use sdds_net::{Endpoint, NetConfig, NetError, Network, SiteId};
 use sdds_storage::{MemEngine, StorageConfig, StorageEngine, WriteBatch};
@@ -135,6 +136,16 @@ pub struct ClusterConfig {
     /// Storage backend for bucket records: volatile in-memory (the
     /// default) or durable WAL+snapshot directories.
     pub storage: StorageConfig,
+    /// Messages each site event loop dispatches per wakeup (batch
+    /// draining; see `sdds_lh::DEFAULT_DRAIN_BUDGET`). 1 restores the
+    /// historical one-message-per-wakeup dispatch.
+    pub drain_budget: usize,
+    /// Total per-operation timeout handed to every client this cluster
+    /// creates (spread over the client's retransmit attempts). Short
+    /// timeouts make clients re-request shed replies quickly — the right
+    /// trade under bounded inboxes, where replies are dropped rather than
+    /// queued without limit.
+    pub client_timeout: Duration,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -143,6 +154,7 @@ impl fmt::Debug for ClusterConfig {
             .field("bucket_capacity", &self.bucket_capacity)
             .field("parity", &self.parity)
             .field("storage", &self.storage)
+            .field("drain_budget", &self.drain_budget)
             .finish()
     }
 }
@@ -155,6 +167,8 @@ impl Default for ClusterConfig {
             filter: Arc::new(SubstringFilter),
             net: NetConfig::default(),
             storage: StorageConfig::Mem,
+            drain_budget: crate::drain::DEFAULT_DRAIN_BUDGET,
+            client_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -208,8 +222,9 @@ impl LhCluster {
         let lookup = Box::new(move |addr: u64| dir.bucket_site(addr));
         let dir = directory.clone();
         let retirer = Box::new(move |addr: u64| dir.clear_bucket(addr));
+        let budget = config.drain_budget;
         let h = std::thread::spawn(move || {
-            run_coordinator(coordinator_ep, coord_spawner, retirer, lookup)
+            run_coordinator(coordinator_ep, coord_spawner, retirer, lookup, budget)
         });
         handles.lock().push(h);
 
@@ -294,7 +309,7 @@ impl LhCluster {
                 }
                 let engine = &mut engines[addr];
                 engine
-                    .apply_batch(batch)
+                    .apply_batch(&batch)
                     .and_then(|()| engine.flush())
                     .map_err(|e| LhError::Storage(format!("bucket {addr}: {e}")))?;
             }
@@ -331,8 +346,9 @@ impl LhCluster {
         let lookup = Box::new(move |addr: u64| dir.bucket_site(addr));
         let dir = directory.clone();
         let retirer = Box::new(move |addr: u64| dir.clear_bucket(addr));
+        let budget = config.drain_budget;
         let h = std::thread::spawn(move || {
-            run_coordinator(coordinator_ep, coord_spawner, retirer, lookup)
+            run_coordinator(coordinator_ep, coord_spawner, retirer, lookup, budget)
         });
         handles.lock().push(h);
 
@@ -341,7 +357,11 @@ impl LhCluster {
         // FIFO, so sending this before the bucket threads exist
         // guarantees it.
         let control = network.register();
-        control.send(coordinator, Wire::AdoptFileState { level, split }.encode())?;
+        send_control(
+            &control,
+            coordinator,
+            Wire::AdoptFileState { level, split }.encode(),
+        )?;
 
         // Two-phase spawn: every directory entry must be published before
         // any site thread runs. An early bucket's startup overflow report
@@ -375,11 +395,13 @@ impl LhCluster {
 
     /// Registers a new client of the file.
     pub fn client(&self) -> LhClient {
-        LhClient::new(
+        let client = LhClient::new(
             self.network.register(),
             self.directory.clone(),
             self.coordinator,
-        )
+        );
+        client.set_timeout(self.config.client_timeout);
+        client
     }
 
     /// The underlying network (for traffic statistics).
@@ -398,7 +420,7 @@ impl LhCluster {
     pub fn kill_bucket(&self, addr: u64) {
         if let Some(site) = self.directory.bucket_site(addr) {
             let control = self.network.register();
-            let _ = control.send(site, Wire::Shutdown.encode());
+            let _ = send_control(&control, site, Wire::Shutdown.encode());
             self.directory.clear_bucket(addr);
         }
     }
@@ -454,7 +476,7 @@ impl LhCluster {
                         req_id,
                         client: control.id().0,
                     };
-                    control.send(site, msg.encode())?;
+                    send_control(&control, site, msg.encode())?;
                     awaiting.insert(req_id, member);
                     req_id += 1;
                 }
@@ -478,7 +500,7 @@ impl LhCluster {
                 client: control.id().0,
                 group,
             };
-            control.send(*site, msg.encode())?;
+            send_control(&control, *site, msg.encode())?;
             awaiting.insert(req_id, usize::MAX); // parity marker
             req_id += 1;
         }
@@ -523,7 +545,7 @@ impl LhCluster {
         // state implies.
         let level = bucket_level(addr, extent);
         let site = (self.spawner.lock())(addr, level);
-        control.send(site, Wire::Adopt { addr, level, slots }.encode())?;
+        send_control(&control, site, Wire::Adopt { addr, level, slots }.encode())?;
         Ok(())
     }
 
@@ -542,7 +564,8 @@ impl LhCluster {
                     "bucket {addr} is down; recover it before snapshotting"
                 )));
             };
-            control.send(
+            send_control(
+                &control,
                 site,
                 Wire::Dump {
                     req_id: req_id as u64,
@@ -607,7 +630,8 @@ impl LhCluster {
         }
         let cluster = LhCluster::start(config);
         let control = cluster.network.register();
-        control.send(
+        send_control(
+            &control,
             cluster.coordinator,
             Wire::AdoptFileState {
                 level: snapshot.level,
@@ -626,7 +650,8 @@ impl LhCluster {
         for b in &snapshot.buckets {
             // lint: allow(panic-freedom) -- the spawner loop directly above registered every snapshot bucket
             let site = cluster.directory.bucket_site(b.addr).expect("just spawned");
-            control.send(
+            send_control(
+                &control,
                 site,
                 Wire::TransferBatch {
                     level: b.level,
@@ -643,7 +668,7 @@ impl LhCluster {
     pub fn shutdown(self) {
         let control = self.network.register();
         for site in self.shutdown_sites.lock().drain(..) {
-            let _ = control.send(site, Wire::Shutdown.encode());
+            let _ = send_control(&control, site, Wire::Shutdown.encode());
         }
         let handles: Vec<JoinHandle<()>> = {
             let mut guard = self.handles.lock();
@@ -651,6 +676,23 @@ impl LhCluster {
         };
         for h in handles {
             let _ = h.join();
+        }
+    }
+}
+
+/// Sends a cluster-lifecycle message, retrying briefly while the
+/// destination's bounded inbox rejects it. Admission control may shed
+/// client traffic freely, but shutdown/recovery/restore messages must
+/// land for the cluster to make progress — and the receiving loop is
+/// live and draining, so a full inbox clears within the retry window.
+fn send_control(ep: &Endpoint, to: SiteId, payload: Bytes) -> Result<(), NetError> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match ep.send(to, payload.clone()) {
+            Err(NetError::Overloaded(_)) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            other => return other,
         }
     }
 }
@@ -678,6 +720,7 @@ struct SiteBuilder {
     parity: Option<ParityConfig>,
     filter: Arc<dyn ScanFilter>,
     storage: StorageConfig,
+    drain_budget: usize,
     coordinator: SiteId,
     handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shutdown_sites: Arc<Mutex<Vec<SiteId>>>,
@@ -699,6 +742,7 @@ impl SiteBuilder {
             parity: config.parity,
             filter: config.filter.clone(),
             storage: config.storage.clone(),
+            drain_budget: config.drain_budget,
             coordinator,
             handles: handles.clone(),
             shutdown_sites: shutdown_sites.clone(),
@@ -723,9 +767,10 @@ impl SiteBuilder {
                         cfg.parity_count,
                         cfg.slot_size,
                     );
+                    let budget = self.drain_budget;
                     self.handles
                         .lock()
-                        .push(std::thread::spawn(move || run_parity(ep, state)));
+                        .push(std::thread::spawn(move || run_parity(ep, state, budget)));
                 }
                 self.directory.set_parity(group, sites);
             }
@@ -751,6 +796,7 @@ impl SiteBuilder {
                 format!("bucket-{addr}"),
                 sdds_obs::Registry::global(),
             ),
+            drain_budget: self.drain_budget,
         };
         // A spawner cannot report failure (it runs inside the
         // coordinator's split path); if durable storage cannot open,

@@ -6,9 +6,10 @@
 //! the split victim is `n`, not the overflowing bucket. One split runs at a
 //! time; further overflow reports queue.
 
+use crate::drain::{fill_batch, SendQueue, Wakeup, IDLE_TICK};
 use crate::hash::extent;
 use crate::messages::Wire;
-use sdds_net::{Endpoint, SiteId};
+use sdds_net::{Endpoint, Envelope, SiteId};
 
 /// Callback that materialises a new bucket site (registers the endpoint,
 /// spawns its thread, updates the directory) and returns its address.
@@ -175,28 +176,54 @@ impl CoordinatorState {
     }
 }
 
-/// The coordinator thread loop.
+/// The coordinator thread loop: batch-drained like the bucket loop (a
+/// drain budget of 1 is the historical single-message dispatch). Split
+/// and merge commands rejected by a full victim inbox park in the send
+/// queue and retry at end-of-batch and on the idle tick — restructuring
+/// cannot be lost to admission control.
 pub(crate) fn run_coordinator(
     endpoint: Endpoint,
     mut spawner: BucketSpawner,
     mut retirer: BucketRetirer,
     bucket_site: Box<dyn Fn(u64) -> Option<SiteId> + Send>,
+    drain_budget: usize,
 ) {
     let mut state = CoordinatorState::new();
-    while let Ok(env) = endpoint.recv() {
-        let Some(msg) = Wire::decode(&env.payload) else {
-            continue;
-        };
-        if matches!(msg, Wire::Shutdown) {
-            break;
+    let budget = drain_budget.max(1);
+    let mut batch: Vec<Envelope> = Vec::with_capacity(budget);
+    let mut outbox = SendQueue::new();
+    loop {
+        let idle = outbox.has_parked().then_some(IDLE_TICK);
+        match fill_batch(&endpoint, budget, idle, &mut batch) {
+            Wakeup::Batch => {}
+            Wakeup::Idle => {
+                outbox.flush(&endpoint);
+                continue;
+            }
+            Wakeup::Disconnected => break,
         }
-        // Child span under the reporting site's context (inert for
-        // untraced traffic), so coordinator-ordered splits/merges chain
-        // into the trace of the operation that triggered them.
-        let span = sdds_obs::trace::remote_span(coord_span_name(&msg), env.ctx);
-        let out_ctx = span.context();
-        for (to, out) in state.handle(msg, &mut spawner, &mut retirer, bucket_site.as_ref()) {
-            let _ = endpoint.send_traced(to, out.encode(), out_ctx);
+        let mut shutdown = false;
+        for env in batch.drain(..) {
+            let Some(msg) = Wire::decode(&env.payload) else {
+                continue;
+            };
+            if matches!(msg, Wire::Shutdown) {
+                shutdown = true;
+                break;
+            }
+            // Child span under the reporting site's context (inert for
+            // untraced traffic), so coordinator-ordered splits/merges
+            // chain into the trace of the operation that triggered them.
+            let span = sdds_obs::trace::remote_span(coord_span_name(&msg), env.ctx);
+            let out_ctx = span.context();
+            for (to, out) in state.handle(msg, &mut spawner, &mut retirer, bucket_site.as_ref()) {
+                let payload = out.encode();
+                outbox.send(&endpoint, to, &out, payload, out_ctx);
+            }
+        }
+        outbox.flush(&endpoint);
+        if shutdown {
+            break;
         }
     }
 }

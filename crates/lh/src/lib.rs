@@ -37,14 +37,16 @@ mod bucket;
 mod client;
 mod cluster;
 mod coordinator;
+mod drain;
 mod filter;
 mod hash;
 mod index;
 mod messages;
 mod parity;
 
-pub use client::{LhClient, LhError};
+pub use client::{LhClient, LhError, RetryPolicy};
 pub use cluster::{BucketSnapshot, ClusterConfig, FileSnapshot, LhCluster, ParityConfig};
+pub use drain::DEFAULT_DRAIN_BUDGET;
 pub use filter::{PreparedQuery, ScanFilter, SubstringFilter};
 pub use hash::{address, ClientImage};
 pub use messages::ScanMatch;

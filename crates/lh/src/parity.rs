@@ -13,9 +13,10 @@
 //! members plus the parity rows and solves the code; any `m` simultaneous
 //! failures per group are survivable.
 
+use crate::drain::{fill_batch, SendQueue, Wakeup};
 use crate::messages::{ParityRow, Wire};
 use sdds_gf::rs::ReedSolomon;
-use sdds_net::{Endpoint, SiteId};
+use sdds_net::{Endpoint, Envelope, SiteId};
 
 /// Encodes a value into its fixed slot: two little-endian length bytes,
 /// the payload, zero padding.
@@ -153,28 +154,45 @@ impl ParityState {
     }
 }
 
-/// The parity-site thread loop.
-pub(crate) fn run_parity(endpoint: Endpoint, mut state: ParityState) {
-    while let Ok(env) = endpoint.recv() {
-        let Some(msg) = Wire::decode(&env.payload) else {
-            continue;
-        };
-        if matches!(msg, Wire::Shutdown) {
-            break;
+/// The parity-site thread loop: batch-drained like the bucket loop. A
+/// slot-delta stream from a splitting group arrives at high fan-in, so
+/// amortizing the wakeup over a batch matters here too. Parity sites
+/// only ever emit client-bound `ParityState` replies (recovery re-reads
+/// on loss), so no idle tick is needed.
+pub(crate) fn run_parity(endpoint: Endpoint, mut state: ParityState, drain_budget: usize) {
+    let budget = drain_budget.max(1);
+    let mut batch: Vec<Envelope> = Vec::with_capacity(budget);
+    let mut outbox = SendQueue::new();
+    while let Wakeup::Batch = fill_batch(&endpoint, budget, None, &mut batch) {
+        let mut shutdown = false;
+        for env in batch.drain(..) {
+            let Some(msg) = Wire::decode(&env.payload) else {
+                continue;
+            };
+            if matches!(msg, Wire::Shutdown) {
+                shutdown = true;
+                break;
+            }
+            // Child span under the sender's context (inert for untraced
+            // traffic): parity updates triggered by a traced insert/delete
+            // and parity reads during recovery stay inside the operation's
+            // trace.
+            let name = match &msg {
+                Wire::ParityUpdate { .. } => "parity.update",
+                Wire::ParityRead { .. } => "parity.read",
+                _ => "parity.msg",
+            };
+            let mut span = sdds_obs::trace::remote_span(name, env.ctx);
+            span.set_site(endpoint.id().0 as i64);
+            let out_ctx = span.context();
+            for (to, out) in state.handle(msg) {
+                let payload = out.encode();
+                outbox.send(&endpoint, to, &out, payload, out_ctx);
+            }
         }
-        // Child span under the sender's context (inert for untraced
-        // traffic): parity updates triggered by a traced insert/delete and
-        // parity reads during recovery stay inside the operation's trace.
-        let name = match &msg {
-            Wire::ParityUpdate { .. } => "parity.update",
-            Wire::ParityRead { .. } => "parity.read",
-            _ => "parity.msg",
-        };
-        let mut span = sdds_obs::trace::remote_span(name, env.ctx);
-        span.set_site(endpoint.id().0 as i64);
-        let out_ctx = span.context();
-        for (to, out) in state.handle(msg) {
-            let _ = endpoint.send_traced(to, out.encode(), out_ctx);
+        outbox.flush(&endpoint);
+        if shutdown {
+            break;
         }
     }
 }

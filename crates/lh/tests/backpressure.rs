@@ -1,0 +1,125 @@
+//! Admission control under load: bounded site inboxes must shed load at
+//! the sender without ever wedging the file's structural protocol —
+//! splits, merges, and shutdown all complete while clients hammer the
+//! same buckets.
+
+use sdds_lh::{ClusterConfig, LhCluster, RetryPolicy};
+use sdds_net::NetConfig;
+use std::time::Duration;
+
+fn bounded_config(bucket_capacity: usize, inbox_capacity: usize) -> ClusterConfig {
+    ClusterConfig {
+        bucket_capacity,
+        net: NetConfig {
+            inbox_capacity: Some(inbox_capacity),
+            ..NetConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+/// The satellite regression: with tiny bounded inboxes and writers that
+/// never pause, batch draining plus parked control-plane retries must
+/// still let every split complete — overflow reports and transfer
+/// batches cannot be starved or silently lost.
+#[test]
+fn splits_complete_under_continuous_traffic_with_bounded_inboxes() {
+    let cluster = LhCluster::start(bounded_config(16, 16));
+    let writers: Vec<_> = (0..2u64)
+        .map(|w| {
+            let client = cluster.client();
+            // short attempt windows: shed reply bursts are re-requested
+            // quickly instead of idling out a long deadline tail
+            client.set_timeout(Duration::from_secs(10));
+            std::thread::spawn(move || {
+                // disjoint key ranges per writer, pipelined 32 at a time
+                // (2x the inbox bound, so bursts overrun admission) so
+                // load stays in flight while the coordinator runs splits
+                // underneath it
+                for chunk in 0..8u64 {
+                    let base = w * 256 + chunk * 32;
+                    let batch: Vec<_> = (base..base + 32)
+                        .map(|key| (key, format!("value-{key}").into_bytes()))
+                        .collect();
+                    client.insert_batch(batch).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(
+        cluster.num_buckets() > 16,
+        "512 records at capacity 16 must split well beyond 16 buckets \
+         even with capacity-16 inboxes, got {}",
+        cluster.num_buckets()
+    );
+    let reader = cluster.client();
+    reader.set_timeout(Duration::from_secs(30));
+    for key in 0..512u64 {
+        assert_eq!(
+            reader.lookup(key).unwrap(),
+            Some(format!("value-{key}").into_bytes()),
+            "key {key} lost under backpressure"
+        );
+    }
+    assert!(
+        cluster.network().stats().rejected() > 0,
+        "capacity-16 inboxes under two 32-deep pipelining writers must reject some sends"
+    );
+    cluster.shutdown();
+}
+
+/// With the default unbounded inboxes nothing is ever rejected — the
+/// admission-control path must stay entirely cold.
+#[test]
+fn unbounded_default_rejects_nothing() {
+    let cluster = LhCluster::start(ClusterConfig {
+        bucket_capacity: 32,
+        ..ClusterConfig::default()
+    });
+    let client = cluster.client();
+    for key in 0..200u64 {
+        client.insert(key, vec![0u8; 64]).unwrap();
+    }
+    assert_eq!(cluster.network().stats().rejected(), 0);
+    cluster.shutdown();
+}
+
+/// A client told not to retry surfaces `Overloaded` instead of blocking;
+/// the cluster stays healthy for a patient client afterwards.
+#[test]
+fn impatient_client_fails_fast_patient_client_succeeds() {
+    let cluster = LhCluster::start(bounded_config(1024, 1));
+    let impatient = cluster.client();
+    impatient.set_retry_policy(RetryPolicy::none());
+    impatient.set_timeout(Duration::from_secs(5));
+    let patient = cluster.client();
+    patient.set_timeout(Duration::from_secs(30));
+    let mut rejected_seen = false;
+    for key in 0..300u64 {
+        match impatient.insert(key, vec![7u8; 32]) {
+            Ok(_) => {}
+            Err(e) => {
+                // fail-fast is the point; the write is simply abandoned
+                rejected_seen = true;
+                let _ = e;
+            }
+        }
+    }
+    // a retrying client still gets its writes through the same inboxes
+    for key in 1000..1100u64 {
+        patient.insert(key, vec![9u8; 32]).unwrap();
+    }
+    for key in 1000..1100u64 {
+        assert_eq!(patient.lookup(key).unwrap(), Some(vec![9u8; 32]));
+    }
+    // capacity-1 inboxes virtually guarantee at least one rejection for
+    // the pipelined no-retry client; assert only the counter wiring if
+    // the scheduler got lucky
+    if rejected_seen {
+        assert!(cluster.network().stats().rejected() > 0);
+    }
+    cluster.shutdown();
+}

@@ -44,6 +44,11 @@ pub enum NetError {
     UnknownSite(SiteId),
     /// The destination endpoint has been dropped.
     Disconnected(SiteId),
+    /// The destination inbox is at capacity: admission control rejected
+    /// the message at the sender (see [`NetConfig::inbox_capacity`]).
+    /// Unlike a fault-injected drop, the sender *knows* — shed load is
+    /// explicit and retryable.
+    Overloaded(SiteId),
     /// A blocking receive timed out.
     Timeout,
     /// The mailbox is empty (non-blocking receive).
@@ -55,6 +60,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::UnknownSite(s) => write!(f, "unknown site {s}"),
             NetError::Disconnected(s) => write!(f, "site {s} disconnected"),
+            NetError::Overloaded(s) => write!(f, "site {s} inbox full, send rejected"),
             NetError::Timeout => write!(f, "receive timed out"),
             NetError::Empty => write!(f, "mailbox empty"),
         }
@@ -73,6 +79,12 @@ pub struct NetConfig {
     pub drop_probability: f64,
     /// Seed for the drop decision stream.
     pub fault_seed: u64,
+    /// Bound on every site's inbox. `None` (the default) keeps the
+    /// historical unbounded mailboxes. With `Some(cap)`, a send to a
+    /// site whose inbox already holds `cap` envelopes fails at the
+    /// sender with [`NetError::Overloaded`] instead of queueing without
+    /// limit — explicit admission control in place of OOM.
+    pub inbox_capacity: Option<usize>,
 }
 
 struct Inner {
@@ -80,6 +92,7 @@ struct Inner {
     stats: NetStats,
     latency: LatencyModel,
     drop_probability: f64,
+    inbox_capacity: Option<usize>,
     fault_rng: std::sync::atomic::AtomicU64,
 }
 
@@ -99,6 +112,7 @@ impl Network {
                 stats: NetStats::new(),
                 latency: config.latency,
                 drop_probability: config.drop_probability,
+                inbox_capacity: config.inbox_capacity,
                 fault_rng: std::sync::atomic::AtomicU64::new(config.fault_seed | 1),
             }),
         }
@@ -107,7 +121,10 @@ impl Network {
     /// Registers a new site and returns its endpoint. Site ids are dense,
     /// starting at 0 — convenient for LH\* bucket addressing.
     pub fn register(&self) -> Endpoint {
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = match self.inner.inbox_capacity {
+            Some(cap) => channel::bounded(cap),
+            None => channel::unbounded(),
+        };
         let mut boxes = self.inner.mailboxes.write();
         let id = SiteId(boxes.len() as u32);
         boxes.push(tx);
@@ -157,11 +174,30 @@ impl Network {
         // dequeues the message always observes it counted, then roll back
         // on the (rare) disconnected-endpoint failure.
         let (from, to, len) = (env.from, env.to, env.payload.len());
+        let ctx = env.ctx;
         self.inner.stats.record(from, to, len);
-        if tx.send(env).is_err() {
-            self.inner.stats.unrecord(from, to, len);
-            sdds_obs::counter("net.send_failures").inc();
-            return Err(NetError::Disconnected(to));
+        match tx.try_send(env) {
+            Ok(()) => {}
+            Err(channel::TrySendError::Full(_)) => {
+                // Admission control: the inbox is at capacity, so the send
+                // is refused *at the sender* — unlike a fault-injected
+                // drop, the caller learns and can back off and retry.
+                self.inner.stats.unrecord(from, to, len);
+                self.inner.stats.record_rejected();
+                sdds_obs::counter("net.rejected").inc();
+                if let Some(ctx) = ctx {
+                    // The rejection stays attributable inside the trace it
+                    // belonged to, exactly like net.drop (detail = payload
+                    // length); no orphan roots.
+                    trace::event("net.reject", ctx, to.0 as i64, len as u64);
+                }
+                return Err(NetError::Overloaded(to));
+            }
+            Err(channel::TrySendError::Disconnected(_)) => {
+                self.inner.stats.unrecord(from, to, len);
+                sdds_obs::counter("net.send_failures").inc();
+                return Err(NetError::Disconnected(to));
+            }
         }
         sdds_obs::counter("net.messages").inc();
         sdds_obs::counter("net.bytes").add(len as u64);
@@ -261,6 +297,13 @@ impl Endpoint {
             channel::RecvTimeoutError::Timeout => NetError::Timeout,
             channel::RecvTimeoutError::Disconnected => NetError::Disconnected(self.id),
         })
+    }
+
+    /// Number of envelopes currently waiting in this site's inbox.
+    /// Event loops sample it into the `lh.inbox_depth` gauge so queue
+    /// buildup is visible before admission control starts rejecting.
+    pub fn inbox_depth(&self) -> usize {
+        self.rx.len()
     }
 
     /// Non-blocking receive.
@@ -514,6 +557,113 @@ mod tests {
     }
 
     #[test]
+    fn bounded_inbox_rejects_at_sender() {
+        let net = Network::new(NetConfig {
+            inbox_capacity: Some(2),
+            ..NetConfig::default()
+        });
+        let a = net.register();
+        let b = net.register();
+        a.send(b.id(), Bytes::from_static(b"1")).unwrap();
+        a.send(b.id(), Bytes::from_static(b"2")).unwrap();
+        assert_eq!(
+            a.send(b.id(), Bytes::from_static(b"3")),
+            Err(NetError::Overloaded(b.id())),
+            "third send must be refused at the sender"
+        );
+        assert_eq!(net.stats().rejected(), 1);
+        assert_eq!(b.inbox_depth(), 2);
+        // Draining one slot readmits traffic.
+        assert_eq!(&b.recv().unwrap().payload[..], b"1");
+        a.send(b.id(), Bytes::from_static(b"3")).unwrap();
+        assert_eq!(&b.recv().unwrap().payload[..], b"2");
+        assert_eq!(&b.recv().unwrap().payload[..], b"3");
+    }
+
+    #[test]
+    fn rejected_sends_do_not_inflate_delivery_stats() {
+        let net = Network::new(NetConfig {
+            inbox_capacity: Some(4),
+            ..NetConfig::default()
+        });
+        let a = net.register();
+        let b = net.register();
+        let sent = 20u64;
+        let mut ok = 0u64;
+        for i in 0..sent {
+            match a.send(b.id(), Bytes::copy_from_slice(&i.to_le_bytes())) {
+                Ok(()) => ok += 1,
+                Err(NetError::Overloaded(s)) => assert_eq!(s, b.id()),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // Invariant: delivered + dropped + rejected == sent.
+        assert_eq!(
+            net.stats().messages() + net.stats().dropped() + net.stats().rejected(),
+            sent
+        );
+        assert_eq!(net.stats().messages(), ok);
+        assert_eq!(net.stats().rejected(), sent - ok);
+        assert_eq!(net.stats().messages_from(a.id()), ok);
+        assert_eq!(net.stats().messages_to(b.id()), ok);
+        assert_eq!(net.stats().bytes(), ok * 8);
+        let mut received = 0u64;
+        while b.try_recv().is_ok() {
+            received += 1;
+        }
+        assert_eq!(received, ok, "every counted message is receivable");
+    }
+
+    #[test]
+    fn overloaded_invariant_holds_under_concurrent_senders() {
+        let net = Network::new(NetConfig {
+            inbox_capacity: Some(8),
+            ..NetConfig::default()
+        });
+        let sink = net.register();
+        let nthreads = 4u64;
+        let per_thread = 500u64;
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                let tx = net.register();
+                let to = sink.id();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Either outcome is legal under load; the stats
+                        // invariant below must hold regardless.
+                        let _ = tx.send(to, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    }
+                });
+            }
+        });
+        let mut received = 0u64;
+        while sink.try_recv().is_ok() {
+            received += 1;
+        }
+        assert_eq!(received, net.stats().messages());
+        assert_eq!(
+            net.stats().messages() + net.stats().dropped() + net.stats().rejected(),
+            nthreads * per_thread
+        );
+        assert!(
+            net.stats().rejected() > 0,
+            "8-deep inbox under 2000 sends must shed"
+        );
+    }
+
+    #[test]
+    fn unbounded_default_never_rejects() {
+        let net = Network::new(NetConfig::default());
+        let a = net.register();
+        for i in 0..10_000u32 {
+            a.send(a.id(), Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
+        }
+        assert_eq!(net.stats().rejected(), 0);
+        assert_eq!(a.inbox_depth(), 10_000);
+    }
+
+    #[test]
     fn trace_context_rides_envelopes_and_survives_drops() {
         // One test (not several) because the flight recorder and the
         // tracing flag are process-global: parallel test threads draining
@@ -550,6 +700,24 @@ mod tests {
             .unwrap();
         assert_eq!(lossy.stats().dropped(), 1);
         assert!(lb.try_recv().is_err());
+
+        // A traced send rejected by admission control records a net.reject
+        // event *inside* the same trace — shed load stays attributable and
+        // never fabricates an orphan root.
+        let tiny = Network::new(NetConfig {
+            inbox_capacity: Some(1),
+            ..NetConfig::default()
+        });
+        let ta = tiny.register();
+        let tb = tiny.register();
+        ta.send_traced(tb.id(), Bytes::from_static(b"fits"), Some(ctx))
+            .unwrap();
+        assert_eq!(
+            ta.send_traced(tb.id(), Bytes::from_static(b"shed!"), Some(ctx)),
+            Err(NetError::Overloaded(tb.id()))
+        );
+        assert_eq!(tiny.stats().rejected(), 1);
+
         drop(root);
         let spans = trace::drain_spans();
         let mine: Vec<_> = spans
@@ -562,6 +730,13 @@ mod tests {
             .expect("drop event recorded");
         assert_eq!(drop_ev.parent_span_id, ctx.parent_span_id);
         assert_eq!(drop_ev.detail, 4); // payload length
+        let reject_ev = mine
+            .iter()
+            .find(|s| s.name == "net.reject")
+            .expect("reject event recorded");
+        assert_eq!(reject_ev.parent_span_id, ctx.parent_span_id);
+        assert_eq!(reject_ev.detail, 5); // payload length of "shed!"
+        assert_eq!(reject_ev.site, tb.id().0 as i64);
         assert!(mine.iter().any(|s| s.name == "test.net.op"));
         trace::set_tracing(false);
     }

@@ -12,6 +12,7 @@ pub struct NetStats {
     messages: AtomicU64,
     bytes: AtomicU64,
     dropped: AtomicU64,
+    rejected: AtomicU64,
     per_site: Mutex<HashMap<SiteId, SiteCounters>>,
 }
 
@@ -69,6 +70,13 @@ impl NetStats {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_rejected(&self) {
+        // ordering: Relaxed — independent monotonic counter, read only by
+        // snapshots; the sender learns of the rejection through the
+        // Err return, not through this counter
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total messages delivered.
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed) // ordering: snapshot read, staleness fine
@@ -77,6 +85,12 @@ impl NetStats {
     /// Messages lost to fault injection.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed) // ordering: snapshot read, staleness fine
+    }
+
+    /// Messages refused at the sender because the destination inbox was
+    /// at capacity (admission control; see `NetConfig::inbox_capacity`).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed) // ordering: snapshot read, staleness fine
     }
 
     /// Total payload bytes delivered.
@@ -111,6 +125,7 @@ impl NetStats {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed); // ordering: see above
         self.dropped.store(0, Ordering::Relaxed); // ordering: see above
+        self.rejected.store(0, Ordering::Relaxed); // ordering: see above
         self.per_site.lock().clear();
     }
 }

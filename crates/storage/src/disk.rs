@@ -310,7 +310,7 @@ impl StorageEngine for DiskEngine {
         Ok(old)
     }
 
-    fn apply_batch(&mut self, batch: WriteBatch) -> Result<(), StorageError> {
+    fn apply_batch(&mut self, batch: &WriteBatch) -> Result<(), StorageError> {
         self.commit(batch.ops())
     }
 
@@ -376,7 +376,7 @@ mod tests {
             let mut b = WriteBatch::new();
             b.put(1, b"a".to_vec());
             b.put(2, b"b".to_vec());
-            e.apply_batch(b).unwrap();
+            e.apply_batch(&b).unwrap();
         }
         // tear the tail: append half a frame, as a crash mid-batch would
         let wal = wal_path(&dir, 0);
@@ -523,7 +523,7 @@ mod tests {
         let mut e = DiskEngine::open(&dir, opts_always()).unwrap();
         let before = std::fs::metadata(wal_path(&dir, 0)).unwrap().len();
         assert_eq!(e.delete(42).unwrap(), None);
-        e.apply_batch(WriteBatch::new()).unwrap();
+        e.apply_batch(&WriteBatch::new()).unwrap();
         let after = std::fs::metadata(wal_path(&dir, 0)).unwrap().len();
         assert_eq!(before, after);
         let _ = std::fs::remove_dir_all(&dir);

@@ -207,7 +207,9 @@ pub trait StorageEngine: Send {
     fn delete(&mut self, key: u64) -> Result<Option<Vec<u8>>, StorageError>;
 
     /// Apply every op in `batch` atomically with respect to crashes.
-    fn apply_batch(&mut self, batch: WriteBatch) -> Result<(), StorageError>;
+    /// Borrows the batch so callers can keep using its staged values for
+    /// post-write bookkeeping instead of holding a second owned copy.
+    fn apply_batch(&mut self, batch: &WriteBatch) -> Result<(), StorageError>;
 
     /// Force everything written so far to stable storage.
     fn flush(&mut self) -> Result<(), StorageError>;
@@ -267,7 +269,7 @@ impl StorageEngine for MemEngine {
         Ok(self.map.remove(&key))
     }
 
-    fn apply_batch(&mut self, batch: WriteBatch) -> Result<(), StorageError> {
+    fn apply_batch(&mut self, batch: &WriteBatch) -> Result<(), StorageError> {
         apply_ops(&mut self.map, batch.ops());
         Ok(())
     }
@@ -409,7 +411,7 @@ mod tests {
         batch.put(7, b"g".to_vec());
         batch.delete(7);
         batch.put(8, b"h".to_vec());
-        e.apply_batch(batch).unwrap();
+        e.apply_batch(&batch).unwrap();
         assert_eq!(e.keys(), vec![8]);
         e.destroy().unwrap();
         assert!(e.is_empty());

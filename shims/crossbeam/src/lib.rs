@@ -1,9 +1,11 @@
 //! Minimal offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel` is provided: an unbounded MPMC channel built on
-//! `Mutex<VecDeque>` + `Condvar`, with the same disconnect semantics the real
-//! crate documents — `send` fails once every `Receiver` is dropped, `recv`
-//! fails once every `Sender` is dropped and the queue has drained.
+//! Only `crossbeam::channel` is provided: unbounded and bounded MPMC
+//! channels built on `Mutex<VecDeque>` + `Condvar`, with the same
+//! disconnect semantics the real crate documents — `send` fails once every
+//! `Receiver` is dropped, `recv` fails once every `Sender` is dropped and
+//! the queue has drained, and on a bounded channel `try_send` reports
+//! `Full` without blocking while `send` waits for space.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -19,6 +21,26 @@ pub mod channel {
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
         }
     }
 
@@ -72,25 +94,30 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        // Signalled when a bounded channel pops an element (space freed);
+        // blocking `send` on a full bounded channel waits here.
+        space: Condvar,
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
 
-    /// The sending half of an unbounded channel. Clonable (MPMC).
+    /// The sending half of a channel. Clonable (MPMC).
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel. Clonable (MPMC).
+    /// The receiving half of a channel. Clonable (MPMC).
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -102,17 +129,64 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` values.
+    /// `send` blocks while full; `try_send` reports [`TrySendError::Full`].
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
         /// Enqueues `value`, failing if every receiver has been dropped.
+        /// On a bounded channel, blocks until space is available.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                // Re-check under the lock so a concurrently dropped receiver
+                // cannot race us into enqueueing onto a dead channel.
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self
+                            .shared
+                            .space
+                            .wait(queue)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues `value` without blocking: on a bounded channel at
+        /// capacity this returns [`TrySendError::Full`] immediately.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             // Re-check under the lock so a concurrently dropped receiver
             // cannot race us into enqueueing onto a dead channel.
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
             }
             queue.push_back(value);
             drop(queue);
@@ -139,11 +213,19 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        fn on_pop(&self, queue: std::sync::MutexGuard<'_, VecDeque<T>>) {
+            drop(queue);
+            if self.shared.capacity.is_some() {
+                self.shared.space.notify_one();
+            }
+        }
+
         /// Blocks until a value is available or all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    self.on_pop(queue);
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -163,6 +245,7 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    self.on_pop(queue);
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -191,6 +274,7 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(value) = queue.pop_front() {
+                self.on_pop(queue);
                 return Ok(value);
             }
             if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -226,7 +310,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Senders blocked on a full bounded channel must wake up
+                // and observe the disconnect instead of waiting forever.
+                // Taking the queue lock first orders this wakeup after any
+                // sender's receivers-check-then-wait, so it cannot be lost.
+                drop(self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()));
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -271,6 +362,55 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_recovers() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_disconnected() {
+            let (tx, rx) = bounded(2);
+            drop(rx);
+            assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+        }
+
+        #[test]
+        fn unbounded_try_send_never_full() {
+            let (tx, rx) = unbounded();
+            for i in 0..10_000 {
+                tx.try_send(i).unwrap();
+            }
+            assert_eq!(rx.len(), 10_000);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let handle = thread::spawn(move || tx.send(2));
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            handle.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn bounded_send_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let handle = thread::spawn(move || tx.send(2));
+            thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(handle.join().unwrap(), Err(SendError(2)));
         }
 
         #[test]

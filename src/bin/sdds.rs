@@ -7,13 +7,17 @@
 //! sdds bench-load --entries 5000
 //! ```
 
-use sdds_repro::core::{EncryptedSearchStore, IngestOptions, IngestStats, SchemeConfig};
+use sdds_repro::core::{
+    EncryptedSearchStore, IngestOptions, IngestStats, SchemeConfig, StoreHandle,
+};
 use sdds_repro::corpus::{format_directory, parse_directory, DirectoryGenerator, Record};
+use sdds_repro::net::NetConfig;
+use sdds_repro::par::Pool;
 use sdds_repro::stats::LeakageAuditor;
 use sdds_repro::storage::{DiskEngine, DiskOptions, FsyncPolicy, StorageConfig, StorageEngine};
 use std::collections::HashMap;
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +34,7 @@ fn main() {
         "bench-load" => bench_load(&flags),
         "bench-search" => bench_search(&flags),
         "bench-durability" => bench_durability(&flags),
+        "bench-traffic" => bench_traffic(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -52,7 +57,12 @@ fn usage() {
          [--json-out FILE] [--metrics-json FILE]\n  \
          sdds bench-search --entries N [--config basic|paper|swp] [--capacity C] [--repeat R] \
          [--queries P1,P2,...] [--json-out FILE] [--metrics-json FILE]\n  \
-         sdds bench-durability [--entries N] [--batch B] [--value-bytes V] [--json-out FILE]\n\
+         sdds bench-durability [--entries N] [--batch B] [--value-bytes V] [--json-out FILE]\n  \
+         sdds bench-traffic [--entries N] [--workers W] [--duration-secs D] \
+         [--rates R1,R2,...] [--mix read:60,write:25,search:5,delete:10] \
+         [--drain-budget B] [--inbox-capacity C] [--op-timeout-millis T] [--seed S] \
+         [--skip-compare] [--compare-ops K] [--compare-repeats R] \
+         [--json-out FILE] [--metrics-json FILE]\n\
          \n--metrics-json FILE dumps the run's observability snapshot \
          (counters, gauges, latency histograms) as JSON\n\
          --trace-json FILE enables causal tracing for the query and dumps \
@@ -756,7 +766,7 @@ fn bench_durability(flags: &HashMap<String, String>) {
                 batch.put(key, value(key));
                 key += 1;
             }
-            if let Err(e) = engine.apply_batch(batch) {
+            if let Err(e) = engine.apply_batch(&batch) {
                 fail("bench write failed", &e);
             }
         }
@@ -798,7 +808,7 @@ fn bench_durability(flags: &HashMap<String, String>) {
                     batch.put(key, value(key));
                     key += 1;
                 }
-                if let Err(e) = engine.apply_batch(batch) {
+                if let Err(e) = engine.apply_batch(&batch) {
                     fail("replay-prep write failed", &e);
                 }
             }
@@ -901,5 +911,621 @@ fn bench_load(flags: &HashMap<String, String>) {
         });
         eprintln!("wrote sweep results to {path}");
     }
+    maybe_write_metrics(flags);
+}
+
+// ---------------------------------------------------------------------
+// bench-traffic: open-loop load harness over the cluster
+// ---------------------------------------------------------------------
+
+/// splitmix64 — the per-worker deterministic PRNG behind arrival
+/// schedules and op selection. Seeded per (worker, load point), so runs
+/// are reproducible and workers are decorrelated.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in [0, 1) from the top 53 bits.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const TRAFFIC_CLASSES: [&str; 4] = ["read", "write", "search", "delete"];
+
+/// Integer op-mix weights, e.g. `read:60,write:25,search:5,delete:10`.
+#[derive(Clone, Copy)]
+struct TrafficMix {
+    weights: [u64; 4],
+}
+
+impl TrafficMix {
+    fn parse(spec: &str) -> Option<TrafficMix> {
+        let mut weights = [0u64; 4];
+        for part in spec.split(',') {
+            let (name, w) = part.trim().split_once(':')?;
+            let idx = TRAFFIC_CLASSES.iter().position(|c| *c == name.trim())?;
+            weights[idx] = w.trim().parse().ok()?;
+        }
+        (weights.iter().sum::<u64>() > 0).then_some(TrafficMix { weights })
+    }
+
+    /// Picks an op class (an index into [`TRAFFIC_CLASSES`]) by weight.
+    fn pick(&self, roll: u64) -> usize {
+        let total: u64 = self.weights.iter().sum();
+        let mut r = roll % total;
+        for (i, w) in self.weights.iter().enumerate() {
+            if r < *w {
+                return i;
+            }
+            r -= *w;
+        }
+        0
+    }
+}
+
+/// One worker's spec for one load point. Lives behind a `Mutex` because
+/// `StoreHandle` is `Send` but not `Sync` — each pool thread takes
+/// exactly one spec out and owns it for the whole point.
+struct TrafficSpec {
+    handle: StoreHandle,
+    seed: u64,
+    /// Offered arrival rate for this worker (ops/sec).
+    rate: f64,
+    /// Length of the arrival schedule (seconds).
+    duration: f64,
+    mix: TrafficMix,
+    /// Preloaded rid range targeted by reads.
+    read_range: u64,
+    /// First rid this worker's writes allocate from (disjoint per worker).
+    write_base: u64,
+    patterns: Vec<String>,
+}
+
+/// One worker's measurements: latencies (seconds, from *scheduled*
+/// arrival) per op class, plus how far the worker fell behind schedule.
+struct TrafficReport {
+    lat: [Vec<f64>; 4],
+    errors: u64,
+    /// Worst schedule lag observed (seconds) — open-loop honesty metric.
+    max_lag: f64,
+    /// Seconds from the worker's epoch to its last completion.
+    span: f64,
+}
+
+fn run_traffic_worker(spec: &mut TrafficSpec) -> TrafficReport {
+    let mut rng = spec.seed;
+    let mut lat: [Vec<f64>; 4] = Default::default();
+    let mut written: Vec<u64> = Vec::new();
+    let mut next_write = spec.write_base;
+    let mut errors = 0u64;
+    let mut max_lag = 0f64;
+    let epoch = Instant::now();
+    let mut arrival = 0f64;
+    loop {
+        // Poisson arrivals: the schedule is fixed up front by the PRNG
+        // and advances regardless of completions — a slow op delays the
+        // following sends but not their *scheduled* times, so queueing
+        // delay lands in the latency numbers (no coordinated omission).
+        arrival += -(1.0 - unit_f64(&mut rng)).ln() / spec.rate;
+        if arrival > spec.duration {
+            break;
+        }
+        let target = Duration::from_secs_f64(arrival);
+        let now = epoch.elapsed();
+        if now < target {
+            std::thread::sleep(target - now);
+        } else {
+            max_lag = max_lag.max((now - target).as_secs_f64());
+        }
+        let mut class = spec.mix.pick(splitmix64(&mut rng));
+        if class == 3 && written.is_empty() {
+            class = 0; // nothing of ours to delete yet; read instead
+        }
+        let ok = match class {
+            1 => {
+                let rid = next_write;
+                next_write += 1;
+                let ok = spec
+                    .handle
+                    .insert(rid, &format!("TRAFFIC WRITE {rid} SYNTHETIC PAYLOAD"))
+                    .is_ok();
+                if ok {
+                    written.push(rid);
+                }
+                ok
+            }
+            2 => {
+                let p = &spec.patterns[(splitmix64(&mut rng) as usize) % spec.patterns.len()];
+                spec.handle.search(p).is_ok()
+            }
+            3 => {
+                // written is non-empty here (checked above); swap-remove a
+                // pseudorandom element so deletes do not just mirror the
+                // write order
+                let i = (splitmix64(&mut rng) as usize) % written.len();
+                let rid = written.swap_remove(i);
+                spec.handle.delete(rid).is_ok()
+            }
+            _ => {
+                let rid = splitmix64(&mut rng) % spec.read_range;
+                spec.handle.get(rid).is_ok()
+            }
+        };
+        let done = epoch.elapsed();
+        if ok {
+            lat[class].push((done.saturating_sub(target)).as_secs_f64());
+        } else {
+            errors += 1;
+        }
+    }
+    TrafficReport {
+        lat,
+        errors,
+        max_lag,
+        span: epoch.elapsed().as_secs_f64(),
+    }
+}
+
+/// Quantile of an ascending-sorted sample (nearest-rank); NaN when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Renders a latency summary as a JSON object fragment (milliseconds).
+/// Empty classes render as nulls so consumers cannot mistake "no ops of
+/// this class ran" for "zero latency".
+fn latency_json(sorted: &[f64]) -> String {
+    let ms = |q: f64| -> String {
+        let v = percentile(sorted, q);
+        if v.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{:.3}", v * 1e3)
+        }
+    };
+    format!(
+        "{{\"count\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}}}",
+        sorted.len(),
+        ms(0.50),
+        ms(0.95),
+        ms(0.99),
+        ms(0.999),
+    )
+}
+
+/// Builds the store bench-traffic runs against: CLI-selected scheme and
+/// storage, plus the two knobs under test — bounded inboxes (admission
+/// control) and the event-loop drain budget.
+fn build_traffic_store(
+    records: &[Record],
+    flags: &HashMap<String, String>,
+    drain_budget: usize,
+    inbox_capacity: Option<usize>,
+) -> EncryptedSearchStore {
+    let config = config_for(flags);
+    let mut builder = EncryptedSearchStore::builder(config)
+        .passphrase("sdds-cli")
+        .bucket_capacity(flag_usize(flags, "capacity", 128))
+        .storage(storage_config(flags))
+        .drain_budget(drain_budget)
+        .op_timeout(Duration::from_millis(
+            flag_usize(flags, "op-timeout-millis", 10_000).max(50) as u64,
+        ))
+        .net(NetConfig {
+            inbox_capacity,
+            ..NetConfig::default()
+        });
+    if config.encoding.is_some() {
+        builder = builder.train(records.iter().take(1000).map(|r| r.rc.clone()));
+    }
+    builder.start()
+}
+
+/// Preloads the corpus. Bounded inboxes get per-record inserts — the
+/// single-op retry path rides out `Overloaded` — while unbounded stores
+/// take the fast pipelined bulk path, which assumes replies are never
+/// shed.
+fn traffic_preload(store: &EncryptedSearchStore, records: &[Record], bounded: bool) {
+    let result = if bounded {
+        records
+            .iter()
+            .try_for_each(|r| store.insert(r.rid, &r.rc).map(|_| ()))
+    } else {
+        store.insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("traffic preload failed: {e}");
+        exit(1);
+    });
+}
+
+/// Search patterns drawn from the preloaded corpus, so searches hit real
+/// postings rather than degenerating to empty probes.
+fn traffic_patterns(records: &[Record]) -> Vec<String> {
+    let mut patterns: Vec<String> = records
+        .iter()
+        .step_by((records.len() / 8).max(1))
+        .filter(|r| r.rc.is_ascii() && r.rc.len() >= 5)
+        .take(8)
+        .map(|r| r.rc[..5].to_string())
+        .collect();
+    if patterns.is_empty() {
+        patterns.push("SMITH".to_string());
+    }
+    patterns
+}
+
+/// One load point of the sweep: total offered `rate` for `duration`
+/// seconds, split evenly over the workers.
+struct TrafficLoad {
+    rate: f64,
+    duration: f64,
+    seed: u64,
+    mix: TrafficMix,
+    /// Preloaded rid range targeted by reads.
+    read_range: u64,
+}
+
+/// Runs `workers` open-loop workers against one load point; returns the
+/// aggregated reports.
+fn traffic_point(
+    store: &EncryptedSearchStore,
+    workers: usize,
+    load: &TrafficLoad,
+    patterns: &[String],
+) -> Vec<TrafficReport> {
+    let specs: Vec<std::sync::Mutex<Option<TrafficSpec>>> = (0..workers)
+        .map(|w| {
+            let mut s = load.seed ^ ((w as u64 + 1) * 0x9e37_79b9);
+            splitmix64(&mut s);
+            std::sync::Mutex::new(Some(TrafficSpec {
+                handle: store.handle(),
+                seed: s,
+                rate: load.rate / workers as f64,
+                duration: load.duration,
+                mix: load.mix,
+                read_range: load.read_range,
+                // rid namespaces: preload < 1e6; writer w owns a 1e5 slab
+                write_base: 1_000_000 + (w as u64) * 100_000 + (load.seed % 97) * 1_000,
+                patterns: patterns.to_vec(),
+            }))
+        })
+        .collect();
+    let pool = Pool::new(workers);
+    pool.par_map(&specs, |slot| {
+        // each pool thread owns exactly one spec for the whole point
+        let mut spec = slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            // lint: allow(panic-freedom) -- one spec per slot by construction; a second take is a harness bug
+            .expect("spec taken twice");
+        run_traffic_worker(&mut spec)
+    })
+}
+
+/// Closed-loop, read-only comparison of batch draining (the configured
+/// budget) against single-message dispatch (budget 1): same stores, same
+/// deterministic op streams, digests must match — batching may only
+/// change *when* messages are processed, never *what* they produce.
+fn traffic_compare(
+    records: &[Record],
+    flags: &HashMap<String, String>,
+    workers: usize,
+    ops_per_worker: usize,
+    seed: u64,
+    inbox_capacity: Option<usize>,
+    budget: usize,
+) -> (f64, f64, u64) {
+    let store = build_traffic_store(records, flags, budget, inbox_capacity);
+    traffic_preload(&store, records, inbox_capacity.is_some());
+    let patterns = traffic_patterns(records);
+    let read_range = records.len() as u64;
+    let handles: Vec<std::sync::Mutex<Option<StoreHandle>>> = (0..workers)
+        .map(|_| std::sync::Mutex::new(Some(store.handle())))
+        .collect();
+    let pool = Pool::new(workers);
+    let start = Instant::now();
+    let digests: Vec<u64> = pool.par_map(&handles, |slot| {
+        let handle = slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            // lint: allow(panic-freedom) -- one handle per slot by construction; a second take is a harness bug
+            .expect("handle taken twice");
+        // workers share one seed on purpose: identical op streams give
+        // the highest fan-in collisions on the hot buckets
+        let mut rng = seed;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for i in 0..ops_per_worker {
+            if i % 8 == 7 {
+                let p = &patterns[(splitmix64(&mut rng) as usize) % patterns.len()];
+                match handle.search(p) {
+                    Ok(rids) => {
+                        for rid in rids {
+                            fnv1a(&mut digest, &rid.to_le_bytes());
+                        }
+                    }
+                    Err(_) => fnv1a(&mut digest, b"search-error"),
+                }
+            } else {
+                let rid = splitmix64(&mut rng) % read_range;
+                match handle.get(rid) {
+                    Ok(Some(rc)) => fnv1a(&mut digest, rc.as_bytes()),
+                    Ok(None) => fnv1a(&mut digest, b"absent"),
+                    Err(_) => fnv1a(&mut digest, b"read-error"),
+                }
+            }
+        }
+        digest
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut combined = 0xcbf2_9ce4_8422_2325u64;
+    for d in &digests {
+        fnv1a(&mut combined, &d.to_le_bytes());
+    }
+    let total_ops = (workers * ops_per_worker) as f64;
+    store.shutdown();
+    (elapsed, total_ops / elapsed.max(1e-9), combined)
+}
+
+/// `sdds bench-traffic` — the open-loop load harness. Sweeps offered
+/// load over a fixed read/write/search/delete mix, reports throughput
+/// and p50/p95/p99/p999 latency per op class at each point (latency from
+/// *scheduled* arrival — no coordinated omission), locates the knee, and
+/// measures batch draining against single-message dispatch at high
+/// fan-in. Writes `BENCH_traffic.json`.
+fn bench_traffic(flags: &HashMap<String, String>) {
+    let entries = flag_usize(flags, "entries", 2000);
+    let workers = flag_usize(flags, "workers", 8).max(1);
+    let duration = flag_usize(flags, "duration-secs", 4).max(1) as f64;
+    let seed = flag_usize(flags, "seed", 42) as u64;
+    let drain_budget = flag_usize(flags, "drain-budget", sdds_repro::lh::DEFAULT_DRAIN_BUDGET);
+    let inbox_capacity = flags.get("inbox-capacity").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--inbox-capacity needs a number, got {v:?}");
+            exit(2);
+        })
+    });
+    let rates: Vec<f64> = flags
+        .get("rates")
+        .map(String::as_str)
+        .unwrap_or("250,500,1000,2000,4000")
+        .split(',')
+        .map(|t| {
+            t.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--rates needs a comma-separated ops/sec list");
+                exit(2);
+            })
+        })
+        .collect();
+    let mix_spec = flags
+        .get("mix")
+        .map(String::as_str)
+        .unwrap_or("read:60,write:25,search:5,delete:10");
+    let Some(mix) = TrafficMix::parse(mix_spec) else {
+        eprintln!("--mix needs read:W,write:W,search:W,delete:W with a nonzero total");
+        exit(2);
+    };
+    let records = DirectoryGenerator::new(seed).generate(entries);
+    let patterns = traffic_patterns(&records);
+
+    eprintln!(
+        "preloading {entries} records (drain budget {drain_budget}, inbox {}) …",
+        inbox_capacity.map_or("unbounded".to_string(), |c| c.to_string()),
+    );
+    let store = build_traffic_store(&records, flags, drain_budget, inbox_capacity);
+    traffic_preload(&store, &records, inbox_capacity.is_some());
+
+    struct PointRow {
+        offered: f64,
+        achieved: f64,
+        completed: usize,
+        errors: u64,
+        rejected_delta: u64,
+        max_lag: f64,
+        class_sorted: [Vec<f64>; 4],
+        all_sorted: Vec<f64>,
+    }
+    let mut points: Vec<PointRow> = Vec::with_capacity(rates.len());
+    for (ri, &rate) in rates.iter().enumerate() {
+        eprintln!("load point {rate} ops/s × {duration}s × {workers} workers …");
+        let rejected_before = store.cluster().network().stats().rejected();
+        let reports = traffic_point(
+            &store,
+            workers,
+            &TrafficLoad {
+                rate,
+                duration,
+                seed: seed ^ ((ri as u64 + 1) << 32),
+                mix,
+                read_range: entries as u64,
+            },
+            &patterns,
+        );
+        let rejected_delta = store.cluster().network().stats().rejected() - rejected_before;
+        let mut class_sorted: [Vec<f64>; 4] = Default::default();
+        let mut errors = 0u64;
+        let mut max_lag = 0f64;
+        let mut span = duration;
+        for r in &reports {
+            for (c, l) in r.lat.iter().enumerate() {
+                class_sorted[c].extend_from_slice(l);
+            }
+            errors += r.errors;
+            max_lag = max_lag.max(r.max_lag);
+            span = span.max(r.span);
+        }
+        let mut all_sorted: Vec<f64> = class_sorted.iter().flatten().copied().collect();
+        for c in &mut class_sorted {
+            c.sort_by(|a, b| a.total_cmp(b));
+        }
+        all_sorted.sort_by(|a, b| a.total_cmp(b));
+        let completed = all_sorted.len();
+        points.push(PointRow {
+            offered: rate,
+            achieved: completed as f64 / span.max(1e-9),
+            completed,
+            errors,
+            rejected_delta,
+            max_lag,
+            class_sorted,
+            all_sorted,
+        });
+    }
+    store.shutdown();
+
+    // the knee: the highest offered load the file still absorbs — achieved
+    // throughput within 10% of offered. Above it the open-loop schedule
+    // outruns the service rate and latency is dominated by queueing.
+    let knee = points
+        .iter()
+        .filter(|p| p.achieved >= 0.9 * p.offered)
+        .map(|p| p.offered)
+        .fold(f64::NAN, f64::max);
+
+    // batch draining vs single-message dispatch, closed-loop at high
+    // fan-in; identical read-only op streams must produce identical
+    // digests (batching changes scheduling, never results). Repeats are
+    // interleaved A/B/A/B so machine-wide drift hits both budgets alike,
+    // and the median is reported — single samples on a shared/1-CPU box
+    // are dominated by scheduler noise.
+    let compare = if flags.contains_key("skip-compare") {
+        None
+    } else {
+        let cw = flag_usize(flags, "compare-workers", workers.max(4));
+        let cops = flag_usize(flags, "compare-ops", 2000);
+        let repeats = flag_usize(flags, "compare-repeats", 3).max(1);
+        eprintln!(
+            "batching comparison: {cw} workers × {cops} ops, \
+             budget {drain_budget} vs 1, {repeats} interleaved repeats …"
+        );
+        let mut batched_rates = Vec::with_capacity(repeats);
+        let mut single_rates = Vec::with_capacity(repeats);
+        let mut digest = None;
+        for _ in 0..repeats {
+            for (budget, rates_out) in [(drain_budget, &mut batched_rates), (1, &mut single_rates)]
+            {
+                let (_, rate, d) =
+                    traffic_compare(&records, flags, cw, cops, seed, inbox_capacity, budget);
+                rates_out.push(rate);
+                match digest {
+                    None => digest = Some(d),
+                    Some(expected) if expected != d => {
+                        eprintln!(
+                            "RESULT DIVERGENCE at budget {budget}: \
+                             digest {d:016x} != {expected:016x}"
+                        );
+                        exit(1);
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let median = |rates: &[f64]| -> f64 {
+            let mut sorted = rates.to_vec();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            sorted[sorted.len() / 2]
+        };
+        let (rate_batched, rate_single) = (median(&batched_rates), median(&single_rates));
+        eprintln!(
+            "batched median {rate_batched:.0} ops/s vs unbatched median {rate_single:.0} ops/s \
+             (x{:.2}), identical results across all {} runs",
+            rate_batched / rate_single.max(1e-9),
+            repeats * 2,
+        );
+        digest.map(|d| {
+            (
+                cw,
+                cops,
+                batched_rates,
+                rate_batched,
+                single_rates,
+                rate_single,
+                d,
+            )
+        })
+    };
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "  \"entries\": {entries},\n  \"config\": \"{}\",\n  \"cpus\": {cpus},\n  \
+         \"workers\": {workers},\n  \"duration_secs\": {duration},\n  \
+         \"drain_budget\": {drain_budget},\n  \"inbox_capacity\": {},\n  \
+         \"mix\": \"{mix_spec}\",\n  \"seed\": {seed},\n  \"load_points\": [\n",
+        flags.get("config").map(String::as_str).unwrap_or("basic"),
+        inbox_capacity.map_or("null".to_string(), |c| c.to_string()),
+    ));
+    for (i, p) in points.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"offered_rate\": {:.1}, \"achieved_rate\": {:.1}, \"completed\": {}, \
+             \"errors\": {}, \"net_rejected\": {}, \"max_schedule_lag_seconds\": {:.3}, \
+             \"all\": {}",
+            p.offered,
+            p.achieved,
+            p.completed,
+            p.errors,
+            p.rejected_delta,
+            p.max_lag,
+            latency_json(&p.all_sorted),
+        ));
+        for (c, name) in TRAFFIC_CLASSES.iter().enumerate() {
+            body.push_str(&format!(
+                ", \"{name}\": {}",
+                latency_json(&p.class_sorted[c])
+            ));
+        }
+        body.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n");
+    if knee.is_nan() {
+        body.push_str("  \"knee_offered_rate\": null,\n");
+    } else {
+        body.push_str(&format!("  \"knee_offered_rate\": {knee:.1},\n"));
+    }
+    match compare {
+        Some((cw, cops, runs_b, r_b, runs_s, r_s, digest)) => {
+            let list = |rates: &[f64]| {
+                rates
+                    .iter()
+                    .map(|r| format!("{r:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            body.push_str(&format!(
+                "  \"batching_comparison\": {{\"workers\": {cw}, \"ops_per_worker\": {cops}, \
+                 \"batched\": {{\"budget\": {drain_budget}, \"ops_per_sec_runs\": [{}], \"ops_per_sec_median\": {r_b:.1}}}, \
+                 \"unbatched\": {{\"budget\": 1, \"ops_per_sec_runs\": [{}], \"ops_per_sec_median\": {r_s:.1}}}, \
+                 \"median_speedup\": {:.3}, \"identical_results\": true, \"digest\": \"{digest:016x}\"}}\n",
+                list(&runs_b),
+                list(&runs_s),
+                r_b / r_s.max(1e-9),
+            ))
+        }
+        None => body.push_str("  \"batching_comparison\": null\n"),
+    }
+    body.push_str("}\n");
+    let path = flags
+        .get("json-out")
+        .map(String::as_str)
+        .filter(|p| !p.is_empty())
+        .unwrap_or("BENCH_traffic.json");
+    std::fs::write(path, &body).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote traffic bench results to {path}");
     maybe_write_metrics(flags);
 }
