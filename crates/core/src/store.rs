@@ -74,11 +74,13 @@ pub struct SearchOutcome {
     pub positions: HashMap<u64, Vec<usize>>,
 }
 
-/// The per-stage ingest histograms the throughput gauges derive from.
-const STAGE_HISTOGRAMS: [&str; 3] = [
-    "core.chunk_seconds",
-    "core.encode_seconds",
-    "core.disperse_seconds",
+/// The per-stage ingest histograms paired with the throughput gauges
+/// derived from them. Both names are static so the obs-drift lint can
+/// reconcile them against `docs/OBSERVABILITY.md`.
+const STAGE_HISTOGRAMS: [(&str, &str); 3] = [
+    ("core.chunk_seconds", "core.chunk_chunks_per_sec"),
+    ("core.encode_seconds", "core.encode_chunks_per_sec"),
+    ("core.disperse_seconds", "core.disperse_chunks_per_sec"),
 ];
 
 /// Tuning knobs for bulk ingest — see [`StoreHandle::insert_many_with`].
@@ -576,7 +578,7 @@ impl StoreHandle {
         let bytes0 = sdds_obs::counter("core.ingest_index_bytes").get();
         let stage0: Vec<f64> = STAGE_HISTOGRAMS
             .iter()
-            .map(|name| sdds_obs::histogram(name).sum())
+            .map(|(hist, _)| sdds_obs::histogram(hist).sum())
             .collect();
         let mut stats = IngestStats::default();
         let mut iter = records.into_iter();
@@ -627,13 +629,9 @@ impl StoreHandle {
         sdds_obs::gauge("core.ingest_records_per_sec").set(stats.records_per_sec() as i64);
         sdds_obs::gauge("core.ingest_chunks_per_sec").set(stats.chunks_per_sec() as i64);
         sdds_obs::gauge("core.ingest_bytes_per_sec").set(stats.bytes_per_sec() as i64);
-        for (name, &before) in STAGE_HISTOGRAMS.iter().zip(&stage0) {
-            let in_stage = sdds_obs::histogram(name).sum() - before;
-            let stage = name
-                .trim_start_matches("core.")
-                .trim_end_matches("_seconds");
-            sdds_obs::gauge(&format!("core.{stage}_chunks_per_sec"))
-                .set(rate(stats.chunks, in_stage) as i64);
+        for ((hist, gauge), &before) in STAGE_HISTOGRAMS.iter().zip(&stage0) {
+            let in_stage = sdds_obs::histogram(hist).sum() - before;
+            sdds_obs::gauge(gauge).set(rate(stats.chunks, in_stage) as i64);
         }
         Ok(stats)
     }

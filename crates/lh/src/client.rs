@@ -260,16 +260,18 @@ impl LhClient {
     const ATTEMPTS: u32 = 5;
 
     fn call(&self, op: Op) -> Result<OpResult, LhError> {
-        let op_name = match &op {
-            Op::Insert { .. } => "insert",
-            Op::Lookup { .. } => "lookup",
-            Op::Delete { .. } => "delete",
+        // Static per-op names so the obs-drift lint can reconcile them
+        // against docs/OBSERVABILITY.md.
+        let timer_name = match &op {
+            Op::Insert { .. } => "lh.insert_seconds",
+            Op::Lookup { .. } => "lh.lookup_seconds",
+            Op::Delete { .. } => "lh.delete_seconds",
         };
         // One span per key operation; it stays open across retransmission
         // attempts, so every (re)sent request carries the same context and
         // dropped messages remain attributable to this operation.
         let mut span = trace::child_span("lh.request");
-        let _timer = sdds_obs::histogram(&format!("lh.{op_name}_seconds")).start_timer();
+        let _timer = sdds_obs::histogram(timer_name).start_timer();
         let req_id = self.fresh_req_id();
         let key = op.key();
         let msg = Wire::Request {

@@ -12,18 +12,21 @@
 //! cargo run -p sdds-lint -- --workspace [--json lint.json]
 //! ```
 //!
-//! See [`rules`] for the five rules and [`scanner`] for the `syn`-free
-//! shadow-text lexer they run on. Shim crates (`shims/`) are exempt: they
-//! are offline stand-ins for external dependencies, mirror the upstream
-//! APIs (which panic where upstream panics), and hold no key material —
-//! see `shims/README.md`.
+//! See [`rules`] for the per-file rules, [`protocol`] for the cross-file
+//! protocol rules and the `Wire` send×handle matrix, and [`scanner`] for
+//! the `syn`-free shadow-text lexer they all run on. Shim crates
+//! (`shims/`) are exempt: they are offline stand-ins for external
+//! dependencies, mirror the upstream APIs (which panic where upstream
+//! panics), and hold no key material — see `shims/README.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod protocol;
 pub mod rules;
 pub mod scanner;
 
+use protocol::{ProtocolAnalysis, ProtocolMatrix};
 use rules::{Diagnostic, UnsafeSite};
 use std::path::{Path, PathBuf};
 
@@ -38,6 +41,9 @@ pub struct Report {
     pub unsafe_inventory: Vec<UnsafeSite>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The `Wire` send×handle matrix (present when the codec file was in
+    /// the scanned set, i.e. on workspace runs).
+    pub matrix: Option<ProtocolMatrix>,
 }
 
 impl Report {
@@ -134,7 +140,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -187,9 +193,53 @@ pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints every eligible `.rs` file under the workspace root.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+/// Lints a set of in-memory sources as one coherent tree: runs the
+/// per-file rules and the cross-file protocol analysis over a single
+/// scanner pass per file, then sorts every diagnostic list by
+/// (path, line, rule) so the JSON report is byte-stable.
+///
+/// `obs_doc` is the text of `docs/OBSERVABILITY.md`; `None` disables the
+/// obs-drift doc comparison (code-side checks still run).
+pub fn lint_files(files: &[(&str, &str)], obs_doc: Option<&str>) -> Report {
     let mut report = Report::default();
+    let mut analysis = ProtocolAnalysis::new();
+    for (rel_path, content) in files {
+        let scanned = scanner::scan(content);
+        let (diags, inventory) = rules::check_file(rel_path, &scanned);
+        for d in diags {
+            if d.allowed {
+                report.allowed.push(d);
+            } else {
+                report.violations.push(d);
+            }
+        }
+        report.unsafe_inventory.extend(inventory);
+        analysis.add_file(rel_path, &scanned);
+        report.files_scanned += 1;
+    }
+    let (proto_diags, matrix) = analysis.finish(obs_doc);
+    for d in proto_diags {
+        if d.allowed {
+            report.allowed.push(d);
+        } else {
+            report.violations.push(d);
+        }
+    }
+    report.matrix = matrix;
+    let key = |d: &Diagnostic| (d.file.clone(), d.line, d.rule);
+    report.violations.sort_by_key(key);
+    report.allowed.sort_by_key(key);
+    report
+        .unsafe_inventory
+        .sort_by_key(|u| (u.file.clone(), u.line));
+    report
+}
+
+/// Lints every eligible `.rs` file under the workspace root, including
+/// the protocol rules (which need the whole tree plus the observability
+/// catalog).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut owned: Vec<(String, String)> = Vec::new();
     for path in workspace_sources(root)? {
         let rel = path
             .strip_prefix(root)
@@ -197,9 +247,14 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let content = std::fs::read_to_string(&path)?;
-        report.lint_source(&rel, &content);
+        owned.push((rel, content));
     }
-    Ok(report)
+    let files: Vec<(&str, &str)> = owned
+        .iter()
+        .map(|(r, c)| (r.as_str(), c.as_str()))
+        .collect();
+    let obs_doc = std::fs::read_to_string(root.join("docs/OBSERVABILITY.md")).ok();
+    Ok(lint_files(&files, obs_doc.as_deref()))
 }
 
 /// Finds the workspace root by walking upward from `start` until a

@@ -4,6 +4,7 @@
 //! cargo run -p sdds-lint -- --workspace                 # human-readable, exit 1 on violations
 //! cargo run -p sdds-lint -- --workspace --json lint.json
 //! cargo run -p sdds-lint -- --workspace --unsafe-inventory unsafe-inventory.json
+//! cargo run -p sdds-lint -- --workspace --protocol-matrix protocol-matrix.json
 //! cargo run -p sdds-lint -- --as crates/cipher/src/x.rs some/fixture.rs
 //! ```
 //!
@@ -21,6 +22,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut inventory_path: Option<PathBuf> = None;
+    let mut matrix_path: Option<PathBuf> = None;
     let mut as_path: Option<String> = None;
     let mut file: Option<PathBuf> = None;
     let mut quiet = false;
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
             "--root" => root = it.next().map(PathBuf::from),
             "--json" => json_path = it.next().map(PathBuf::from),
             "--unsafe-inventory" => inventory_path = it.next().map(PathBuf::from),
+            "--protocol-matrix" => matrix_path = it.next().map(PathBuf::from),
             "--as" => as_path = it.next(),
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
@@ -93,6 +96,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(p) = &matrix_path {
+        let Some(matrix) = &report.matrix else {
+            eprintln!(
+                "sdds-lint: --protocol-matrix needs a workspace run that includes the Wire codec"
+            );
+            return ExitCode::from(2);
+        };
+        if let Err(e) = std::fs::write(p, matrix.to_json()) {
+            eprintln!("sdds-lint: writing {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if !quiet {
         for d in &report.violations {
@@ -124,10 +139,14 @@ const HELP: &str = "\
 sdds-lint: workspace invariant checker for the paper's security contracts
 
 USAGE:
-    sdds-lint --workspace [--root DIR] [--json FILE] [--unsafe-inventory FILE] [--quiet]
+    sdds-lint --workspace [--root DIR] [--json FILE] [--unsafe-inventory FILE]
+              [--protocol-matrix FILE] [--quiet]
     sdds-lint --as <workspace-rel-path> <file>
 
 Rules: secret-hygiene, determinism, unsafe-audit, panic-freedom,
-atomics-rationale. Suppress one finding with `// lint: allow(<rule>)` on
-the same or preceding line. shims/ and target/ are never scanned.
+atomics-rationale, protocol-coverage, reply-obligation, must-land,
+obs-drift. Suppress one finding with `// lint: allow(<rule>)` on the same
+or preceding line. shims/ and target/ are never scanned. The protocol
+rules and the send/handle matrix need a --workspace run; --protocol-matrix
+writes the machine-readable matrix CI diffs against the committed copy.
 ";

@@ -1,4 +1,5 @@
-//! The five invariant rules.
+//! The per-file invariant rules (the cross-file protocol rules live in
+//! [`crate::protocol`]).
 //!
 //! Each rule machine-checks one structural property the paper's security
 //! argument rests on (see `DESIGN.md` § "Static analysis"):
@@ -10,6 +11,14 @@
 //! | `unsafe-audit`      | memory-safety rationale coverage                  |
 //! | `panic-freedom`     | availability of library crates (no abort paths)   |
 //! | `atomics-rationale` | justified memory orderings in concurrent code     |
+//! | `protocol-coverage` | protocol totality: every sent variant is handled  |
+//! | `reply-obligation`  | request handlers reply on every branch            |
+//! | `must-land`         | control-plane sends ride the `SendQueue`          |
+//! | `obs-drift`         | metric/span catalog ↔ code agreement              |
+//!
+//! All line-level rules for a file run in one pass over a single
+//! [`Scanned`] shadow text (scope predicates evaluated once per file,
+//! every line visited once), so adding rules does not add rescans.
 //!
 //! A finding on line *n* is suppressed by `// lint: allow(<rule>)` on line
 //! *n* or *n−1*; suppressed findings are still reported (as `allowed`) in
@@ -48,12 +57,16 @@ pub struct UnsafeSite {
 }
 
 /// All rule identifiers, in reporting order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 9] = [
     "secret-hygiene",
     "determinism",
     "unsafe-audit",
     "panic-freedom",
     "atomics-rationale",
+    "protocol-coverage",
+    "reply-obligation",
+    "must-land",
+    "obs-drift",
 ];
 
 /// Library crates whose non-test code must be panic-free (ISSUE 3). The
@@ -98,7 +111,7 @@ fn is_secret_ident(id: &str) -> bool {
 
 /// True when `comments[line]` or the immediately preceding line carries a
 /// `lint: allow(<rule>)` annotation.
-fn is_allowed(s: &Scanned, line: usize, rule: &str) -> bool {
+pub(crate) fn is_allowed(s: &Scanned, line: usize, rule: &str) -> bool {
     let marker = format!("lint: allow({rule})");
     let here = s.comments.get(line).map(|c| c.contains(&marker));
     let above = line
@@ -147,15 +160,33 @@ fn push(
     });
 }
 
-/// Runs every applicable rule over one scanned file.
+/// Runs every applicable line-level rule over one scanned file in a
+/// single pass: scope predicates are computed once, then each line is
+/// visited exactly once with all in-scope rules dispatched on it.
 pub fn check_file(path: &str, s: &Scanned) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
     let mut diags = Vec::new();
     let mut inventory = Vec::new();
-    secret_hygiene(path, s, &mut diags);
-    determinism(path, s, &mut diags);
-    unsafe_audit(path, s, &mut diags, &mut inventory);
-    panic_freedom(path, s, &mut diags);
-    atomics_rationale(path, s, &mut diags);
+    let stage1 = in_stage1_index_path(path);
+    let panic_free = in_panic_free_scope(path);
+    let atomics = in_atomics_scope(path);
+    let cipher = in_cipher(path);
+    for line in 0..s.code.len() {
+        // the unsafe inventory covers test code too — it is the audit surface
+        unsafe_audit_line(path, s, line, &mut diags, &mut inventory);
+        if s.is_test[line] {
+            continue;
+        }
+        secret_hygiene_line(path, s, line, cipher, &mut diags);
+        if stage1 {
+            determinism_line(path, s, line, &mut diags);
+        }
+        if panic_free {
+            panic_freedom_line(path, s, line, &mut diags);
+        }
+        if atomics {
+            atomics_rationale_line(path, s, line, &mut diags);
+        }
+    }
     (diags, inventory)
 }
 
@@ -167,15 +198,51 @@ pub fn check_file(path: &str, s: &Scanned) -> (Vec<Diagnostic>, Vec<UnsafeSite>)
 /// are checked against the raw line because captures live inside the
 /// format string). Workspace-wide: no key identifier may appear in a
 /// `sdds_obs` call (metric names/labels end up in snapshots and logs).
-fn secret_hygiene(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
+fn secret_hygiene_line(
+    path: &str,
+    s: &Scanned,
+    line: usize,
+    cipher: bool,
+    out: &mut Vec<Diagnostic>,
+) {
     const RULE: &str = "secret-hygiene";
-    for line in 0..s.code.len() {
-        if s.is_test[line] {
-            continue;
+    let code = &s.code[line];
+    // workspace-wide: obs labels
+    if code.contains("sdds_obs::")
+        && idents(&s.raw_sans_comments(line))
+            .iter()
+            .any(|i| is_secret_ident(i))
+    {
+        push(
+            out,
+            s,
+            path,
+            line,
+            RULE,
+            "key-material identifier flows into an sdds-obs call; metric names and labels \
+             reach snapshots, logs and sidecar files"
+                .into(),
+        );
+    }
+    if !cipher {
+        return;
+    }
+    // print/debug macros are banned outright in the cipher crate
+    for mac in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
+        if code.contains(mac) {
+            push(
+                out,
+                s,
+                path,
+                line,
+                RULE,
+                format!("`{mac}` in sdds-cipher: cipher code must never write to stdio"),
+            );
         }
-        let code = &s.code[line];
-        // workspace-wide: obs labels
-        if code.contains("sdds_obs::")
+    }
+    // formatting a secret (arguments or inline captures)
+    for mac in ["format!", "write!", "writeln!", "panic!", "todo!"] {
+        if code.contains(mac)
             && idents(&s.raw_sans_comments(line))
                 .iter()
                 .any(|i| is_secret_ident(i))
@@ -186,60 +253,25 @@ fn secret_hygiene(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
                 path,
                 line,
                 RULE,
-                "key-material identifier flows into an sdds-obs call; metric names and labels \
-                 reach snapshots, logs and sidecar files"
-                    .into(),
+                format!("`{mac}` formats a key-material identifier in sdds-cipher"),
             );
         }
-        if !in_cipher(path) {
-            continue;
-        }
-        // print/debug macros are banned outright in the cipher crate
-        for mac in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
-            if code.contains(mac) {
-                push(
-                    out,
-                    s,
-                    path,
-                    line,
-                    RULE,
-                    format!("`{mac}` in sdds-cipher: cipher code must never write to stdio"),
-                );
-            }
-        }
-        // formatting a secret (arguments or inline captures)
-        for mac in ["format!", "write!", "writeln!", "panic!", "todo!"] {
-            if code.contains(mac)
-                && idents(&s.raw_sans_comments(line))
-                    .iter()
-                    .any(|i| is_secret_ident(i))
-            {
-                push(
-                    out,
-                    s,
-                    path,
-                    line,
-                    RULE,
-                    format!("`{mac}` formats a key-material identifier in sdds-cipher"),
-                );
-            }
-        }
-        // derive(Debug/Serialize/Deserialize) on a key-bearing type
-        if let Some(derived) = risky_derives(code) {
-            if let Some(field) = key_bearing_field(s, line) {
-                push(
-                    out,
-                    s,
-                    path,
-                    line,
-                    RULE,
-                    format!(
-                        "derive({derived}) on a key-bearing type (field `{field}`): derived \
-                         formatting/serialization would expose key bytes; write a redacting \
-                         impl instead"
-                    ),
-                );
-            }
+    }
+    // derive(Debug/Serialize/Deserialize) on a key-bearing type
+    if let Some(derived) = risky_derives(code) {
+        if let Some(field) = key_bearing_field(s, line) {
+            push(
+                out,
+                s,
+                path,
+                line,
+                RULE,
+                format!(
+                    "derive({derived}) on a key-bearing type (field `{field}`): derived \
+                     formatting/serialization would expose key bytes; write a redacting \
+                     impl instead"
+                ),
+            );
         }
     }
 }
@@ -336,29 +368,21 @@ fn field_ident(code: &str) -> Option<String> {
 /// Rule 2: only deterministic (ECB/PRP) encryption inside the Stage-1
 /// index path. A CBC or CTR call there breaks chunk-equality search
 /// silently — results just go incomplete (§2.1).
-fn determinism(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
+fn determinism_line(path: &str, s: &Scanned, line: usize, out: &mut Vec<Diagnostic>) {
     const RULE: &str = "determinism";
-    if !in_stage1_index_path(path) {
-        return;
-    }
-    for line in 0..s.code.len() {
-        if s.is_test[line] {
-            continue;
-        }
-        for tok in idents(&s.code[line]) {
-            if matches!(tok, "cbc_encrypt" | "cbc_decrypt" | "ctr_xor") {
-                push(
-                    out,
-                    s,
-                    path,
-                    line,
-                    RULE,
-                    format!(
-                        "`{tok}` in the Stage-1 index path: index chunks must be encrypted \
-                         deterministically (ECB/chunk-PRP) or equality search breaks"
-                    ),
-                );
-            }
+    for tok in idents(&s.code[line]) {
+        if matches!(tok, "cbc_encrypt" | "cbc_decrypt" | "ctr_xor") {
+            push(
+                out,
+                s,
+                path,
+                line,
+                RULE,
+                format!(
+                    "`{tok}` in the Stage-1 index path: index chunks must be encrypted \
+                     deterministically (ECB/chunk-PRP) or equality search breaks"
+                ),
+            );
         }
     }
 }
@@ -366,43 +390,39 @@ fn determinism(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
 /// Rule 3: every `unsafe` needs an adjacent `// SAFETY:` rationale, and
 /// all occurrences are inventoried (test code included — the inventory is
 /// the audit surface).
-fn unsafe_audit(
+fn unsafe_audit_line(
     path: &str,
     s: &Scanned,
+    line: usize,
     out: &mut Vec<Diagnostic>,
     inventory: &mut Vec<UnsafeSite>,
 ) {
     const RULE: &str = "unsafe-audit";
-    for line in 0..s.code.len() {
-        if !idents(&s.code[line]).contains(&"unsafe") {
-            continue;
-        }
-        let has_safety = has_adjacent_rationale(s, line, "safety:");
-        inventory.push(UnsafeSite {
-            file: path.to_string(),
-            line: line + 1,
-            has_safety,
-            excerpt: s.raw[line].trim().to_string(),
-        });
-        if !has_safety {
-            push(
-                out,
-                s,
-                path,
-                line,
-                RULE,
-                "`unsafe` without a `// SAFETY:` rationale on the preceding line".into(),
-            );
-        }
+    if !idents(&s.code[line]).contains(&"unsafe") {
+        return;
+    }
+    let has_safety = has_adjacent_rationale(s, line, "safety:");
+    inventory.push(UnsafeSite {
+        file: path.to_string(),
+        line: line + 1,
+        has_safety,
+        excerpt: s.raw[line].trim().to_string(),
+    });
+    if !has_safety {
+        push(
+            out,
+            s,
+            path,
+            line,
+            RULE,
+            "`unsafe` without a `// SAFETY:` rationale on the preceding line".into(),
+        );
     }
 }
 
 /// Rule 4: no panic paths in non-test library code.
-fn panic_freedom(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
+fn panic_freedom_line(path: &str, s: &Scanned, line: usize, out: &mut Vec<Diagnostic>) {
     const RULE: &str = "panic-freedom";
-    if !in_panic_free_scope(path) {
-        return;
-    }
     const PATTERNS: [&str; 6] = [
         ".unwrap()",
         ".expect(",
@@ -411,51 +431,41 @@ fn panic_freedom(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
         "todo!(",
         "unimplemented!(",
     ];
-    for line in 0..s.code.len() {
-        if s.is_test[line] {
-            continue;
-        }
-        for pat in PATTERNS {
-            if s.code[line].contains(pat) {
-                let what = pat.trim_start_matches('.').trim_end_matches('(');
-                push(
-                    out,
-                    s,
-                    path,
-                    line,
-                    RULE,
-                    format!(
-                        "`{what}` in library code: a panic here aborts a whole site; return a \
-                         Result, use debug_assert!, or justify with `lint: allow(panic-freedom)`"
-                    ),
-                );
-            }
-        }
-    }
-}
-
-/// Rule 5: every `Ordering::` use in the concurrency crates needs an
-/// adjacent `// ordering:` justification comment.
-fn atomics_rationale(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
-    const RULE: &str = "atomics-rationale";
-    if !in_atomics_scope(path) {
-        return;
-    }
-    for line in 0..s.code.len() {
-        if s.is_test[line] || !s.code[line].contains("Ordering::") {
-            continue;
-        }
-        if !has_adjacent_rationale(s, line, "ordering:") {
+    for pat in PATTERNS {
+        if s.code[line].contains(pat) {
+            let what = pat.trim_start_matches('.').trim_end_matches('(');
             push(
                 out,
                 s,
                 path,
                 line,
                 RULE,
-                "atomic `Ordering::` use without an adjacent `// ordering:` justification \
-                 comment"
-                    .into(),
+                format!(
+                    "`{what}` in library code: a panic here aborts a whole site; return a \
+                     Result, use debug_assert!, or justify with `lint: allow(panic-freedom)`"
+                ),
             );
         }
+    }
+}
+
+/// Rule 5: every `Ordering::` use in the concurrency crates needs an
+/// adjacent `// ordering:` justification comment.
+fn atomics_rationale_line(path: &str, s: &Scanned, line: usize, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "atomics-rationale";
+    if !s.code[line].contains("Ordering::") {
+        return;
+    }
+    if !has_adjacent_rationale(s, line, "ordering:") {
+        push(
+            out,
+            s,
+            path,
+            line,
+            RULE,
+            "atomic `Ordering::` use without an adjacent `// ordering:` justification \
+             comment"
+                .into(),
+        );
     }
 }

@@ -241,6 +241,174 @@ impl Scanned {
             .map(|(r, c)| if c == ' ' { r } else { ' ' })
             .collect()
     }
+
+    /// Contents of every string literal that opens *and* closes on `line`,
+    /// as `(column_of_opening_quote, contents)`. The scanner keeps the
+    /// quote characters in the `code` plane (contents blanked), so pairing
+    /// quotes there and slicing the matching columns out of `raw` recovers
+    /// the literal text — comments can never contribute a phantom literal.
+    /// Multi-line literals are skipped (observability names never wrap).
+    pub fn line_strings(&self, line: usize) -> Vec<(usize, String)> {
+        let code: Vec<char> = self.code[line].chars().collect();
+        let raw: Vec<char> = self.raw[line].chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < code.len() {
+            if code[i] == '"' {
+                let Some(close) = (i + 1..code.len()).find(|&j| code[j] == '"') else {
+                    break; // opens here, closes on a later line
+                };
+                if close < raw.len() {
+                    out.push((i, raw[i + 1..close].iter().collect()));
+                }
+                i = close + 1;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// A `(line, column)` position in the `code` plane, 0-based.
+pub type Pos = (usize, usize);
+
+/// One `{ … }` region of a file.
+#[derive(Debug, Clone)]
+pub struct BraceSpan {
+    /// Position of the opening `{`.
+    pub open: Pos,
+    /// Position of the closing `}` (end of file when unbalanced).
+    pub close: Pos,
+    /// Index of the innermost enclosing span, if any.
+    pub parent: Option<usize>,
+    /// True when the brace opens a control-flow or item scope (`fn`,
+    /// `if`/`else`, `match`, a match-arm body, a loop, a closure body, a
+    /// bare block) rather than a struct/enum literal or a pattern's field
+    /// list. Path-sensitive rules treat only control scopes as branches.
+    pub control: bool,
+}
+
+/// Nested brace structure of one file, built from the `code` plane so
+/// braces inside strings and comments are invisible. Spans are stored in
+/// opening order, so a span's index is greater than its parent's.
+pub struct BraceTree {
+    /// All spans, in order of their opening brace.
+    pub spans: Vec<BraceSpan>,
+}
+
+/// Keywords whose presence in the statement introducing a `{` marks the
+/// brace as a control/item scope. `let x = Foo { .. }` has none of these
+/// and is classified as a literal body.
+const CONTROL_KEYWORDS: [&str; 12] = [
+    "if", "else", "match", "while", "loop", "for", "fn", "unsafe", "impl", "trait", "mod", "extern",
+];
+
+impl BraceTree {
+    /// Builds the tree for a scanned file.
+    pub fn build(s: &Scanned) -> BraceTree {
+        let mut spans: Vec<BraceSpan> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for (li, line) in s.code.iter().enumerate() {
+            for (ci, ch) in line.chars().enumerate() {
+                match ch {
+                    '{' => {
+                        let idx = spans.len();
+                        spans.push(BraceSpan {
+                            open: (li, ci),
+                            close: (usize::MAX, usize::MAX),
+                            parent: stack.last().copied(),
+                            control: opens_control_scope(s, (li, ci)),
+                        });
+                        stack.push(idx);
+                    }
+                    '}' => {
+                        if let Some(idx) = stack.pop() {
+                            spans[idx].close = (li, ci);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let eof = (s.code.len(), 0);
+        for idx in stack {
+            spans[idx].close = eof;
+        }
+        BraceTree { spans }
+    }
+
+    /// True when `pos` lies strictly inside span `idx` (between its
+    /// braces, excluding the braces themselves).
+    pub fn contains(&self, idx: usize, pos: Pos) -> bool {
+        let sp = &self.spans[idx];
+        pos > sp.open && pos < sp.close
+    }
+
+    /// Indices of every *control* span containing `pos`, outermost first.
+    pub fn control_scopes(&self, pos: Pos) -> Vec<usize> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|(i, sp)| sp.control && self.contains(*i, pos))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The span whose opening brace sits exactly at `pos`, if any.
+    pub fn span_opening_at(&self, pos: Pos) -> Option<usize> {
+        self.spans.iter().position(|sp| sp.open == pos)
+    }
+}
+
+/// Classifies the `{` at `pos`: walks backward to the start of the
+/// statement (the previous `;`, `{` or `}`) and checks the collected text
+/// for control keywords, a match-arm `=>`, or a closure's trailing `|`.
+/// `struct`/`enum`/`union` headers introduce field lists, not branches.
+fn opens_control_scope(s: &Scanned, pos: Pos) -> bool {
+    let text = statement_before(s, pos, 40);
+    let toks = idents(&text);
+    if toks
+        .iter()
+        .any(|t| matches!(*t, "struct" | "enum" | "union"))
+        && !toks.contains(&"fn")
+    {
+        return false;
+    }
+    if toks.iter().any(|t| CONTROL_KEYWORDS.contains(t)) {
+        return true;
+    }
+    let trimmed = text.trim_end();
+    // a match arm's body (`… => {`), a closure body (`|x| {`), or a bare
+    // block (nothing before the brace) all branch control flow
+    trimmed.ends_with("=>") || trimmed.ends_with('|') || trimmed.is_empty()
+}
+
+/// Code text from the start of the enclosing statement up to (not
+/// including) `pos`, scanning back at most `max_lines` lines. The
+/// statement start is the nearest preceding `;`, `{` or `}` at this
+/// nesting level.
+pub fn statement_before(s: &Scanned, pos: Pos, max_lines: usize) -> String {
+    let (line, col) = pos;
+    let mut collected: Vec<char> = Vec::new();
+    let first = line.saturating_sub(max_lines);
+    'outer: for li in (first..=line).rev() {
+        let chars: Vec<char> = s.code[li].chars().collect();
+        let end = if li == line {
+            col.min(chars.len())
+        } else {
+            chars.len()
+        };
+        for ci in (0..end).rev() {
+            let c = chars[ci];
+            if c == ';' || c == '{' || c == '}' {
+                break 'outer;
+            }
+            collected.push(c);
+        }
+        collected.push(' ');
+    }
+    collected.iter().rev().collect()
 }
 
 /// Returns `(hash_count, prefix_len)` when position `i` starts a raw
@@ -422,5 +590,101 @@ mod tests {
             idents("self.round_keys[0] = Ordering::Relaxed;"),
             vec!["self", "round_keys", "Ordering", "Relaxed"]
         );
+    }
+
+    #[test]
+    fn raw_string_with_embedded_line_comment_and_quotes() {
+        // `//` and `"` inside an r#"…"# literal are literal text, not
+        // comment or string delimiters — code after it must survive
+        let s = scan("let u = r#\"see // not \"a\" comment\"#; tail();\n");
+        assert!(s.code[0].contains("tail()"), "code: {:?}", s.code[0]);
+        assert!(!s.code[0].contains("comment"));
+        assert!(s.comments[0].trim().is_empty(), "nothing is a comment here");
+    }
+
+    #[test]
+    fn raw_string_with_extra_hashes_ignores_shorter_terminator() {
+        // `"#` inside an r##"…"## literal does not close it
+        let s = scan("let u = r##\"tricky \"# bit\"##; after();\n");
+        assert!(s.code[0].contains("after()"), "code: {:?}", s.code[0]);
+        assert!(!s.code[0].contains("tricky"));
+    }
+
+    #[test]
+    fn multiline_raw_string_with_comment_markers() {
+        let s = scan("let u = r#\"line one\n// still a string\nunwrap()\"#; end();\n");
+        assert!(!s.code[1].contains("still"));
+        assert!(s.comments[1].trim().is_empty());
+        assert!(!s.code[2].contains("unwrap"));
+        assert!(s.code[2].contains("end()"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let s =
+            scan("/* a /* b /* c */ b */ a */ live();\n/* open /* still\nopen */ tail */ fin();\n");
+        assert!(s.code[0].contains("live()"));
+        assert!(
+            !s.code[0].contains('a'),
+            "comment text leaked: {:?}",
+            s.code[0]
+        );
+        assert!(s.code[2].contains("fin()"));
+        assert!(!s.code[1].contains("open"));
+    }
+
+    #[test]
+    fn cfg_test_on_out_of_line_mod_marks_only_the_declaration() {
+        // `#[cfg(test)] mod tests;` is braceless: the attribute and the
+        // declaration are test lines, the following item is not
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { x.unwrap(); }\n";
+        let s = scan(src);
+        assert!(s.is_test[0] && s.is_test[1]);
+        assert!(
+            !s.is_test[2],
+            "production fn after `mod tests;` misclassified"
+        );
+    }
+
+    #[test]
+    fn line_strings_extracts_contents_and_skips_comments() {
+        let s = scan("obs(\"lh.requests\"); x(\"a\\\"b\"); // \"not.a.literal\"\n");
+        let lits = s.line_strings(0);
+        assert_eq!(lits.len(), 2, "{lits:?}");
+        assert_eq!(lits[0].1, "lh.requests");
+        assert!(s.line_strings(0).iter().all(|(_, l)| l != "not.a.literal"));
+    }
+
+    #[test]
+    fn brace_tree_classifies_control_vs_literal() {
+        let src = "fn f(x: u32) -> Vec<u32> {\n    if x > 1 {\n        let w = Wire {\n            a: 1,\n        };\n    }\n    match x {\n        0 => { g(); }\n        _ => h(),\n    }\n}\n";
+        let s = scan(src);
+        let t = BraceTree::build(&s);
+        let find = |line: usize| {
+            t.spans
+                .iter()
+                .find(|sp| sp.open.0 == line)
+                .unwrap_or_else(|| panic!("no span opening on line {line}"))
+        };
+        assert!(find(0).control, "fn body");
+        assert!(find(1).control, "if body");
+        assert!(!find(2).control, "struct literal");
+        assert!(find(6).control, "match body");
+        assert!(find(7).control, "arm body");
+        // nesting: the struct literal's parent is the if body
+        let lit = t.spans.iter().position(|sp| sp.open.0 == 2).unwrap();
+        let parent = t.spans[lit].parent.unwrap();
+        assert_eq!(t.spans[parent].open.0, 1);
+    }
+
+    #[test]
+    fn brace_tree_control_scopes_ignore_literal_braces() {
+        let src = "fn f() {\n    out.push(Wire {\n        a: 1,\n    });\n}\n";
+        let s = scan(src);
+        let t = BraceTree::build(&s);
+        // position inside the literal body: only the fn body is a control scope
+        let scopes = t.control_scopes((2, 9));
+        assert_eq!(scopes.len(), 1);
+        assert_eq!(t.spans[scopes[0]].open.0, 0);
     }
 }

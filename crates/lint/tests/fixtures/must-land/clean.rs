@@ -1,0 +1,11 @@
+//! Fixture: control-plane messages routed correctly — through the
+//! `SendQueue` (`outbox`) or returned in the outgoing batch for the
+//! event loop to queue. Replayed as `crates/lh/src/coordinator.rs`.
+
+pub fn rebalance(outbox: &mut SendQueue, coord: SiteId, bucket: u64) {
+    outbox.send(coord, Wire::Overflow { bucket });
+}
+
+fn plan(coord: SiteId, bucket: u64) -> Vec<(SiteId, Wire)> {
+    vec![(coord, Wire::Underflow { bucket })]
+}

@@ -1,0 +1,8 @@
+//! Fixture: an undocumented metric name and a dynamic (format-template)
+//! name, both of which defeat the documented catalog. Linted against the
+//! fixture `OBSERVABILITY.md` in this directory.
+
+pub fn record(stage: &str) {
+    sdds_obs::counter("lh.bogus_metric").inc();
+    sdds_obs::gauge(&format!("core.{stage}_rate")).set(1);
+}

@@ -1,0 +1,6 @@
+//! Fixture: every metric name is static and documented in the fixture
+//! `OBSERVABILITY.md` in this directory.
+
+pub fn record() {
+    sdds_obs::counter("lh.real_metric").inc();
+}

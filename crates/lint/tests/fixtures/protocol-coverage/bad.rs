@@ -1,0 +1,19 @@
+//! Fixture: sends `Orphan` into the void (no handler anywhere) and keeps
+//! a dead arm for `Ghost` (never constructed). Replayed as
+//! `crates/lh/src/bucket.rs` alongside the fixture codec.
+
+fn emit() -> Vec<Wire> {
+    vec![
+        Wire::Ping { seq: 1 },
+        Wire::Pong { seq: 2 },
+        Wire::Orphan { seq: 3 },
+    ]
+}
+
+fn handle(msg: &Wire) -> u64 {
+    match msg {
+        Wire::Ping { seq } => *seq,
+        Wire::Pong { seq } => *seq,
+        Wire::Ghost { seq } => *seq,
+    }
+}

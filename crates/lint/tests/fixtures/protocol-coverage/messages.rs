@@ -1,0 +1,14 @@
+//! Fixture codec: a miniature `Wire` for protocol-coverage tests,
+//! replayed as `crates/lh/src/messages.rs`.
+
+/// Miniature wire protocol.
+pub enum Wire {
+    /// Sent and handled everywhere — always healthy.
+    Ping { seq: u64 },
+    /// Sent and handled — healthy.
+    Pong { seq: u64 },
+    /// Constructed by the bad fixture but handled by no event loop.
+    Orphan { seq: u64 },
+    /// Handled by the bad fixture but never constructed.
+    Ghost { seq: u64 },
+}

@@ -1,0 +1,17 @@
+//! Fixture: a `Request` handler with a branch that returns without
+//! replying — the client would hang until timeout. Replayed as
+//! `crates/lh/src/bucket.rs`.
+
+pub fn handle(msg: Wire, overloaded: bool) -> Vec<(SiteId, Wire)> {
+    match msg {
+        Wire::Request { req_id, client, op } => {
+            if overloaded {
+                // BUG: drops the request on the floor — no Response
+                return Vec::new();
+            }
+            let _ = op;
+            vec![(SiteId(client), Wire::Response { req_id, ok: true })]
+        }
+        _ => Vec::new(),
+    }
+}

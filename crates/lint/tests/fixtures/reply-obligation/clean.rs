@@ -1,0 +1,15 @@
+//! Fixture: the same handler shape as `bad.rs`, but every exit path
+//! emits the paired `Response`. Replayed as `crates/lh/src/bucket.rs`.
+
+pub fn handle(msg: Wire, overloaded: bool) -> Vec<(SiteId, Wire)> {
+    match msg {
+        Wire::Request { req_id, client, op } => {
+            if overloaded {
+                return vec![(SiteId(client), Wire::Response { req_id, ok: false })];
+            }
+            let _ = op;
+            vec![(SiteId(client), Wire::Response { req_id, ok: true })]
+        }
+        _ => Vec::new(),
+    }
+}

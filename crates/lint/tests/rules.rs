@@ -3,7 +3,7 @@
 //! and the `lint: allow` escape hatch — and the workspace itself lints
 //! clean (the self-check CI relies on).
 
-use sdds_lint::{find_workspace_root, lint_workspace, Report};
+use sdds_lint::{find_workspace_root, lint_files, lint_workspace, Report};
 use std::path::Path;
 
 /// Reads `tests/fixtures/<rule>/<which>` from this crate.
@@ -179,6 +179,210 @@ fn json_report_is_machine_readable() {
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }
+}
+
+#[test]
+fn protocol_coverage_fires_on_bad_fixture() {
+    let codec = fixture("protocol-coverage", "messages.rs");
+    let bad = fixture("protocol-coverage", "bad.rs");
+    let r = lint_files(
+        &[
+            ("crates/lh/src/messages.rs", codec.as_str()),
+            ("crates/lh/src/bucket.rs", bad.as_str()),
+        ],
+        None,
+    );
+    assert_eq!(count_rule(&r, "protocol-coverage"), 2, "{:?}", r.violations);
+    // the unhandled send anchors at the variant declaration in the codec
+    assert!(r.violations.iter().any(|d| d.rule == "protocol-coverage"
+        && d.file == "crates/lh/src/messages.rs"
+        && d.message.contains("Orphan")));
+    // the dead arm anchors at the handler site in the event loop
+    assert!(r.violations.iter().any(|d| d.rule == "protocol-coverage"
+        && d.file == "crates/lh/src/bucket.rs"
+        && d.message.contains("Ghost")));
+}
+
+#[test]
+fn protocol_coverage_clean_fixture_passes_and_matrix_is_total() {
+    let codec = fixture("protocol-coverage", "messages.rs");
+    let clean = fixture("protocol-coverage", "clean.rs");
+    let r = lint_files(
+        &[
+            ("crates/lh/src/messages.rs", codec.as_str()),
+            ("crates/lh/src/bucket.rs", clean.as_str()),
+        ],
+        None,
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+    let matrix = r.matrix.expect("codec present => matrix built");
+    assert_eq!(matrix.variants.len(), 4);
+    for v in &matrix.variants {
+        assert!(!v.sends.is_empty(), "{} has no send site", v.name);
+        assert!(!v.handles.is_empty(), "{} has no handler", v.name);
+    }
+}
+
+#[test]
+fn reply_obligation_fires_on_bad_fixture() {
+    let r = lint_files(
+        &[(
+            "crates/lh/src/bucket.rs",
+            &fixture("reply-obligation", "bad.rs"),
+        )],
+        None,
+    );
+    assert_eq!(count_rule(&r, "reply-obligation"), 1, "{:?}", r.violations);
+    let d = r
+        .violations
+        .iter()
+        .find(|d| d.rule == "reply-obligation")
+        .unwrap();
+    assert!(
+        d.excerpt.contains("return"),
+        "should anchor at the reply-less exit: {d:?}"
+    );
+}
+
+#[test]
+fn reply_obligation_clean_fixture_passes() {
+    let r = lint_files(
+        &[(
+            "crates/lh/src/bucket.rs",
+            &fixture("reply-obligation", "clean.rs"),
+        )],
+        None,
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+#[test]
+fn reply_obligation_is_scoped_to_event_loops() {
+    // the same reply-less handler outside the event-loop files is fine
+    let r = lint_files(
+        &[(
+            "crates/lh/src/cluster.rs",
+            &fixture("reply-obligation", "bad.rs"),
+        )],
+        None,
+    );
+    assert_eq!(count_rule(&r, "reply-obligation"), 0, "{:?}", r.violations);
+}
+
+#[test]
+fn must_land_fires_on_bad_fixture() {
+    let r = lint_files(
+        &[(
+            "crates/lh/src/coordinator.rs",
+            &fixture("must-land", "bad.rs"),
+        )],
+        None,
+    );
+    assert_eq!(count_rule(&r, "must-land"), 1, "{:?}", r.violations);
+    let d = r.violations.iter().find(|d| d.rule == "must-land").unwrap();
+    assert!(d.message.contains("endpoint"), "names the receiver: {d:?}");
+}
+
+#[test]
+fn must_land_clean_fixture_passes() {
+    let r = lint_files(
+        &[(
+            "crates/lh/src/coordinator.rs",
+            &fixture("must-land", "clean.rs"),
+        )],
+        None,
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+#[test]
+fn obs_drift_fires_on_bad_fixture_in_both_directions() {
+    let doc = fixture("obs-drift", "OBSERVABILITY.md");
+    let r = lint_files(
+        &[(
+            "crates/core/src/metrics.rs",
+            &fixture("obs-drift", "bad.rs"),
+        )],
+        Some(&doc),
+    );
+    assert_eq!(count_rule(&r, "obs-drift"), 3, "{:?}", r.violations);
+    let msgs: Vec<&str> = r.violations.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("lh.bogus_metric")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("dynamic")), "{msgs:?}");
+    // the stale doc entry anchors in the doc itself
+    assert!(r.violations.iter().any(|d| d.rule == "obs-drift"
+        && d.file == "docs/OBSERVABILITY.md"
+        && d.message.contains("lh.real_metric")));
+}
+
+#[test]
+fn obs_drift_clean_fixture_passes() {
+    let doc = fixture("obs-drift", "OBSERVABILITY.md");
+    let r = lint_files(
+        &[(
+            "crates/core/src/metrics.rs",
+            &fixture("obs-drift", "clean.rs"),
+        )],
+        Some(&doc),
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+#[test]
+fn diagnostics_are_sorted_for_stable_json() {
+    let codec = fixture("protocol-coverage", "messages.rs");
+    let bad = fixture("protocol-coverage", "bad.rs");
+    let doc = fixture("obs-drift", "OBSERVABILITY.md");
+    let r = lint_files(
+        &[
+            ("crates/lh/src/messages.rs", codec.as_str()),
+            ("crates/lh/src/bucket.rs", bad.as_str()),
+            (
+                "crates/core/src/metrics.rs",
+                &fixture("obs-drift", "bad.rs"),
+            ),
+        ],
+        Some(&doc),
+    );
+    let keys: Vec<(String, usize, &str)> = r
+        .violations
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "violations must be (path, line, rule)-sorted");
+}
+
+#[test]
+fn committed_protocol_matrix_is_current_and_total() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = lint_workspace(&root).expect("workspace scan");
+    let matrix = report.matrix.expect("workspace run builds the matrix");
+    // every Wire variant: >=1 send, >=1 handler, no unreplied request path
+    assert!(matrix.variants.len() >= 20, "Wire shrank suspiciously");
+    for v in &matrix.variants {
+        assert!(!v.sends.is_empty(), "Wire::{} has no send site", v.name);
+        assert!(!v.handles.is_empty(), "Wire::{} has no handler", v.name);
+        assert_eq!(
+            v.unreplied_paths, 0,
+            "Wire::{} has a handler path without a reply",
+            v.name
+        );
+    }
+    // the committed artifact matches the regenerated one byte for byte
+    let committed = std::fs::read_to_string(root.join("protocol-matrix.json"))
+        .expect("committed protocol-matrix.json at the workspace root");
+    assert_eq!(
+        committed,
+        matrix.to_json(),
+        "protocol-matrix.json is stale; regenerate with:\n  cargo run -p sdds-lint -- \
+         --workspace --protocol-matrix protocol-matrix.json"
+    );
 }
 
 #[test]
