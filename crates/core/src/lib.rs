@@ -54,8 +54,8 @@ pub use config::{
 pub use pipeline::{IndexPipeline, IndexRecord, IngestScratch, StorageReport};
 pub use query::{EncryptedIndexFilter, EncryptedQuery};
 pub use store::{
-    EncryptedSearchStore, IngestOptions, IngestStats, SearchOutcome, StoreBuilder, StoreError,
-    StoreHandle,
+    EncryptedSearchStore, IngestOptions, IngestStats, RemoteStore, SearchOutcome, StoreBuilder,
+    StoreError, StoreHandle,
 };
 // The storage backend selectors `StoreBuilder::storage` takes.
 pub use sdds_lh::{DiskOptions, FsyncPolicy, StorageConfig};

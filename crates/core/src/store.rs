@@ -308,6 +308,33 @@ impl StoreBuilder {
         Ok(EncryptedSearchStore { handle, cluster })
     }
 
+    /// Splits the builder into its deterministic pipeline and the cluster
+    /// config without starting anything — the server half of a
+    /// multi-process deployment (`sdds serve` feeds the config to
+    /// [`sdds_lh::serve`]). Every process of a cluster — ranks and
+    /// clients alike — must construct an identically configured builder:
+    /// the key material, codebooks and scan filter are all *derived*
+    /// from the config, passphrase and training sample, never shipped
+    /// over the wire.
+    pub fn serve_parts(self) -> (IndexPipeline, ClusterConfig) {
+        self.build_parts()
+    }
+
+    /// Connects to a served multi-process cluster as a client and
+    /// returns a [`RemoteStore`]. The builder must be configured exactly
+    /// like the serving processes' builders (see
+    /// [`serve_parts`](Self::serve_parts)); the registry must be the one
+    /// the servers were started with.
+    pub fn connect(self, registry: sdds_net::SiteRegistry) -> RemoteStore {
+        let (pipeline, cluster_config) = self.build_parts();
+        let mut hub = sdds_lh::TcpCluster::connect(registry, cluster_config.net.clone());
+        hub.set_client_timeout(cluster_config.client_timeout);
+        RemoteStore {
+            pipeline: Arc::new(pipeline),
+            hub,
+        }
+    }
+
     /// The shared tail of [`start`](Self::start) and [`open`](Self::open):
     /// trains the deterministic pipeline and assembles the cluster config.
     fn build_parts(self) -> (IndexPipeline, ClusterConfig) {
@@ -368,6 +395,46 @@ impl StoreBuilder {
 pub struct EncryptedSearchStore {
     handle: StoreHandle,
     cluster: LhCluster,
+}
+
+/// A client-side view of a multi-process (TCP) store: the deterministic
+/// pipeline plus a connection hub to the serving ranks. Unlike
+/// [`EncryptedSearchStore`] it owns no sites — dropping it leaves the
+/// cluster running (use [`shutdown_cluster`](Self::shutdown_cluster) to
+/// stop the servers).
+pub struct RemoteStore {
+    pipeline: Arc<IndexPipeline>,
+    hub: sdds_lh::TcpCluster,
+}
+
+impl RemoteStore {
+    /// A fresh, independently routable client handle (one per thread;
+    /// each owns its endpoint and file image). The full
+    /// [`StoreHandle`] API — ingest, get, search — works unchanged over
+    /// TCP.
+    pub fn handle(&self) -> StoreHandle {
+        StoreHandle {
+            pipeline: self.pipeline.clone(),
+            client: self.hub.client(),
+        }
+    }
+
+    /// The transformation pipeline (for experiments that bypass the
+    /// cluster).
+    pub fn pipeline(&self) -> &IndexPipeline {
+        &self.pipeline
+    }
+
+    /// The underlying connection hub (traffic statistics, fault
+    /// injection, shutdown).
+    pub fn cluster(&self) -> &sdds_lh::TcpCluster {
+        &self.hub
+    }
+
+    /// Stops every serving rank (the `serve` processes return).
+    pub fn shutdown_cluster(&self) {
+        self.hub.shutdown();
+    }
 }
 
 /// An independent client handle on a running store: owns its own network

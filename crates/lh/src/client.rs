@@ -574,11 +574,11 @@ impl LhClient {
     }
 
     /// Waits until no splits or merges are running or queued, then returns
-    /// the exact extent. Scans call this so a record mid-transfer between
-    /// buckets cannot be missed; with writers still active the wait can
-    /// time out (scans concurrent with sustained inserts see the usual
-    /// SDDS weak-consistency caveat).
-    fn refresh_image_quiescent(&self) -> Result<u64, LhError> {
+    /// the exact extent. Scans and snapshots call this so a record
+    /// mid-transfer between buckets cannot be missed; with writers still
+    /// active the wait can time out (scans concurrent with sustained
+    /// inserts see the usual SDDS weak-consistency caveat).
+    pub(crate) fn refresh_image_quiescent(&self) -> Result<u64, LhError> {
         let deadline = Instant::now() + self.timeout.get();
         loop {
             let (extent, busy) = self.refresh_image_detail()?;

@@ -26,6 +26,12 @@ use std::time::{Duration, Instant};
 pub struct Directory {
     buckets: RwLock<Vec<Option<SiteId>>>,
     parity: RwLock<HashMap<u64, Vec<SiteId>>>,
+    /// Static addressing (TCP transport): bucket `addr` *is* site id
+    /// `addr`; the registry's modular partition decides which process
+    /// hosts it, so no dynamic site table is needed — only the set of
+    /// addresses retired by merges.
+    static_addrs: bool,
+    retired: RwLock<std::collections::HashSet<u64>>,
 }
 
 impl Directory {
@@ -33,10 +39,26 @@ impl Directory {
         Directory {
             buckets: RwLock::new(Vec::new()),
             parity: RwLock::new(HashMap::new()),
+            static_addrs: false,
+            retired: RwLock::new(std::collections::HashSet::new()),
+        }
+    }
+
+    /// A directory whose address→site mapping is the identity: used by
+    /// the TCP transport, where bucket sites register under their bucket
+    /// address and the registry routes by id.
+    pub(crate) fn new_static() -> Directory {
+        Directory {
+            static_addrs: true,
+            ..Directory::new()
         }
     }
 
     pub(crate) fn set_bucket(&self, addr: u64, site: SiteId) {
+        if self.static_addrs {
+            self.retired.write().remove(&addr);
+            return;
+        }
         let mut v = self.buckets.write();
         if v.len() <= addr as usize {
             v.resize(addr as usize + 1, None);
@@ -45,12 +67,22 @@ impl Directory {
     }
 
     pub(crate) fn clear_bucket(&self, addr: u64) {
+        if self.static_addrs {
+            self.retired.write().insert(addr);
+            return;
+        }
         if let Some(slot) = self.buckets.write().get_mut(addr as usize) {
             *slot = None;
         }
     }
 
     pub(crate) fn bucket_site(&self, addr: u64) -> Option<SiteId> {
+        if self.static_addrs {
+            if self.retired.read().contains(&addr) {
+                return None;
+            }
+            return Some(SiteId(addr as u32));
+        }
         self.buckets.read().get(addr as usize).copied().flatten()
     }
 
@@ -551,10 +583,13 @@ impl LhCluster {
 
     /// Takes a consistent snapshot of the file: the coordinator's state
     /// plus every bucket's contents. Mutations must be quiescent (the
-    /// classic external-backup contract).
+    /// classic external-backup contract). Like scans, the snapshot first
+    /// waits out any split or merge still running or queued — an acked
+    /// insert can leave a structural change in flight, and a `Dump` that
+    /// raced its `TransferBatch` would miss the records mid-move.
     pub fn snapshot(&self) -> Result<FileSnapshot, LhError> {
         let probe = self.client();
-        probe.refresh_image()?;
+        probe.refresh_image_quiescent()?;
         let image = probe.image();
         let control = self.network.register();
         let mut awaiting = std::collections::HashMap::new();
@@ -685,7 +720,7 @@ impl LhCluster {
 /// client traffic freely, but shutdown/recovery/restore messages must
 /// land for the cluster to make progress — and the receiving loop is
 /// live and draining, so a full inbox clears within the retry window.
-fn send_control(ep: &Endpoint, to: SiteId, payload: Bytes) -> Result<(), NetError> {
+pub(crate) fn send_control(ep: &Endpoint, to: SiteId, payload: Bytes) -> Result<(), NetError> {
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
         match ep.send(to, payload.clone()) {
@@ -713,7 +748,7 @@ fn bucket_level(addr: u64, image: ClientImage) -> u8 {
 /// coordinator while later buckets are still being set up; the split it
 /// triggers looks its victim up in the directory, which must therefore be
 /// complete first.
-struct SiteBuilder {
+pub(crate) struct SiteBuilder {
     network: Network,
     directory: Arc<Directory>,
     capacity: usize,
@@ -727,7 +762,7 @@ struct SiteBuilder {
 }
 
 impl SiteBuilder {
-    fn new(
+    pub(crate) fn new(
         network: &Network,
         directory: &Arc<Directory>,
         config: &ClusterConfig,
@@ -783,7 +818,7 @@ impl SiteBuilder {
 
     /// Opens the bucket's storage engine and starts its site thread on a
     /// previously registered endpoint.
-    fn launch(&self, addr: u64, level: u8, ep: Endpoint) {
+    pub(crate) fn launch(&self, addr: u64, level: u8, ep: Endpoint) {
         let ctx = BucketCtx {
             directory: self.directory.clone(),
             coordinator: self.coordinator,

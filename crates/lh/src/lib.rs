@@ -43,6 +43,7 @@ mod hash;
 mod index;
 mod messages;
 mod parity;
+mod serve;
 
 pub use client::{LhClient, LhError, RetryPolicy};
 pub use cluster::{BucketSnapshot, ClusterConfig, FileSnapshot, LhCluster, ParityConfig};
@@ -51,3 +52,4 @@ pub use filter::{PreparedQuery, ScanFilter, SubstringFilter};
 pub use hash::{address, ClientImage};
 pub use messages::ScanMatch;
 pub use sdds_storage::{DiskOptions, FsyncPolicy, StorageConfig};
+pub use serve::{serve, ServeHandle, TcpCluster};

@@ -311,8 +311,13 @@ pub struct ParityRow {
 impl Wire {
     /// Serializes for the network.
     pub fn encode(&self) -> Bytes {
+        // Stream into a pooled buffer and hand it off zero-copy: the
+        // steady-state send path allocates no payload buffers (the pool
+        // recycles them when the last `Bytes` clone drops).
+        let mut buf = sdds_net::PooledBuf::take();
         // lint: allow(panic-freedom) -- plain-data enum with no map keys or non-string tags; serialization is infallible
-        Bytes::from(serde_json::to_vec(self).expect("Wire serializes"))
+        serde_json::to_writer(&mut buf, self).expect("Wire serializes");
+        buf.into_bytes()
     }
 
     /// Deserializes from the network.

@@ -1,0 +1,394 @@
+//! Multi-process LH\* over the TCP transport.
+//!
+//! [`serve`] brings up one *site host*: an OS process (one per registry
+//! rank) that owns every bucket whose address hashes to its rank
+//! (`addr % num_servers`). Rank 0 additionally runs the split
+//! coordinator. Bucket sites register under their bucket address
+//! (`SiteRegistry::bucket_id`), so the client-visible addressing is
+//! *static*: a [`Directory`] in static mode maps address → site id by
+//! identity and the registry's modular partition decides which process
+//! answers. [`TcpCluster`] is the client-side hub: it dials the same
+//! registry and hands out ordinary [`LhClient`]s whose messages now
+//! cross real sockets.
+//!
+//! Scope: parity (LH\*<sub>RS</sub>), kill/recover and snapshot/restore
+//! remain channel-transport features — they need the cluster-wide
+//! directory and spawner a single process provides. `serve` rejects
+//! parity configs. Merges retire addresses only in the serving
+//! processes' directories; a long-lived client that keeps addressing a
+//! merged-away bucket sees the send fail and recovers through its
+//! normal retry path (ingest/search workloads never delete, so this is
+//! theoretical).
+
+use crate::client::{LhClient, LhError};
+use crate::cluster::{send_control, ClusterConfig, Directory, SiteBuilder};
+use crate::coordinator::{run_coordinator, BucketRetirer, BucketSpawner};
+use crate::messages::Wire;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sdds_net::{Endpoint, NetConfig, Network, SiteId, SiteRegistry, COORD_ID};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Control messages between the coordinator's process and the site
+/// hosts. These ride the same TCP fabric as [`Wire`] but address the
+/// per-rank host endpoints (`SiteRegistry::host_id`), which speak only
+/// this protocol — the two codecs never meet in one inbox.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub(crate) enum HostMsg {
+    /// Materialise bucket `addr` at `level` on the receiving host.
+    Spawn {
+        /// Bucket address (also its site id).
+        addr: u64,
+        /// Initial bucket level.
+        level: u8,
+    },
+    /// Sever every established connection (fault injection for tests;
+    /// streams re-establish with backoff).
+    DropConns,
+    /// Shut down every local site and exit the host loop.
+    Shutdown,
+}
+
+impl HostMsg {
+    pub(crate) fn encode(&self) -> Bytes {
+        let mut buf = sdds_net::PooledBuf::take();
+        // lint: allow(panic-freedom) -- plain-data enum with no map keys or non-string tags; serialization is infallible
+        serde_json::to_writer(&mut buf, self).expect("HostMsg serializes");
+        buf.into_bytes()
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> Option<HostMsg> {
+        serde_json::from_slice(payload).ok()
+    }
+}
+
+/// A running site host; join it with [`wait`](ServeHandle::wait).
+pub struct ServeHandle {
+    host: JoinHandle<()>,
+}
+
+impl ServeHandle {
+    /// Blocks until the host receives [`HostMsg::Shutdown`] (or its
+    /// network dies) and every local site thread has been joined.
+    pub fn wait(self) {
+        let _ = self.host.join();
+    }
+}
+
+/// Everything a host needs to materialise a bucket site locally.
+struct SiteHost {
+    network: Network,
+    builder: SiteBuilder,
+    /// Locally hosted sites that accept [`Wire::Shutdown`].
+    local_sites: Arc<Mutex<Vec<SiteId>>>,
+}
+
+impl SiteHost {
+    /// Registers bucket `addr` under its static id and starts its site
+    /// thread. Returns `false` when the id is already taken in this
+    /// process (a duplicate `Spawn` — first one wins).
+    fn spawn_bucket(&self, addr: u64, level: u8) -> bool {
+        let Some(ep) = self.network.register_with_id(SiteRegistry::bucket_id(addr)) else {
+            return false;
+        };
+        self.local_sites.lock().push(ep.id());
+        self.builder.launch(addr, level, ep);
+        true
+    }
+}
+
+/// Starts this process's share of a multi-process LH\* cluster and
+/// returns once the listener is up and every rank-local site is running
+/// (rank 0: the coordinator and bucket 0). The returned handle joins
+/// the host control loop, which exits on [`HostMsg::Shutdown`] — sent
+/// by [`TcpCluster::shutdown`] or `sdds serve`'s peer tooling.
+pub fn serve(
+    registry: SiteRegistry,
+    rank: usize,
+    config: ClusterConfig,
+) -> Result<ServeHandle, LhError> {
+    if config.parity.is_some() {
+        return Err(LhError::Rejected(
+            "parity requires the in-process transport (kill/recover need a cluster-wide spawner)"
+                .into(),
+        ));
+    }
+    if rank >= registry.num_servers() {
+        return Err(LhError::Rejected(format!(
+            "rank {rank} out of range: registry lists {} servers",
+            registry.num_servers()
+        )));
+    }
+    let network = Network::tcp_serve(registry.clone(), rank, config.net.clone())
+        .map_err(|e| LhError::Rejected(format!("rank {rank}: bind failed: {e}")))?;
+    let directory = Arc::new(Directory::new_static());
+    let handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    // SiteBuilder's own shutdown list is unused here (we track local
+    // sites ourselves: the builder only records ids it registered, and
+    // on TCP the host registers endpoints before handing them over).
+    let builder_shutdown: Arc<Mutex<Vec<SiteId>>> = Arc::new(Mutex::new(Vec::new()));
+    let builder = SiteBuilder::new(
+        &network,
+        &directory,
+        &config,
+        SiteId(COORD_ID),
+        &handles,
+        &builder_shutdown,
+    );
+    let host = Arc::new(SiteHost {
+        network: network.clone(),
+        builder,
+        local_sites: Arc::new(Mutex::new(Vec::new())),
+    });
+
+    if rank == 0 {
+        let coordinator_ep = network
+            .register_with_id(SiteId(COORD_ID))
+            .ok_or_else(|| LhError::Rejected("coordinator id already registered".into()))?;
+        host.local_sites.lock().push(coordinator_ep.id());
+        // The primordial bucket lives wherever address 0 hashes — which
+        // is always rank 0 (`0 % n == 0`).
+        host.spawn_bucket(0, 0);
+
+        let spawner = make_tcp_spawner(registry.clone(), host.clone(), directory.clone());
+        let dir = directory.clone();
+        let retirer: BucketRetirer = Box::new(move |addr| dir.clear_bucket(addr));
+        let dir = directory.clone();
+        let lookup = Box::new(move |addr: u64| dir.bucket_site(addr));
+        let budget = config.drain_budget;
+        handles.lock().push(std::thread::spawn(move || {
+            run_coordinator(coordinator_ep, spawner, retirer, lookup, budget)
+        }));
+    }
+
+    let host_ep = network
+        .register_with_id(SiteRegistry::host_id(rank))
+        .ok_or_else(|| LhError::Rejected("host id already registered".into()))?;
+    let loop_host = host.clone();
+    let loop_handles = handles.clone();
+    let h = std::thread::spawn(move || host_loop(host_ep, loop_host, loop_handles));
+    Ok(ServeHandle { host: h })
+}
+
+/// The host control loop: spawns buckets the coordinator assigns to
+/// this rank, severs connections on request, and tears the process's
+/// sites down on shutdown.
+fn host_loop(ep: Endpoint, host: Arc<SiteHost>, handles: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        let Ok(env) = ep.recv() else {
+            break;
+        };
+        match HostMsg::decode(&env.payload) {
+            Some(HostMsg::Spawn { addr, level }) => {
+                let fresh = host.spawn_bucket(addr, level);
+                if !fresh {
+                    sdds_obs::counter("lh.serve.duplicate_spawns").inc();
+                }
+            }
+            Some(HostMsg::DropConns) => host.network.drop_connections(),
+            Some(HostMsg::Shutdown) => break,
+            None => {}
+        }
+    }
+    for site in host.local_sites.lock().drain(..) {
+        let _ = send_control(&ep, site, Wire::Shutdown.encode());
+    }
+    let joins: Vec<JoinHandle<()>> = handles.lock().drain(..).collect();
+    for h in joins {
+        let _ = h.join();
+    }
+}
+
+/// The coordinator's bucket spawner over TCP: local addresses
+/// materialise in-process; remote ones become a [`HostMsg::Spawn`] to
+/// the owning rank's host endpoint. Either way the new site's id is the
+/// bucket address — the coordinator can hand it to the split victim
+/// immediately, while the remote registration races the victim's first
+/// `TransferBatch` (the transport parks deliveries for unregistered
+/// owned ids during a spawn grace window, so the race is benign).
+fn make_tcp_spawner(
+    registry: SiteRegistry,
+    host: Arc<SiteHost>,
+    directory: Arc<Directory>,
+) -> BucketSpawner {
+    // Dynamic endpoint for host-control sends; its hello broadcast makes
+    // it routable from every rank.
+    let control = host.network.register();
+    Box::new(move |addr: u64, level: u8| {
+        let id = SiteRegistry::bucket_id(addr);
+        // lint: allow(panic-freedom) -- bucket ids are below DYN_BASE, always owned by some rank
+        let owner = registry.owner_rank(id).expect("bucket id has an owner");
+        if owner == 0 {
+            host.spawn_bucket(addr, level);
+        } else {
+            let msg = HostMsg::Spawn { addr, level }.encode();
+            if send_control(&control, SiteRegistry::host_id(owner), msg).is_err() {
+                sdds_obs::counter("lh.serve.spawn_send_failures").inc();
+            }
+        }
+        // Un-retire the address in the static directory (no-op unless a
+        // merge retired it earlier).
+        directory.set_bucket(addr, id);
+        id
+    })
+}
+
+/// Client-side hub for a TCP cluster: dials the registry's ranks lazily
+/// and hands out [`LhClient`]s addressing the static bucket ids.
+pub struct TcpCluster {
+    registry: SiteRegistry,
+    network: Network,
+    directory: Arc<Directory>,
+    client_timeout: std::time::Duration,
+}
+
+impl TcpCluster {
+    /// Connects to a served cluster. No I/O happens until the first
+    /// send (connections are dialed lazily, with backoff).
+    pub fn connect(registry: SiteRegistry, net: NetConfig) -> TcpCluster {
+        let network = Network::tcp_client(registry.clone(), net);
+        TcpCluster {
+            registry,
+            network,
+            directory: Arc::new(Directory::new_static()),
+            client_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+
+    /// Sets the per-operation timeout handed to clients created after
+    /// this call.
+    pub fn set_client_timeout(&mut self, timeout: std::time::Duration) {
+        self.client_timeout = timeout;
+    }
+
+    /// Registers a new client of the file.
+    pub fn client(&self) -> LhClient {
+        let client = LhClient::new(
+            self.network.register(),
+            self.directory.clone(),
+            SiteId(COORD_ID),
+        );
+        client.set_timeout(self.client_timeout);
+        client
+    }
+
+    /// The underlying network (for traffic statistics).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Severs this client process's established connections (they
+    /// re-establish with backoff on the next send).
+    pub fn drop_connections(&self) {
+        self.network.drop_connections();
+    }
+
+    /// Asks rank `rank`'s host to sever all of *its* connections —
+    /// fault injection across the cluster, not just this process.
+    pub fn sever_rank(&self, rank: usize) -> Result<(), LhError> {
+        let control = self.network.register();
+        send_control(
+            &control,
+            SiteRegistry::host_id(rank),
+            HostMsg::DropConns.encode(),
+        )
+        .map_err(LhError::Net)
+    }
+
+    /// Shuts the whole cluster down: every rank's host loop exits after
+    /// stopping its local sites, and the `serve` processes return.
+    pub fn shutdown(&self) {
+        let control = self.network.register();
+        for rank in 0..self.registry.num_servers() {
+            let _ = send_control(
+                &control,
+                SiteRegistry::host_id(rank),
+                HostMsg::Shutdown.encode(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Reserves `n` distinct loopback ports by binding and dropping
+    /// listeners. Racy in principle, fine for tests.
+    fn free_ports(n: usize) -> Vec<u16> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+            .collect();
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr").port())
+            .collect()
+    }
+
+    fn local_registry(n: usize) -> SiteRegistry {
+        let addrs: Vec<String> = free_ports(n)
+            .into_iter()
+            .map(|p| format!("127.0.0.1:{p}"))
+            .collect();
+        SiteRegistry::from_addrs(addrs).expect("registry")
+    }
+
+    /// Three "ranks" in one process (threads stand in for processes —
+    /// the full multi-process path is exercised by `tests/tcp_cluster.rs`
+    /// via the `sdds serve` binary): inserts spread over real sockets,
+    /// lookups and scans return, splits spawn buckets on remote ranks.
+    #[test]
+    fn three_rank_cluster_in_threads_serves_traffic() {
+        let registry = local_registry(3);
+        let config = ClusterConfig {
+            bucket_capacity: 8,
+            ..ClusterConfig::default()
+        };
+        let mut serves = Vec::new();
+        for rank in 0..3 {
+            serves.push(serve(registry.clone(), rank, config.clone()).expect("serve"));
+        }
+        let hub = TcpCluster::connect(registry, NetConfig::default());
+        let client = hub.client();
+        for key in 0..200u64 {
+            client
+                .insert(key, format!("value-{key}").into_bytes())
+                .expect("insert");
+        }
+        for key in (0..200u64).step_by(17) {
+            assert_eq!(
+                client.lookup(key).expect("lookup"),
+                Some(format!("value-{key}").into_bytes())
+            );
+        }
+        assert!(client.image().extent() > 1, "file must have split");
+        hub.shutdown();
+        for s in serves {
+            s.wait();
+        }
+    }
+
+    #[test]
+    fn serve_rejects_parity_configs() {
+        let registry = local_registry(1);
+        let config = ClusterConfig {
+            parity: Some(crate::cluster::ParityConfig::default()),
+            ..ClusterConfig::default()
+        };
+        assert!(matches!(
+            serve(registry, 0, config),
+            Err(LhError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn serve_rejects_out_of_range_rank() {
+        let registry = local_registry(2);
+        assert!(matches!(
+            serve(registry, 5, ClusterConfig::default()),
+            Err(LhError::Rejected(_))
+        ));
+    }
+}

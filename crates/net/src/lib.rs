@@ -16,6 +16,13 @@
 //! * **deterministic under test** — channels are FIFO per sender/receiver
 //!   pair and no time-dependent behaviour exists unless callers add it.
 //!
+//! Two transports sit behind the same [`Network`]/[`Endpoint`] surface:
+//! the in-process channel fabric above, and a real TCP transport
+//! ([`Network::tcp_serve`] / [`Network::tcp_client`]) where sites are
+//! spread over OS processes listed in a [`SiteRegistry`], messages travel
+//! as CRC-framed binary ([`frame`]), and admission control crosses the
+//! wire as NACK frames. `docs/PROTOCOL.md` documents the wire format.
+//!
 //! ```
 //! use sdds_net::{Network, NetConfig};
 //! use bytes::Bytes;
@@ -32,10 +39,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 mod latency;
 mod network;
+mod pool;
+mod registry;
 mod stats;
+mod tcp;
 
 pub use latency::LatencyModel;
 pub use network::{Endpoint, Envelope, NetConfig, NetError, Network, SiteId};
+pub use pool::PooledBuf;
+pub use registry::{SiteRegistry, COORD_ID, DYN_BASE, HOST_BASE};
 pub use stats::NetStats;

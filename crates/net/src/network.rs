@@ -87,9 +87,19 @@ pub struct NetConfig {
     pub inbox_capacity: Option<usize>,
 }
 
+/// Transport backing a [`Network`]: in-process crossbeam channels (the
+/// historical simulated multicomputer) or real TCP connections between
+/// OS processes (see [`crate::tcp`]).
+enum Mode {
+    Channel {
+        mailboxes: RwLock<Vec<Sender<Envelope>>>,
+    },
+    Tcp(crate::tcp::TcpFabric),
+}
+
 struct Inner {
-    mailboxes: RwLock<Vec<Sender<Envelope>>>,
-    stats: NetStats,
+    mode: Mode,
+    stats: Arc<NetStats>,
     latency: LatencyModel,
     drop_probability: f64,
     inbox_capacity: Option<usize>,
@@ -104,12 +114,54 @@ pub struct Network {
 }
 
 impl Network {
-    /// Creates an empty network.
+    /// Creates an empty in-process (channel-transport) network.
     pub fn new(config: NetConfig) -> Network {
+        Network::with_mode(
+            Mode::Channel {
+                mailboxes: RwLock::new(Vec::new()),
+            },
+            config,
+        )
+    }
+
+    /// Creates a serving TCP network: binds rank `rank`'s listener from
+    /// the registry and accepts connections from peers. Fault injection
+    /// (`drop_probability`) and the simulated latency model do not apply
+    /// to TCP — the wire provides real loss and real latency.
+    pub fn tcp_serve(
+        registry: crate::registry::SiteRegistry,
+        rank: usize,
+        config: NetConfig,
+    ) -> std::io::Result<Network> {
+        let stats = Arc::new(NetStats::new());
+        let fabric = crate::tcp::TcpFabric::serve(
+            registry,
+            rank,
+            config.inbox_capacity,
+            Arc::clone(&stats),
+        )?;
+        Ok(Network::with_stats(Mode::Tcp(fabric), config, stats))
+    }
+
+    /// Creates a client TCP network: dial-only, no listener. Endpoints
+    /// registered on it receive dynamically allocated site ids announced
+    /// to every server rank.
+    pub fn tcp_client(registry: crate::registry::SiteRegistry, config: NetConfig) -> Network {
+        let stats = Arc::new(NetStats::new());
+        let fabric =
+            crate::tcp::TcpFabric::client(registry, config.inbox_capacity, Arc::clone(&stats));
+        Network::with_stats(Mode::Tcp(fabric), config, stats)
+    }
+
+    fn with_mode(mode: Mode, config: NetConfig) -> Network {
+        Network::with_stats(mode, config, Arc::new(NetStats::new()))
+    }
+
+    fn with_stats(mode: Mode, config: NetConfig, stats: Arc<NetStats>) -> Network {
         Network {
             inner: Arc::new(Inner {
-                mailboxes: RwLock::new(Vec::new()),
-                stats: NetStats::new(),
+                mode,
+                stats,
                 latency: config.latency,
                 drop_probability: config.drop_probability,
                 inbox_capacity: config.inbox_capacity,
@@ -118,31 +170,72 @@ impl Network {
         }
     }
 
-    /// Registers a new site and returns its endpoint. Site ids are dense,
-    /// starting at 0 — convenient for LH\* bucket addressing.
+    /// Registers a new site and returns its endpoint. On the channel
+    /// transport site ids are dense, starting at 0 — convenient for LH\*
+    /// bucket addressing. On TCP the endpoint gets a dynamically
+    /// allocated client id, announced to every server rank.
     pub fn register(&self) -> Endpoint {
-        let (tx, rx) = match self.inner.inbox_capacity {
-            Some(cap) => channel::bounded(cap),
-            None => channel::unbounded(),
-        };
-        let mut boxes = self.inner.mailboxes.write();
-        let id = SiteId(boxes.len() as u32);
-        boxes.push(tx);
-        Endpoint {
-            id,
-            rx,
-            network: self.clone(),
+        match &self.inner.mode {
+            Mode::Channel { mailboxes } => {
+                let (tx, rx) = match self.inner.inbox_capacity {
+                    Some(cap) => channel::bounded(cap),
+                    None => channel::unbounded(),
+                };
+                let mut boxes = mailboxes.write();
+                let id = SiteId(boxes.len() as u32);
+                boxes.push(tx);
+                Endpoint {
+                    id,
+                    rx,
+                    network: self.clone(),
+                }
+            }
+            Mode::Tcp(fabric) => {
+                let (id, rx) = fabric.register_dynamic();
+                Endpoint {
+                    id,
+                    rx,
+                    network: self.clone(),
+                }
+            }
         }
     }
 
-    /// Number of registered sites.
+    /// Registers an endpoint under a specific well-known id (TCP only:
+    /// bucket addresses, the coordinator, host-control endpoints).
+    /// Returns `None` on the channel transport — its ids are dense and
+    /// allocator-owned — or if the id is already taken in this process.
+    pub fn register_with_id(&self, id: SiteId) -> Option<Endpoint> {
+        match &self.inner.mode {
+            Mode::Channel { .. } => None,
+            Mode::Tcp(fabric) => fabric.register_static(id).map(|rx| Endpoint {
+                id,
+                rx,
+                network: self.clone(),
+            }),
+        }
+    }
+
+    /// Number of sites registered in this process.
     pub fn num_sites(&self) -> usize {
-        self.inner.mailboxes.read().len()
+        match &self.inner.mode {
+            Mode::Channel { mailboxes } => mailboxes.read().len(),
+            Mode::Tcp(fabric) => fabric.num_local(),
+        }
+    }
+
+    /// Severs every established TCP stream (fault injection for tests:
+    /// connections re-establish with backoff). No-op on the channel
+    /// transport.
+    pub fn drop_connections(&self) {
+        if let Mode::Tcp(fabric) = &self.inner.mode {
+            fabric.drop_connections();
+        }
     }
 
     /// Traffic statistics handle.
     pub fn stats(&self) -> &NetStats {
-        &self.inner.stats
+        self.inner.stats.as_ref()
     }
 
     /// Total simulated network time accrued by all messages under the
@@ -152,7 +245,11 @@ impl Network {
     }
 
     fn deliver(&self, env: Envelope) -> Result<(), NetError> {
-        let boxes = self.inner.mailboxes.read();
+        let mailboxes = match &self.inner.mode {
+            Mode::Channel { mailboxes } => mailboxes,
+            Mode::Tcp(fabric) => return fabric.deliver(env),
+        };
+        let boxes = mailboxes.read();
         let tx = boxes
             .get(env.to.0 as usize)
             .ok_or(NetError::UnknownSite(env.to))?;

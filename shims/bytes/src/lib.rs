@@ -20,6 +20,11 @@ pub struct Bytes {
 enum Inner {
     Static(&'static [u8]),
     Shared(Arc<[u8]>),
+    /// An arbitrary owner viewed as its byte slice (`Bytes::from_owner`,
+    /// upstream since 1.9): the owner is kept alive by the `Arc` and its
+    /// `Drop` runs when the last clone goes away — the hook buffer pools
+    /// use to reclaim their buffers without copying.
+    Owned(Arc<dyn AsRef<[u8]> + Send + Sync>),
 }
 
 impl Bytes {
@@ -59,12 +64,28 @@ impl Bytes {
         match &self.inner {
             Inner::Static(s) => s,
             Inner::Shared(a) => a,
+            Inner::Owned(o) => o.as_ref().as_ref(),
         }
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+
+    /// Creates `Bytes` from an arbitrary owner without copying its bytes.
+    ///
+    /// The owner is moved behind an `Arc`; the view is whatever
+    /// `owner.as_ref()` returns, and the owner's `Drop` runs once the last
+    /// clone of the returned `Bytes` is dropped. This lets pooled buffers
+    /// travel as `Bytes` and return to their pool on drop.
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        Bytes {
+            inner: Inner::Owned(Arc::new(owner)),
+        }
     }
 }
 
@@ -163,5 +184,32 @@ mod tests {
     fn static_and_copied_compare_equal() {
         assert_eq!(Bytes::from_static(b"hi"), Bytes::copy_from_slice(b"hi"));
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn from_owner_views_without_copy_and_drops_owner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Owner(Vec<u8>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Owner {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let b = Bytes::from_owner(Owner(vec![9u8, 8, 7]));
+        let c = b.clone();
+        assert_eq!(&b[..], &[9, 8, 7]);
+        assert_eq!(b, c);
+        drop(b);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+        drop(c);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
 }

@@ -1,13 +1,14 @@
 //! Minimal offline stand-in for the `serde_json` crate.
 //!
 //! Prints and parses JSON text against the shim `serde`'s [`Value`] tree.
-//! Covers the workspace surface: `to_vec`, `to_string`, `to_string_pretty`,
-//! `from_slice`, `from_str`. Number fidelity matches what the workspace
-//! needs: non-negative integers stay `u64`, negative integers stay `i64`,
-//! anything fractional or out of range becomes `f64`.
+//! Covers the workspace surface: `to_writer`, `to_vec`, `to_string`,
+//! `to_string_pretty`, `from_slice`, `from_str`. Number fidelity matches
+//! what the workspace needs: non-negative integers stay `u64`, negative
+//! integers stay `i64`, anything fractional or out of range becomes `f64`.
 
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
+use std::io::Write;
 
 /// Error for both serialization and parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,27 +41,46 @@ pub type Result<T> = std::result::Result<T, Error>;
 // ---------------------------------------------------------------------------
 
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
-    let mut out = String::new();
+    // The writer below only ever emits valid UTF-8.
+    to_vec(value).and_then(|v| String::from_utf8(v).map_err(|e| Error::new(e.to_string())))
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = Vec::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    String::from_utf8(out).map_err(|e| Error::new(e.to_string()))
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
     write_value(&mut out, &value.to_value(), None, 0)?;
     Ok(out)
 }
 
-pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
-    let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0)?;
-    Ok(out)
+/// Serializes `value` as compact JSON directly into `writer` — no
+/// intermediate `String`/`Vec` allocation, so callers can stream into a
+/// reusable (pooled) buffer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    write_value(&mut writer, &value.to_value(), None, 0)
 }
 
-pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
-    to_string(value).map(String::into_bytes)
+fn io_err(e: std::io::Error) -> Error {
+    Error::new(e.to_string())
 }
 
-fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) -> Result<()> {
+fn write_value<W: Write>(
+    out: &mut W,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<()> {
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::U64(n) => out.push_str(&n.to_string()),
-        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::Null => out.write_all(b"null").map_err(io_err)?,
+        Value::Bool(b) => out
+            .write_all(if *b { b"true" } else { b"false" })
+            .map_err(io_err)?,
+        Value::U64(n) => write!(out, "{n}").map_err(io_err)?,
+        Value::I64(n) => write!(out, "{n}").map_err(io_err)?,
         Value::F64(x) => {
             if !x.is_finite() {
                 return Err(Error::new("cannot serialize non-finite float"));
@@ -68,74 +88,78 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             // Always keep a decimal point / exponent so the value reads
             // back as a float, matching serde_json.
             let s = x.to_string();
-            out.push_str(&s);
+            out.write_all(s.as_bytes()).map_err(io_err)?;
             if !s.contains(['.', 'e', 'E']) {
-                out.push_str(".0");
+                out.write_all(b".0").map_err(io_err)?;
             }
         }
-        Value::Str(s) => write_string(out, s),
+        Value::Str(s) => write_string(out, s)?,
         Value::Arr(items) => {
-            out.push('[');
+            out.write_all(b"[").map_err(io_err)?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",").map_err(io_err)?;
                 }
-                newline_indent(out, indent, depth + 1);
+                newline_indent(out, indent, depth + 1)?;
                 write_value(out, item, indent, depth + 1)?;
             }
             if !items.is_empty() {
-                newline_indent(out, indent, depth);
+                newline_indent(out, indent, depth)?;
             }
-            out.push(']');
+            out.write_all(b"]").map_err(io_err)?;
         }
         Value::Obj(entries) => {
-            out.push('{');
+            out.write_all(b"{").map_err(io_err)?;
             for (i, (key, val)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",").map_err(io_err)?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_string(out, key);
-                out.push(':');
+                newline_indent(out, indent, depth + 1)?;
+                write_string(out, key)?;
+                out.write_all(b":").map_err(io_err)?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_all(b" ").map_err(io_err)?;
                 }
                 write_value(out, val, indent, depth + 1)?;
             }
             if !entries.is_empty() {
-                newline_indent(out, indent, depth);
+                newline_indent(out, indent, depth)?;
             }
-            out.push('}');
+            out.write_all(b"}").map_err(io_err)?;
         }
     }
     Ok(())
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: Write>(out: &mut W, indent: Option<usize>, depth: usize) -> Result<()> {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_all(b"\n").map_err(io_err)?;
         for _ in 0..width * depth {
-            out.push(' ');
+            out.write_all(b" ").map_err(io_err)?;
         }
     }
+    Ok(())
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<W: Write>(out: &mut W, s: &str) -> Result<()> {
+    out.write_all(b"\"").map_err(io_err)?;
+    let mut buf = [0u8; 4];
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.write_all(b"\\\"").map_err(io_err)?,
+            '\\' => out.write_all(b"\\\\").map_err(io_err)?,
+            '\n' => out.write_all(b"\\n").map_err(io_err)?,
+            '\r' => out.write_all(b"\\r").map_err(io_err)?,
+            '\t' => out.write_all(b"\\t").map_err(io_err)?,
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                write!(out, "\\u{:04x}", c as u32).map_err(io_err)?;
             }
-            c => out.push(c),
+            c => out
+                .write_all(c.encode_utf8(&mut buf).as_bytes())
+                .map_err(io_err)?,
         }
     }
-    out.push('"');
+    out.write_all(b"\"").map_err(io_err)
 }
 
 // ---------------------------------------------------------------------------
@@ -414,5 +438,13 @@ mod tests {
     fn pretty_printing_indents() {
         let v: Vec<u8> = vec![1, 2];
         assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn to_writer_matches_to_string() {
+        let v: Vec<Option<String>> = vec![Some("a\"b".into()), None];
+        let mut out = Vec::new();
+        to_writer(&mut out, &v).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), to_string(&v).unwrap());
     }
 }

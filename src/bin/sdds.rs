@@ -8,10 +8,10 @@
 //! ```
 
 use sdds_repro::core::{
-    EncryptedSearchStore, IngestOptions, IngestStats, SchemeConfig, StoreHandle,
+    EncryptedSearchStore, IngestOptions, IngestStats, SchemeConfig, StoreBuilder, StoreHandle,
 };
 use sdds_repro::corpus::{format_directory, parse_directory, DirectoryGenerator, Record};
-use sdds_repro::net::NetConfig;
+use sdds_repro::net::{NetConfig, SiteRegistry};
 use sdds_repro::par::Pool;
 use sdds_repro::stats::LeakageAuditor;
 use sdds_repro::storage::{DiskEngine, DiskOptions, FsyncPolicy, StorageConfig, StorageEngine};
@@ -35,6 +35,8 @@ fn main() {
         "bench-search" => bench_search(&flags),
         "bench-durability" => bench_durability(&flags),
         "bench-traffic" => bench_traffic(&flags),
+        "bench-net" => bench_net(&flags),
+        "serve" => serve_cmd(&flags),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -60,16 +62,25 @@ fn usage() {
          sdds bench-durability [--entries N] [--batch B] [--value-bytes V] [--json-out FILE]\n  \
          sdds bench-traffic [--entries N] [--workers W] [--duration-secs D] \
          [--rates R1,R2,...] [--mix read:60,write:25,search:5,delete:10] \
+         [--transport channel|tcp] [--servers N] \
          [--drain-budget B] [--inbox-capacity C] [--op-timeout-millis T] [--seed S] \
          [--skip-compare] [--compare-ops K] [--compare-repeats R] \
-         [--json-out FILE] [--metrics-json FILE]\n\
+         [--json-out FILE] [--metrics-json FILE]\n  \
+         sdds bench-net [--entries N] [--workers W] [--duration-secs D] \
+         [--rates R1,R2,...] [--servers N] [--drain-budget B] [--inbox-capacity C] \
+         [--seed S] [--json-out FILE] [--metrics-json FILE]\n  \
+         sdds serve     --site RANK --registry FILE [--entries N] [--seed S] \
+         [--config basic|paper|swp] [--capacity C] [--drain-budget B] [--inbox-capacity C]\n\
          \n--metrics-json FILE dumps the run's observability snapshot \
          (counters, gauges, latency histograms) as JSON\n\
          --trace-json FILE enables causal tracing for the query and dumps \
          the span tree as JSONL (one span per line; see docs/OBSERVABILITY.md)\n\
          --storage mem|disk selects the bucket backend (search/metrics/audit-leakage); \
          disk needs --data-dir DIR and accepts --fsync always|never|N (group commit), \
-         and reopening the same --data-dir recovers the stored records"
+         and reopening the same --data-dir recovers the stored records\n\
+         serve runs one rank of a multi-process TCP cluster (registry file: one \
+         host:port per line, rank = line number); bench-traffic --transport tcp and \
+         bench-net spawn such ranks themselves on free loopback ports (see README)"
     );
 }
 
@@ -1101,15 +1112,18 @@ fn latency_json(sorted: &[f64]) -> String {
     )
 }
 
-/// Builds the store bench-traffic runs against: CLI-selected scheme and
-/// storage, plus the two knobs under test — bounded inboxes (admission
-/// control) and the event-loop drain budget.
-fn build_traffic_store(
+/// The deterministically configured builder every process of a traffic
+/// run shares: CLI-selected scheme and storage, plus the two knobs under
+/// test — bounded inboxes (admission control) and the event-loop drain
+/// budget. Serve ranks and TCP clients call this with identical flags so
+/// key material, the codebook and the scan filter come out identical in
+/// every process — none of them ever crosses the wire.
+fn traffic_builder(
     records: &[Record],
     flags: &HashMap<String, String>,
     drain_budget: usize,
     inbox_capacity: Option<usize>,
-) -> EncryptedSearchStore {
+) -> StoreBuilder {
     let config = config_for(flags);
     let mut builder = EncryptedSearchStore::builder(config)
         .passphrase("sdds-cli")
@@ -1126,20 +1140,41 @@ fn build_traffic_store(
     if config.encoding.is_some() {
         builder = builder.train(records.iter().take(1000).map(|r| r.rc.clone()));
     }
-    builder.start()
+    builder
 }
 
-/// Preloads the corpus. Bounded inboxes get per-record inserts — the
+/// Builds the in-process store bench-traffic runs against.
+fn build_traffic_store(
+    records: &[Record],
+    flags: &HashMap<String, String>,
+    drain_budget: usize,
+    inbox_capacity: Option<usize>,
+) -> EncryptedSearchStore {
+    traffic_builder(records, flags, drain_budget, inbox_capacity).start()
+}
+
+/// Parses `--inbox-capacity` (absent means unbounded inboxes).
+fn parse_inbox_capacity(flags: &HashMap<String, String>) -> Option<usize> {
+    flags.get("inbox-capacity").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--inbox-capacity needs a number, got {v:?}");
+            exit(2);
+        })
+    })
+}
+
+/// Preloads the corpus through a handle (works for both the in-process
+/// store and a TCP client). Bounded inboxes get per-record inserts — the
 /// single-op retry path rides out `Overloaded` — while unbounded stores
 /// take the fast pipelined bulk path, which assumes replies are never
 /// shed.
-fn traffic_preload(store: &EncryptedSearchStore, records: &[Record], bounded: bool) {
+fn traffic_preload(handle: &StoreHandle, records: &[Record], bounded: bool) {
     let result = if bounded {
         records
             .iter()
-            .try_for_each(|r| store.insert(r.rid, &r.rc).map(|_| ()))
+            .try_for_each(|r| handle.insert(r.rid, &r.rc).map(|_| ()))
     } else {
-        store.insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+        handle.insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
     };
     result.unwrap_or_else(|e| {
         eprintln!("traffic preload failed: {e}");
@@ -1163,6 +1198,167 @@ fn traffic_patterns(records: &[Record]) -> Vec<String> {
     patterns
 }
 
+/// The store a load sweep drives: the in-process channel cluster, or a
+/// client connection to a multi-process TCP cluster this bench spawned.
+enum TrafficTarget {
+    Channel(Box<EncryptedSearchStore>),
+    Tcp(TcpClusterTarget),
+}
+
+impl TrafficTarget {
+    fn handle(&self) -> StoreHandle {
+        match self {
+            TrafficTarget::Channel(store) => store.handle(),
+            TrafficTarget::Tcp(cluster) => cluster.remote.handle(),
+        }
+    }
+
+    /// Admission-control rejections seen by this process so far. Over TCP
+    /// these are the client-side view: remote `Overloaded` NACKs surface
+    /// here on the send that consumes the debt.
+    fn rejected(&self) -> u64 {
+        match self {
+            TrafficTarget::Channel(store) => store.cluster().network().stats().rejected(),
+            TrafficTarget::Tcp(cluster) => cluster.remote.cluster().network().stats().rejected(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            TrafficTarget::Channel(store) => store.shutdown(),
+            TrafficTarget::Tcp(cluster) => cluster.shutdown(),
+        }
+    }
+}
+
+/// A multi-process TCP cluster owned by this bench run: `sdds serve`
+/// children on loopback ports plus the connected client store.
+struct TcpClusterTarget {
+    remote: sdds_repro::core::RemoteStore,
+    children: Vec<std::process::Child>,
+    registry_path: std::path::PathBuf,
+}
+
+impl TcpClusterTarget {
+    /// Broadcasts a cluster-wide shutdown, then reaps the children —
+    /// killing any that have not exited within a generous deadline so a
+    /// wedged rank cannot hang the bench.
+    fn shutdown(mut self) {
+        self.remote.shutdown_cluster();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&self.registry_path);
+    }
+}
+
+/// Spawns `servers` `sdds serve` child processes on freshly reserved
+/// loopback ports and connects a client store to them. The children
+/// re-derive the exact store configuration from the forwarded flags, so
+/// their scan filters match this process's pipeline bit for bit.
+fn spawn_tcp_cluster(
+    records: &[Record],
+    flags: &HashMap<String, String>,
+    servers: usize,
+    entries: usize,
+    seed: u64,
+    drain_budget: usize,
+    inbox_capacity: Option<usize>,
+) -> TrafficTarget {
+    if flags.get("storage").is_some_and(|s| s == "disk") {
+        eprintln!(
+            "tcp transport benches run with --storage mem (ranks would collide on one --data-dir)"
+        );
+        exit(2);
+    }
+    // Reserve ports by binding ephemeral listeners, then free them for
+    // the children. The rebind race is theoretical on loopback at this
+    // scale and a collision fails loudly (serve exits on bind error).
+    let listeners: Vec<std::net::TcpListener> = (0..servers)
+        .map(|_| {
+            std::net::TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+                eprintln!("cannot reserve a loopback port: {e}");
+                exit(1);
+            })
+        })
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| {
+            l.local_addr().map(|a| a.to_string()).unwrap_or_else(|e| {
+                eprintln!("cannot read reserved port: {e}");
+                exit(1);
+            })
+        })
+        .collect();
+    drop(listeners);
+    let registry_path = std::env::temp_dir().join(format!(
+        "sdds-registry-{}-{}.txt",
+        std::process::id(),
+        addrs[0].rsplit(':').next().unwrap_or("0"),
+    ));
+    std::fs::write(&registry_path, addrs.join("\n") + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", registry_path.display());
+        exit(1);
+    });
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate the sdds binary: {e}");
+        exit(1);
+    });
+    let mut children = Vec::with_capacity(servers);
+    for rank in 0..servers {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve")
+            .arg("--site")
+            .arg(rank.to_string())
+            .arg("--registry")
+            .arg(&registry_path)
+            .arg("--entries")
+            .arg(entries.to_string())
+            .arg("--seed")
+            .arg(seed.to_string())
+            .arg("--drain-budget")
+            .arg(drain_budget.to_string())
+            .stdout(std::process::Stdio::null());
+        if let Some(c) = inbox_capacity {
+            cmd.arg("--inbox-capacity").arg(c.to_string());
+        }
+        // flags traffic_builder reads must reach the children verbatim
+        for key in ["config", "capacity", "op-timeout-millis"] {
+            if let Some(v) = flags.get(key) {
+                cmd.arg(format!("--{key}")).arg(v);
+            }
+        }
+        children.push(cmd.spawn().unwrap_or_else(|e| {
+            eprintln!("cannot spawn serve rank {rank}: {e}");
+            exit(1);
+        }));
+    }
+    let registry = SiteRegistry::load(&registry_path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    let remote = traffic_builder(records, flags, drain_budget, inbox_capacity).connect(registry);
+    TrafficTarget::Tcp(TcpClusterTarget {
+        remote,
+        children,
+        registry_path,
+    })
+}
+
 /// One load point of the sweep: total offered `rate` for `duration`
 /// seconds, split evenly over the workers.
 struct TrafficLoad {
@@ -1177,7 +1373,7 @@ struct TrafficLoad {
 /// Runs `workers` open-loop workers against one load point; returns the
 /// aggregated reports.
 fn traffic_point(
-    store: &EncryptedSearchStore,
+    target: &TrafficTarget,
     workers: usize,
     load: &TrafficLoad,
     patterns: &[String],
@@ -1187,7 +1383,7 @@ fn traffic_point(
             let mut s = load.seed ^ ((w as u64 + 1) * 0x9e37_79b9);
             splitmix64(&mut s);
             std::sync::Mutex::new(Some(TrafficSpec {
-                handle: store.handle(),
+                handle: target.handle(),
                 seed: s,
                 rate: load.rate / workers as f64,
                 duration: load.duration,
@@ -1212,6 +1408,69 @@ fn traffic_point(
     })
 }
 
+/// One load point's aggregate across all workers: achieved rate, error
+/// count, worst schedule lag, and sorted latency samples (per class and
+/// overall) ready for percentile extraction.
+struct PointSummary {
+    achieved: f64,
+    completed: usize,
+    errors: u64,
+    max_lag: f64,
+    class_sorted: [Vec<f64>; 4],
+    all_sorted: Vec<f64>,
+}
+
+fn summarize_point(reports: &[TrafficReport], duration: f64) -> PointSummary {
+    let mut class_sorted: [Vec<f64>; 4] = Default::default();
+    let mut errors = 0u64;
+    let mut max_lag = 0f64;
+    let mut span = duration;
+    for r in reports {
+        for (c, l) in r.lat.iter().enumerate() {
+            class_sorted[c].extend_from_slice(l);
+        }
+        errors += r.errors;
+        max_lag = max_lag.max(r.max_lag);
+        span = span.max(r.span);
+    }
+    let mut all_sorted: Vec<f64> = class_sorted.iter().flatten().copied().collect();
+    for c in &mut class_sorted {
+        c.sort_by(|a, b| a.total_cmp(b));
+    }
+    all_sorted.sort_by(|a, b| a.total_cmp(b));
+    let completed = all_sorted.len();
+    PointSummary {
+        achieved: completed as f64 / span.max(1e-9),
+        completed,
+        errors,
+        max_lag,
+        class_sorted,
+        all_sorted,
+    }
+}
+
+/// Renders one transport's row of a load point as a JSON object fragment.
+fn point_json(summary: &PointSummary, rejected_delta: u64) -> String {
+    let mut row = format!(
+        "{{\"achieved_rate\": {:.1}, \"completed\": {}, \"errors\": {}, \
+         \"net_rejected\": {}, \"max_schedule_lag_seconds\": {:.3}, \"all\": {}",
+        summary.achieved,
+        summary.completed,
+        summary.errors,
+        rejected_delta,
+        summary.max_lag,
+        latency_json(&summary.all_sorted),
+    );
+    for (c, name) in TRAFFIC_CLASSES.iter().enumerate() {
+        row.push_str(&format!(
+            ", \"{name}\": {}",
+            latency_json(&summary.class_sorted[c])
+        ));
+    }
+    row.push('}');
+    row
+}
+
 /// Closed-loop, read-only comparison of batch draining (the configured
 /// budget) against single-message dispatch (budget 1): same stores, same
 /// deterministic op streams, digests must match — batching may only
@@ -1226,7 +1485,7 @@ fn traffic_compare(
     budget: usize,
 ) -> (f64, f64, u64) {
     let store = build_traffic_store(records, flags, budget, inbox_capacity);
-    traffic_preload(&store, records, inbox_capacity.is_some());
+    traffic_preload(&store.handle(), records, inbox_capacity.is_some());
     let patterns = traffic_patterns(records);
     let read_range = records.len() as u64;
     let handles: Vec<std::sync::Mutex<Option<StoreHandle>>> = (0..workers)
@@ -1289,12 +1548,16 @@ fn bench_traffic(flags: &HashMap<String, String>) {
     let duration = flag_usize(flags, "duration-secs", 4).max(1) as f64;
     let seed = flag_usize(flags, "seed", 42) as u64;
     let drain_budget = flag_usize(flags, "drain-budget", sdds_repro::lh::DEFAULT_DRAIN_BUDGET);
-    let inbox_capacity = flags.get("inbox-capacity").map(|v| {
-        v.parse::<usize>().unwrap_or_else(|_| {
-            eprintln!("--inbox-capacity needs a number, got {v:?}");
-            exit(2);
-        })
-    });
+    let inbox_capacity = parse_inbox_capacity(flags);
+    let transport = flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("channel");
+    if !matches!(transport, "channel" | "tcp") {
+        eprintln!("unknown --transport {transport:?}; use channel|tcp");
+        exit(2);
+    }
+    let servers = flag_usize(flags, "servers", 3).max(1);
     let rates: Vec<f64> = flags
         .get("rates")
         .map(String::as_str)
@@ -1319,28 +1582,40 @@ fn bench_traffic(flags: &HashMap<String, String>) {
     let patterns = traffic_patterns(&records);
 
     eprintln!(
-        "preloading {entries} records (drain budget {drain_budget}, inbox {}) …",
+        "preloading {entries} records over {transport} (drain budget {drain_budget}, inbox {}) …",
         inbox_capacity.map_or("unbounded".to_string(), |c| c.to_string()),
     );
-    let store = build_traffic_store(&records, flags, drain_budget, inbox_capacity);
-    traffic_preload(&store, &records, inbox_capacity.is_some());
+    let target = if transport == "tcp" {
+        spawn_tcp_cluster(
+            &records,
+            flags,
+            servers,
+            entries,
+            seed,
+            drain_budget,
+            inbox_capacity,
+        )
+    } else {
+        TrafficTarget::Channel(Box::new(build_traffic_store(
+            &records,
+            flags,
+            drain_budget,
+            inbox_capacity,
+        )))
+    };
+    traffic_preload(&target.handle(), &records, inbox_capacity.is_some());
 
     struct PointRow {
         offered: f64,
-        achieved: f64,
-        completed: usize,
-        errors: u64,
         rejected_delta: u64,
-        max_lag: f64,
-        class_sorted: [Vec<f64>; 4],
-        all_sorted: Vec<f64>,
+        summary: PointSummary,
     }
     let mut points: Vec<PointRow> = Vec::with_capacity(rates.len());
     for (ri, &rate) in rates.iter().enumerate() {
         eprintln!("load point {rate} ops/s × {duration}s × {workers} workers …");
-        let rejected_before = store.cluster().network().stats().rejected();
+        let rejected_before = target.rejected();
         let reports = traffic_point(
-            &store,
+            &target,
             workers,
             &TrafficLoad {
                 rate,
@@ -1351,44 +1626,20 @@ fn bench_traffic(flags: &HashMap<String, String>) {
             },
             &patterns,
         );
-        let rejected_delta = store.cluster().network().stats().rejected() - rejected_before;
-        let mut class_sorted: [Vec<f64>; 4] = Default::default();
-        let mut errors = 0u64;
-        let mut max_lag = 0f64;
-        let mut span = duration;
-        for r in &reports {
-            for (c, l) in r.lat.iter().enumerate() {
-                class_sorted[c].extend_from_slice(l);
-            }
-            errors += r.errors;
-            max_lag = max_lag.max(r.max_lag);
-            span = span.max(r.span);
-        }
-        let mut all_sorted: Vec<f64> = class_sorted.iter().flatten().copied().collect();
-        for c in &mut class_sorted {
-            c.sort_by(|a, b| a.total_cmp(b));
-        }
-        all_sorted.sort_by(|a, b| a.total_cmp(b));
-        let completed = all_sorted.len();
         points.push(PointRow {
             offered: rate,
-            achieved: completed as f64 / span.max(1e-9),
-            completed,
-            errors,
-            rejected_delta,
-            max_lag,
-            class_sorted,
-            all_sorted,
+            rejected_delta: target.rejected() - rejected_before,
+            summary: summarize_point(&reports, duration),
         });
     }
-    store.shutdown();
+    target.shutdown();
 
     // the knee: the highest offered load the file still absorbs — achieved
     // throughput within 10% of offered. Above it the open-loop schedule
     // outruns the service rate and latency is dominated by queueing.
     let knee = points
         .iter()
-        .filter(|p| p.achieved >= 0.9 * p.offered)
+        .filter(|p| p.summary.achieved >= 0.9 * p.offered)
         .map(|p| p.offered)
         .fold(f64::NAN, f64::max);
 
@@ -1398,7 +1649,10 @@ fn bench_traffic(flags: &HashMap<String, String>) {
     // interleaved A/B/A/B so machine-wide drift hits both budgets alike,
     // and the median is reported — single samples on a shared/1-CPU box
     // are dominated by scheduler noise.
-    let compare = if flags.contains_key("skip-compare") {
+    let compare = if flags.contains_key("skip-compare") || transport == "tcp" {
+        // over TCP the batching comparison is skipped: it measures the
+        // event loop's drain budget, which the channel runs already
+        // cover, and closed-loop in-process stores are its fixture
         None
     } else {
         let cw = flag_usize(flags, "compare-workers", workers.max(4));
@@ -1459,33 +1713,25 @@ fn bench_traffic(flags: &HashMap<String, String>) {
     let mut body = String::from("{\n");
     body.push_str(&format!(
         "  \"entries\": {entries},\n  \"config\": \"{}\",\n  \"cpus\": {cpus},\n  \
+         \"transport\": \"{transport}\",\n  \"servers\": {},\n  \
          \"workers\": {workers},\n  \"duration_secs\": {duration},\n  \
          \"drain_budget\": {drain_budget},\n  \"inbox_capacity\": {},\n  \
          \"mix\": \"{mix_spec}\",\n  \"seed\": {seed},\n  \"load_points\": [\n",
         flags.get("config").map(String::as_str).unwrap_or("basic"),
+        if transport == "tcp" {
+            servers.to_string()
+        } else {
+            "null".to_string()
+        },
         inbox_capacity.map_or("null".to_string(), |c| c.to_string()),
     ));
     for (i, p) in points.iter().enumerate() {
+        // splice offered_rate into the shared per-transport row fragment
+        let row = point_json(&p.summary, p.rejected_delta);
         body.push_str(&format!(
-            "    {{\"offered_rate\": {:.1}, \"achieved_rate\": {:.1}, \"completed\": {}, \
-             \"errors\": {}, \"net_rejected\": {}, \"max_schedule_lag_seconds\": {:.3}, \
-             \"all\": {}",
+            "    {{\"offered_rate\": {:.1}, {}{}\n",
             p.offered,
-            p.achieved,
-            p.completed,
-            p.errors,
-            p.rejected_delta,
-            p.max_lag,
-            latency_json(&p.all_sorted),
-        ));
-        for (c, name) in TRAFFIC_CLASSES.iter().enumerate() {
-            body.push_str(&format!(
-                ", \"{name}\": {}",
-                latency_json(&p.class_sorted[c])
-            ));
-        }
-        body.push_str(&format!(
-            "}}{}\n",
+            &row[1..],
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
@@ -1527,5 +1773,296 @@ fn bench_traffic(flags: &HashMap<String, String>) {
         exit(1);
     });
     eprintln!("wrote traffic bench results to {path}");
+    maybe_write_metrics(flags);
+}
+
+/// `sdds serve` — one rank of a multi-process TCP cluster. The process
+/// hosts the coordinator (rank 0 only) plus every bucket the registry's
+/// modular partition assigns to it, and blocks until a client broadcasts
+/// a cluster-wide shutdown. All ranks and all clients must be launched
+/// with the same --entries/--seed/--config/--capacity flags: key
+/// material, the codebook and the scan filter are derived
+/// deterministically from them and never travel over the wire.
+fn serve_cmd(flags: &HashMap<String, String>) {
+    let Some(reg_path) = flags.get("registry").filter(|p| !p.is_empty()) else {
+        eprintln!("serve needs --registry FILE (one host:port per line, rank = line number)");
+        exit(2);
+    };
+    let rank = flag_usize(flags, "site", 0);
+    let registry = SiteRegistry::load(std::path::Path::new(reg_path)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    let entries = flag_usize(flags, "entries", 2000);
+    let seed = flag_usize(flags, "seed", 42) as u64;
+    let drain_budget = flag_usize(flags, "drain-budget", sdds_repro::lh::DEFAULT_DRAIN_BUDGET);
+    let inbox_capacity = parse_inbox_capacity(flags);
+    let records = DirectoryGenerator::new(seed).generate(entries);
+    let (_pipeline, config) =
+        traffic_builder(&records, flags, drain_budget, inbox_capacity).serve_parts();
+    eprintln!(
+        "rank {rank}/{}: serving on {} …",
+        registry.num_servers(),
+        registry.addr(rank).unwrap_or("<out of range>"),
+    );
+    let handle = sdds_repro::lh::serve(registry, rank, config).unwrap_or_else(|e| {
+        eprintln!("serve failed: {e}");
+        exit(1);
+    });
+    handle.wait();
+    eprintln!("rank {rank}: shut down");
+}
+
+/// The framing codec measured in isolation: ns/frame to encode and to
+/// decode a typical traced envelope — the wire cost bench-net's TCP rows
+/// pay per message and its channel rows do not.
+struct CodecBench {
+    frames: usize,
+    frame_bytes: usize,
+    encode_ns: f64,
+    decode_ns: f64,
+}
+
+fn codec_bench() -> CodecBench {
+    use sdds_repro::net::frame::{encode_envelope, Frame, FrameDecoder};
+    use sdds_repro::net::{Envelope, SiteId};
+    // a payload the size of a typical JSON-serialized index-record insert
+    let payload: Vec<u8> = (0..220u32).map(|i| b' ' + (i % 90) as u8).collect();
+    let env = Envelope {
+        from: SiteId(sdds_repro::net::DYN_BASE + 0x1001),
+        to: SiteId(7),
+        payload: bytes::Bytes::from(payload),
+        ctx: Some(sdds_obs::trace::TraceContext {
+            trace_id: 0x1234_5678_9abc_def0,
+            parent_span_id: 42,
+        }),
+    };
+    let mut buf = Vec::new();
+    encode_envelope(&env, &mut buf);
+    let frame_bytes = buf.len();
+    let frames = 200_000usize;
+
+    let t0 = Instant::now();
+    let mut out = Vec::with_capacity(frame_bytes);
+    for _ in 0..frames {
+        out.clear();
+        encode_envelope(&env, &mut out);
+    }
+    let encode_ns = t0.elapsed().as_nanos() as f64 / frames as f64;
+
+    // decode a 64-frame batch repeatedly — the contiguous-buffer shape a
+    // reader thread sees after one coalesced write lands
+    let mut wire = Vec::with_capacity(frame_bytes * 64);
+    for _ in 0..64 {
+        encode_envelope(&env, &mut wire);
+    }
+    let mut decoder = FrameDecoder::new();
+    let mut decoded = 0usize;
+    let t0 = Instant::now();
+    'outer: while decoded < frames {
+        decoder.extend(&wire);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(Frame::Envelope(_))) => decoded += 1,
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("codec bench: self-generated frame failed to decode: {e}");
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let decode_ns = t0.elapsed().as_nanos() as f64 / decoded.max(1) as f64;
+    CodecBench {
+        frames,
+        frame_bytes,
+        encode_ns,
+        decode_ns,
+    }
+}
+
+/// Digest over every pattern's hit set plus a deterministic sample of
+/// record fetches. Two transports serving the same preloaded file must
+/// produce equal digests — byte-identical results or the bench fails.
+fn search_digest(handle: &StoreHandle, patterns: &[String], read_range: u64) -> u64 {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for p in patterns {
+        match handle.search(p) {
+            Ok(rids) => {
+                for rid in rids {
+                    fnv1a(&mut digest, &rid.to_le_bytes());
+                }
+            }
+            Err(_) => fnv1a(&mut digest, b"search-error"),
+        }
+    }
+    for rid in (0..read_range).step_by(((read_range / 64).max(1)) as usize) {
+        match handle.get(rid) {
+            Ok(Some(rc)) => fnv1a(&mut digest, rc.as_bytes()),
+            Ok(None) => fnv1a(&mut digest, b"absent"),
+            Err(_) => fnv1a(&mut digest, b"read-error"),
+        }
+    }
+    digest
+}
+
+/// `sdds bench-net` — transport head-to-head. Runs the same preloaded
+/// file and the same open-loop read/search sweep over the in-process
+/// channel fabric and over a loopback TCP cluster of real `sdds serve`
+/// processes, checks the two serve byte-identical results, measures the
+/// framing codec in isolation, and writes `BENCH_net.json`.
+fn bench_net(flags: &HashMap<String, String>) {
+    let entries = flag_usize(flags, "entries", 1200);
+    let workers = flag_usize(flags, "workers", 4).max(1);
+    let duration = flag_usize(flags, "duration-secs", 3).max(1) as f64;
+    let seed = flag_usize(flags, "seed", 42) as u64;
+    let servers = flag_usize(flags, "servers", 3).max(1);
+    let drain_budget = flag_usize(flags, "drain-budget", sdds_repro::lh::DEFAULT_DRAIN_BUDGET);
+    let inbox_capacity = parse_inbox_capacity(flags);
+    let rates: Vec<f64> = flags
+        .get("rates")
+        .map(String::as_str)
+        .unwrap_or("250,500,1000")
+        .split(',')
+        .map(|t| {
+            t.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--rates needs a comma-separated ops/sec list");
+                exit(2);
+            })
+        })
+        .collect();
+    // content-preserving mix: reads and searches only, so both transports
+    // keep serving the identical preloaded file at every load point
+    let mix = TrafficMix {
+        weights: [70, 0, 30, 0],
+    };
+    let records = DirectoryGenerator::new(seed).generate(entries);
+    let patterns = traffic_patterns(&records);
+
+    eprintln!("codec microbench …");
+    let codec = codec_bench();
+    eprintln!(
+        "frame = {} bytes: encode {:.0} ns, decode {:.0} ns",
+        codec.frame_bytes, codec.encode_ns, codec.decode_ns,
+    );
+
+    eprintln!("preloading {entries} records on both transports …");
+    let channel = TrafficTarget::Channel(Box::new(build_traffic_store(
+        &records,
+        flags,
+        drain_budget,
+        inbox_capacity,
+    )));
+    traffic_preload(&channel.handle(), &records, inbox_capacity.is_some());
+    let tcp = spawn_tcp_cluster(
+        &records,
+        flags,
+        servers,
+        entries,
+        seed,
+        drain_budget,
+        inbox_capacity,
+    );
+    traffic_preload(&tcp.handle(), &records, inbox_capacity.is_some());
+
+    let digest_channel = search_digest(&channel.handle(), &patterns, entries as u64);
+    let digest_tcp = search_digest(&tcp.handle(), &patterns, entries as u64);
+    if digest_channel != digest_tcp {
+        eprintln!(
+            "RESULT DIVERGENCE between transports: channel digest {digest_channel:016x} \
+             != tcp digest {digest_tcp:016x}"
+        );
+        tcp.shutdown();
+        channel.shutdown();
+        exit(1);
+    }
+    eprintln!("transports agree: search digest {digest_channel:016x}");
+
+    struct NetPoint {
+        offered: f64,
+        rows: Vec<(&'static str, u64, PointSummary)>,
+    }
+    let mut points: Vec<NetPoint> = Vec::with_capacity(rates.len());
+    for (ri, &rate) in rates.iter().enumerate() {
+        let mut rows = Vec::with_capacity(2);
+        for (name, target) in [("channel", &channel), ("tcp", &tcp)] {
+            eprintln!("{name}: {rate} ops/s × {duration}s × {workers} workers …");
+            let rejected_before = target.rejected();
+            let reports = traffic_point(
+                target,
+                workers,
+                &TrafficLoad {
+                    rate,
+                    duration,
+                    seed: seed ^ ((ri as u64 + 1) << 32),
+                    mix,
+                    read_range: entries as u64,
+                },
+                &patterns,
+            );
+            rows.push((
+                name,
+                target.rejected() - rejected_before,
+                summarize_point(&reports, duration),
+            ));
+        }
+        points.push(NetPoint {
+            offered: rate,
+            rows,
+        });
+    }
+    tcp.shutdown();
+    channel.shutdown();
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "  \"entries\": {entries},\n  \"config\": \"{}\",\n  \"cpus\": {cpus},\n  \
+         \"servers\": {servers},\n  \"workers\": {workers},\n  \
+         \"duration_secs\": {duration},\n  \"drain_budget\": {drain_budget},\n  \
+         \"inbox_capacity\": {},\n  \"mix\": \"read:70,search:30\",\n  \"seed\": {seed},\n",
+        flags.get("config").map(String::as_str).unwrap_or("basic"),
+        inbox_capacity.map_or("null".to_string(), |c| c.to_string()),
+    ));
+    body.push_str(&format!(
+        "  \"codec\": {{\"frame_bytes\": {}, \"frames\": {}, \
+         \"encode_ns_per_frame\": {:.1}, \"decode_ns_per_frame\": {:.1}, \
+         \"encode_mb_per_sec\": {:.1}, \"decode_mb_per_sec\": {:.1}}},\n",
+        codec.frame_bytes,
+        codec.frames,
+        codec.encode_ns,
+        codec.decode_ns,
+        codec.frame_bytes as f64 * 1e3 / codec.encode_ns.max(1e-9),
+        codec.frame_bytes as f64 * 1e3 / codec.decode_ns.max(1e-9),
+    ));
+    body.push_str(&format!(
+        "  \"identical_results\": true,\n  \"search_digest\": \"{digest_channel:016x}\",\n  \
+         \"load_points\": [\n",
+    ));
+    for (i, p) in points.iter().enumerate() {
+        body.push_str(&format!("    {{\"offered_rate\": {:.1}", p.offered));
+        for (name, rejected_delta, summary) in &p.rows {
+            body.push_str(&format!(
+                ", \"{name}\": {}",
+                point_json(summary, *rejected_delta)
+            ));
+        }
+        body.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = flags
+        .get("json-out")
+        .map(String::as_str)
+        .filter(|p| !p.is_empty())
+        .unwrap_or("BENCH_net.json");
+    std::fs::write(path, &body).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote transport bench results to {path}");
     maybe_write_metrics(flags);
 }

@@ -1,0 +1,152 @@
+//! Multi-process TCP cluster end to end: three real `sdds serve` OS
+//! processes on loopback ports, a client in this process, connection
+//! kills mid-ingest, and final results byte-identical to an
+//! uninterrupted in-process channel run over the same seeded workload.
+
+use sdds_repro::core::{EncryptedSearchStore, SchemeConfig, StoreBuilder};
+use sdds_repro::corpus::{DirectoryGenerator, Record};
+use sdds_repro::net::SiteRegistry;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const ENTRIES: usize = 240;
+const SEED: u64 = 42;
+const CAPACITY: usize = 16;
+
+/// Reserves `n` distinct loopback ports by binding ephemeral listeners,
+/// then frees them for the serve children.
+fn reserve_loopback_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect()
+}
+
+/// The store configuration shared by every process of the run — the
+/// serve children rebuild it from their flags (`serve_cmd` uses the same
+/// passphrase and training rule), so key material and the scan filter
+/// match bit for bit without ever crossing the wire.
+fn builder(records: &[Record]) -> StoreBuilder {
+    let config = SchemeConfig::basic(4, 4).expect("valid config");
+    let mut builder = EncryptedSearchStore::builder(config)
+        .passphrase("sdds-cli")
+        .bucket_capacity(CAPACITY)
+        // short per-attempt timeout: rides out the severed-stream message
+        // losses below in seconds, not the 10s default
+        .op_timeout(Duration::from_secs(2));
+    if config.encoding.is_some() {
+        builder = builder.train(records.iter().take(1000).map(|r| r.rc.clone()));
+    }
+    builder
+}
+
+/// Reaps the serve children, asserting each exited cleanly after the
+/// cluster-wide shutdown broadcast.
+fn wait_children(mut children: Vec<Child>) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for child in &mut children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    assert!(status.success(), "serve rank exited with {status}");
+                    break;
+                }
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!("serve rank did not exit after shutdown");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn three_process_cluster_rides_out_severed_connections_and_matches_in_process() {
+    let addrs = reserve_loopback_addrs(3);
+    let registry_path =
+        std::env::temp_dir().join(format!("sdds-test-registry-{}.txt", std::process::id()));
+    std::fs::write(&registry_path, addrs.join("\n") + "\n").expect("write registry");
+
+    let exe = env!("CARGO_BIN_EXE_sdds");
+    let children: Vec<Child> = (0..3)
+        .map(|rank: usize| {
+            Command::new(exe)
+                .arg("serve")
+                .arg("--site")
+                .arg(rank.to_string())
+                .arg("--registry")
+                .arg(&registry_path)
+                .arg("--entries")
+                .arg(ENTRIES.to_string())
+                .arg("--seed")
+                .arg(SEED.to_string())
+                .arg("--capacity")
+                .arg(CAPACITY.to_string())
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn serve rank")
+        })
+        .collect();
+
+    let records = DirectoryGenerator::new(SEED).generate(ENTRIES);
+
+    // the uninterrupted in-process reference run
+    let reference = builder(&records).start();
+    for r in &records {
+        reference.insert(r.rid, &r.rc).expect("reference insert");
+    }
+
+    let registry = SiteRegistry::load(&registry_path).expect("load registry");
+    let remote = builder(&records).connect(registry);
+    let handle = remote.handle();
+    let reconnects_before = sdds_obs::counter("net.tcp.reconnects").get();
+    for (i, r) in records.iter().enumerate() {
+        if i == ENTRIES / 3 {
+            // sever every pooled client stream mid-ingest: the next sends
+            // must re-dial (and re-announce the client's dynamic id so
+            // replies keep routing)
+            remote.cluster().drop_connections();
+        }
+        if i == 2 * ENTRIES / 3 {
+            // also tear down rank 1's server-side streams; its accepted
+            // connections die and the client re-dials on demand
+            remote.cluster().sever_rank(1).expect("sever rank 1");
+        }
+        handle.insert(r.rid, &r.rc).expect("tcp insert");
+    }
+    assert!(
+        sdds_obs::counter("net.tcp.reconnects").get() > reconnects_before,
+        "expected client-side reconnects after severing connections"
+    );
+
+    // byte-identical results: same hit lists for every pattern, same
+    // record bytes for every rid
+    for pattern in ["MARTINEZ", "NGUYEN", "SMITH", "GARC", "QQQQZZ"] {
+        assert_eq!(
+            handle.search(pattern).expect("tcp search"),
+            reference.search(pattern).expect("reference search"),
+            "search {pattern:?} diverged between transports"
+        );
+    }
+    for r in &records {
+        assert_eq!(
+            handle.get(r.rid).expect("tcp get").as_deref(),
+            Some(r.rc.as_str()),
+            "get({}) over tcp",
+            r.rid
+        );
+    }
+
+    remote.shutdown_cluster();
+    wait_children(children);
+    let _ = std::fs::remove_file(&registry_path);
+    reference.shutdown();
+}
