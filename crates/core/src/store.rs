@@ -191,6 +191,7 @@ pub struct StoreBuilder {
     net: NetConfig,
     drain_budget: usize,
     op_timeout: Duration,
+    obs: sdds_lh::ObsOptions,
 }
 
 impl StoreBuilder {
@@ -261,6 +262,16 @@ impl StoreBuilder {
     /// instead of idling out long deadline tails.
     pub fn op_timeout(mut self, timeout: Duration) -> StoreBuilder {
         self.op_timeout = timeout;
+        self
+    }
+
+    /// Configures the serving-side observability plane: the periodic
+    /// snapshot-ring tick, the ring depth, and the optional trace-flush
+    /// file (see [`sdds_lh::ObsOptions`]). Only meaningful for processes
+    /// that host sites ([`start`](Self::start), [`open`](Self::open),
+    /// [`serve_parts`](Self::serve_parts)).
+    pub fn obs_options(mut self, obs: sdds_lh::ObsOptions) -> StoreBuilder {
+        self.obs = obs;
         self
     }
 
@@ -386,6 +397,7 @@ impl StoreBuilder {
             net: self.net,
             drain_budget: self.drain_budget,
             client_timeout: self.op_timeout,
+            obs: self.obs,
         };
         (pipeline, cluster_config)
     }
@@ -431,6 +443,12 @@ impl RemoteStore {
         &self.hub
     }
 
+    /// An observability collector scraping every serving rank's metrics,
+    /// spans and snapshot history over the host control channel.
+    pub fn obs(&self) -> sdds_lh::ClusterObs {
+        self.hub.obs()
+    }
+
     /// Stops every serving rank (the `serve` processes return).
     pub fn shutdown_cluster(&self) {
         self.hub.shutdown();
@@ -469,6 +487,7 @@ impl EncryptedSearchStore {
             net: NetConfig::default(),
             drain_budget: sdds_lh::DEFAULT_DRAIN_BUDGET,
             op_timeout: Duration::from_secs(10),
+            obs: sdds_lh::ObsOptions::default(),
         }
     }
 

@@ -893,6 +893,7 @@ pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: Bucket
     let budget = ctx.drain_budget.max(1);
     let depth_gauge = ctx.obs.gauge("lh.inbox_depth");
     let batch_hist = ctx.obs.histogram("lh.drain_batch_size");
+    let mut health = crate::health::LoopHealth::register(&ctx.obs);
     let mut batch: Vec<Envelope> = Vec::with_capacity(budget);
     loop {
         // While a rejected control-plane send (overflow report, transfer
@@ -908,6 +909,7 @@ pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: Bucket
             }
             Wakeup::Disconnected => break,
         }
+        health.busy();
         depth_gauge.set(endpoint.inbox_depth() as i64);
         batch_hist.observe(batch.len() as f64);
         let mut shutdown = false;
@@ -941,6 +943,7 @@ pub(crate) fn run_bucket(endpoint: Endpoint, mut state: BucketState, ctx: Bucket
             }
         }
         outbox.flush(&endpoint);
+        health.idle();
         if shutdown {
             break;
         }

@@ -153,6 +153,35 @@ impl Default for ParityConfig {
     }
 }
 
+/// Observability options for a served rank's host control loop (the
+/// periodic tick that feeds the snapshot ring, refreshes the loop-health
+/// watchdog gauge, and optionally flushes the flight recorder).
+#[derive(Debug, Clone)]
+pub struct ObsOptions {
+    /// Interval between observability ticks.
+    pub tick: Duration,
+    /// Snapshot-ring capacity: how many timestamped metrics snapshots the
+    /// rank retains for post-hoc scraping (`HostMsg::ObsPull` with
+    /// `history`). 0 disables the ring.
+    pub history: usize,
+    /// When set, each tick drains the rank's flight recorder to this
+    /// JSONL file, so traces survive a SIGKILL up to the last flush.
+    /// Mutually exclusive in practice with span scraping: both drain the
+    /// same process-global recorder, so a scrape after a flush returns
+    /// only the spans recorded since.
+    pub trace_flush: Option<std::path::PathBuf>,
+}
+
+impl Default for ObsOptions {
+    fn default() -> ObsOptions {
+        ObsOptions {
+            tick: Duration::from_millis(500),
+            history: 64,
+            trace_flush: None,
+        }
+    }
+}
+
 /// Cluster construction parameters.
 #[derive(Clone)]
 pub struct ClusterConfig {
@@ -178,6 +207,10 @@ pub struct ClusterConfig {
     /// trade under bounded inboxes, where replies are dropped rather than
     /// queued without limit.
     pub client_timeout: Duration,
+    /// Host-loop observability: snapshot-ring tick, history depth, and
+    /// optional periodic trace flush (served ranks only; the in-process
+    /// transport has no host loop to run the tick).
+    pub obs: ObsOptions,
 }
 
 impl fmt::Debug for ClusterConfig {
@@ -201,6 +234,7 @@ impl Default for ClusterConfig {
             storage: StorageConfig::Mem,
             drain_budget: crate::drain::DEFAULT_DRAIN_BUDGET,
             client_timeout: Duration::from_secs(10),
+            obs: ObsOptions::default(),
         }
     }
 }

@@ -192,6 +192,7 @@ pub(crate) fn run_coordinator(
     let budget = drain_budget.max(1);
     let mut batch: Vec<Envelope> = Vec::with_capacity(budget);
     let mut outbox = SendQueue::new();
+    let mut health = crate::health::LoopHealth::register(sdds_obs::Registry::global());
     loop {
         let idle = outbox.has_parked().then_some(IDLE_TICK);
         match fill_batch(&endpoint, budget, idle, &mut batch) {
@@ -202,6 +203,7 @@ pub(crate) fn run_coordinator(
             }
             Wakeup::Disconnected => break,
         }
+        health.busy();
         let mut shutdown = false;
         for env in batch.drain(..) {
             let Some(msg) = Wire::decode(&env.payload) else {
@@ -222,6 +224,7 @@ pub(crate) fn run_coordinator(
             }
         }
         outbox.flush(&endpoint);
+        health.idle();
         if shutdown {
             break;
         }

@@ -1,0 +1,146 @@
+//! Event-loop health self-reporting.
+//!
+//! Every site event loop (bucket, coordinator, parity) owns a
+//! [`LoopHealth`] and brackets each batch dispatch with
+//! [`busy`](LoopHealth::busy) / [`idle`](LoopHealth::idle). Two signals
+//! come out:
+//!
+//! * `lh.loop_stall_seconds` — histogram of how long each dispatch kept
+//!   the loop away from its inbox (its per-batch "drain stall"). A loop
+//!   wedged on a slow storage flush or a huge transfer shows up as a fat
+//!   tail here.
+//! * `lh.loop_last_tick_age` — gauge (milliseconds) of the *oldest
+//!   currently busy* dispatch across this process's loops, refreshed by
+//!   the serve host's observability tick ([`max_busy_age`]). Idle loops
+//!   report 0: blocking on an empty inbox is healthy, only time spent
+//!   *handling* counts as age. A wedged rank is therefore visible from a
+//!   cluster scrape before any client times out on it.
+//!
+//! Registration is process-global so the host watchdog can sample loops
+//! it did not create; a loop deregisters on exit (`Drop`), so shut-down
+//! sites never alarm.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process epoch for busy timestamps (nanoseconds since first use).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_nanos() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Busy-since cells of every live loop. 0 = idle; otherwise
+/// `now_nanos() + 1` at the moment the loop started its current dispatch
+/// (+1 so a dispatch starting at the epoch itself is not read as idle).
+fn cells() -> &'static Mutex<Vec<Arc<AtomicU64>>> {
+    static CELLS: OnceLock<Mutex<Vec<Arc<AtomicU64>>>> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// One event loop's health reporter. Created at loop start, dropped on
+/// loop exit (deregistering the loop from the watchdog).
+pub(crate) struct LoopHealth {
+    stall: sdds_obs::Histogram,
+    cell: Arc<AtomicU64>,
+    busy_since: Option<Instant>,
+}
+
+impl LoopHealth {
+    /// Registers a loop with the process watchdog. The stall histogram
+    /// lands in `obs` (a bucket's per-site registry or the global one),
+    /// propagating to the global aggregate either way.
+    pub(crate) fn register(obs: &sdds_obs::Registry) -> LoopHealth {
+        let cell = Arc::new(AtomicU64::new(0));
+        cells().lock().push(cell.clone());
+        LoopHealth {
+            stall: obs.histogram("lh.loop_stall_seconds"),
+            cell,
+            busy_since: None,
+        }
+    }
+
+    /// Marks the start of a batch dispatch.
+    pub(crate) fn busy(&mut self) {
+        self.busy_since = Some(Instant::now());
+        // ordering: Relaxed — the cell is an independent timestamp read
+        // by the watchdog; no memory is published through it.
+        self.cell.store(now_nanos() + 1, Ordering::Relaxed);
+    }
+
+    /// Marks the end of a batch dispatch, recording its duration as the
+    /// loop's drain stall.
+    pub(crate) fn idle(&mut self) {
+        if let Some(since) = self.busy_since.take() {
+            self.stall.observe(since.elapsed().as_secs_f64());
+        }
+        // ordering: Relaxed — see busy().
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Drop for LoopHealth {
+    fn drop(&mut self) {
+        let mut cells = cells().lock();
+        if let Some(pos) = cells.iter().position(|c| Arc::ptr_eq(c, &self.cell)) {
+            cells.swap_remove(pos);
+        }
+    }
+}
+
+/// Age of the oldest in-flight batch dispatch across this process's
+/// loops (zero when every loop is idle or blocked on its inbox). The
+/// serve host's observability tick publishes this as the
+/// `lh.loop_last_tick_age` gauge, in milliseconds.
+pub(crate) fn max_busy_age() -> Duration {
+    let now = now_nanos();
+    let mut max = 0u64;
+    for cell in cells().lock().iter() {
+        // ordering: Relaxed — see LoopHealth::busy.
+        let stamp = cell.load(Ordering::Relaxed);
+        if stamp != 0 {
+            max = max.max(now.saturating_sub(stamp - 1));
+        }
+    }
+    Duration::from_nanos(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_loops_age_and_idle_loops_do_not() {
+        let obs = sdds_obs::Registry::new("health-test");
+        let mut a = LoopHealth::register(&obs);
+        let mut b = LoopHealth::register(&obs);
+        // Nothing busy (other tests' loops may be running concurrently,
+        // so only assert on our own transitions below).
+        a.busy();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(
+            max_busy_age() >= Duration::from_millis(4),
+            "a busy dispatch ages"
+        );
+        a.idle();
+        b.busy();
+        b.idle();
+        let snap = obs.snapshot();
+        let stalls = &snap.histograms["lh.loop_stall_seconds"];
+        assert_eq!(stalls.count, 2, "each dispatch records one stall sample");
+        assert!(
+            stalls.sum_seconds >= 0.004,
+            "a's 5ms dispatch is in the sum"
+        );
+        // Dropping deregisters: a permanently-busy loop that exits must
+        // not alarm forever.
+        a.busy();
+        drop(a);
+        drop(b);
+    }
+}

@@ -40,16 +40,21 @@ mod coordinator;
 mod drain;
 mod filter;
 mod hash;
+mod health;
 mod index;
 mod messages;
+mod obs_client;
 mod parity;
 mod serve;
 
 pub use client::{LhClient, LhError, RetryPolicy};
-pub use cluster::{BucketSnapshot, ClusterConfig, FileSnapshot, LhCluster, ParityConfig};
+pub use cluster::{
+    BucketSnapshot, ClusterConfig, FileSnapshot, LhCluster, ObsOptions, ParityConfig,
+};
 pub use drain::DEFAULT_DRAIN_BUDGET;
 pub use filter::{PreparedQuery, ScanFilter, SubstringFilter};
 pub use hash::{address, ClientImage};
 pub use messages::ScanMatch;
+pub use obs_client::{ClusterObs, ClusterScrape, RankScrape, ScrapeOptions};
 pub use sdds_storage::{DiskOptions, FsyncPolicy, StorageConfig};
 pub use serve::{serve, ServeHandle, TcpCluster};

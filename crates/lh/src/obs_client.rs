@@ -1,0 +1,189 @@
+//! Client-side cluster observability: the [`ClusterObs`] collector
+//! scrapes every rank of a served TCP cluster over the host control
+//! channel ([`HostMsg::ObsPull`](crate::serve::HostMsg) /
+//! `ObsReport`), merges the per-rank metrics snapshots into one
+//! cluster-wide aggregate, and stitches shipped spans into connected
+//! cross-process trace trees.
+//!
+//! Merge semantics mirror the in-process parent/child registries:
+//! counters and histograms sum, integer gauges sum (each rank's global
+//! registry already holds the sum of its sites, so the cluster
+//! aggregate extends parent = Σ children one level up), and float
+//! gauges are carried per-rank only — a chi-square does not sum.
+
+use crate::client::LhError;
+use crate::cluster::send_control;
+use crate::serve::HostMsg;
+use sdds_net::{Endpoint, NetError, SiteRegistry};
+use sdds_obs::trace::{stitch, ParsedSpan, RankedSpan, TraceTree};
+use sdds_obs::MetricsSnapshot;
+use std::time::{Duration, Instant};
+
+/// What a scrape should pull from each rank.
+#[derive(Debug, Clone)]
+pub struct ScrapeOptions {
+    /// Pull metrics (rank aggregate + per-site snapshots).
+    pub metrics: bool,
+    /// Drain and pull flight-recorder spans.
+    pub spans: bool,
+    /// Pull the rank's timestamped snapshot-ring history.
+    pub history: bool,
+    /// Overall deadline for all ranks to report.
+    pub timeout: Duration,
+}
+
+impl Default for ScrapeOptions {
+    fn default() -> ScrapeOptions {
+        ScrapeOptions {
+            metrics: true,
+            spans: false,
+            history: false,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One rank's scrape result.
+#[derive(Debug, Clone)]
+pub struct RankScrape {
+    /// The reporting rank.
+    pub rank: usize,
+    /// The rank's process-global snapshot.
+    pub metrics: Option<MetricsSnapshot>,
+    /// The rank's per-site (per-bucket) snapshots.
+    pub sites: Vec<MetricsSnapshot>,
+    /// Spans drained from the rank's flight recorder.
+    pub spans: Vec<ParsedSpan>,
+    /// Snapshot-ring history: (unix millis, snapshot), oldest first.
+    pub history: Vec<(u64, MetricsSnapshot)>,
+}
+
+/// A whole-cluster scrape: the merged aggregate plus per-rank
+/// breakdowns.
+#[derive(Debug, Clone)]
+pub struct ClusterScrape {
+    /// Counters/gauges/histograms summed across every reporting rank
+    /// (label `"cluster"`); float gauges live in the per-rank snapshots.
+    pub aggregate: MetricsSnapshot,
+    /// Per-rank results, ascending by rank.
+    pub ranks: Vec<RankScrape>,
+    /// Ranks that did not report within the timeout.
+    pub missing: Vec<usize>,
+}
+
+impl ClusterScrape {
+    /// Stitches the scraped spans — plus any spans drained locally in
+    /// the client process (tagged rank -1) — into cross-process trace
+    /// trees keyed by `trace_id`.
+    pub fn traces(&self, local: Vec<ParsedSpan>) -> Vec<TraceTree> {
+        let mut all: Vec<RankedSpan> = local
+            .into_iter()
+            .map(|span| RankedSpan { rank: -1, span })
+            .collect();
+        for r in &self.ranks {
+            all.extend(r.spans.iter().cloned().map(|span| RankedSpan {
+                rank: r.rank as i64,
+                span,
+            }));
+        }
+        stitch(all)
+    }
+}
+
+/// Scrapes a served cluster's observability plane. Obtain one via
+/// [`TcpCluster::obs`](crate::TcpCluster::obs); it holds its own dynamic
+/// endpoint, so scrapes never contend with the hub's clients.
+pub struct ClusterObs {
+    control: Endpoint,
+    num_ranks: usize,
+}
+
+impl ClusterObs {
+    pub(crate) fn new(control: Endpoint, num_ranks: usize) -> ClusterObs {
+        ClusterObs { control, num_ranks }
+    }
+
+    /// Pulls metrics/spans/history from every rank, merging the metrics
+    /// into one aggregate. Ranks that fail to report within the timeout
+    /// are listed in [`ClusterScrape::missing`] (and counted in
+    /// `obs.scrape_failures`) rather than failing the whole scrape —
+    /// partial visibility into a degraded cluster is the point.
+    pub fn scrape(&self, opts: &ScrapeOptions) -> Result<ClusterScrape, LhError> {
+        let _timer = sdds_obs::histogram("obs.scrape_seconds").start_timer();
+        for rank in 0..self.num_ranks {
+            let msg = HostMsg::ObsPull {
+                req_id: rank as u64,
+                reply_to: self.control.id().0,
+                metrics: opts.metrics,
+                spans: opts.spans,
+                history: opts.history,
+            };
+            send_control(&self.control, SiteRegistry::host_id(rank), msg.encode())
+                .map_err(LhError::Net)?;
+        }
+        let deadline = Instant::now() + opts.timeout;
+        let mut ranks: Vec<RankScrape> = Vec::new();
+        let mut seen = vec![false; self.num_ranks];
+        let mut outstanding = self.num_ranks;
+        while outstanding > 0 {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            let env = match self.control.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => break,
+                Err(e) => return Err(LhError::Net(e)),
+            };
+            let Some(HostMsg::ObsReport {
+                rank,
+                metrics,
+                sites,
+                spans,
+                history,
+                ..
+            }) = HostMsg::decode(&env.payload)
+            else {
+                continue;
+            };
+            let rank = rank as usize;
+            if rank >= self.num_ranks || seen[rank] {
+                continue;
+            }
+            seen[rank] = true;
+            outstanding -= 1;
+            let (parsed, skipped) = sdds_obs::trace::parse_jsonl(&spans);
+            if skipped > 0 {
+                sdds_obs::counter("obs.scrape_span_decode_failures").add(skipped as u64);
+            }
+            ranks.push(RankScrape {
+                rank,
+                metrics: metrics.and_then(|m| MetricsSnapshot::from_json(&m)),
+                sites: sites
+                    .iter()
+                    .filter_map(|s| MetricsSnapshot::from_json(s))
+                    .collect(),
+                spans: parsed,
+                history: history
+                    .into_iter()
+                    .filter_map(|(t, s)| MetricsSnapshot::from_json(&s).map(|m| (t, m)))
+                    .collect(),
+            });
+        }
+        let missing: Vec<usize> = seen
+            .iter()
+            .enumerate()
+            .filter(|&(_, &reported)| !reported)
+            .map(|(rank, _)| rank)
+            .collect();
+        if !missing.is_empty() {
+            sdds_obs::counter("obs.scrape_failures").add(missing.len() as u64);
+        }
+        ranks.sort_by_key(|r| r.rank);
+        let parts: Vec<MetricsSnapshot> = ranks.iter().filter_map(|r| r.metrics.clone()).collect();
+        Ok(ClusterScrape {
+            aggregate: MetricsSnapshot::merge("cluster", &parts),
+            ranks,
+            missing,
+        })
+    }
+}

@@ -163,7 +163,9 @@ pub(crate) fn run_parity(endpoint: Endpoint, mut state: ParityState, drain_budge
     let budget = drain_budget.max(1);
     let mut batch: Vec<Envelope> = Vec::with_capacity(budget);
     let mut outbox = SendQueue::new();
+    let mut health = crate::health::LoopHealth::register(sdds_obs::Registry::global());
     while let Wakeup::Batch = fill_batch(&endpoint, budget, None, &mut batch) {
+        health.busy();
         let mut shutdown = false;
         for env in batch.drain(..) {
             let Some(msg) = Wire::decode(&env.payload) else {
@@ -191,6 +193,7 @@ pub(crate) fn run_parity(endpoint: Endpoint, mut state: ParityState, drain_budge
             }
         }
         outbox.flush(&endpoint);
+        health.idle();
         if shutdown {
             break;
         }

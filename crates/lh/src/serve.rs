@@ -21,14 +21,17 @@
 //! theoretical).
 
 use crate::client::{LhClient, LhError};
-use crate::cluster::{send_control, ClusterConfig, Directory, SiteBuilder};
+use crate::cluster::{send_control, ClusterConfig, Directory, ObsOptions, SiteBuilder};
 use crate::coordinator::{run_coordinator, BucketRetirer, BucketSpawner};
+use crate::health;
 use crate::messages::Wire;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sdds_net::{Endpoint, NetConfig, Network, SiteId, SiteRegistry, COORD_ID};
+use sdds_net::{Endpoint, NetConfig, NetError, Network, SiteId, SiteRegistry, COORD_ID};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Control messages between the coordinator's process and the site
 /// hosts. These ride the same TCP fabric as [`Wire`] but address the
@@ -46,15 +49,56 @@ pub(crate) enum HostMsg {
     /// Sever every established connection (fault injection for tests;
     /// streams re-establish with backoff).
     DropConns,
+    /// Scrape request from a [`ClusterObs`](crate::ClusterObs) client:
+    /// the host replies with one [`HostMsg::ObsReport`] to `reply_to`
+    /// (a dynamic client endpoint id). See `docs/PROTOCOL.md` for the
+    /// wire format.
+    ObsPull {
+        /// Correlates the report with the request (echoed verbatim).
+        req_id: u64,
+        /// Endpoint id the report must be sent to.
+        reply_to: u32,
+        /// Ship the rank's metrics (aggregate + per-site snapshots).
+        metrics: bool,
+        /// Drain and ship the rank's flight-recorder spans.
+        spans: bool,
+        /// Ship the rank's timestamped snapshot-ring history.
+        history: bool,
+    },
+    /// One rank's scrape reply. Metrics travel as `MetricsSnapshot`
+    /// JSON documents, spans as the flight recorder's JSONL schema —
+    /// the same formats the CLI writes to sidecar files.
+    ObsReport {
+        /// The request's `req_id`, echoed.
+        req_id: u64,
+        /// The reporting rank.
+        rank: u32,
+        /// The rank's process-global snapshot (when `metrics` was set).
+        metrics: Option<String>,
+        /// Per-site (per-bucket) snapshots (when `metrics` was set).
+        sites: Vec<String>,
+        /// Drained spans as JSONL (empty unless `spans` was set).
+        spans: String,
+        /// Snapshot ring: (unix millis, snapshot JSON), oldest first
+        /// (empty unless `history` was set).
+        history: Vec<(u64, String)>,
+    },
     /// Shut down every local site and exit the host loop.
     Shutdown,
 }
 
 impl HostMsg {
+    /// Encodes to JSON. Infallible: `HostMsg` is a plain-data enum with
+    /// no map keys or non-string tags, so serialization cannot fail —
+    /// but rather than asserting that with a panic, the unreachable
+    /// error path ships an empty frame (which decodes to `None` and is
+    /// dropped by the receiver) and counts `lh.host_encode_failures`.
     pub(crate) fn encode(&self) -> Bytes {
         let mut buf = sdds_net::PooledBuf::take();
-        // lint: allow(panic-freedom) -- plain-data enum with no map keys or non-string tags; serialization is infallible
-        serde_json::to_writer(&mut buf, self).expect("HostMsg serializes");
+        if serde_json::to_writer(&mut buf, self).is_err() {
+            sdds_obs::counter("lh.host_encode_failures").inc();
+            return Bytes::new();
+        }
         buf.into_bytes()
     }
 
@@ -167,17 +211,113 @@ pub fn serve(
         .ok_or_else(|| LhError::Rejected("host id already registered".into()))?;
     let loop_host = host.clone();
     let loop_handles = handles.clone();
-    let h = std::thread::spawn(move || host_loop(host_ep, loop_host, loop_handles));
+    let obs = config.obs.clone();
+    let h = std::thread::spawn(move || host_loop(host_ep, loop_host, loop_handles, rank, obs));
     Ok(ServeHandle { host: h })
 }
 
+/// The host's periodic observability state: the snapshot ring, the
+/// optional trace-flush sink, and the watchdog gauge.
+struct ObsTicker {
+    opts: ObsOptions,
+    /// (unix millis, snapshot JSON), oldest first, capped at
+    /// `opts.history`.
+    ring: VecDeque<(u64, String)>,
+    sink: Option<sdds_obs::trace::TraceSink<std::io::BufWriter<std::fs::File>>>,
+    age_gauge: sdds_obs::Gauge,
+}
+
+impl ObsTicker {
+    fn new(opts: ObsOptions) -> ObsTicker {
+        let sink = opts
+            .trace_flush
+            .as_ref()
+            .and_then(|path| match std::fs::File::create(path) {
+                Ok(f) => Some(sdds_obs::trace::TraceSink::new(std::io::BufWriter::new(f))),
+                Err(_) => {
+                    sdds_obs::counter("obs.trace_flush_failures").inc();
+                    None
+                }
+            });
+        ObsTicker {
+            opts,
+            ring: VecDeque::new(),
+            sink,
+            age_gauge: sdds_obs::gauge("lh.loop_last_tick_age"),
+        }
+    }
+
+    /// One observability tick: refresh the watchdog gauge, sample the
+    /// snapshot ring, flush the flight recorder if configured.
+    fn tick(&mut self) {
+        self.refresh_watchdog();
+        if self.opts.history > 0 {
+            self.ring.push_back((unix_millis(), snapshot_json()));
+            while self.ring.len() > self.opts.history {
+                self.ring.pop_front();
+            }
+        }
+        if let Some(sink) = &mut self.sink {
+            if sink.drain().is_err() {
+                sdds_obs::counter("obs.trace_flush_failures").inc();
+            }
+        }
+    }
+
+    /// Publishes the oldest in-flight dispatch age (milliseconds) so a
+    /// scrape sees a wedged loop as a growing gauge.
+    fn refresh_watchdog(&self) {
+        self.age_gauge
+            .set(health::max_busy_age().as_millis() as i64);
+    }
+}
+
+fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn snapshot_json() -> String {
+    sdds_obs::MetricsSnapshot::capture().to_json()
+}
+
+/// Drains the flight recorder into one JSONL string.
+fn spans_jsonl() -> String {
+    let spans = sdds_obs::trace::drain_spans();
+    let mut out = String::with_capacity(spans.len() * 160);
+    for s in &spans {
+        out.push_str(&s.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
 /// The host control loop: spawns buckets the coordinator assigns to
-/// this rank, severs connections on request, and tears the process's
-/// sites down on shutdown.
-fn host_loop(ep: Endpoint, host: Arc<SiteHost>, handles: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+/// this rank, severs connections on request, answers observability
+/// scrapes, runs the periodic obs tick, and tears the process's sites
+/// down on shutdown.
+fn host_loop(
+    ep: Endpoint,
+    host: Arc<SiteHost>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    rank: usize,
+    obs: ObsOptions,
+) {
+    let mut ticker = ObsTicker::new(obs);
+    let tick = ticker.opts.tick.max(Duration::from_millis(1));
+    let mut next_tick = Instant::now() + tick;
     loop {
-        let Ok(env) = ep.recv() else {
-            break;
+        let wait = next_tick.saturating_duration_since(Instant::now());
+        let env = match ep.recv_timeout(wait) {
+            Ok(env) => env,
+            Err(NetError::Timeout) => {
+                ticker.tick();
+                next_tick = Instant::now() + tick;
+                continue;
+            }
+            Err(_) => break,
         };
         match HostMsg::decode(&env.payload) {
             Some(HostMsg::Spawn { addr, level }) => {
@@ -187,6 +327,40 @@ fn host_loop(ep: Endpoint, host: Arc<SiteHost>, handles: Arc<Mutex<Vec<JoinHandl
                 }
             }
             Some(HostMsg::DropConns) => host.network.drop_connections(),
+            Some(HostMsg::ObsPull {
+                req_id,
+                reply_to,
+                metrics,
+                spans,
+                history,
+            }) => {
+                sdds_obs::counter("obs.scrape_requests").inc();
+                // Refresh the watchdog gauge first so the shipped
+                // snapshot carries a current loop-age reading.
+                ticker.refresh_watchdog();
+                let report = HostMsg::ObsReport {
+                    req_id,
+                    rank: rank as u32,
+                    metrics: metrics.then(snapshot_json),
+                    sites: if metrics {
+                        sdds_obs::capture_sites()
+                            .iter()
+                            .map(|s| s.to_json())
+                            .collect()
+                    } else {
+                        Vec::new()
+                    },
+                    spans: if spans { spans_jsonl() } else { String::new() },
+                    history: if history {
+                        ticker.ring.iter().cloned().collect()
+                    } else {
+                        Vec::new()
+                    },
+                };
+                let _ = send_control(&ep, SiteId(reply_to), report.encode());
+            }
+            // Client-bound; a misrouted report is dropped, not answered.
+            Some(HostMsg::ObsReport { .. }) => {}
             Some(HostMsg::Shutdown) => break,
             None => {}
         }
@@ -278,6 +452,16 @@ impl TcpCluster {
         &self.network
     }
 
+    /// Number of server ranks in the cluster's registry.
+    pub fn num_ranks(&self) -> usize {
+        self.registry.num_servers()
+    }
+
+    /// An observability collector scraping every rank of this cluster.
+    pub fn obs(&self) -> crate::ClusterObs {
+        crate::ClusterObs::new(self.network.register(), self.registry.num_servers())
+    }
+
     /// Severs this client process's established connections (they
     /// re-establish with backoff on the next send).
     pub fn drop_connections(&self) {
@@ -364,6 +548,69 @@ mod tests {
             );
         }
         assert!(client.image().extent() > 1, "file must have split");
+        hub.shutdown();
+        for s in serves {
+            s.wait();
+        }
+    }
+
+    /// Scrapes a three-rank in-thread cluster: every rank reports, the
+    /// aggregate equals the per-rank sum for every counter, and the
+    /// snapshot ring fills once the obs tick has fired. (The ranks share
+    /// one process-global registry here, so per-rank snapshots are
+    /// identical — the multi-process distinctness is covered by
+    /// `tests/cluster_obs.rs`.)
+    #[test]
+    fn obs_scrape_reports_every_rank_and_sums_counters() {
+        let registry = local_registry(3);
+        let config = ClusterConfig {
+            bucket_capacity: 8,
+            obs: ObsOptions {
+                tick: Duration::from_millis(20),
+                history: 8,
+                trace_flush: None,
+            },
+            ..ClusterConfig::default()
+        };
+        let mut serves = Vec::new();
+        for rank in 0..3 {
+            serves.push(serve(registry.clone(), rank, config.clone()).expect("serve"));
+        }
+        let hub = TcpCluster::connect(registry, NetConfig::default());
+        let client = hub.client();
+        for key in 0..60u64 {
+            client
+                .insert(key, format!("value-{key}").into_bytes())
+                .expect("insert");
+        }
+        // Let at least one obs tick land so the history ring is non-empty.
+        std::thread::sleep(Duration::from_millis(80));
+        let scrape = hub
+            .obs()
+            .scrape(&crate::ScrapeOptions {
+                history: true,
+                ..Default::default()
+            })
+            .expect("scrape");
+        assert!(scrape.missing.is_empty(), "missing: {:?}", scrape.missing);
+        assert_eq!(scrape.ranks.len(), 3);
+        assert!(scrape
+            .aggregate
+            .counters
+            .keys()
+            .any(|name| name.starts_with("lh.requests_hops_")));
+        for (name, total) in &scrape.aggregate.counters {
+            let sum: u64 = scrape
+                .ranks
+                .iter()
+                .filter_map(|r| r.metrics.as_ref())
+                .filter_map(|m| m.counters.get(name))
+                .sum();
+            assert_eq!(*total, sum, "counter {name} must sum across ranks");
+        }
+        for r in &scrape.ranks {
+            assert!(!r.history.is_empty(), "rank {} ring empty", r.rank);
+        }
         hub.shutdown();
         for s in serves {
             s.wait();

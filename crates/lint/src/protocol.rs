@@ -86,9 +86,9 @@ const MUST_LAND_VARIANTS: [&str; 9] = [
 ];
 
 /// Namespaces whose dotted string literals are observability names.
-const OBS_NAMESPACES: [&str; 11] = [
+const OBS_NAMESPACES: [&str; 12] = [
     "lh", "net", "core", "storage", "leak", "cipher", "bucket", "coord", "parity", "client",
-    "search",
+    "search", "obs",
 ];
 
 /// File-ish suffixes that disqualify a dotted literal from being an

@@ -590,7 +590,7 @@ impl MetricsSnapshot {
         out.push_str("\n  },\n  \"histograms\": {");
         join(&mut out, self.histograms.iter(), |out, (k, h)| {
             out.push_str(&format!(
-                "\n    {}: {{ \"count\": {}, \"sum_seconds\": {}, \"mean_seconds\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}] }}",
+                "\n    {}: {{ \"count\": {}, \"sum_seconds\": {}, \"mean_seconds\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [{}] }}",
                 quote(k),
                 h.count,
                 fmt_f64(h.sum_seconds),
@@ -598,6 +598,7 @@ impl MetricsSnapshot {
                 h.quantile(0.50).map_or("null".into(), fmt_f64),
                 h.quantile(0.95).map_or("null".into(), fmt_f64),
                 h.quantile(0.99).map_or("null".into(), fmt_f64),
+                h.quantile(0.999).map_or("null".into(), fmt_f64),
                 h.buckets
                     .iter()
                     .map(|b| b.to_string())
@@ -607,6 +608,293 @@ impl MetricsSnapshot {
         });
         out.push_str("\n  }\n}\n");
         out
+    }
+
+    /// Parses a document produced by [`MetricsSnapshot::to_json`] back
+    /// into a snapshot — the inverse used by the cluster scrape path,
+    /// where each rank ships its registry as JSON over the control
+    /// channel. Derived histogram fields (`mean_seconds`, `p50`, …) are
+    /// ignored on input; they are recomputed from the buckets. Returns
+    /// `None` on malformed input.
+    pub fn from_json(text: &str) -> Option<MetricsSnapshot> {
+        let value = json::parse(text)?;
+        let top = value.as_object()?;
+        let mut snap = MetricsSnapshot {
+            label: top.get("label")?.as_str()?.to_string(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            float_gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        for (k, v) in top.get("counters")?.as_object()? {
+            snap.counters.insert(k.clone(), v.as_f64()? as u64);
+        }
+        for (k, v) in top.get("gauges")?.as_object()? {
+            snap.gauges.insert(k.clone(), v.as_f64()? as i64);
+        }
+        for (k, v) in top.get("float_gauges")?.as_object()? {
+            // to_json writes non-finite values as null; read them back as 0
+            snap.float_gauges
+                .insert(k.clone(), v.as_f64().unwrap_or(0.0));
+        }
+        for (k, v) in top.get("histograms")?.as_object()? {
+            let h = v.as_object()?;
+            snap.histograms.insert(
+                k.clone(),
+                HistogramSnapshot {
+                    count: h.get("count")?.as_f64()? as u64,
+                    sum_seconds: h.get("sum_seconds")?.as_f64()?,
+                    buckets: h
+                        .get("buckets")?
+                        .as_array()?
+                        .iter()
+                        .map(|b| b.as_f64().map(|f| f as u64))
+                        .collect::<Option<Vec<u64>>>()?,
+                },
+            );
+        }
+        Some(snap)
+    }
+
+    /// Merges per-rank snapshots into one cluster-wide aggregate labeled
+    /// `label`. Counters and gauges sum (gauges already obey parent =
+    /// Σ children semantics inside each process, so summing across ranks
+    /// extends the same invariant); histograms merge element-wise
+    /// (buckets, count, sum). Float gauges are deliberately *excluded* —
+    /// a chi-square of two ranks does not sum; read them from the
+    /// per-rank snapshots instead.
+    pub fn merge(label: impl Into<String>, parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot {
+            label: label.into(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            float_gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        for part in parts {
+            for (k, v) in &part.counters {
+                *out.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, v) in &part.gauges {
+                *out.gauges.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, h) in &part.histograms {
+                let agg = out
+                    .histograms
+                    .entry(k.clone())
+                    .or_insert_with(|| HistogramSnapshot {
+                        count: 0,
+                        sum_seconds: 0.0,
+                        buckets: vec![0; h.buckets.len()],
+                    });
+                agg.count += h.count;
+                agg.sum_seconds += h.sum_seconds;
+                if agg.buckets.len() < h.buckets.len() {
+                    agg.buckets.resize(h.buckets.len(), 0);
+                }
+                for (slot, add) in agg.buckets.iter_mut().zip(&h.buckets) {
+                    *slot += add;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Minimal recursive-descent JSON reader for the snapshot schema —
+/// dependency-free like the rest of the crate. Accepts any valid JSON
+/// document; only the shapes `to_json` emits are mapped onto snapshots.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Option<Value> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn eat(bytes: &[u8], pos: &mut usize, b: u8) -> Option<()> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b'{' => parse_object(bytes, pos),
+            b'[' => parse_array(bytes, pos),
+            b'"' => parse_string(bytes, pos).map(Value::String),
+            b't' => parse_lit(bytes, pos, b"true", Value::Bool(true)),
+            b'f' => parse_lit(bytes, pos, b"false", Value::Bool(false)),
+            b'n' => parse_lit(bytes, pos, b"null", Value::Null),
+            _ => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Option<Value> {
+        if bytes[*pos..].starts_with(lit) {
+            *pos += lit.len();
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(Value::Number)
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+        eat(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos)? {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match bytes.get(*pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = bytes.get(*pos + 1..*pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // copy the raw UTF-8 run up to the next quote/escape
+                    let start = *pos;
+                    while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                        *pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&bytes[start..*pos]).ok()?);
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Some(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b']' => {
+                    *pos += 1;
+                    return Some(Value::Array(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        eat(bytes, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Some(Value::Object(map));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            eat(bytes, pos, b':')?;
+            map.insert(key, parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b'}' => {
+                    *pos += 1;
+                    return Some(Value::Object(map));
+                }
+                _ => return None,
+            }
+        }
     }
 }
 
@@ -733,6 +1021,55 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_and_merges() {
+        let reg = Registry::new("rank-0");
+        reg.counter("rt.requests").add(7);
+        reg.gauge("rt.depth").set(3);
+        reg.float_gauge("rt.chi").set(2.5);
+        reg.histogram("rt.lat").observe(0.001);
+        reg.histogram("rt.lat").observe(0.004);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"p999\""), "snapshots expose p999: {json}");
+        let back = MetricsSnapshot::from_json(&json).expect("own output parses");
+        assert_eq!(back.label, "rank-0");
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.float_gauges, snap.float_gauges);
+        assert_eq!(back.histograms["rt.lat"].count, 2);
+        assert_eq!(
+            back.histograms["rt.lat"].buckets,
+            snap.histograms["rt.lat"].buckets
+        );
+        assert!(
+            (back.histograms["rt.lat"].sum_seconds - snap.histograms["rt.lat"].sum_seconds).abs()
+                < 1e-9
+        );
+        assert!(MetricsSnapshot::from_json("{oops").is_none());
+        assert!(MetricsSnapshot::from_json("[1,2]").is_none());
+
+        let other = Registry::new("rank-1");
+        other.counter("rt.requests").add(5);
+        other.gauge("rt.depth").set(2);
+        other.float_gauge("rt.chi").set(9.0);
+        other.histogram("rt.lat").observe(0.002);
+        let merged = MetricsSnapshot::merge("cluster", &[snap, other.snapshot()]);
+        assert_eq!(merged.label, "cluster");
+        assert_eq!(merged.counters["rt.requests"], 12);
+        assert_eq!(merged.gauges["rt.depth"], 5);
+        assert_eq!(merged.histograms["rt.lat"].count, 3);
+        assert_eq!(
+            merged.histograms["rt.lat"].buckets.iter().sum::<u64>(),
+            3,
+            "bucket counts merge element-wise"
+        );
+        assert!(
+            merged.float_gauges.is_empty(),
+            "float gauges do not sum across ranks"
+        );
     }
 
     #[test]

@@ -105,12 +105,31 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Unique nonzero span id (a simple process-wide counter).
+/// Unique nonzero span id: a process-wide counter seeded from a random
+/// per-process base. The base matters for *cluster* traces — every rank
+/// stitches its spans into one tree keyed by `trace_id`, and if each
+/// process counted from 1, rank 0's span 3 and rank 2's span 3 would be
+/// indistinguishable and parent links would cross-wire. Mixing the pid
+/// and wall clock through splitmix64 makes the per-process id ranges
+/// disjoint with overwhelming probability.
 fn next_span_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    // ordering: Relaxed — fetch_add alone guarantees uniqueness; ids
-    // carry no happens-before obligations.
-    NEXT.fetch_add(1, Ordering::Relaxed)
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let counter = NEXT.get_or_init(|| {
+        let pid = std::process::id() as u64;
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        AtomicU64::new(splitmix64(pid ^ nanos.rotate_left(17)))
+    });
+    loop {
+        // ordering: Relaxed — fetch_add alone guarantees uniqueness; ids
+        // carry no happens-before obligations.
+        let id = counter.fetch_add(1, Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+    }
 }
 
 /// Unique nonzero trace id (splitmix64 of a counter, so concurrent
@@ -545,6 +564,141 @@ pub fn parse_jsonl(text: &str) -> (Vec<ParsedSpan>, usize) {
     (spans, skipped)
 }
 
+// ---------------------------------------------------------------------------
+// Cross-process trace stitching
+// ---------------------------------------------------------------------------
+
+/// One span in a stitched cluster trace, tagged with the rank whose
+/// flight recorder shipped it (`-1` for spans drained locally, e.g. the
+/// client process's own recorder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedSpan {
+    /// Scrape origin rank, or -1 when the span came from the local drain.
+    pub rank: i64,
+    /// The parsed span record.
+    pub span: ParsedSpan,
+}
+
+/// One logical operation's spans, stitched across process boundaries into
+/// a parent-linked tree keyed by `trace_id`. Built by [`stitch`].
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id shared by every span in this tree.
+    pub trace_id: u64,
+    /// All spans of the trace, sorted by (`start_nanos`, `span_id`).
+    /// Note: start times are per-process monotonic nanos, so cross-rank
+    /// ordering is approximate — parent links are the causal truth.
+    pub spans: Vec<RankedSpan>,
+    /// `children[i]` holds indices into `spans` whose parent is span `i`.
+    pub children: Vec<Vec<usize>>,
+    /// Indices of root spans (`parent_span_id == 0`).
+    pub roots: Vec<usize>,
+    /// Indices of spans whose nonzero parent id matches no span in the
+    /// tree — evidence of a lost ring slot or a rank that failed to ship.
+    pub orphans: Vec<usize>,
+}
+
+impl TraceTree {
+    /// A fully stitched operation: exactly one root, every other span
+    /// reachable from it via parent links.
+    pub fn is_connected(&self) -> bool {
+        self.roots.len() == 1 && self.orphans.is_empty()
+    }
+
+    /// Distinct scrape ranks (≥ 0) contributing spans, ascending.
+    pub fn ranks(&self) -> Vec<i64> {
+        let mut ranks: Vec<i64> = self
+            .spans
+            .iter()
+            .map(|s| s.rank)
+            .filter(|&r| r >= 0)
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// Renders the tree as indented ASCII, one span per line, children
+    /// under parents (orphans listed last at the top level).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &root in &self.roots {
+            self.render_at(root, 0, &mut out);
+        }
+        for &orphan in &self.orphans {
+            out.push_str("(orphan)\n");
+            self.render_at(orphan, 1, &mut out);
+        }
+        out
+    }
+
+    fn render_at(&self, idx: usize, depth: usize, out: &mut String) {
+        let s = &self.spans[idx];
+        let origin = if s.rank >= 0 {
+            format!("rank {}", s.rank)
+        } else {
+            "local".to_string()
+        };
+        out.push_str(&format!(
+            "{}{} [{} site={} detail={} {:.3}ms]\n",
+            "  ".repeat(depth),
+            s.span.name,
+            origin,
+            s.span.site,
+            s.span.detail,
+            s.span.duration_nanos as f64 / 1e6,
+        ));
+        for &child in &self.children[idx] {
+            self.render_at(child, depth + 1, out);
+        }
+    }
+}
+
+/// Groups spans by `trace_id` and parent-links each group into a
+/// [`TraceTree`]. Trees come back ordered by the earliest span start
+/// within each trace (per-process clocks, so approximate across ranks).
+pub fn stitch(mut spans: Vec<RankedSpan>) -> Vec<TraceTree> {
+    spans.sort_by_key(|s| (s.span.trace_id, s.span.start_nanos, s.span.span_id));
+    let mut trees = Vec::new();
+    let mut start = 0;
+    while start < spans.len() {
+        let trace_id = spans[start].span.trace_id;
+        let mut end = start;
+        while end < spans.len() && spans[end].span.trace_id == trace_id {
+            end += 1;
+        }
+        let group: Vec<RankedSpan> = spans[start..end].to_vec();
+        start = end;
+
+        let mut by_id = std::collections::HashMap::with_capacity(group.len());
+        for (i, s) in group.iter().enumerate() {
+            by_id.entry(s.span.span_id).or_insert(i);
+        }
+        let mut children = vec![Vec::new(); group.len()];
+        let mut roots = Vec::new();
+        let mut orphans = Vec::new();
+        for (i, s) in group.iter().enumerate() {
+            if s.span.parent_span_id == 0 {
+                roots.push(i);
+            } else {
+                match by_id.get(&s.span.parent_span_id) {
+                    Some(&p) if p != i => children[p].push(i),
+                    _ => orphans.push(i),
+                }
+            }
+        }
+        trees.push(TraceTree {
+            trace_id,
+            spans: group,
+            children,
+            roots,
+            orphans,
+        });
+    }
+    trees.sort_by_key(|t| t.spans.first().map_or(0, |s| s.span.start_nanos));
+    trees
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,6 +835,54 @@ mod tests {
         assert!(text.contains("test.sink_inner"));
 
         set_tracing(false);
+    }
+
+    #[test]
+    fn stitching_links_cross_rank_spans_into_one_tree() {
+        let mk = |trace_id, span_id, parent, name: &str, rank, start| RankedSpan {
+            rank,
+            span: ParsedSpan {
+                trace_id,
+                span_id,
+                parent_span_id: parent,
+                name: name.to_string(),
+                site: rank,
+                detail: 0,
+                start_nanos: start,
+                duration_nanos: 1,
+            },
+        };
+        // trace 7: client root (local) → rank 0 handle → rank 2 forward
+        // target, plus a same-rank child. trace 9: an orphan (parent
+        // never shipped).
+        let spans = vec![
+            mk(7, 100, 0, "client.search", -1, 10),
+            mk(7, 200, 100, "bucket.handle", 0, 20),
+            mk(7, 300, 200, "bucket.handle", 2, 30),
+            mk(7, 301, 300, "bucket.scan", 2, 31),
+            mk(9, 500, 444, "bucket.handle", 1, 5),
+        ];
+        let trees = stitch(spans);
+        assert_eq!(trees.len(), 2);
+        // trace 9 starts earlier (start_nanos 5) so it sorts first
+        assert_eq!(trees[0].trace_id, 9);
+        assert!(!trees[0].is_connected());
+        assert_eq!(trees[0].orphans.len(), 1);
+        let t7 = &trees[1];
+        assert_eq!(t7.trace_id, 7);
+        assert!(t7.is_connected(), "single root, no orphans: {t7:?}");
+        assert_eq!(t7.ranks(), vec![0, 2], "local client rank excluded");
+        // causal chain: root → rank0 → rank2 → scan
+        let root = t7.roots[0];
+        assert_eq!(t7.spans[root].span.name, "client.search");
+        let hop1 = t7.children[root][0];
+        assert_eq!(t7.spans[hop1].rank, 0);
+        let hop2 = t7.children[hop1][0];
+        assert_eq!(t7.spans[hop2].rank, 2);
+        assert_eq!(t7.children[hop2].len(), 1);
+        let render = t7.render();
+        assert!(render.contains("client.search"), "{render}");
+        assert!(render.contains("rank 2"), "{render}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn main() {
         "generate" => generate(&flags),
         "search" => search(&flags),
         "metrics" => metrics(&flags),
+        "trace" => trace_cmd(&flags),
         "audit-leakage" => audit_leakage(&flags),
         "bench-load" => bench_load(&flags),
         "bench-search" => bench_search(&flags),
@@ -52,7 +53,9 @@ fn usage() {
          sdds search    --pattern P [--file FILE | --entries N] \
          [--config basic|paper|swp] [--exact] [--prefix] [--metrics-json FILE] [--trace-json FILE]\n  \
          sdds metrics   [--entries N] [--config basic|paper|swp] [--queries P1,P2,...] [--sites] \
-         [--metrics-json FILE]\n  \
+         [--metrics-json FILE] [--cluster [--servers N | --registry FILE] [--json-out FILE]]\n  \
+         sdds trace     [--pattern P] [--entries N] [--config basic|paper|swp] \
+         [--cluster [--servers N]]\n  \
          sdds audit-leakage [--entries N] [--config basic|paper|swp] [--top M] \
          [--json-out FILE] [--metrics-json FILE]\n  \
          sdds bench-load --entries N [--config basic|paper|swp] [--threads N | --sweep 1,2,4] \
@@ -70,7 +73,8 @@ fn usage() {
          [--rates R1,R2,...] [--servers N] [--drain-budget B] [--inbox-capacity C] \
          [--seed S] [--json-out FILE] [--metrics-json FILE]\n  \
          sdds serve     --site RANK --registry FILE [--entries N] [--seed S] \
-         [--config basic|paper|swp] [--capacity C] [--drain-budget B] [--inbox-capacity C]\n\
+         [--config basic|paper|swp] [--capacity C] [--drain-budget B] [--inbox-capacity C] \
+         [--trace] [--obs-tick-millis T] [--obs-history N] [--trace-out FILE]\n\
          \n--metrics-json FILE dumps the run's observability snapshot \
          (counters, gauges, latency histograms) as JSON\n\
          --trace-json FILE enables causal tracing for the query and dumps \
@@ -80,7 +84,12 @@ fn usage() {
          and reopening the same --data-dir recovers the stored records\n\
          serve runs one rank of a multi-process TCP cluster (registry file: one \
          host:port per line, rank = line number); bench-traffic --transport tcp and \
-         bench-net spawn such ranks themselves on free loopback ports (see README)"
+         bench-net spawn such ranks themselves on free loopback ports (see README)\n\
+         --cluster scrapes every rank of a multi-process cluster over the host \
+         control channel: metrics merges the per-rank snapshots into one aggregate \
+         (counters/gauges/histograms sum), trace stitches every rank's spans into \
+         one cross-process tree; --registry FILE scrapes a live cluster, otherwise \
+         a loopback cluster is spawned and torn down (see docs/OBSERVABILITY.md)"
     );
 }
 
@@ -353,20 +362,37 @@ fn print_snapshot(snap: &sdds_obs::MetricsSnapshot, indent: &str) {
         for (name, h) in &snap.histograms {
             let q = |p: f64| h.quantile(p).map_or("-".into(), fmt_secs);
             println!(
-                "{indent}  {name:<32} count={:<8} mean={:<10} p50={:<10} p95={:<10} p99={}",
+                "{indent}  {name:<32} count={:<8} mean={:<10} p50={:<10} p95={:<10} p99={:<10} p999={}",
                 h.count,
                 h.mean().map_or("-".into(), fmt_secs),
                 q(0.50),
                 q(0.95),
                 q(0.99),
+                q(0.999),
             );
         }
     }
 }
 
+/// The `--queries` list (defaults to two realistic surnames).
+fn parse_queries(flags: &HashMap<String, String>) -> Vec<String> {
+    flags
+        .get("queries")
+        .map(String::as_str)
+        .unwrap_or("SMITH,MARTINEZ")
+        .split(',')
+        .map(|q| q.trim().to_string())
+        .filter(|q| !q.is_empty())
+        .collect()
+}
+
 /// Runs a small load + query workload and pretty-prints the live metrics
-/// snapshot, optionally with per-site breakdowns (`--sites`).
+/// snapshot, optionally with per-site breakdowns (`--sites`). With
+/// `--cluster`, scrapes a multi-process TCP cluster instead.
 fn metrics(flags: &HashMap<String, String>) {
+    if flags.contains_key("cluster") {
+        return metrics_cluster(flags);
+    }
     config_for(flags); // validate --config before doing any work
     let records = load_records(flags);
     eprintln!("loading {} records …", records.len());
@@ -377,14 +403,7 @@ fn metrics(flags: &HashMap<String, String>) {
             eprintln!("load failed: {e}");
             exit(1);
         });
-    let queries: Vec<String> = flags
-        .get("queries")
-        .map(String::as_str)
-        .unwrap_or("SMITH,MARTINEZ")
-        .split(',')
-        .map(|q| q.trim().to_string())
-        .filter(|q| !q.is_empty())
-        .collect();
+    let queries = parse_queries(flags);
     for q in &queries {
         if let Err(e) = store.search(q) {
             eprintln!("search {q:?} failed: {e}");
@@ -408,6 +427,271 @@ fn metrics(flags: &HashMap<String, String>) {
         }
     }
     maybe_write_metrics(flags);
+}
+
+/// Scrape options shared by the cluster commands.
+fn scrape_opts(flags: &HashMap<String, String>, spans: bool) -> sdds_repro::lh::ScrapeOptions {
+    sdds_repro::lh::ScrapeOptions {
+        metrics: !spans,
+        spans,
+        history: flags.contains_key("history"),
+        timeout: Duration::from_millis(flag_usize(flags, "scrape-timeout-millis", 10_000) as u64),
+    }
+}
+
+/// `sdds metrics --cluster`: scrapes every rank of a multi-process TCP
+/// cluster over the host control channel and prints the merged aggregate
+/// (plus per-rank breakdowns with `--sites`). With `--registry FILE` it
+/// scrapes a live cluster and leaves it running; otherwise it spawns its
+/// own loopback cluster (`--servers N`), drives the same small load +
+/// query workload as local `metrics`, scrapes, and shuts down.
+fn metrics_cluster(flags: &HashMap<String, String>) {
+    config_for(flags); // validate --config before doing any work
+    let drain_budget = flag_usize(flags, "drain-budget", sdds_repro::lh::DEFAULT_DRAIN_BUDGET);
+    let inbox_capacity = parse_inbox_capacity(flags);
+    let opts = scrape_opts(flags, false);
+    let records = load_records(flags);
+    if let Some(reg_path) = flags.get("registry").filter(|p| !p.is_empty()) {
+        let registry = SiteRegistry::load(std::path::Path::new(reg_path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1);
+        });
+        let remote =
+            traffic_builder(&records, flags, drain_budget, inbox_capacity).connect(registry);
+        let scrape = remote.obs().scrape(&opts).unwrap_or_else(|e| {
+            eprintln!("cluster scrape failed: {e}");
+            exit(1);
+        });
+        report_cluster_scrape(&scrape, flags);
+    } else {
+        let servers = flag_usize(flags, "servers", 2);
+        let entries = flag_usize(flags, "entries", 1000);
+        let seed = flag_usize(flags, "seed", 42) as u64;
+        eprintln!("spawning a {servers}-rank loopback cluster …");
+        let cluster = spawn_tcp_cluster(
+            &records,
+            flags,
+            servers,
+            entries,
+            seed,
+            drain_budget,
+            inbox_capacity,
+        );
+        let handle = cluster.remote.handle();
+        traffic_preload(&handle, &records, inbox_capacity.is_some());
+        for q in parse_queries(flags) {
+            if let Err(e) = handle.search(&q) {
+                eprintln!("search {q:?} failed: {e}");
+                exit(1);
+            }
+        }
+        let scrape = cluster.remote.obs().scrape(&opts).unwrap_or_else(|e| {
+            eprintln!("cluster scrape failed: {e}");
+            exit(1);
+        });
+        report_cluster_scrape(&scrape, flags);
+        cluster.shutdown();
+    }
+}
+
+/// Prints a cluster scrape — merged aggregate, per-rank breakdowns with
+/// `--sites`, and this process's client-side registry (the hop counters
+/// live here: forwarding is observed where the reply lands) — and writes
+/// the `--json-out` artifact. Exits nonzero if any rank failed to report.
+fn report_cluster_scrape(scrape: &sdds_repro::lh::ClusterScrape, flags: &HashMap<String, String>) {
+    let missing = if scrape.missing.is_empty() {
+        String::new()
+    } else {
+        format!(", missing {:?}", scrape.missing)
+    };
+    println!(
+        "== cluster aggregate ({} rank(s) reporting{missing}) ==",
+        scrape.ranks.len(),
+    );
+    print_snapshot(&scrape.aggregate, "");
+    if flags.contains_key("sites") {
+        for r in &scrape.ranks {
+            println!("\n== rank {} ==", r.rank);
+            if let Some(m) = &r.metrics {
+                print_snapshot(m, "");
+            }
+        }
+    }
+    let client = sdds_obs::MetricsSnapshot::capture();
+    println!("\n== client ==");
+    print_snapshot(&client, "");
+    if let Some(path) = flags.get("json-out") {
+        let ranks_json: Vec<String> = scrape
+            .ranks
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"rank\": {}, \"metrics\": {}}}",
+                    r.rank,
+                    r.metrics
+                        .as_ref()
+                        .map_or("null".to_string(), sdds_obs::MetricsSnapshot::to_json),
+                )
+            })
+            .collect();
+        let missing: Vec<String> = scrape.missing.iter().map(usize::to_string).collect();
+        let body = format!(
+            "{{\n\"missing\": [{}],\n\"aggregate\": {},\n\"client\": {},\n\"ranks\": [{}]\n}}\n",
+            missing.join(", "),
+            scrape.aggregate.to_json(),
+            client.to_json(),
+            ranks_json.join(",\n"),
+        );
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote cluster metrics to {path}");
+    }
+    maybe_write_metrics(flags);
+    if !scrape.missing.is_empty() {
+        eprintln!("{} rank(s) failed to report", scrape.missing.len());
+        exit(1);
+    }
+}
+
+/// Drains this process's flight recorder and re-reads it as parsed spans
+/// (the stitching input type).
+fn local_parsed_spans() -> Vec<sdds_obs::trace::ParsedSpan> {
+    let spans = sdds_obs::trace::drain_spans();
+    let mut text = String::with_capacity(spans.len() * 160);
+    for s in &spans {
+        text.push_str(&s.to_json_line());
+        text.push('\n');
+    }
+    sdds_obs::trace::parse_jsonl(&text).0
+}
+
+/// Prints each stitched trace tree with a connectivity summary line.
+/// Returns false if any tree is disconnected (multiple roots or orphans).
+fn render_trees(trees: &[sdds_obs::trace::TraceTree]) -> bool {
+    if trees.is_empty() {
+        println!("no spans recorded");
+        return true;
+    }
+    let mut ok = true;
+    for tree in trees {
+        println!(
+            "trace {:016x}: {} span(s), rank(s) {:?}, {}",
+            tree.trace_id,
+            tree.spans.len(),
+            tree.ranks(),
+            if tree.is_connected() {
+                "connected"
+            } else {
+                ok = false;
+                "DISCONNECTED"
+            },
+        );
+        print!("{}", tree.render());
+    }
+    ok
+}
+
+/// `sdds trace`: runs one traced search and renders its span tree. With
+/// `--cluster` the search runs against a self-spawned multi-process TCP
+/// cluster (serve children started with `--trace`), every rank's flight
+/// recorder is scraped over the control channel, and the local and remote
+/// spans are stitched into one cross-process tree.
+fn trace_cmd(flags: &HashMap<String, String>) {
+    config_for(flags); // validate --config before doing any work
+    let records = load_records(flags);
+    let pattern = flags
+        .get("pattern")
+        .cloned()
+        .unwrap_or_else(|| traffic_patterns(&records).remove(0));
+    if !flags.contains_key("cluster") {
+        let store = build_store(&records, flags);
+        store
+            .insert_many(records.iter().map(|r| (r.rid, r.rc.as_str())))
+            .unwrap_or_else(|e| {
+                eprintln!("load failed: {e}");
+                exit(1);
+            });
+        let _ = sdds_obs::trace::drain_spans();
+        sdds_obs::trace::set_tracing(true);
+        let t0 = Instant::now();
+        let hits = store.search(&pattern).unwrap_or_else(|e| {
+            eprintln!("search failed: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "traced search {pattern:?}: {} hit(s) in {:?}",
+            hits.len(),
+            t0.elapsed()
+        );
+        store.shutdown();
+        let spans = local_parsed_spans()
+            .into_iter()
+            .map(|span| sdds_obs::trace::RankedSpan { rank: -1, span })
+            .collect();
+        if !render_trees(&sdds_obs::trace::stitch(spans)) {
+            exit(1);
+        }
+        maybe_write_metrics(flags);
+        return;
+    }
+    // Cluster mode: the serve children must record spans too.
+    let mut flags = flags.clone();
+    flags.insert("trace".to_string(), String::new());
+    let servers = flag_usize(&flags, "servers", 2);
+    let entries = flag_usize(&flags, "entries", 1000);
+    let seed = flag_usize(&flags, "seed", 42) as u64;
+    let drain_budget = flag_usize(&flags, "drain-budget", sdds_repro::lh::DEFAULT_DRAIN_BUDGET);
+    let inbox_capacity = parse_inbox_capacity(&flags);
+    eprintln!("spawning a {servers}-rank loopback cluster …");
+    let cluster = spawn_tcp_cluster(
+        &records,
+        &flags,
+        servers,
+        entries,
+        seed,
+        drain_budget,
+        inbox_capacity,
+    );
+    let handle = cluster.remote.handle();
+    traffic_preload(&handle, &records, inbox_capacity.is_some());
+    // Trace only the query: the preload above ran untraced (client-side
+    // tracing was off, so its messages carried no context for the ranks
+    // to record either).
+    let _ = sdds_obs::trace::drain_spans();
+    sdds_obs::trace::set_tracing(true);
+    let t0 = Instant::now();
+    let hits = handle.search(&pattern).unwrap_or_else(|e| {
+        eprintln!("search failed: {e}");
+        exit(1);
+    });
+    sdds_obs::trace::set_tracing(false);
+    eprintln!(
+        "traced search {pattern:?}: {} hit(s) in {:?}",
+        hits.len(),
+        t0.elapsed()
+    );
+    // The reply can race the remote sites' span-ring writes by a beat;
+    // give the loops a moment to close their spans before scraping.
+    std::thread::sleep(Duration::from_millis(300));
+    let scrape = cluster
+        .remote
+        .obs()
+        .scrape(&scrape_opts(&flags, true))
+        .unwrap_or_else(|e| {
+            eprintln!("cluster scrape failed: {e}");
+            exit(1);
+        });
+    if !scrape.missing.is_empty() {
+        eprintln!("rank(s) {:?} failed to report", scrape.missing);
+    }
+    let connected = render_trees(&scrape.traces(local_parsed_spans()));
+    cluster.shutdown();
+    maybe_write_metrics(&flags);
+    if !connected || !scrape.missing.is_empty() {
+        exit(1);
+    }
 }
 
 /// Loads a corpus, snapshots what every bucket actually stores, and audits
@@ -1277,7 +1561,7 @@ fn spawn_tcp_cluster(
     seed: u64,
     drain_budget: usize,
     inbox_capacity: Option<usize>,
-) -> TrafficTarget {
+) -> TcpClusterTarget {
     if flags.get("storage").is_some_and(|s| s == "disk") {
         eprintln!(
             "tcp transport benches run with --storage mem (ranks would collide on one --data-dir)"
@@ -1337,10 +1621,20 @@ fn spawn_tcp_cluster(
             cmd.arg("--inbox-capacity").arg(c.to_string());
         }
         // flags traffic_builder reads must reach the children verbatim
-        for key in ["config", "capacity", "op-timeout-millis"] {
+        for key in [
+            "config",
+            "capacity",
+            "op-timeout-millis",
+            "obs-tick-millis",
+            "obs-history",
+        ] {
             if let Some(v) = flags.get(key) {
                 cmd.arg(format!("--{key}")).arg(v);
             }
+        }
+        // value-less flags (parse_flags stores them as empty strings)
+        if flags.contains_key("trace") {
+            cmd.arg("--trace");
         }
         children.push(cmd.spawn().unwrap_or_else(|e| {
             eprintln!("cannot spawn serve rank {rank}: {e}");
@@ -1352,11 +1646,11 @@ fn spawn_tcp_cluster(
         exit(1);
     });
     let remote = traffic_builder(records, flags, drain_budget, inbox_capacity).connect(registry);
-    TrafficTarget::Tcp(TcpClusterTarget {
+    TcpClusterTarget {
         remote,
         children,
         registry_path,
-    })
+    }
 }
 
 /// One load point of the sweep: total offered `rate` for `duration`
@@ -1586,7 +1880,7 @@ fn bench_traffic(flags: &HashMap<String, String>) {
         inbox_capacity.map_or("unbounded".to_string(), |c| c.to_string()),
     );
     let target = if transport == "tcp" {
-        spawn_tcp_cluster(
+        TrafficTarget::Tcp(spawn_tcp_cluster(
             &records,
             flags,
             servers,
@@ -1594,7 +1888,7 @@ fn bench_traffic(flags: &HashMap<String, String>) {
             seed,
             drain_budget,
             inbox_capacity,
-        )
+        ))
     } else {
         TrafficTarget::Channel(Box::new(build_traffic_store(
             &records,
@@ -1797,9 +2091,23 @@ fn serve_cmd(flags: &HashMap<String, String>) {
     let seed = flag_usize(flags, "seed", 42) as u64;
     let drain_budget = flag_usize(flags, "drain-budget", sdds_repro::lh::DEFAULT_DRAIN_BUDGET);
     let inbox_capacity = parse_inbox_capacity(flags);
+    if flags.contains_key("trace") {
+        // Without the gate the rank's flight recorder stays inert and a
+        // cluster span scrape would come back empty for this rank.
+        sdds_obs::trace::set_tracing(true);
+    }
+    let obs = sdds_repro::lh::ObsOptions {
+        tick: Duration::from_millis(flag_usize(flags, "obs-tick-millis", 500).max(1) as u64),
+        history: flag_usize(flags, "obs-history", 64),
+        trace_flush: flags
+            .get("trace-out")
+            .filter(|p| !p.is_empty())
+            .map(std::path::PathBuf::from),
+    };
     let records = DirectoryGenerator::new(seed).generate(entries);
-    let (_pipeline, config) =
-        traffic_builder(&records, flags, drain_budget, inbox_capacity).serve_parts();
+    let (_pipeline, config) = traffic_builder(&records, flags, drain_budget, inbox_capacity)
+        .obs_options(obs)
+        .serve_parts();
     eprintln!(
         "rank {rank}/{}: serving on {} …",
         registry.num_servers(),
@@ -1955,7 +2263,7 @@ fn bench_net(flags: &HashMap<String, String>) {
         inbox_capacity,
     )));
     traffic_preload(&channel.handle(), &records, inbox_capacity.is_some());
-    let tcp = spawn_tcp_cluster(
+    let tcp = TrafficTarget::Tcp(spawn_tcp_cluster(
         &records,
         flags,
         servers,
@@ -1963,7 +2271,7 @@ fn bench_net(flags: &HashMap<String, String>) {
         seed,
         drain_budget,
         inbox_capacity,
-    );
+    ));
     traffic_preload(&tcp.handle(), &records, inbox_capacity.is_some());
 
     let digest_channel = search_digest(&channel.handle(), &patterns, entries as u64);
